@@ -1,0 +1,82 @@
+//! Ablation 2 (DESIGN.md §6): interval-partitioned counters (the paper's
+//! synchronization-free Algorithm 4) versus a shared atomic counter array —
+//! the alternative the paper explicitly rejects.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rayon::prelude::*;
+use ripples_diffusion::{sample_batch_sequential, DiffusionModel, RrrCollection};
+use ripples_graph::generators::standin;
+use ripples_graph::WeightModel;
+use ripples_rng::StreamFactory;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+fn count_partitioned(collection: &RrrCollection, n: u32, parts: usize) -> Vec<u64> {
+    let n_us = n as usize;
+    let bounds: Vec<(u32, u32)> = (0..parts)
+        .map(|t| (((n_us * t) / parts) as u32, ((n_us * (t + 1)) / parts) as u32))
+        .collect();
+    let mut counters = vec![0u64; n_us];
+    let mut slices: Vec<&mut [u64]> = Vec::with_capacity(parts);
+    let mut rest: &mut [u64] = &mut counters;
+    for &(vl, vh) in &bounds {
+        let (head, tail) = rest.split_at_mut((vh - vl) as usize);
+        slices.push(head);
+        rest = tail;
+    }
+    rayon::scope(|s| {
+        for (slice, &(vl, vh)) in slices.iter_mut().zip(&bounds) {
+            s.spawn(move |_| {
+                for i in 0..collection.len() {
+                    for &u in collection.partition_slice(i, vl, vh) {
+                        slice[(u - vl) as usize] += 1;
+                    }
+                }
+            });
+        }
+    });
+    counters
+}
+
+fn count_atomic(collection: &RrrCollection, n: u32) -> Vec<u64> {
+    let counters: Vec<AtomicU64> = (0..n).map(|_| AtomicU64::new(0)).collect();
+    (0..collection.len()).into_par_iter().for_each(|i| {
+        for &u in collection.get(i) {
+            counters[u as usize].fetch_add(1, Ordering::Relaxed);
+        }
+    });
+    counters.into_iter().map(AtomicU64::into_inner).collect()
+}
+
+fn bench_counters(c: &mut Criterion) {
+    let spec = standin("cit-HepTh").unwrap();
+    let graph = spec.build(32, WeightModel::UniformRandom { seed: 2 }, false);
+    let factory = StreamFactory::new(5);
+    let mut collection = RrrCollection::new();
+    sample_batch_sequential(
+        &graph,
+        DiffusionModel::IndependentCascade,
+        &factory,
+        0,
+        4_000,
+        &mut collection,
+    );
+    let n = graph.num_vertices();
+
+    // Correctness cross-check before timing.
+    assert_eq!(count_partitioned(&collection, n, 4), count_atomic(&collection, n));
+
+    let mut group = c.benchmark_group("counting_pass");
+    group.sample_size(10);
+    for parts in [2usize, 4] {
+        group.bench_with_input(BenchmarkId::new("partitioned", parts), &parts, |b, &p| {
+            b.iter(|| count_partitioned(&collection, n, p));
+        });
+    }
+    group.bench_function("atomic", |b| {
+        b.iter(|| count_atomic(&collection, n));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_counters);
+criterion_main!(benches);

@@ -1,0 +1,40 @@
+//! Ablation 4 (DESIGN.md §6): CELF-style lazy greedy versus full-rescan
+//! greedy on the RRR cover problem.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ripples_core::select::{select_seeds_lazy, select_seeds_sequential};
+use ripples_diffusion::{sample_batch_sequential, DiffusionModel, RrrCollection};
+use ripples_graph::generators::standin;
+use ripples_graph::WeightModel;
+use ripples_rng::StreamFactory;
+
+fn bench_lazy(c: &mut Criterion) {
+    let spec = standin("cit-HepTh").unwrap();
+    let graph = spec.build(32, WeightModel::UniformRandom { seed: 4 }, false);
+    let factory = StreamFactory::new(13);
+    let mut collection = RrrCollection::new();
+    sample_batch_sequential(
+        &graph,
+        DiffusionModel::IndependentCascade,
+        &factory,
+        0,
+        3_000,
+        &mut collection,
+    );
+    let n = graph.num_vertices();
+
+    let mut group = c.benchmark_group("lazy_vs_eager_selection");
+    group.sample_size(10);
+    for k in [10u32, 50] {
+        group.bench_with_input(BenchmarkId::new("eager", k), &k, |b, &k| {
+            b.iter(|| select_seeds_sequential(&collection, n, k));
+        });
+        group.bench_with_input(BenchmarkId::new("lazy", k), &k, |b, &k| {
+            b.iter(|| select_seeds_lazy(&collection, n, k));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_lazy);
+criterion_main!(benches);

@@ -1,0 +1,64 @@
+//! Ablation 1 (DESIGN.md §6): sorted-list + binary-search membership
+//! (the paper's §3.1 layout) versus hash-set membership during seed
+//! selection's purge scans.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ripples_diffusion::{sample_batch_sequential, DiffusionModel, RrrCollection};
+use ripples_graph::generators::standin;
+use ripples_graph::WeightModel;
+use ripples_rng::StreamFactory;
+use std::collections::HashSet;
+
+fn bench_membership(c: &mut Criterion) {
+    let spec = standin("cit-HepTh").unwrap();
+    let graph = spec.build(32, WeightModel::UniformRandom { seed: 1 }, false);
+    let factory = StreamFactory::new(11);
+    let mut collection = RrrCollection::new();
+    sample_batch_sequential(
+        &graph,
+        DiffusionModel::IndependentCascade,
+        &factory,
+        0,
+        2_000,
+        &mut collection,
+    );
+    // Equivalent hash-set representation.
+    let hashed: Vec<HashSet<u32>> = collection
+        .iter()
+        .map(|s| s.iter().copied().collect())
+        .collect();
+    let probes: Vec<u32> = (0..64).map(|i| (i * 131) % graph.num_vertices()).collect();
+
+    let mut group = c.benchmark_group("membership");
+    group.sample_size(10);
+    group.bench_function("sorted_binary_search", |b| {
+        b.iter(|| {
+            let mut hits = 0usize;
+            for &v in &probes {
+                for i in 0..collection.len() {
+                    if collection.get(i).binary_search(&v).is_ok() {
+                        hits += 1;
+                    }
+                }
+            }
+            hits
+        });
+    });
+    group.bench_function("hash_set", |b| {
+        b.iter(|| {
+            let mut hits = 0usize;
+            for &v in &probes {
+                for s in &hashed {
+                    if s.contains(&v) {
+                        hits += 1;
+                    }
+                }
+            }
+            hits
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_membership);
+criterion_main!(benches);

@@ -1,0 +1,64 @@
+//! Ablation 5 (DESIGN.md §6): per-sample SplitMix64 stream derivation (our
+//! reproducibility-preserving default) versus the paper's leap-frogged LCG
+//! (TRNG-style), as raw draw throughput.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use ripples_rng::{Lcg64, LeapFrog, SplitMix64, StreamFactory};
+
+fn bench_rng(c: &mut Criterion) {
+    const DRAWS: u64 = 1 << 16;
+    let mut group = c.benchmark_group("rng_draws");
+    group.sample_size(20);
+    group.throughput(Throughput::Elements(DRAWS));
+
+    group.bench_function("splitmix_single_stream", |b| {
+        let mut rng = SplitMix64::new(1);
+        b.iter(|| {
+            let mut acc = 0.0f64;
+            for _ in 0..DRAWS {
+                acc += rng.unit_f64();
+            }
+            acc
+        });
+    });
+    group.bench_function("splitmix_stream_per_64_draws", |b| {
+        // Models the per-sample stream derivation cost: a new stream every
+        // 64 draws (a typical RRR set's coin-flip count).
+        let factory = StreamFactory::new(1);
+        b.iter(|| {
+            let mut acc = 0.0f64;
+            for s in 0..(DRAWS / 64) {
+                let mut rng = factory.sample_stream(s);
+                for _ in 0..64 {
+                    acc += rng.unit_f64();
+                }
+            }
+            acc
+        });
+    });
+    group.bench_function("lcg_leapfrog_rank0_of_16", |b| {
+        let base = Lcg64::new(1);
+        let mut lf = LeapFrog::new(&base, 0, 16);
+        b.iter(|| {
+            let mut acc = 0.0f64;
+            for _ in 0..DRAWS {
+                acc += lf.unit_f64();
+            }
+            acc
+        });
+    });
+    group.bench_function("lcg_plain", |b| {
+        let mut rng = Lcg64::new(1);
+        b.iter(|| {
+            let mut acc = 0.0f64;
+            for _ in 0..DRAWS {
+                acc += rng.unit_f64();
+            }
+            acc
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_rng);
+criterion_main!(benches);

@@ -1,0 +1,44 @@
+//! Ablation 3 (DESIGN.md §6): one-direction compact storage (IMMOPT) vs
+//! two-direction hypergraph storage (Tang-style IMM) — build cost and
+//! selection cost, the trade Table 2 quantifies.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ripples_core::select::{select_seeds_hypergraph, select_seeds_sequential};
+use ripples_diffusion::{sample_batch_sequential, DiffusionModel, HyperGraph, RrrCollection};
+use ripples_graph::generators::standin;
+use ripples_graph::WeightModel;
+use ripples_rng::StreamFactory;
+
+fn bench_storage(c: &mut Criterion) {
+    let spec = standin("cit-HepTh").unwrap();
+    let graph = spec.build(32, WeightModel::UniformRandom { seed: 3 }, false);
+    let factory = StreamFactory::new(9);
+    let mut collection = RrrCollection::new();
+    sample_batch_sequential(
+        &graph,
+        DiffusionModel::IndependentCascade,
+        &factory,
+        0,
+        4_000,
+        &mut collection,
+    );
+    let n = graph.num_vertices();
+    let k = 50;
+    let hyper = HyperGraph::build(collection.clone(), n);
+
+    let mut group = c.benchmark_group("storage_layouts");
+    group.sample_size(10);
+    group.bench_function("hypergraph_index_build", |b| {
+        b.iter(|| HyperGraph::build(collection.clone(), n));
+    });
+    group.bench_function("select_compact_scan", |b| {
+        b.iter(|| select_seeds_sequential(&collection, n, k));
+    });
+    group.bench_function("select_inverted_index", |b| {
+        b.iter(|| select_seeds_hypergraph(&hyper, n, k));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_storage);
+criterion_main!(benches);

@@ -1,0 +1,40 @@
+//! Ablation 7: TIM⁺'s KPT estimator vs IMM's martingale estimator — sample
+//! budgets and end-to-end cost at the same `(ε, ℓ)` guarantee (the
+//! "significant improvement over its predecessors" of the paper's intro).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ripples_core::seq::immopt_sequential;
+use ripples_core::tim::tim_plus;
+use ripples_core::ImmParams;
+use ripples_diffusion::DiffusionModel;
+use ripples_graph::generators::standin;
+use ripples_graph::WeightModel;
+
+fn bench_theta(c: &mut Criterion) {
+    let spec = standin("cit-HepTh").unwrap();
+    let graph = spec.build(32, WeightModel::UniformRandom { seed: 4 }, false);
+    let params = ImmParams::new(20, 0.5, DiffusionModel::IndependentCascade, 2);
+
+    // Report the θ gap once, outside timing.
+    let imm = immopt_sequential(&graph, &params);
+    let tim = tim_plus(&graph, &params);
+    eprintln!(
+        "sample budgets at eps=0.5 k=20: IMM θ = {}, TIM+ θ = {} ({:.2}x)",
+        imm.theta,
+        tim.theta,
+        tim.theta as f64 / imm.theta as f64
+    );
+
+    let mut group = c.benchmark_group("estimator");
+    group.sample_size(10);
+    group.bench_function("imm_martingale", |b| {
+        b.iter(|| immopt_sequential(&graph, &params));
+    });
+    group.bench_function("tim_plus_kpt", |b| {
+        b.iter(|| tim_plus(&graph, &params));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_theta);
+criterion_main!(benches);

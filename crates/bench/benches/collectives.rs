@@ -1,0 +1,31 @@
+//! Shared-memory collective throughput of the MPI-substitute substrate.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ripples_comm::{Communicator, ThreadWorld};
+
+fn bench_allreduce(c: &mut Criterion) {
+    let mut group = c.benchmark_group("allreduce");
+    group.sample_size(10);
+    for ranks in [2u32, 4] {
+        for len in [1usize << 10, 1 << 16] {
+            group.bench_with_input(
+                BenchmarkId::new(format!("ranks{ranks}"), len),
+                &len,
+                |b, &len| {
+                    let world = ThreadWorld::new(ranks);
+                    b.iter(|| {
+                        world.run(|comm| {
+                            let mut buf = vec![u64::from(comm.rank()); len];
+                            comm.all_reduce_sum_u64(&mut buf);
+                            buf[0]
+                        })
+                    });
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_allreduce);
+criterion_main!(benches);

@@ -1,0 +1,47 @@
+//! End-to-end engine comparison on one small input: hypergraph baseline vs
+//! IMMOPT vs multithreaded IMM vs the Monte-Carlo CELF greedy — the
+//! motivating cost gap of the whole RIS line of work.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ripples_core::celf::celf_greedy;
+use ripples_core::community::community_imm;
+use ripples_core::mt::imm_multithreaded;
+use ripples_core::seq::{imm_baseline, immopt_sequential};
+use ripples_core::ImmParams;
+use ripples_diffusion::DiffusionModel;
+use ripples_graph::generators::erdos_renyi;
+use ripples_graph::WeightModel;
+
+fn bench_end_to_end(c: &mut Criterion) {
+    let graph = erdos_renyi(
+        500,
+        4_000,
+        WeightModel::UniformRandom { seed: 6 },
+        false,
+        10,
+    );
+    let model = DiffusionModel::IndependentCascade;
+    let params = ImmParams::new(5, 0.5, model, 8);
+
+    let mut group = c.benchmark_group("end_to_end_k5");
+    group.sample_size(10);
+    group.bench_function("imm_hypergraph_baseline", |b| {
+        b.iter(|| imm_baseline(&graph, &params));
+    });
+    group.bench_function("immopt_sequential", |b| {
+        b.iter(|| immopt_sequential(&graph, &params));
+    });
+    group.bench_function("imm_multithreaded", |b| {
+        b.iter(|| imm_multithreaded(&graph, &params, 0));
+    });
+    group.bench_function("celf_mc_greedy_100trials", |b| {
+        b.iter(|| celf_greedy(&graph, model, 5, 100, 8));
+    });
+    group.bench_function("community_imm_heuristic", |b| {
+        b.iter(|| community_imm(&graph, &params));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_end_to_end);
+criterion_main!(benches);

@@ -1,0 +1,31 @@
+//! Synthetic graph-generator throughput.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use ripples_graph::generators::{barabasi_albert, erdos_renyi, rmat, RmatConfig};
+use ripples_graph::WeightModel;
+
+fn bench_generators(c: &mut Criterion) {
+    let edges = 100_000usize;
+    let mut group = c.benchmark_group("generators");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(edges as u64));
+    group.bench_function("erdos_renyi", |b| {
+        b.iter(|| erdos_renyi(20_000, edges, WeightModel::Constant(0.1), false, 1));
+    });
+    group.bench_function("rmat", |b| {
+        b.iter(|| {
+            rmat(
+                &RmatConfig::graph500(15, edges, 1),
+                WeightModel::Constant(0.1),
+                false,
+            )
+        });
+    });
+    group.bench_function("barabasi_albert", |b| {
+        b.iter(|| barabasi_albert(25_000, 4, WeightModel::Constant(0.1), false, 1));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_generators);
+criterion_main!(benches);

@@ -1,0 +1,37 @@
+//! RRR-set generation throughput (Algorithm 3), IC vs LT.
+//!
+//! The paper's §4.2 rests on sampling being the dominant, memory-bound
+//! phase and on LT sets being far cheaper than IC sets.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use ripples_diffusion::{sample_batch_sequential, DiffusionModel, RrrCollection};
+use ripples_graph::generators::standin;
+use ripples_graph::WeightModel;
+use ripples_rng::StreamFactory;
+
+fn bench_sampling(c: &mut Criterion) {
+    let spec = standin("cit-HepTh").unwrap();
+    let batch = 512usize;
+    let mut group = c.benchmark_group("rrr_sampling");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(batch as u64));
+    for model in [
+        DiffusionModel::IndependentCascade,
+        DiffusionModel::LinearThreshold,
+    ] {
+        let lt = model == DiffusionModel::LinearThreshold;
+        let graph = spec.build(32, WeightModel::UniformRandom { seed: 1 }, lt);
+        let factory = StreamFactory::new(7);
+        group.bench_with_input(BenchmarkId::new("batch", model.tag()), &graph, |b, g| {
+            b.iter(|| {
+                let mut out = RrrCollection::new();
+                sample_batch_sequential(g, model, &factory, 0, batch, &mut out);
+                out
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_sampling);
+criterion_main!(benches);

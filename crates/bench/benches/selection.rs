@@ -1,0 +1,44 @@
+//! Seed-selection engines (Algorithm 4) over a prepared RRR collection.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ripples_core::select::{select_seeds_partitioned, select_seeds_sequential};
+use ripples_diffusion::{sample_batch_sequential, DiffusionModel, RrrCollection};
+use ripples_graph::generators::standin;
+use ripples_graph::WeightModel;
+use ripples_rng::StreamFactory;
+
+fn bench_selection(c: &mut Criterion) {
+    let spec = standin("cit-HepTh").unwrap();
+    let graph = spec.build(32, WeightModel::UniformRandom { seed: 1 }, false);
+    let factory = StreamFactory::new(3);
+    let mut collection = RrrCollection::new();
+    sample_batch_sequential(
+        &graph,
+        DiffusionModel::IndependentCascade,
+        &factory,
+        0,
+        4_000,
+        &mut collection,
+    );
+    let n = graph.num_vertices();
+    let k = 50;
+
+    let mut group = c.benchmark_group("seed_selection");
+    group.sample_size(10);
+    group.bench_function("sequential", |b| {
+        b.iter(|| select_seeds_sequential(&collection, n, k));
+    });
+    for parts in [2usize, 4, 8] {
+        group.bench_with_input(
+            BenchmarkId::new("partitioned", parts),
+            &parts,
+            |b, &p| {
+                b.iter(|| select_seeds_partitioned(&collection, n, k, p));
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_selection);
+criterion_main!(benches);

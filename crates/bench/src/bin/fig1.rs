@@ -1,0 +1,60 @@
+//! Figure 1: activated nodes as a function of seed-set size k at the two
+//! accuracy settings the paper contrasts — ε = 0.5 (what the serial
+//! state-of-the-art could afford) and ε = 0.13 (what the parallel
+//! implementation enables), on the com-Orkut stand-in.
+//!
+//! Expected shape: both curves grow sub-linearly (submodularity); the
+//! ε = 0.13 curve sits at or above ε = 0.5 for matching k and extends to
+//! 2× the seed budget.
+//!
+//! Usage: `cargo run --release -p ripples-bench --bin fig1 -- \
+//!            [--scale-div N] [--trials T] [--csv]`
+
+use ripples_bench::{effective_divisor, measure, paper_graph, Args, Table};
+use ripples_core::mt::imm_multithreaded;
+use ripples_core::ImmParams;
+use ripples_diffusion::{estimate_spread, DiffusionModel};
+use ripples_graph::generators::standin;
+use ripples_rng::StreamFactory;
+
+fn main() {
+    let args = Args::from_env();
+    let scale_div: u32 = args.parse_or("scale-div", 4);
+    let trials: u32 = args.parse_or("trials", 400);
+    let spec = standin("com-Orkut").expect("catalog");
+    let model = DiffusionModel::IndependentCascade;
+    let graph = paper_graph(spec, effective_divisor(spec, scale_div), model);
+    println!(
+        "# Figure 1 reproduction: activated nodes vs k ({} stand-in, n = {}, m = {})",
+        spec.name,
+        graph.num_vertices(),
+        graph.num_edges()
+    );
+
+    let factory = StreamFactory::new(0xF161);
+    let mut table = Table::new(vec!["epsilon", "k", "theta", "activated", "time_s"]);
+    // (ε, k sweep): the blue arc (serial-feasible) stops at k=100; the red
+    // arc (parallel-enabled) reaches k=200 at higher precision.
+    let settings: [(f64, &[u32]); 2] = [
+        (0.5, &[25, 50, 75, 100]),
+        (0.13, &[25, 50, 75, 100, 150, 200]),
+    ];
+    for (eps, ks) in settings {
+        for &k in ks {
+            let params = ImmParams::new(k, eps, model, 0xF1);
+            let (result, elapsed) = measure(|| imm_multithreaded(&graph, &params, 0));
+            let activated = estimate_spread(&graph, model, &result.seeds, trials, &factory);
+            table.row(vec![
+                format!("{eps:.2}"),
+                k.to_string(),
+                result.theta.to_string(),
+                format!("{activated:.1}"),
+                format!("{:.2}", elapsed.as_secs_f64()),
+            ]);
+            eprintln!("done: eps {eps} k {k} (θ = {})", result.theta);
+        }
+    }
+    table.print(args.flag("csv"));
+    println!("\n# expected shape: activation grows sub-linearly in k; the ε = 0.13 series");
+    println!("# matches or beats ε = 0.5 at equal k and extends the frontier to k = 200");
+}

@@ -1,0 +1,59 @@
+//! Figure 4: impact of the seed-set size k on runtime (ε = 0.5, IC),
+//! decomposed into phases, for all eight stand-ins.
+//!
+//! Usage: `cargo run --release -p ripples-bench --bin fig4 -- \
+//!            [--scale-div N] [--graphs a,b,c] [--csv]`
+
+use ripples_bench::{effective_divisor, paper_graph, Args, Table};
+use ripples_core::mt::imm_multithreaded;
+use ripples_core::{ImmParams, Phase};
+use ripples_diffusion::DiffusionModel;
+use ripples_graph::generators::standin_catalog;
+
+fn main() {
+    let args = Args::from_env();
+    let scale_div: u32 = args.parse_or("scale-div", 8);
+    let filter: Option<Vec<String>> = args
+        .get("graphs")
+        .map(|s| s.split(',').map(|x| x.to_ascii_lowercase()).collect());
+    let model = DiffusionModel::IndependentCascade;
+    let epsilon: f64 = args.parse_or("epsilon", 0.5);
+    let ks: Vec<u32> = (1..=10).map(|i| i * 10).collect();
+
+    println!("# Figure 4 reproduction: phase-decomposed runtime vs k (ε = {epsilon}, IC, all threads)");
+    let mut table = Table::new(vec![
+        "graph",
+        "k",
+        "EstimateTheta_s",
+        "Sample_s",
+        "SelectSeeds_s",
+        "Other_s",
+        "total_s",
+        "theta",
+    ]);
+    for spec in standin_catalog() {
+        if let Some(ref names) = filter {
+            if !names.contains(&spec.name.to_ascii_lowercase()) {
+                continue;
+            }
+        }
+        let graph = paper_graph(spec, effective_divisor(spec, scale_div), model);
+        for &k in &ks {
+            let params = ImmParams::new(k, epsilon, model, 0xF4);
+            let r = imm_multithreaded(&graph, &params, 0);
+            table.row(vec![
+                spec.name.to_string(),
+                k.to_string(),
+                format!("{:.3}", r.timers.get(Phase::EstimateTheta).as_secs_f64()),
+                format!("{:.3}", r.timers.get(Phase::Sample).as_secs_f64()),
+                format!("{:.3}", r.timers.get(Phase::SelectSeeds).as_secs_f64()),
+                format!("{:.3}", r.timers.get(Phase::Other).as_secs_f64()),
+                format!("{:.3}", r.timers.total().as_secs_f64()),
+                r.theta.to_string(),
+            ]);
+            eprintln!("done: {} k {k}", spec.name);
+        }
+    }
+    table.print(args.flag("csv"));
+    println!("\n# expected shape: runtime grows with k (θ does too); SelectSeeds' share grows with k");
+}

@@ -1,0 +1,166 @@
+//! `ripples` — command-line influence maximization.
+//!
+//! Loads a SNAP-style edge list (or generates a named stand-in) and runs
+//! the chosen IMM engine, printing the seed set and full instrumentation.
+//!
+//! ```text
+//! ripples --input graph.txt [--undirected] [--weights uniform|wc|const:P|tri]
+//!         [--engine opt|baseline|mt|dist|partitioned|community|celf|tim|degdiscount]
+//!         [--model ic|lt] [--k K] [--epsilon E] [--seed S]
+//!         [--threads T | --ranks R] [--simulate TRIALS]
+//! ripples --standin com-Orkut --scale-div 64 ...
+//! ```
+
+use ripples_bench::Args;
+use ripples_comm::ThreadWorld;
+use ripples_core::{celf::celf_greedy, community::community_imm, dist::imm_distributed,
+    dist_partitioned::imm_partitioned, heuristics::degree_discount_ic, mt::imm_multithreaded,
+    seq::{imm_baseline, immopt_sequential}, tim::tim_plus, ImmParams};
+use ripples_diffusion::{estimate_spread, DiffusionModel};
+use ripples_graph::generators::standin;
+use ripples_graph::io::{read_edge_list_file, EdgeListOptions, VertexIds};
+use ripples_graph::{Graph, GraphStats, WeightModel};
+use ripples_rng::StreamFactory;
+
+fn load_graph(args: &Args, model: DiffusionModel) -> Graph {
+    let weights = match args.get("weights").unwrap_or("uniform") {
+        "wc" => WeightModel::WeightedCascade,
+        "tri" => WeightModel::Trivalency { seed: 7 },
+        w if w.starts_with("const:") => {
+            let p: f32 = w[6..].parse().expect("--weights const:P needs a number");
+            WeightModel::Constant(p)
+        }
+        _ => WeightModel::UniformRandom { seed: 7 },
+    };
+    let lt_normalize = model == DiffusionModel::LinearThreshold;
+    if let Some(path) = args.get("input") {
+        let options = EdgeListOptions {
+            vertex_ids: VertexIds::Remap,
+            undirected: args.flag("undirected"),
+            default_prob: 1.0,
+            weights: Some(weights),
+        };
+        // LT normalization for loaded graphs happens through the builder in
+        // io; re-normalize by rebuilding when requested.
+        let g = read_edge_list_file(path, options).unwrap_or_else(|e| {
+            eprintln!("error: cannot load {path}: {e}");
+            std::process::exit(1);
+        });
+        if lt_normalize {
+            // Rebuild with normalization through a weighted builder.
+            let mut b = ripples_graph::GraphBuilder::new(g.num_vertices()).assign_weights(weights);
+            for (u, v, _) in g.edges() {
+                b.add_arc(u, v).expect("edge in range");
+            }
+            b.normalize_for_lt().build().expect("rebuild")
+        } else {
+            g
+        }
+    } else if let Some(name) = args.get("standin") {
+        let spec = standin(name).unwrap_or_else(|| {
+            eprintln!("error: unknown stand-in `{name}`; see ripples-graph's catalog");
+            std::process::exit(1);
+        });
+        let divisor = args.parse_or("scale-div", spec.default_divisor);
+        spec.build(divisor, weights, lt_normalize)
+    } else {
+        eprintln!("error: pass --input FILE or --standin NAME (e.g. --standin cit-HepTh)");
+        std::process::exit(1);
+    }
+}
+
+fn main() {
+    let args = Args::from_env();
+    let model = DiffusionModel::from_tag(args.get("model").unwrap_or("ic"))
+        .expect("--model must be ic or lt");
+    let graph = load_graph(&args, model);
+    let stats = GraphStats::of(&graph);
+    eprintln!(
+        "graph: {} vertices, {} edges, avg degree {:.2}, max degree {}",
+        stats.nodes, stats.edges, stats.avg_degree, stats.max_out_degree
+    );
+
+    let k: u32 = args.parse_or("k", 50);
+    let epsilon: f64 = args.parse_or("epsilon", 0.5);
+    let seed: u64 = args.parse_or("seed", 0);
+    let params = ImmParams::new(k, epsilon, model, seed);
+    let engine = args.get("engine").unwrap_or("mt").to_string();
+
+    let start = std::time::Instant::now();
+    let (seeds, detail) = match engine.as_str() {
+        "opt" => {
+            let r = immopt_sequential(&graph, &params);
+            (r.seeds, format!("theta={} phases=[{}]", r.theta, r.timers))
+        }
+        "baseline" => {
+            let r = imm_baseline(&graph, &params);
+            (r.seeds, format!("theta={} phases=[{}]", r.theta, r.timers))
+        }
+        "dist" => {
+            let ranks: u32 = args.parse_or("ranks", 2);
+            let world = ThreadWorld::new(ranks);
+            let mut results = world.run(|comm| imm_distributed(comm, &graph, &params));
+            let r = results.pop().expect("at least one rank");
+            (
+                r.seeds,
+                format!("ranks={ranks} theta={} phases=[{}]", r.theta, r.timers),
+            )
+        }
+        "community" => {
+            let r = community_imm(&graph, &params);
+            (
+                r.seeds,
+                format!("communities={} allocation={:?}", r.communities, r.allocation),
+            )
+        }
+        "partitioned" => {
+            let ranks: u32 = args.parse_or("ranks", 2);
+            let world = ThreadWorld::new(ranks);
+            let mut results = world.run(|comm| imm_partitioned(comm, &graph, &params));
+            let r = results.pop().expect("at least one rank");
+            (
+                r.seeds,
+                format!(
+                    "ranks={ranks} theta={} per-rank-graph={}B phases=[{}]",
+                    r.theta, r.memory.graph_bytes, r.timers
+                ),
+            )
+        }
+        "tim" => {
+            let r = tim_plus(&graph, &params);
+            (r.seeds, format!("theta={} phases=[{}]", r.theta, r.timers))
+        }
+        "degdiscount" => {
+            let p: f64 = args.parse_or("prob", 0.1);
+            let seeds = degree_discount_ic(&graph, k, p);
+            (seeds, format!("degree-discount p={p} (no approximation guarantee)"))
+        }
+        "celf" => {
+            let trials: u32 = args.parse_or("trials", 200);
+            let r = celf_greedy(&graph, model, k, trials, seed);
+            (r.seeds, format!("evaluations={}", r.evaluations))
+        }
+        _ => {
+            let threads: usize = args.parse_or("threads", 0);
+            let r = imm_multithreaded(&graph, &params, threads);
+            (r.seeds, format!("theta={} phases=[{}]", r.theta, r.timers))
+        }
+    };
+    let elapsed = start.elapsed();
+    eprintln!("engine={engine} model={model} k={k} epsilon={epsilon}: {detail}");
+    eprintln!("time: {:.3}s", elapsed.as_secs_f64());
+
+    if let Some(trials) = args.get("simulate") {
+        let trials: u32 = trials.parse().expect("--simulate takes a trial count");
+        let factory = StreamFactory::new(seed ^ 0x51);
+        let spread = estimate_spread(&graph, model, &seeds, trials, &factory);
+        eprintln!(
+            "expected influence over {trials} simulations: {spread:.1} / {} vertices",
+            graph.num_vertices()
+        );
+    }
+    // The seed set itself goes to stdout, one per line, for piping.
+    for s in seeds {
+        println!("{s}");
+    }
+}

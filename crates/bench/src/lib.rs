@@ -1,0 +1,268 @@
+//! Shared harness utilities for the experiment binaries that regenerate the
+//! paper's tables and figures.
+//!
+//! Each binary under `src/bin/` reproduces one table or figure (see
+//! DESIGN.md §4 for the index); this library holds what they share: aligned
+//! table printing, a minimal `--flag value` argument parser, timing
+//! helpers, and the standard graph-preparation path (stand-in generation at
+//! a chosen divisor with the paper's weight conventions).
+
+#![warn(missing_docs)]
+
+use ripples_diffusion::DiffusionModel;
+use ripples_graph::generators::{standin_catalog, StandinSpec};
+use ripples_graph::{Graph, WeightModel};
+use std::time::{Duration, Instant};
+
+/// Measures `f`, returning its output and the elapsed wall-clock.
+pub fn measure<T>(f: impl FnOnce() -> T) -> (T, Duration) {
+    let start = Instant::now();
+    let out = f();
+    (out, start.elapsed())
+}
+
+/// Builds the experiment input for `spec` under the paper's weighting
+/// conventions: IC uses uniform-random probabilities in `[0, 1)` (§4), LT
+/// additionally renormalizes each vertex's incoming mass to at most one.
+#[must_use]
+pub fn paper_graph(spec: &StandinSpec, divisor: u32, model: DiffusionModel) -> Graph {
+    let weights = WeightModel::UniformRandom { seed: 0xEDCE };
+    match model {
+        DiffusionModel::IndependentCascade => spec.build(divisor, weights, false),
+        DiffusionModel::LinearThreshold => spec.build(divisor, weights, true),
+    }
+}
+
+/// The stand-in divisor to use: the spec's default multiplied by
+/// `--scale-div` (a cheap way to shrink every experiment for smoke runs).
+#[must_use]
+pub fn effective_divisor(spec: &StandinSpec, extra: u32) -> u32 {
+    spec.default_divisor.saturating_mul(extra.max(1))
+}
+
+/// The four biggest graphs of the catalogue — the paper's distributed
+/// experiments (Figures 7–8) use only these ("smaller graphs do not produce
+/// sufficient work to justify high processor count").
+#[must_use]
+pub fn big_four() -> Vec<&'static StandinSpec> {
+    ["com-YouTube", "soc-Pokec", "soc-LiveJournal1", "com-Orkut"]
+        .iter()
+        .map(|n| {
+            standin_catalog()
+                .iter()
+                .find(|s| s.name.eq_ignore_ascii_case(n))
+                .expect("catalog entry")
+        })
+        .collect()
+}
+
+/// Minimal `--flag value` / `--flag` argument parser for the experiment
+/// binaries (no external CLI crates offline).
+#[derive(Clone, Debug, Default)]
+pub struct Args {
+    pairs: Vec<(String, Option<String>)>,
+}
+
+impl Args {
+    /// Parses `std::env::args` (skipping the binary name).
+    #[must_use]
+    pub fn from_env() -> Self {
+        Self::from_iter(std::env::args().skip(1))
+    }
+
+    /// Parses an explicit token stream (used by tests).
+    #[allow(clippy::should_implement_trait)] // not an iterator-of-Args collection
+    pub fn from_iter<I: IntoIterator<Item = String>>(tokens: I) -> Self {
+        let mut pairs = Vec::new();
+        let mut tokens = tokens.into_iter().peekable();
+        while let Some(tok) = tokens.next() {
+            if let Some(name) = tok.strip_prefix("--") {
+                let value = match tokens.peek() {
+                    Some(next) if !next.starts_with("--") => tokens.next(),
+                    _ => None,
+                };
+                pairs.push((name.to_string(), value));
+            } else {
+                // Bare positional tokens are recorded under an empty name.
+                pairs.push((String::new(), Some(tok)));
+            }
+        }
+        Self { pairs }
+    }
+
+    /// The raw string value of `--name`, if present with a value.
+    #[must_use]
+    pub fn get(&self, name: &str) -> Option<&str> {
+        self.pairs
+            .iter()
+            .find(|(n, _)| n == name)
+            .and_then(|(_, v)| v.as_deref())
+    }
+
+    /// True if `--name` appeared (with or without value).
+    #[must_use]
+    pub fn flag(&self, name: &str) -> bool {
+        self.pairs.iter().any(|(n, _)| n == name)
+    }
+
+    /// Parses `--name` as `T`, falling back to `default`.
+    ///
+    /// # Panics
+    ///
+    /// Panics (with a readable message) if the value fails to parse —
+    /// experiment binaries prefer failing loudly to running the wrong
+    /// configuration.
+    #[must_use]
+    pub fn parse_or<T: std::str::FromStr>(&self, name: &str, default: T) -> T {
+        match self.get(name) {
+            None => default,
+            Some(raw) => raw
+                .parse()
+                .unwrap_or_else(|_| panic!("invalid value `{raw}` for --{name}")),
+        }
+    }
+}
+
+/// An aligned plain-text table printer for experiment output.
+#[derive(Clone, Debug)]
+pub struct Table {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers.
+    #[must_use]
+    pub fn new<S: Into<String>>(header: Vec<S>) -> Self {
+        Self {
+            header: header.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row (must match the header arity).
+    pub fn row<S: Into<String>>(&mut self, cells: Vec<S>) {
+        let cells: Vec<String> = cells.into_iter().map(Into::into).collect();
+        assert_eq!(cells.len(), self.header.len(), "row arity mismatch");
+        self.rows.push(cells);
+    }
+
+    /// Renders with right-aligned columns separated by two spaces.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let cols = self.header.len();
+        let mut widths = vec![0usize; cols];
+        for row in std::iter::once(&self.header).chain(&self.rows) {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let fmt_row = |row: &[String], widths: &[usize]| {
+            row.iter()
+                .zip(widths)
+                .map(|(c, w)| format!("{c:>w$}", w = w))
+                .collect::<Vec<_>>()
+                .join("  ")
+        };
+        out.push_str(&fmt_row(&self.header, &widths));
+        out.push('\n');
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (cols - 1)));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row, &widths));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Renders as comma-separated values (for plotting scripts).
+    #[must_use]
+    pub fn render_csv(&self) -> String {
+        let mut out = String::new();
+        for row in std::iter::once(&self.header).chain(&self.rows) {
+            out.push_str(&row.join(","));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Prints to stdout, as CSV when `csv` is set.
+    pub fn print(&self, csv: bool) {
+        if csv {
+            print!("{}", self.render_csv());
+        } else {
+            print!("{}", self.render());
+        }
+    }
+}
+
+/// Formats a `Duration` in seconds with millisecond resolution.
+#[must_use]
+pub fn secs(d: Duration) -> String {
+    format!("{:.3}", d.as_secs_f64())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn args_parse_values_and_flags() {
+        let a = Args::from_iter(
+            ["--k", "50", "--csv", "--model", "ic"]
+                .iter()
+                .map(|s| s.to_string()),
+        );
+        assert_eq!(a.get("k"), Some("50"));
+        assert_eq!(a.parse_or("k", 0u32), 50);
+        assert!(a.flag("csv"));
+        assert!(!a.flag("absent"));
+        assert_eq!(a.parse_or("missing", 7u32), 7);
+        assert_eq!(a.get("model"), Some("ic"));
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid value")]
+    fn args_bad_parse_panics() {
+        let a = Args::from_iter(["--k", "abc"].iter().map(|s| s.to_string()));
+        let _ = a.parse_or("k", 0u32);
+    }
+
+    #[test]
+    fn table_renders_aligned() {
+        let mut t = Table::new(vec!["name", "value"]);
+        t.row(vec!["x", "1"]);
+        t.row(vec!["longer", "22"]);
+        let s = t.render();
+        assert!(s.contains("name"));
+        assert!(s.lines().count() == 4);
+        let csv = t.render_csv();
+        assert_eq!(csv.lines().next(), Some("name,value"));
+    }
+
+    #[test]
+    #[should_panic(expected = "arity")]
+    fn table_rejects_ragged_rows() {
+        let mut t = Table::new(vec!["a", "b"]);
+        t.row(vec!["only one"]);
+    }
+
+    #[test]
+    fn big_four_are_the_paper_set() {
+        let names: Vec<&str> = big_four().iter().map(|s| s.name).collect();
+        assert_eq!(
+            names,
+            vec!["com-YouTube", "soc-Pokec", "soc-LiveJournal1", "com-Orkut"]
+        );
+    }
+
+    #[test]
+    fn paper_graph_lt_is_normalized() {
+        let spec = ripples_graph::generators::standin("cit-HepTh").unwrap();
+        let g = paper_graph(spec, 64, DiffusionModel::LinearThreshold);
+        for v in 0..g.num_vertices() {
+            assert!(g.in_weight_sum(v) <= 1.0 + 1e-5);
+        }
+    }
+}

@@ -1,0 +1,46 @@
+//! Degree centrality.
+
+use ripples_graph::Graph;
+
+/// Which degree to rank by.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DegreeKind {
+    /// Out-degree.
+    Out,
+    /// In-degree.
+    In,
+    /// Out-degree + in-degree (the "connections" count used in §5).
+    Total,
+}
+
+/// Vertices ranked by descending degree (ties by id).
+#[must_use]
+pub fn degree_ranking(graph: &Graph, kind: DegreeKind) -> Vec<u32> {
+    let scores: Vec<f64> = (0..graph.num_vertices())
+        .map(|v| match kind {
+            DegreeKind::Out => graph.out_degree(v) as f64,
+            DegreeKind::In => graph.in_degree(v) as f64,
+            DegreeKind::Total => (graph.out_degree(v) + graph.in_degree(v)) as f64,
+        })
+        .collect();
+    crate::ranking_from_scores(&scores)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ripples_graph::GraphBuilder;
+
+    #[test]
+    fn star_center_ranks_first() {
+        let mut b = GraphBuilder::new(5);
+        for v in 1..5 {
+            b.add_edge(0, v, 1.0).unwrap();
+        }
+        let g = b.build().unwrap();
+        assert_eq!(degree_ranking(&g, DegreeKind::Out)[0], 0);
+        assert_eq!(degree_ranking(&g, DegreeKind::Total)[0], 0);
+        // In-degree: center has none; spokes tie and sort by id.
+        assert_eq!(degree_ranking(&g, DegreeKind::In)[0], 1);
+    }
+}

@@ -1,0 +1,120 @@
+//! PageRank — the remaining standard "important node" measure biologists
+//! reach for alongside degree and betweenness (§5 comparison set).
+
+use ripples_graph::Graph;
+
+/// Power-iteration PageRank with damping `d` and uniform teleport.
+///
+/// Dangling mass (vertices with no out-edges) is redistributed uniformly,
+/// the standard correction. Iterates until the L1 change drops below `tol`
+/// or `max_iters` passes, whichever first; returns scores summing to 1.
+///
+/// # Panics
+///
+/// Panics unless `0 < d < 1` and `tol > 0`.
+#[must_use]
+pub fn pagerank(graph: &Graph, d: f64, tol: f64, max_iters: u32) -> Vec<f64> {
+    assert!(d > 0.0 && d < 1.0, "damping must be in (0, 1)");
+    assert!(tol > 0.0, "tolerance must be positive");
+    let n = graph.num_vertices() as usize;
+    if n == 0 {
+        return Vec::new();
+    }
+    let uniform = 1.0 / n as f64;
+    let mut rank = vec![uniform; n];
+    let mut next = vec![0.0f64; n];
+    for _ in 0..max_iters {
+        next.fill(0.0);
+        let mut dangling = 0.0f64;
+        for v in 0..graph.num_vertices() {
+            let out = graph.out_degree(v);
+            let r = rank[v as usize];
+            if out == 0 {
+                dangling += r;
+            } else {
+                let share = r / out as f64;
+                for &u in graph.out_neighbors(v) {
+                    next[u as usize] += share;
+                }
+            }
+        }
+        let teleport = (1.0 - d) * uniform + d * dangling * uniform;
+        let mut delta = 0.0f64;
+        for (nx, r) in next.iter_mut().zip(&rank) {
+            *nx = d * *nx + teleport;
+            delta += (*nx - r).abs();
+        }
+        std::mem::swap(&mut rank, &mut next);
+        if delta < tol {
+            break;
+        }
+    }
+    rank
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ripples_graph::GraphBuilder;
+
+    #[test]
+    fn scores_sum_to_one() {
+        let mut b = GraphBuilder::new(5);
+        b.add_edge(0, 1, 1.0).unwrap();
+        b.add_edge(1, 2, 1.0).unwrap();
+        b.add_edge(2, 0, 1.0).unwrap();
+        b.add_edge(3, 0, 1.0).unwrap();
+        let g = b.build().unwrap();
+        let pr = pagerank(&g, 0.85, 1e-10, 200);
+        let sum: f64 = pr.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-8, "sum {sum}");
+    }
+
+    #[test]
+    fn sink_of_a_star_ranks_highest() {
+        let mut b = GraphBuilder::new(6);
+        for v in 1..6 {
+            b.add_edge(v, 0, 1.0).unwrap();
+        }
+        let g = b.build().unwrap();
+        let pr = pagerank(&g, 0.85, 1e-10, 200);
+        for v in 1..6 {
+            assert!(pr[0] > pr[v], "center {} vs spoke {}", pr[0], pr[v]);
+        }
+    }
+
+    #[test]
+    fn symmetric_cycle_is_uniform() {
+        let mut b = GraphBuilder::new(4);
+        for v in 0..4 {
+            b.add_edge(v, (v + 1) % 4, 1.0).unwrap();
+        }
+        let g = b.build().unwrap();
+        let pr = pagerank(&g, 0.85, 1e-12, 500);
+        for &r in &pr {
+            assert!((r - 0.25).abs() < 1e-9, "{pr:?}");
+        }
+    }
+
+    #[test]
+    fn handles_all_dangling() {
+        let g = GraphBuilder::new(3).build().unwrap();
+        let pr = pagerank(&g, 0.85, 1e-10, 100);
+        for &r in &pr {
+            assert!((r - 1.0 / 3.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = GraphBuilder::new(0).build().unwrap();
+        assert!(pagerank(&g, 0.85, 1e-10, 10).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "damping")]
+    fn rejects_bad_damping() {
+        let g = GraphBuilder::new(1).build().unwrap();
+        let _ = pagerank(&g, 1.0, 1e-10, 10);
+    }
+}

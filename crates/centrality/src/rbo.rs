@@ -1,0 +1,133 @@
+//! Rank-biased overlap (Webber, Moffat, Zobel 2010).
+//!
+//! The paper validates IMMOPT against the reference IMM implementation by
+//! computing the RBO of the two seed rankings ("we … observed high
+//! rank-biased overlaps of the two outputs", §4). RBO compares two
+//! indefinite rankings with geometrically decaying weight on deeper ranks:
+//!
+//! ```text
+//! RBO(S, T, p) = (1 − p) Σ_{d≥1} p^{d−1} · |S[..d] ∩ T[..d]| / d
+//! ```
+//!
+//! This implementation computes the *extrapolated* RBO (RBO_ext) over two
+//! finite prefixes, the variant used in practice.
+
+use std::collections::HashSet;
+
+/// Extrapolated rank-biased overlap of two rankings with persistence `p`.
+///
+/// `p` close to 1 weighs deep ranks more; 0.9 (the authors' default) puts
+/// ~86% of the weight on the top 10. Returns a value in `[0, 1]`.
+///
+/// ```
+/// use ripples_centrality::rank_biased_overlap;
+///
+/// let a = [3, 1, 4, 1, 5];
+/// assert!((rank_biased_overlap(&a, &a, 0.9) - 1.0).abs() < 1e-9);
+/// assert!(rank_biased_overlap(&[1, 2], &[3, 4], 0.9) < 1e-9);
+/// ```
+///
+/// # Panics
+///
+/// Panics unless `0 < p < 1`.
+#[must_use]
+pub fn rank_biased_overlap(a: &[u32], b: &[u32], p: f64) -> f64 {
+    assert!(p > 0.0 && p < 1.0, "persistence must be in (0, 1)");
+    if a.is_empty() && b.is_empty() {
+        return 1.0;
+    }
+    if a.is_empty() || b.is_empty() {
+        return 0.0;
+    }
+    let k = a.len().min(b.len());
+    let mut seen_a: HashSet<u32> = HashSet::with_capacity(k);
+    let mut seen_b: HashSet<u32> = HashSet::with_capacity(k);
+    let mut overlap = 0usize;
+    let mut sum = 0.0f64;
+    let mut weight = 1.0f64; // p^{d-1}
+    let mut agreement_at_k = 0.0;
+    for d in 1..=k {
+        let x = a[d - 1];
+        let y = b[d - 1];
+        if x == y {
+            overlap += 1;
+        } else {
+            if seen_b.remove(&x) {
+                overlap += 1;
+            } else {
+                seen_a.insert(x);
+            }
+            if seen_a.remove(&y) {
+                overlap += 1;
+            } else {
+                seen_b.insert(y);
+            }
+        }
+        agreement_at_k = overlap as f64 / d as f64;
+        sum += weight * agreement_at_k;
+        weight *= p;
+    }
+    // Extrapolate: assume agreement stays at its depth-k value beyond the
+    // evaluated prefix. Σ_{d>k} p^{d-1} = p^k / (1-p).
+    (1.0 - p) * sum + agreement_at_k * p.powi(k as i32)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_rankings_are_one() {
+        let r = [5u32, 3, 9, 1];
+        let v = rank_biased_overlap(&r, &r, 0.9);
+        assert!((v - 1.0).abs() < 1e-9, "{v}");
+    }
+
+    #[test]
+    fn disjoint_rankings_are_zero() {
+        let v = rank_biased_overlap(&[1, 2, 3], &[4, 5, 6], 0.9);
+        assert!(v.abs() < 1e-9, "{v}");
+    }
+
+    #[test]
+    fn partial_overlap_in_between() {
+        let v = rank_biased_overlap(&[1, 2, 3, 4], &[1, 2, 5, 6], 0.9);
+        assert!(v > 0.3 && v < 1.0, "{v}");
+    }
+
+    #[test]
+    fn top_heavy_weighting() {
+        // Agreement at the top counts more than at the bottom.
+        let top_agree = rank_biased_overlap(&[1, 9, 8], &[1, 5, 6], 0.7);
+        let bottom_agree = rank_biased_overlap(&[9, 8, 1], &[5, 6, 1], 0.7);
+        assert!(top_agree > bottom_agree);
+    }
+
+    #[test]
+    fn order_of_arguments_irrelevant() {
+        let a = [1u32, 2, 3, 4, 5];
+        let b = [2u32, 1, 3, 7, 8];
+        let x = rank_biased_overlap(&a, &b, 0.9);
+        let y = rank_biased_overlap(&b, &a, 0.9);
+        assert!((x - y).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_edge_cases() {
+        assert_eq!(rank_biased_overlap(&[], &[], 0.9), 1.0);
+        assert_eq!(rank_biased_overlap(&[1], &[], 0.9), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "persistence")]
+    fn invalid_p_panics() {
+        let _ = rank_biased_overlap(&[1], &[1], 1.0);
+    }
+
+    #[test]
+    fn swapped_pair_close_to_one() {
+        // Swapping two adjacent items should barely move RBO.
+        let v = rank_biased_overlap(&[1, 2, 3, 4, 5, 6], &[2, 1, 3, 4, 5, 6], 0.9);
+        assert!(v > 0.9, "{v}");
+    }
+}

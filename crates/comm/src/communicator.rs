@@ -1,0 +1,94 @@
+//! The communicator trait and its call/byte accounting.
+
+use std::cell::Cell;
+
+/// Counters describing the communication a rank has performed.
+///
+/// `bytes_moved` models the payload a real MPI rank would send for the same
+/// call sequence under recursive doubling (`⌈log₂ p⌉` rounds of the full
+/// payload for all-reduce/all-gather), which is what the α–β cost model
+/// consumes.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CommStats {
+    /// Number of `all_reduce_*` calls.
+    pub allreduce_calls: u64,
+    /// Number of `barrier` calls.
+    pub barrier_calls: u64,
+    /// Number of `broadcast_*` calls.
+    pub broadcast_calls: u64,
+    /// Number of `all_gather_*` calls.
+    pub allgather_calls: u64,
+    /// Modeled payload bytes this rank would transmit under recursive
+    /// doubling.
+    pub bytes_moved: u64,
+}
+
+/// Internal mutable stats cell shared by the communicator implementations.
+#[derive(Debug, Default)]
+pub(crate) struct StatsCell {
+    pub allreduce_calls: Cell<u64>,
+    pub barrier_calls: Cell<u64>,
+    pub broadcast_calls: Cell<u64>,
+    pub allgather_calls: Cell<u64>,
+    pub bytes_moved: Cell<u64>,
+}
+
+impl StatsCell {
+    pub(crate) fn snapshot(&self) -> CommStats {
+        CommStats {
+            allreduce_calls: self.allreduce_calls.get(),
+            barrier_calls: self.barrier_calls.get(),
+            broadcast_calls: self.broadcast_calls.get(),
+            allgather_calls: self.allgather_calls.get(),
+            bytes_moved: self.bytes_moved.get(),
+        }
+    }
+
+    /// Records the modeled cost of one recursive-doubling collective over
+    /// `payload_bytes` in a world of `size` ranks.
+    pub(crate) fn charge_log_rounds(&self, payload_bytes: u64, size: u32) {
+        let rounds = u64::from(32 - size.saturating_sub(1).leading_zeros());
+        self.bytes_moved
+            .set(self.bytes_moved.get() + payload_bytes * rounds);
+    }
+}
+
+/// The message-passing interface the distributed IMM algorithm requires.
+///
+/// Implementations must guarantee MPI collective semantics: every rank of
+/// the world calls the same collectives in the same order, and a collective
+/// returns on a rank only after the global result is available to it.
+pub trait Communicator {
+    /// This rank's id in `0..size()`.
+    fn rank(&self) -> u32;
+
+    /// The number of ranks in the world.
+    fn size(&self) -> u32;
+
+    /// Blocks until every rank has entered the barrier.
+    fn barrier(&self);
+
+    /// Element-wise global sum of `buf` across ranks; every rank's `buf`
+    /// holds the result on return (`MPI_Allreduce(SUM)`).
+    fn all_reduce_sum_u64(&self, buf: &mut [u64]);
+
+    /// Global sum of a single `f64`.
+    fn all_reduce_sum_f64(&self, value: f64) -> f64;
+
+    /// Global maximum of a single `f64`.
+    fn all_reduce_max_f64(&self, value: f64) -> f64;
+
+    /// Broadcast `value` from `root` to every rank.
+    fn broadcast_u64(&self, root: u32, value: u64) -> u64;
+
+    /// Gathers one value per rank, returned in rank order on every rank.
+    fn all_gather_u64(&self, value: u64) -> Vec<u64>;
+
+    /// Gathers a variable-length `u64` list from every rank, returned in
+    /// rank order on every rank (`MPI_Allgatherv`). The backbone of sparse
+    /// counter aggregation in distributed seed selection.
+    fn all_gather_u64_list(&self, items: &[u64]) -> Vec<Vec<u64>>;
+
+    /// Communication counters recorded so far on this rank.
+    fn stats(&self) -> CommStats;
+}

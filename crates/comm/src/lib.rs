@@ -1,0 +1,35 @@
+//! MPI-like message-passing substrate for the distributed IMM
+//! implementation.
+//!
+//! The CLUSTER'19 paper's distributed algorithm needs exactly three things
+//! from MPI: rank/size introspection, `MPI_Allreduce` over vertex-counter
+//! arrays, and barriers. Rust's MPI bindings are immature, so this crate
+//! provides those primitives natively:
+//!
+//! * [`Communicator`] — the trait the algorithm is written against.
+//! * [`SelfComm`] — the trivial single-rank world.
+//! * [`ThreadWorld`] / [`ThreadComm`] — an in-process world where each rank
+//!   is a thread and collectives run over shared memory. This executes the
+//!   *same algorithm* with real synchronization, so correctness properties
+//!   (e.g. "distributed seed set equals sequential seed set") are tested for
+//!   real.
+//! * [`costmodel`] — an α–β (Hockney/LogGP-style) communication-time model
+//!   with presets for the paper's two clusters, used by the strong-scaling
+//!   replay harness to *predict* wall-clock at rank counts this host cannot
+//!   physically run (documented substitution; see DESIGN.md §1).
+//!
+//! Every communicator records how many collective calls and payload bytes it
+//! has moved ([`CommStats`]), which both the experiments and the cost model
+//! consume.
+
+#![warn(missing_docs)]
+
+pub mod communicator;
+pub mod costmodel;
+pub mod selfcomm;
+pub mod thread;
+
+pub use communicator::{CommStats, Communicator};
+pub use costmodel::{AlphaBetaModel, ClusterSpec};
+pub use selfcomm::SelfComm;
+pub use thread::{ThreadComm, ThreadWorld};

@@ -1,0 +1,453 @@
+//! In-process multi-rank world: one thread per rank, shared-memory
+//! collectives.
+//!
+//! Collectives follow a deposit → barrier → combine → barrier protocol:
+//! each rank owns one deposit slot, so the only shared-state contention is
+//! the slot vector's lock around a single write or read pass. The trailing
+//! barrier keeps a fast rank from starting the *next* collective (and
+//! overwriting its slot) while a slow rank is still combining the current
+//! one. This is deliberately the simplest protocol that is obviously
+//! correct; modeled costs for real networks come from
+//! [`crate::costmodel`], not from timing this loopback implementation.
+
+use crate::communicator::{CommStats, Communicator, StatsCell};
+use parking_lot::{Condvar, Mutex};
+use std::sync::Arc;
+
+struct BarrierState {
+    count: u32,
+    generation: u64,
+}
+
+struct Shared {
+    size: u32,
+    barrier: Mutex<BarrierState>,
+    barrier_cv: Condvar,
+    u64_slots: Mutex<Vec<Vec<u64>>>,
+    f64_slots: Mutex<Vec<f64>>,
+}
+
+impl Shared {
+    fn new(size: u32) -> Self {
+        Self {
+            size,
+            barrier: Mutex::new(BarrierState {
+                count: 0,
+                generation: 0,
+            }),
+            barrier_cv: Condvar::new(),
+            u64_slots: Mutex::new(vec![Vec::new(); size as usize]),
+            f64_slots: Mutex::new(vec![0.0; size as usize]),
+        }
+    }
+
+    fn barrier_wait(&self) {
+        let mut st = self.barrier.lock();
+        let gen = st.generation;
+        st.count += 1;
+        if st.count == self.size {
+            st.count = 0;
+            st.generation += 1;
+            drop(st);
+            self.barrier_cv.notify_all();
+        } else {
+            while st.generation == gen {
+                self.barrier_cv.wait(&mut st);
+            }
+        }
+    }
+}
+
+/// A world of `size` in-process ranks.
+///
+/// ```
+/// use ripples_comm::{Communicator, ThreadWorld};
+///
+/// let world = ThreadWorld::new(4);
+/// let sums = world.run(|comm| {
+///     let mut buf = [u64::from(comm.rank())];
+///     comm.all_reduce_sum_u64(&mut buf);
+///     buf[0]
+/// });
+/// assert_eq!(sums, vec![6, 6, 6, 6]); // 0+1+2+3 on every rank
+/// ```
+pub struct ThreadWorld {
+    size: u32,
+}
+
+impl ThreadWorld {
+    /// Creates a world descriptor for `size` ranks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `size == 0`.
+    #[must_use]
+    pub fn new(size: u32) -> Self {
+        assert!(size > 0, "world must have at least one rank");
+        Self { size }
+    }
+
+    /// The number of ranks.
+    #[must_use]
+    pub fn size(&self) -> u32 {
+        self.size
+    }
+
+    /// Runs `body` on every rank concurrently and returns the per-rank
+    /// results in rank order.
+    ///
+    /// Every rank must make the same sequence of collective calls, exactly
+    /// as with MPI; violating that deadlocks, as it would under MPI.
+    pub fn run<F, R>(&self, body: F) -> Vec<R>
+    where
+        F: Fn(&ThreadComm) -> R + Sync,
+        R: Send,
+    {
+        let shared = Arc::new(Shared::new(self.size));
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..self.size)
+                .map(|rank| {
+                    let shared = Arc::clone(&shared);
+                    let body = &body;
+                    scope.spawn(move || {
+                        let comm = ThreadComm {
+                            rank,
+                            shared,
+                            stats: StatsCell::default(),
+                        };
+                        body(&comm)
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("rank thread panicked"))
+                .collect()
+        })
+    }
+}
+
+/// One rank's endpoint in a [`ThreadWorld`].
+pub struct ThreadComm {
+    rank: u32,
+    shared: Arc<Shared>,
+    stats: StatsCell,
+}
+
+impl Communicator for ThreadComm {
+    fn rank(&self) -> u32 {
+        self.rank
+    }
+
+    fn size(&self) -> u32 {
+        self.shared.size
+    }
+
+    fn barrier(&self) {
+        self.stats
+            .barrier_calls
+            .set(self.stats.barrier_calls.get() + 1);
+        self.shared.barrier_wait();
+    }
+
+    fn all_reduce_sum_u64(&self, buf: &mut [u64]) {
+        self.stats
+            .allreduce_calls
+            .set(self.stats.allreduce_calls.get() + 1);
+        self.stats
+            .charge_log_rounds(8 * buf.len() as u64, self.shared.size);
+        if self.shared.size == 1 {
+            return;
+        }
+        {
+            let mut slots = self.shared.u64_slots.lock();
+            let slot = &mut slots[self.rank as usize];
+            slot.clear();
+            slot.extend_from_slice(buf);
+        }
+        self.shared.barrier_wait();
+        {
+            let slots = self.shared.u64_slots.lock();
+            buf.fill(0);
+            for contribution in slots.iter() {
+                debug_assert_eq!(contribution.len(), buf.len(), "ragged all-reduce");
+                for (acc, &x) in buf.iter_mut().zip(contribution) {
+                    *acc += x;
+                }
+            }
+        }
+        self.shared.barrier_wait();
+    }
+
+    fn all_reduce_sum_f64(&self, value: f64) -> f64 {
+        self.reduce_f64(value, |acc, x| acc + x, 0.0)
+    }
+
+    fn all_reduce_max_f64(&self, value: f64) -> f64 {
+        self.reduce_f64(value, f64::max, f64::NEG_INFINITY)
+    }
+
+    fn broadcast_u64(&self, root: u32, value: u64) -> u64 {
+        assert!(root < self.shared.size, "root {root} out of range");
+        self.stats
+            .broadcast_calls
+            .set(self.stats.broadcast_calls.get() + 1);
+        self.stats.charge_log_rounds(8, self.shared.size);
+        if self.shared.size == 1 {
+            return value;
+        }
+        if self.rank == root {
+            let mut slots = self.shared.u64_slots.lock();
+            slots[root as usize].clear();
+            slots[root as usize].push(value);
+        }
+        self.shared.barrier_wait();
+        let result = {
+            let slots = self.shared.u64_slots.lock();
+            slots[root as usize][0]
+        };
+        self.shared.barrier_wait();
+        result
+    }
+
+    fn all_gather_u64(&self, value: u64) -> Vec<u64> {
+        self.stats
+            .allgather_calls
+            .set(self.stats.allgather_calls.get() + 1);
+        self.stats
+            .charge_log_rounds(8 * u64::from(self.shared.size), self.shared.size);
+        if self.shared.size == 1 {
+            return vec![value];
+        }
+        {
+            let mut slots = self.shared.u64_slots.lock();
+            let slot = &mut slots[self.rank as usize];
+            slot.clear();
+            slot.push(value);
+        }
+        self.shared.barrier_wait();
+        let result: Vec<u64> = {
+            let slots = self.shared.u64_slots.lock();
+            slots.iter().map(|s| s[0]).collect()
+        };
+        self.shared.barrier_wait();
+        result
+    }
+
+    fn all_gather_u64_list(&self, items: &[u64]) -> Vec<Vec<u64>> {
+        self.stats
+            .allgather_calls
+            .set(self.stats.allgather_calls.get() + 1);
+        // Modeled volume: every rank ends up holding every list.
+        self.stats
+            .charge_log_rounds(8 * items.len() as u64, self.shared.size);
+        if self.shared.size == 1 {
+            return vec![items.to_vec()];
+        }
+        {
+            let mut slots = self.shared.u64_slots.lock();
+            let slot = &mut slots[self.rank as usize];
+            slot.clear();
+            slot.extend_from_slice(items);
+        }
+        self.shared.barrier_wait();
+        let result: Vec<Vec<u64>> = {
+            let slots = self.shared.u64_slots.lock();
+            slots.iter().cloned().collect()
+        };
+        self.shared.barrier_wait();
+        result
+    }
+
+    fn stats(&self) -> CommStats {
+        self.stats.snapshot()
+    }
+}
+
+impl ThreadComm {
+    fn reduce_f64(&self, value: f64, op: impl Fn(f64, f64) -> f64, identity: f64) -> f64 {
+        self.stats
+            .allreduce_calls
+            .set(self.stats.allreduce_calls.get() + 1);
+        self.stats.charge_log_rounds(8, self.shared.size);
+        if self.shared.size == 1 {
+            return value;
+        }
+        {
+            let mut slots = self.shared.f64_slots.lock();
+            slots[self.rank as usize] = value;
+        }
+        self.shared.barrier_wait();
+        let result = {
+            let slots = self.shared.f64_slots.lock();
+            slots.iter().copied().fold(identity, op)
+        };
+        self.shared.barrier_wait();
+        result
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ranks_are_distinct_and_complete() {
+        let world = ThreadWorld::new(4);
+        let mut ranks = world.run(|c| c.rank());
+        ranks.sort_unstable();
+        assert_eq!(ranks, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn all_reduce_sums_vectors() {
+        let world = ThreadWorld::new(5);
+        let results = world.run(|c| {
+            let mut buf = vec![u64::from(c.rank()), 1, 100 * u64::from(c.rank())];
+            c.all_reduce_sum_u64(&mut buf);
+            buf
+        });
+        // Sum of ranks 0..5 = 10; ones = 5; hundreds = 1000.
+        for r in results {
+            assert_eq!(r, vec![10, 5, 1000]);
+        }
+    }
+
+    #[test]
+    fn repeated_all_reduce_is_isolated() {
+        // Back-to-back collectives must not bleed into each other.
+        let world = ThreadWorld::new(3);
+        let results = world.run(|c| {
+            let mut total = Vec::new();
+            for round in 0..10u64 {
+                let mut buf = vec![round + u64::from(c.rank())];
+                c.all_reduce_sum_u64(&mut buf);
+                total.push(buf[0]);
+            }
+            total
+        });
+        for r in results {
+            let expect: Vec<u64> = (0..10).map(|round| 3 * round + 3).collect();
+            assert_eq!(r, expect);
+        }
+    }
+
+    #[test]
+    fn f64_sum_and_max() {
+        let world = ThreadWorld::new(4);
+        let results = world.run(|c| {
+            let s = c.all_reduce_sum_f64(f64::from(c.rank()) + 0.5);
+            let m = c.all_reduce_max_f64(f64::from(c.rank()));
+            (s, m)
+        });
+        for (s, m) in results {
+            assert!((s - 8.0).abs() < 1e-12); // 0.5+1.5+2.5+3.5
+            assert_eq!(m, 3.0);
+        }
+    }
+
+    #[test]
+    fn broadcast_from_each_root() {
+        let world = ThreadWorld::new(3);
+        let results = world.run(|c| {
+            let mut got = Vec::new();
+            for root in 0..3 {
+                let v = c.broadcast_u64(root, u64::from(c.rank()) * 10 + 7);
+                got.push(v);
+            }
+            got
+        });
+        for r in results {
+            assert_eq!(r, vec![7, 17, 27]);
+        }
+    }
+
+    #[test]
+    fn all_gather_lists_in_rank_order() {
+        let world = ThreadWorld::new(3);
+        let results = world.run(|c| {
+            let mine: Vec<u64> = (0..=u64::from(c.rank())).collect();
+            c.all_gather_u64_list(&mine)
+        });
+        for r in results {
+            assert_eq!(r, vec![vec![0], vec![0, 1], vec![0, 1, 2]]);
+        }
+    }
+
+    #[test]
+    fn all_gather_empty_lists() {
+        let world = ThreadWorld::new(2);
+        let results = world.run(|c| {
+            let mine: Vec<u64> = if c.rank() == 0 { vec![7] } else { Vec::new() };
+            c.all_gather_u64_list(&mine)
+        });
+        for r in results {
+            assert_eq!(r, vec![vec![7], vec![]]);
+        }
+    }
+
+    #[test]
+    fn all_gather_in_rank_order() {
+        let world = ThreadWorld::new(4);
+        let results = world.run(|c| c.all_gather_u64(u64::from(c.rank()) * u64::from(c.rank())));
+        for r in results {
+            assert_eq!(r, vec![0, 1, 4, 9]);
+        }
+    }
+
+    #[test]
+    fn stats_account_calls_and_bytes() {
+        let world = ThreadWorld::new(4);
+        let stats = world.run(|c| {
+            let mut buf = vec![0u64; 16];
+            c.all_reduce_sum_u64(&mut buf);
+            c.barrier();
+            c.stats()
+        });
+        for s in stats {
+            assert_eq!(s.allreduce_calls, 1);
+            // barrier() once explicitly; collectives' internal barriers are
+            // not user-visible calls.
+            assert_eq!(s.barrier_calls, 1);
+            // 16 u64 = 128 bytes, log2(4) = 2 rounds.
+            assert_eq!(s.bytes_moved, 256);
+        }
+    }
+
+    #[test]
+    fn single_rank_world_short_circuits() {
+        let world = ThreadWorld::new(1);
+        let results = world.run(|c| {
+            let mut buf = vec![42u64];
+            c.all_reduce_sum_u64(&mut buf);
+            (buf[0], c.all_gather_u64(5), c.broadcast_u64(0, 3))
+        });
+        assert_eq!(results[0], (42, vec![5], 3));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one rank")]
+    fn zero_ranks_panics() {
+        let _ = ThreadWorld::new(0);
+    }
+
+    #[test]
+    fn heavy_concurrent_reduction_stress() {
+        // Many rounds over a larger world to shake out barrier races.
+        let world = ThreadWorld::new(8);
+        let results = world.run(|c| {
+            let mut acc = 0u64;
+            for round in 0..50u64 {
+                let mut buf = vec![u64::from(c.rank()) + round];
+                c.all_reduce_sum_u64(&mut buf);
+                acc += buf[0];
+            }
+            acc
+        });
+        // Σ_round (Σ_ranks rank + 8*round) = Σ_round (28 + 8 round)
+        let expect: u64 = (0..50).map(|r| 28 + 8 * r).sum();
+        for r in results {
+            assert_eq!(r, expect);
+        }
+    }
+}

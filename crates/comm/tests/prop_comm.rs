@@ -1,0 +1,91 @@
+//! Property-based tests for the shared-memory collectives: every collective
+//! must equal its serial reduction for arbitrary payloads and world sizes.
+
+use proptest::prelude::*;
+use ripples_comm::{Communicator, ThreadWorld};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// All-reduce equals the element-wise serial sum of all contributions.
+    #[test]
+    fn allreduce_matches_serial_sum(
+        size in 1u32..6,
+        base in prop::collection::vec(0u64..1 << 40, 1..64),
+    ) {
+        let world = ThreadWorld::new(size);
+        let base_ref = &base;
+        let results = world.run(|comm| {
+            // Rank r contributes base rotated by r (deterministic, distinct).
+            let mut buf: Vec<u64> = base_ref
+                .iter()
+                .cycle()
+                .skip(comm.rank() as usize)
+                .take(base_ref.len())
+                .copied()
+                .collect();
+            comm.all_reduce_sum_u64(&mut buf);
+            buf
+        });
+        // Serial reference.
+        let mut expect = vec![0u64; base.len()];
+        for r in 0..size as usize {
+            for (i, e) in expect.iter_mut().enumerate() {
+                *e += base[(i + r) % base.len()];
+            }
+        }
+        for r in results {
+            prop_assert_eq!(&r, &expect);
+        }
+    }
+
+    /// All-gather-list returns every rank's list, in rank order, everywhere.
+    #[test]
+    fn allgatherv_matches_inputs(
+        size in 1u32..6,
+        lens in prop::collection::vec(0usize..20, 6),
+    ) {
+        let world = ThreadWorld::new(size);
+        let lens_ref = &lens;
+        let results = world.run(|comm| {
+            let r = comm.rank() as usize;
+            let mine: Vec<u64> = (0..lens_ref[r]).map(|i| (r as u64) * 1000 + i as u64).collect();
+            comm.all_gather_u64_list(&mine)
+        });
+        for gathered in results {
+            prop_assert_eq!(gathered.len(), size as usize);
+            for (r, list) in gathered.iter().enumerate() {
+                prop_assert_eq!(list.len(), lens[r]);
+                for (i, &x) in list.iter().enumerate() {
+                    prop_assert_eq!(x, (r as u64) * 1000 + i as u64);
+                }
+            }
+        }
+    }
+
+    /// f64 max-reduce equals the serial max; broadcast delivers the root's
+    /// value to everyone.
+    #[test]
+    fn scalar_collectives(size in 1u32..6, values in prop::collection::vec(-1e9f64..1e9, 6), root_pick in 0u32..6) {
+        let world = ThreadWorld::new(size);
+        let root = root_pick % size;
+        let vals = &values;
+        let results = world.run(|comm| {
+            let mine = vals[comm.rank() as usize];
+            let mx = comm.all_reduce_max_f64(mine);
+            let sum = comm.all_reduce_sum_f64(mine);
+            let bc = comm.broadcast_u64(root, mine.to_bits());
+            (mx, sum, bc)
+        });
+        let expect_max = values[..size as usize]
+            .iter()
+            .copied()
+            .fold(f64::NEG_INFINITY, f64::max);
+        let expect_sum: f64 = values[..size as usize].iter().sum();
+        for (mx, sum, bc) in results {
+            prop_assert_eq!(mx, expect_max);
+            prop_assert!((sum - expect_sum).abs() < 1e-6 * expect_sum.abs().max(1.0));
+            prop_assert_eq!(bc, values[root as usize].to_bits());
+        }
+    }
+}

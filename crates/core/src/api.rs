@@ -1,0 +1,149 @@
+//! High-level one-call entry points.
+
+use crate::params::ImmParams;
+use crate::result::ImmResult;
+use ripples_graph::Graph;
+
+/// Runs influence maximization with the recommended engine (multithreaded
+/// IMM on all available cores) and returns the seed set plus full
+/// instrumentation.
+///
+/// Equivalent to `crate::mt::imm_multithreaded(graph, params, 0)`; prefer
+/// the module-level entry points when you need a specific engine, thread
+/// count, or communicator.
+#[must_use]
+pub fn maximize_influence(graph: &Graph, params: &ImmParams) -> ImmResult {
+    crate::mt::imm_multithreaded(graph, params, 0)
+}
+
+/// Builder-style front end over [`ImmParams`] for ergonomic call sites.
+///
+/// ```
+/// use ripples_core::api::ImmRunner;
+/// use ripples_diffusion::DiffusionModel;
+/// use ripples_graph::{generators::erdos_renyi, WeightModel};
+///
+/// let graph = erdos_renyi(100, 500, WeightModel::Constant(0.1), false, 1);
+/// let result = ImmRunner::new(&graph)
+///     .seeds(5)
+///     .epsilon(0.5)
+///     .model(DiffusionModel::LinearThreshold)
+///     .rng_seed(7)
+///     .run();
+/// assert_eq!(result.seeds.len(), 5);
+/// ```
+#[derive(Clone, Debug)]
+pub struct ImmRunner<'g> {
+    graph: &'g Graph,
+    k: u32,
+    epsilon: f64,
+    ell: f64,
+    model: ripples_diffusion::DiffusionModel,
+    seed: u64,
+    threads: usize,
+}
+
+impl<'g> ImmRunner<'g> {
+    /// Starts a runner with the paper's default parameters
+    /// (`k = 50`, `ε = 0.5`, IC, ℓ = 1).
+    #[must_use]
+    pub fn new(graph: &'g Graph) -> Self {
+        Self {
+            graph,
+            k: 50,
+            epsilon: 0.5,
+            ell: 1.0,
+            model: ripples_diffusion::DiffusionModel::IndependentCascade,
+            seed: 0,
+            threads: 0,
+        }
+    }
+
+    /// Sets the seed-set size `k`.
+    #[must_use]
+    pub fn seeds(mut self, k: u32) -> Self {
+        self.k = k;
+        self
+    }
+
+    /// Sets the accuracy parameter `ε`.
+    #[must_use]
+    pub fn epsilon(mut self, epsilon: f64) -> Self {
+        self.epsilon = epsilon;
+        self
+    }
+
+    /// Sets the failure exponent `ℓ`.
+    #[must_use]
+    pub fn ell(mut self, ell: f64) -> Self {
+        self.ell = ell;
+        self
+    }
+
+    /// Sets the diffusion model.
+    #[must_use]
+    pub fn model(mut self, model: ripples_diffusion::DiffusionModel) -> Self {
+        self.model = model;
+        self
+    }
+
+    /// Sets the master RNG seed.
+    #[must_use]
+    pub fn rng_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets the worker thread count (0 = all cores).
+    #[must_use]
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    /// Materializes the parameters.
+    #[must_use]
+    pub fn params(&self) -> ImmParams {
+        ImmParams::new(self.k, self.epsilon, self.model, self.seed).with_ell(self.ell)
+    }
+
+    /// Runs the multithreaded engine.
+    #[must_use]
+    pub fn run(&self) -> ImmResult {
+        crate::mt::imm_multithreaded(self.graph, &self.params(), self.threads)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ripples_graph::generators::erdos_renyi;
+    use ripples_graph::WeightModel;
+
+    #[test]
+    fn one_call_api() {
+        let g = erdos_renyi(150, 900, WeightModel::Constant(0.1), false, 5);
+        let p = ImmParams::new(
+            3,
+            0.5,
+            ripples_diffusion::DiffusionModel::IndependentCascade,
+            1,
+        );
+        let r = maximize_influence(&g, &p);
+        assert_eq!(r.seeds.len(), 3);
+    }
+
+    #[test]
+    fn builder_matches_direct_call() {
+        let g = erdos_renyi(150, 900, WeightModel::Constant(0.1), false, 5);
+        let via_builder = ImmRunner::new(&g).seeds(4).epsilon(0.5).rng_seed(9).threads(1).run();
+        let p = ImmParams::new(
+            4,
+            0.5,
+            ripples_diffusion::DiffusionModel::IndependentCascade,
+            9,
+        );
+        let direct = crate::mt::imm_multithreaded(&g, &p, 1);
+        assert_eq!(via_builder.seeds, direct.seeds);
+    }
+}

@@ -1,0 +1,569 @@
+//! The distributed-memory IMM implementation — "IMMdist" in Table 3, the
+//! subject of Figures 7 and 8 — written against the
+//! [`ripples_comm::Communicator`] abstraction (§3.2 of the paper).
+//!
+//! Design, following the paper exactly:
+//!
+//! * Every rank holds the **entire input graph** and generates a distinct
+//!   batch of `θ/p` samples ("evenly partitioning the samples to be
+//!   generated among the p ranks").
+//! * Seed selection keeps an `n`-counter array per rank: local counts are
+//!   aggregated with **All-Reduce**; each greedy iteration then identifies
+//!   the next seed locally (every rank has the global counts), purges its
+//!   local samples, and All-Reduces the decrements — `O(k · n · lg p)`
+//!   communication.
+//! * Sample indices are global, so the union of all ranks' samples is
+//!   *identical* to a sequential run's collection, and therefore so is the
+//!   seed set — the cross-implementation equivalence the test suite checks.
+
+use crate::memory::MemoryStats;
+use crate::params::ImmParams;
+use crate::phases::{Phase, PhaseTimers};
+use crate::result::ImmResult;
+use crate::theta::ThetaSchedule;
+use ripples_comm::Communicator;
+use ripples_diffusion::rrr::{generate_rrr, RrrScratch};
+use ripples_diffusion::{DiffusionModel, RrrCollection};
+use ripples_graph::{Graph, Vertex};
+use ripples_rng::{RankStream, StreamFactory};
+
+/// Global sample indices owned by `rank` within `[0, total)`: the strided
+/// (round-robin) partition `{ i : i ≡ rank (mod size) }`.
+///
+/// Strided ownership is *append-only under growth*: when θ grows from `t` to
+/// `t′`, a rank's new indices are exactly its stride within `[t, t′)`, so
+/// the estimation loop's repeated top-ups never invalidate earlier local
+/// samples — the same reason the paper leap-frogs its RNG streams.
+fn strided_indices(total: usize, rank: u32, size: u32) -> impl Iterator<Item = u64> {
+    let size = u64::from(size);
+    let rank = u64::from(rank);
+    (0..total as u64).filter(move |i| i % size == rank)
+}
+
+/// How per-round counter updates travel between ranks during distributed
+/// seed selection.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum DistSelectMode {
+    /// The paper's §3.2 design: one dense All-Reduce of all `n` counters
+    /// per greedy iteration — `O(k·n·lg p)` communication regardless of how
+    /// few counters actually changed.
+    #[default]
+    DenseAllReduce,
+    /// Sparse aggregation (an "optimizing communication" extension, §6):
+    /// each rank gathers only its nonzero `(vertex, decrement)` pairs via
+    /// `MPI_Allgatherv`. Volume is proportional to the vertices actually
+    /// touched by the purged samples, which collapses for the late greedy
+    /// rounds where few samples remain uncovered.
+    SparseAllGather,
+}
+
+/// Distributed greedy seed selection over each rank's local samples.
+///
+/// Returns `(seeds, covered_global, fraction)`; identical on every rank.
+pub(crate) fn select_seeds_distributed<C: Communicator>(
+    comm: &C,
+    local: &RrrCollection,
+    theta_global: usize,
+    n: u32,
+    k: u32,
+    select_mode: DistSelectMode,
+) -> (Vec<Vertex>, usize, f64) {
+    let n_us = n as usize;
+    let k = k.min(n);
+
+    // Local counting pass, then one All-Reduce for the global counts.
+    let mut counters = vec![0u64; n_us];
+    for set in local.iter() {
+        for &v in set {
+            counters[v as usize] += 1;
+        }
+    }
+    comm.all_reduce_sum_u64(&mut counters);
+
+    let mut covered = vec![false; local.len()];
+    let mut selected = vec![false; n_us];
+    let mut seeds = Vec::with_capacity(k as usize);
+    let mut covered_local = 0usize;
+    let mut decrements = vec![0u64; n_us];
+    for _ in 0..k {
+        // Global argmax is a local operation: all ranks hold the counts and
+        // the tie-break (lowest id) is deterministic.
+        let mut best: Option<(u64, Vertex)> = None;
+        for (v, (&c, &s)) in counters.iter().zip(&selected).enumerate() {
+            if s {
+                continue;
+            }
+            match best {
+                Some((bc, _)) if bc >= c => {}
+                _ => best = Some((c, v as Vertex)),
+            }
+        }
+        let Some((_, v)) = best else { break };
+        selected[v as usize] = true;
+        seeds.push(v);
+
+        // Purge local samples containing v; accumulate counter decrements.
+        decrements.fill(0);
+        for (j, cov) in covered.iter_mut().enumerate() {
+            if *cov {
+                continue;
+            }
+            let set = local.get(j);
+            if set.binary_search(&v).is_ok() {
+                *cov = true;
+                covered_local += 1;
+                for &u in set {
+                    decrements[u as usize] += 1;
+                }
+            }
+        }
+        match select_mode {
+            DistSelectMode::DenseAllReduce => {
+                // The O(k·n·lg p) step: one All-Reduce per greedy iteration.
+                comm.all_reduce_sum_u64(&mut decrements);
+                for (c, &d) in counters.iter_mut().zip(&decrements) {
+                    *c -= d;
+                }
+            }
+            DistSelectMode::SparseAllGather => {
+                // Encode only nonzero decrements as (vertex << 32 | count).
+                let sparse: Vec<u64> = decrements
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, &d)| d > 0)
+                    .map(|(u, &d)| {
+                        debug_assert!(d < (1 << 32), "decrement overflow");
+                        ((u as u64) << 32) | d
+                    })
+                    .collect();
+                for rank_list in comm.all_gather_u64_list(&sparse) {
+                    for enc in rank_list {
+                        let u = (enc >> 32) as usize;
+                        let d = enc & 0xFFFF_FFFF;
+                        counters[u] -= d;
+                    }
+                }
+            }
+        }
+    }
+    let covered_global = comm.all_reduce_sum_u64_scalar(covered_local as u64) as usize;
+    let fraction = if theta_global == 0 {
+        0.0
+    } else {
+        covered_global as f64 / theta_global as f64
+    };
+    (seeds, covered_global, fraction)
+}
+
+/// Crate-internal entry used by the partitioned engine: the paper's dense
+/// All-Reduce selection.
+pub(crate) fn select_seeds_distributed_public<C: Communicator>(
+    comm: &C,
+    local: &RrrCollection,
+    theta_global: usize,
+    n: u32,
+    k: u32,
+) -> (Vec<Vertex>, usize, f64) {
+    select_seeds_distributed(comm, local, theta_global, n, k, DistSelectMode::DenseAllReduce)
+}
+
+/// Scalar convenience over the slice All-Reduce.
+trait ScalarReduce {
+    fn all_reduce_sum_u64_scalar(&self, x: u64) -> u64;
+}
+
+impl<C: Communicator> ScalarReduce for C {
+    fn all_reduce_sum_u64_scalar(&self, x: u64) -> u64 {
+        let mut buf = [x];
+        self.all_reduce_sum_u64(&mut buf);
+        buf[0]
+    }
+}
+
+/// How the distributed ranks draw their randomness.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum DistRngMode {
+    /// One SplitMix64 stream per *global sample index* (the default): the
+    /// sample collection — and therefore the seed set — is bitwise
+    /// identical to the sequential run at every world size.
+    #[default]
+    IndexedStreams,
+    /// The paper's TRNG strategy: one leap-frogged LCG stream per rank.
+    /// Every rank's draws are a disjoint stride of one global LCG sequence,
+    /// so randomness never overlaps across ranks — but sample *content*
+    /// depends on the world size, exactly as in the original system.
+    LeapFrog,
+}
+
+/// Runs distributed IMM on this rank. Must be called collectively by every
+/// rank of `comm` with identical `graph` and `params`.
+///
+/// Uses [`DistRngMode::IndexedStreams`]; see
+/// [`imm_distributed_with_rng`] for the paper-faithful leap-frog mode.
+///
+/// Returns the (identical) result on every rank; `sample_work` contains only
+/// this rank's local sampling work.
+#[must_use]
+pub fn imm_distributed<C: Communicator>(comm: &C, graph: &Graph, params: &ImmParams) -> ImmResult {
+    imm_distributed_with_rng(comm, graph, params, DistRngMode::IndexedStreams)
+}
+
+/// [`imm_distributed`] with an explicit RNG distribution strategy.
+#[must_use]
+pub fn imm_distributed_with_rng<C: Communicator>(
+    comm: &C,
+    graph: &Graph,
+    params: &ImmParams,
+    rng_mode: DistRngMode,
+) -> ImmResult {
+    imm_distributed_full(comm, graph, params, rng_mode, DistSelectMode::DenseAllReduce)
+}
+
+/// The fully-parameterized distributed entry point: RNG strategy ×
+/// counter-aggregation strategy.
+#[must_use]
+pub fn imm_distributed_full<C: Communicator>(
+    comm: &C,
+    graph: &Graph,
+    params: &ImmParams,
+    rng_mode: DistRngMode,
+    select_mode: DistSelectMode,
+) -> ImmResult {
+    let n = graph.num_vertices();
+    if n < 2 {
+        // Degenerate inputs take the sequential path; keep ranks aligned.
+        comm.barrier();
+        return crate::seq::immopt_sequential(graph, params);
+    }
+    let k = params.effective_k(n);
+    let schedule = ThetaSchedule::new(u64::from(n), u64::from(k), params.epsilon, params.ell);
+    let factory = StreamFactory::new(params.seed);
+    let model: DiffusionModel = params.model;
+    let rank = comm.rank();
+    let size = comm.size();
+
+    let mut timers = PhaseTimers::new();
+    let mut memory = MemoryStats {
+        counter_bytes: 2 * n as usize * std::mem::size_of::<u64>(),
+        graph_bytes: graph.resident_bytes(),
+        ..MemoryStats::default()
+    };
+    let mut local = RrrCollection::new();
+    let mut scratch = RrrScratch::new(n);
+    let mut sample_work: Vec<u64> = Vec::new();
+    let mut theta_global: usize = 0;
+    // Persistent per-rank leap-frog stream (used only in LeapFrog mode).
+    let mut rank_stream = RankStream::new(params.seed, rank, size);
+
+    // Append this rank's stride of the newly added global range
+    // [current_total, new_total).
+    let mut grow_to = |new_total: usize,
+                       local: &mut RrrCollection,
+                       scratch: &mut RrrScratch,
+                       sample_work: &mut Vec<u64>,
+                       current_total: usize| {
+        debug_assert!(new_total >= current_total);
+        for index in
+            strided_indices(new_total, rank, size).skip_while(|&i| i < current_total as u64)
+        {
+            let s = match rng_mode {
+                DistRngMode::IndexedStreams => {
+                    let mut rng = factory.sample_stream(index);
+                    let root = rng.bounded_u64(u64::from(n)) as Vertex;
+                    generate_rrr(graph, model, root, &mut rng, scratch)
+                }
+                DistRngMode::LeapFrog => {
+                    let root = rank_stream.bounded_u64(u64::from(n)) as Vertex;
+                    generate_rrr(graph, model, root, &mut rank_stream, scratch)
+                }
+            };
+            local.push(&s.vertices);
+            sample_work.push(s.edges_examined);
+        }
+    };
+
+    // --- EstimateTheta -----------------------------------------------------
+    let mut lb: Option<f64> = None;
+    {
+        let local_ref = &mut local;
+        let scratch_ref = &mut scratch;
+        let work_ref = &mut sample_work;
+        let theta_ref = &mut theta_global;
+        timers.record(Phase::EstimateTheta, || {
+            for x in 1..=schedule.max_rounds() {
+                let budget = schedule.round_budget(x);
+                if budget > *theta_ref {
+                    grow_to(budget, local_ref, scratch_ref, work_ref, *theta_ref);
+                    *theta_ref = budget;
+                }
+                memory.observe_rrr(local_ref.resident_bytes());
+                let (_, _, fraction) =
+                    select_seeds_distributed(comm, local_ref, *theta_ref, n, k, select_mode);
+                if schedule.round_succeeds(x, fraction) {
+                    lb = Some(schedule.lower_bound(fraction));
+                    break;
+                }
+            }
+        });
+    }
+    let theta = match lb {
+        Some(bound) => schedule.final_theta(bound),
+        None => schedule.fallback_theta(u64::from(k)),
+    };
+
+    // --- Sample top-up -------------------------------------------------
+    if theta > theta_global {
+        let local_ref = &mut local;
+        let scratch_ref = &mut scratch;
+        let work_ref = &mut sample_work;
+        let current = theta_global;
+        timers.record(Phase::Sample, || {
+            grow_to(theta, local_ref, scratch_ref, work_ref, current);
+        });
+        theta_global = theta;
+    }
+    memory.observe_rrr(local.resident_bytes());
+
+    // --- SelectSeeds ------------------------------------------------------
+    let (seeds, _, fraction) = timers.record(Phase::SelectSeeds, || {
+        select_seeds_distributed(comm, &local, theta_global, n, k, select_mode)
+    });
+
+    ImmResult {
+        seeds,
+        theta: theta_global,
+        coverage_fraction: fraction,
+        opt_lower_bound: lb,
+        timers,
+        memory,
+        sample_work,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::seq::immopt_sequential;
+    use ripples_comm::{SelfComm, ThreadWorld};
+    use ripples_graph::generators::erdos_renyi;
+    use ripples_graph::WeightModel;
+
+    fn test_graph() -> Graph {
+        erdos_renyi(
+            250,
+            2000,
+            WeightModel::UniformRandom { seed: 14 },
+            false,
+            77,
+        )
+    }
+
+    #[test]
+    fn strided_indices_partition_the_range() {
+        for total in [0usize, 1, 7, 100, 101] {
+            for size in [1u32, 2, 3, 8] {
+                let mut covered = Vec::new();
+                for rank in 0..size {
+                    covered.extend(strided_indices(total, rank, size));
+                }
+                covered.sort_unstable();
+                let expect: Vec<u64> = (0..total as u64).collect();
+                assert_eq!(covered, expect, "total {total} size {size}");
+            }
+        }
+    }
+
+    #[test]
+    fn strided_growth_is_append_only() {
+        // A rank's indices for a smaller total are a prefix of its indices
+        // for any larger total.
+        let small: Vec<u64> = strided_indices(50, 2, 4).collect();
+        let large: Vec<u64> = strided_indices(90, 2, 4).collect();
+        assert_eq!(&large[..small.len()], &small[..]);
+    }
+
+    #[test]
+    fn single_rank_matches_sequential() {
+        let g = test_graph();
+        let p = ImmParams::new(5, 0.5, DiffusionModel::IndependentCascade, 9);
+        let comm = SelfComm::new();
+        let dist = imm_distributed(&comm, &g, &p);
+        let seq = immopt_sequential(&g, &p);
+        assert_eq!(dist.seeds, seq.seeds);
+        assert_eq!(dist.theta, seq.theta);
+        assert!((dist.coverage_fraction - seq.coverage_fraction).abs() < 1e-12);
+    }
+
+    #[test]
+    fn multi_rank_matches_sequential_and_each_other() {
+        let g = test_graph();
+        for model in [DiffusionModel::IndependentCascade, DiffusionModel::LinearThreshold] {
+            let p = ImmParams::new(5, 0.5, model, 13);
+            let seq = immopt_sequential(&g, &p);
+            for world_size in [2u32, 3, 5] {
+                let world = ThreadWorld::new(world_size);
+                let results = world.run(|comm| imm_distributed(comm, &g, &p));
+                for (r, res) in results.iter().enumerate() {
+                    assert_eq!(
+                        res.seeds, seq.seeds,
+                        "{model}: rank {r} of {world_size} diverged from sequential"
+                    );
+                    assert_eq!(res.theta, seq.theta);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn communication_is_accounted() {
+        let g = test_graph();
+        let p = ImmParams::new(4, 0.5, DiffusionModel::IndependentCascade, 3);
+        let world = ThreadWorld::new(2);
+        let stats = world.run(|comm| {
+            let _ = imm_distributed(comm, &g, &p);
+            comm.stats()
+        });
+        for s in stats {
+            assert!(s.allreduce_calls > 0, "no all-reduce recorded");
+            assert!(s.bytes_moved > 0);
+        }
+    }
+}
+
+#[cfg(test)]
+mod sparse_select_tests {
+    use super::*;
+    use ripples_comm::ThreadWorld;
+    use ripples_graph::generators::erdos_renyi;
+    use ripples_graph::WeightModel;
+
+    #[test]
+    fn sparse_mode_returns_identical_seeds() {
+        let g = erdos_renyi(
+            300,
+            2400,
+            WeightModel::UniformRandom { seed: 5 },
+            false,
+            44,
+        );
+        let p = ImmParams::new(6, 0.5, DiffusionModel::IndependentCascade, 12);
+        for size in [1u32, 2, 4] {
+            let world = ThreadWorld::new(size);
+            let dense = world.run(|comm| {
+                imm_distributed_full(
+                    comm, &g, &p, DistRngMode::IndexedStreams, DistSelectMode::DenseAllReduce,
+                )
+            });
+            let sparse = world.run(|comm| {
+                imm_distributed_full(
+                    comm, &g, &p, DistRngMode::IndexedStreams, DistSelectMode::SparseAllGather,
+                )
+            });
+            for (d, s) in dense.iter().zip(&sparse) {
+                assert_eq!(d.seeds, s.seeds, "world {size}");
+                assert_eq!(d.theta, s.theta);
+                assert!((d.coverage_fraction - s.coverage_fraction).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn sparse_mode_moves_fewer_bytes() {
+        let g = erdos_renyi(
+            2000,
+            8000,
+            WeightModel::UniformRandom { seed: 9 },
+            false,
+            77,
+        );
+        let p = ImmParams::new(10, 0.5, DiffusionModel::IndependentCascade, 3);
+        let world = ThreadWorld::new(2);
+        let dense_bytes = world
+            .run(|comm| {
+                let _ = imm_distributed_full(
+                    comm, &g, &p, DistRngMode::IndexedStreams, DistSelectMode::DenseAllReduce,
+                );
+                comm.stats().bytes_moved
+            })
+            .into_iter()
+            .max()
+            .unwrap();
+        let sparse_bytes = world
+            .run(|comm| {
+                let _ = imm_distributed_full(
+                    comm, &g, &p, DistRngMode::IndexedStreams, DistSelectMode::SparseAllGather,
+                );
+                comm.stats().bytes_moved
+            })
+            .into_iter()
+            .max()
+            .unwrap();
+        assert!(
+            sparse_bytes * 2 < dense_bytes,
+            "sparse {sparse_bytes} not ≪ dense {dense_bytes}"
+        );
+    }
+}
+
+#[cfg(test)]
+mod leapfrog_mode_tests {
+    use super::*;
+    use ripples_diffusion::estimate_spread;
+    use ripples_graph::generators::erdos_renyi;
+    use ripples_graph::WeightModel;
+    use ripples_rng::StreamFactory;
+
+    #[test]
+    fn leapfrog_mode_quality_parity() {
+        // Leap-frog sample content depends on world size (as in the paper's
+        // system), so seed sets may differ across configurations — but the
+        // statistical quality must match the indexed-stream mode.
+        let g = erdos_renyi(
+            300,
+            2400,
+            WeightModel::UniformRandom { seed: 21 },
+            false,
+            55,
+        );
+        let model = DiffusionModel::IndependentCascade;
+        let p = ImmParams::new(5, 0.5, model, 31);
+        let world = ripples_comm::ThreadWorld::new(3);
+        let lf = world
+            .run(|comm| imm_distributed_with_rng(comm, &g, &p, DistRngMode::LeapFrog))
+            .pop()
+            .unwrap();
+        let idx = world
+            .run(|comm| imm_distributed_with_rng(comm, &g, &p, DistRngMode::IndexedStreams))
+            .pop()
+            .unwrap();
+        assert_eq!(lf.seeds.len(), idx.seeds.len());
+        let factory = StreamFactory::new(404);
+        let s_lf = estimate_spread(&g, model, &lf.seeds, 800, &factory);
+        let s_idx = estimate_spread(&g, model, &idx.seeds, 800, &factory);
+        let ratio = s_lf / s_idx.max(1.0);
+        assert!(
+            (0.9..=1.1).contains(&ratio),
+            "leap-frog quality diverged: {s_lf} vs {s_idx}"
+        );
+    }
+
+    #[test]
+    fn leapfrog_ranks_agree_with_each_other() {
+        // Within one world size, all ranks still return the same answer.
+        let g = erdos_renyi(
+            200,
+            1500,
+            WeightModel::UniformRandom { seed: 3 },
+            false,
+            66,
+        );
+        let p = ImmParams::new(4, 0.5, DiffusionModel::IndependentCascade, 9);
+        let world = ripples_comm::ThreadWorld::new(4);
+        let results =
+            world.run(|comm| imm_distributed_with_rng(comm, &g, &p, DistRngMode::LeapFrog));
+        for r in &results[1..] {
+            assert_eq!(r.seeds, results[0].seeds);
+            assert_eq!(r.theta, results[0].theta);
+        }
+    }
+}

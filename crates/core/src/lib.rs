@@ -1,0 +1,64 @@
+//! Parallel IMM influence maximization — the core library of the CLUSTER'19
+//! reproduction.
+//!
+//! Given a directed probabilistic graph `G`, a diffusion model `M ∈ {IC,
+//! LT}`, a seed-set size `k`, and an accuracy parameter `ε`, the IMM
+//! algorithm of Tang et al. (SIGMOD'15) returns a seed set whose expected
+//! influence is a `(1 − 1/e − ε)`-approximation of the optimum with
+//! probability ≥ `1 − 1/n^ℓ`. This crate implements the paper's four
+//! implementations of it:
+//!
+//! | Entry point | Paper name | Description |
+//! |---|---|---|
+//! | [`seq::imm_baseline`] | IMM | Sequential, Tang-style two-direction hypergraph storage |
+//! | [`seq::immopt_sequential`] | IMMOPT | Sequential, compact one-direction sorted-list storage (§3.1) |
+//! | [`mt::imm_multithreaded`] | IMMmt | Shared-memory parallel: parallel sampling + interval-partitioned seed selection (Algorithm 4) |
+//! | [`dist::imm_distributed`] | IMMdist | Distributed: θ partitioned across ranks, All-Reduce counter aggregation (§3.2) |
+//!
+//! plus the predecessor and comparator algorithms the paper discusses —
+//! TIM⁺ ([`tim`]), the Monte-Carlo greedy with CELF lazy evaluation
+//! ([`celf`]), degree-discount and other heuristics ([`heuristics`]), and
+//! the community-based heuristic of reference \[14\] ([`community`]) — the
+//! paper's future-work extension of running IMM over a *partitioned* input
+//! graph ([`dist_partitioned`]), instrumentation matching the paper's phase
+//! breakdown ([`phases`]), RRR-storage memory accounting ([`memory`]), and
+//! the strong-scaling replay model ([`scaling`]) that substitutes for the
+//! clusters this reproduction does not have (see DESIGN.md).
+//!
+//! # Quickstart
+//!
+//! ```
+//! use ripples_core::{ImmParams, maximize_influence};
+//! use ripples_graph::{generators::erdos_renyi, WeightModel};
+//! use ripples_diffusion::DiffusionModel;
+//!
+//! let graph = erdos_renyi(200, 1200, WeightModel::Constant(0.1), false, 42);
+//! let params = ImmParams::new(10, 0.5, DiffusionModel::IndependentCascade, 1);
+//! let result = maximize_influence(&graph, &params);
+//! assert_eq!(result.seeds.len(), 10);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod api;
+pub mod celf;
+pub mod community;
+pub mod dist;
+pub mod dist_partitioned;
+pub mod heuristics;
+pub mod memory;
+pub mod mt;
+pub mod params;
+pub mod phases;
+pub mod result;
+pub mod scaling;
+pub mod select;
+pub mod seq;
+pub mod theta;
+pub mod tim;
+
+pub use api::maximize_influence;
+pub use memory::MemoryStats;
+pub use params::ImmParams;
+pub use phases::{Phase, PhaseTimers};
+pub use result::ImmResult;

@@ -1,0 +1,69 @@
+//! RRR-storage memory accounting.
+//!
+//! The paper instruments peak memory with Valgrind's Massif; the quantity
+//! Table 2 actually compares is the footprint of the RRR-set storage, which
+//! differs between the two layouts (hypergraph vs compact). We count those
+//! bytes exactly from inside the library, which isolates the layout effect
+//! from allocator and instrumentation noise (see DESIGN.md §1).
+
+/// Byte counts of the data structures an IMM run keeps alive.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct MemoryStats {
+    /// Peak bytes of RRR-set storage (both directions for the hypergraph
+    /// baseline, one direction for IMMOPT and the parallel versions).
+    pub peak_rrr_bytes: usize,
+    /// Bytes of the per-vertex counter array used in seed selection.
+    pub counter_bytes: usize,
+    /// Bytes of the input graph CSR (context; identical across variants).
+    pub graph_bytes: usize,
+}
+
+impl MemoryStats {
+    /// Total of all tracked byte counts.
+    #[must_use]
+    pub fn total(&self) -> usize {
+        self.peak_rrr_bytes + self.counter_bytes + self.graph_bytes
+    }
+
+    /// Records a new RRR-storage observation, keeping the peak.
+    pub fn observe_rrr(&mut self, bytes: usize) {
+        self.peak_rrr_bytes = self.peak_rrr_bytes.max(bytes);
+    }
+
+    /// Formats a byte count as mebibytes (the paper's Table 2 unit).
+    #[must_use]
+    pub fn mib(bytes: usize) -> f64 {
+        bytes as f64 / (1024.0 * 1024.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn observe_keeps_peak() {
+        let mut m = MemoryStats::default();
+        m.observe_rrr(100);
+        m.observe_rrr(50);
+        m.observe_rrr(200);
+        m.observe_rrr(10);
+        assert_eq!(m.peak_rrr_bytes, 200);
+    }
+
+    #[test]
+    fn totals() {
+        let m = MemoryStats {
+            peak_rrr_bytes: 10,
+            counter_bytes: 20,
+            graph_bytes: 30,
+        };
+        assert_eq!(m.total(), 60);
+    }
+
+    #[test]
+    fn mib_conversion() {
+        assert!((MemoryStats::mib(1024 * 1024) - 1.0).abs() < 1e-12);
+        assert!((MemoryStats::mib(0)).abs() < 1e-12);
+    }
+}

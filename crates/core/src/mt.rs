@@ -1,0 +1,105 @@
+//! The multithreaded (shared-memory) IMM implementation — "IMMmt" in
+//! Table 3, the subject of Figures 5 and 6.
+//!
+//! Parallelism enters in the two places §3.1 identifies:
+//!
+//! * **Sampling**: each RRR set is generated independently
+//!   (`ripples_diffusion::sample_batch`, a rayon parallel map with
+//!   per-thread scratch reuse).
+//! * **Seed selection**: the vertex space is partitioned into per-thread
+//!   intervals so counter updates need no synchronization, and sorted
+//!   samples are navigated by binary search
+//!   (`crate::select::select_seeds_partitioned`).
+//!
+//! The thread count is explicit so the strong-scaling sweep (Figures 5–6)
+//! can pin it; pass 0 to use all available parallelism.
+
+use crate::params::ImmParams;
+use crate::result::ImmResult;
+use crate::select::select_seeds_partitioned;
+use crate::seq::run_imm_compact;
+use ripples_diffusion::sample_batch;
+use ripples_graph::Graph;
+use ripples_rng::StreamFactory;
+
+/// Runs IMM with `threads` worker threads (0 = rayon default).
+///
+/// Given identical `params`, returns the *same seed set* as
+/// [`crate::seq::immopt_sequential`] at any thread count: sample content is
+/// keyed by global sample index and the greedy engines share a
+/// deterministic tie-break.
+#[must_use]
+pub fn imm_multithreaded(graph: &Graph, params: &ImmParams, threads: usize) -> ImmResult {
+    let factory = StreamFactory::new(params.seed);
+    let model = params.model;
+    let run = || {
+        let effective_threads = rayon::current_num_threads();
+        run_imm_compact(
+            graph,
+            params,
+            |first, count, out| sample_batch(graph, model, &factory, first, count, out),
+            |collection, n, k| select_seeds_partitioned(collection, n, k, effective_threads),
+        )
+    };
+    if threads == 0 {
+        run()
+    } else {
+        let pool = rayon::ThreadPoolBuilder::new()
+            .num_threads(threads)
+            .build()
+            .expect("failed to build rayon pool");
+        pool.install(run)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::seq::immopt_sequential;
+    use ripples_diffusion::DiffusionModel;
+    use ripples_graph::generators::erdos_renyi;
+    use ripples_graph::WeightModel;
+
+    fn test_graph() -> Graph {
+        erdos_renyi(
+            300,
+            2400,
+            WeightModel::UniformRandom { seed: 8 },
+            false,
+            21,
+        )
+    }
+
+    #[test]
+    fn matches_sequential_at_any_thread_count() {
+        let g = test_graph();
+        for model in [DiffusionModel::IndependentCascade, DiffusionModel::LinearThreshold] {
+            let p = ImmParams::new(6, 0.5, model, 5);
+            let seq = immopt_sequential(&g, &p);
+            for threads in [1, 2, 4] {
+                let mt = imm_multithreaded(&g, &p, threads);
+                assert_eq!(mt.seeds, seq.seeds, "{model} at {threads} threads");
+                assert_eq!(mt.theta, seq.theta);
+                assert!((mt.coverage_fraction - seq.coverage_fraction).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn default_thread_count_works() {
+        let g = test_graph();
+        let p = ImmParams::new(4, 0.5, DiffusionModel::IndependentCascade, 2);
+        let r = imm_multithreaded(&g, &p, 0);
+        assert_eq!(r.seeds.len(), 4);
+    }
+
+    #[test]
+    fn memory_accounting_populated() {
+        let g = test_graph();
+        let p = ImmParams::new(4, 0.5, DiffusionModel::IndependentCascade, 2);
+        let r = imm_multithreaded(&g, &p, 2);
+        assert!(r.memory.peak_rrr_bytes > 0);
+        assert!(r.memory.graph_bytes > 0);
+        assert!(r.timers.total().as_nanos() > 0);
+    }
+}

@@ -1,0 +1,102 @@
+//! Algorithm parameters.
+
+use ripples_diffusion::DiffusionModel;
+
+/// Parameters of one influence-maximization run.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ImmParams {
+    /// Seed-set size `k`.
+    pub k: u32,
+    /// Accuracy parameter `ε` of the `(1 − 1/e − ε)` guarantee. Smaller is
+    /// more accurate and more expensive (Figure 2). Must be in `(0, 1)`.
+    pub epsilon: f64,
+    /// Failure-probability exponent `ℓ`: the guarantee holds with
+    /// probability `1 − 1/n^ℓ`. The paper (following Tang et al.) uses 1.
+    pub ell: f64,
+    /// The diffusion model.
+    pub model: DiffusionModel,
+    /// Master seed for all randomness in the run.
+    pub seed: u64,
+}
+
+impl ImmParams {
+    /// Creates parameters with the paper's default `ℓ = 1`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k == 0`, `ε ∉ (0, 1)`, or `ℓ ≤ 0`.
+    #[must_use]
+    pub fn new(k: u32, epsilon: f64, model: DiffusionModel, seed: u64) -> Self {
+        let p = Self {
+            k,
+            epsilon,
+            ell: 1.0,
+            model,
+            seed,
+        };
+        p.validate();
+        p
+    }
+
+    /// Overrides `ℓ`.
+    #[must_use]
+    pub fn with_ell(mut self, ell: f64) -> Self {
+        self.ell = ell;
+        self.validate();
+        self
+    }
+
+    fn validate(&self) {
+        assert!(self.k > 0, "k must be positive");
+        assert!(
+            self.epsilon > 0.0 && self.epsilon < 1.0,
+            "epsilon must be in (0, 1), got {}",
+            self.epsilon
+        );
+        assert!(self.ell > 0.0, "ell must be positive");
+    }
+
+    /// The effective `k` for a graph with `n` vertices: requests larger than
+    /// the vertex count clamp to `n` (every vertex becomes a seed).
+    #[must_use]
+    pub fn effective_k(&self, n: u32) -> u32 {
+        self.k.min(n)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_defaults() {
+        let p = ImmParams::new(50, 0.5, DiffusionModel::IndependentCascade, 7);
+        assert_eq!(p.ell, 1.0);
+        assert_eq!(p.k, 50);
+    }
+
+    #[test]
+    fn effective_k_clamps() {
+        let p = ImmParams::new(50, 0.5, DiffusionModel::IndependentCascade, 7);
+        assert_eq!(p.effective_k(10), 10);
+        assert_eq!(p.effective_k(100), 50);
+    }
+
+    #[test]
+    #[should_panic(expected = "k must be positive")]
+    fn zero_k_panics() {
+        let _ = ImmParams::new(0, 0.5, DiffusionModel::IndependentCascade, 7);
+    }
+
+    #[test]
+    #[should_panic(expected = "epsilon must be in")]
+    fn bad_epsilon_panics() {
+        let _ = ImmParams::new(5, 1.5, DiffusionModel::IndependentCascade, 7);
+    }
+
+    #[test]
+    #[should_panic(expected = "ell must be positive")]
+    fn bad_ell_panics() {
+        let _ = ImmParams::new(5, 0.5, DiffusionModel::IndependentCascade, 7).with_ell(0.0);
+    }
+}

@@ -1,0 +1,163 @@
+//! Phase timers matching the paper's runtime decomposition.
+//!
+//! Every runtime figure in the paper (Figures 3–8) decomposes execution into
+//! four phases: *EstimateTheta* (Algorithm 2, including the `Sample` calls it
+//! makes internally — the paper's convention, §4.1), *Sample* (the top-up
+//! invocation from Algorithm 1's skeleton), *SelectSeeds* (Algorithm 4), and
+//! *Other*.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// One of the paper's four runtime phases.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Phase {
+    /// Algorithm 2, inclusive of its internal sampling and selection.
+    EstimateTheta,
+    /// The final `Sample(G, θ − |R|, R)` top-up from Algorithm 1.
+    Sample,
+    /// Algorithm 4 on the full collection.
+    SelectSeeds,
+    /// Everything else (allocation, result assembly, …).
+    Other,
+}
+
+impl Phase {
+    /// All phases in the paper's reporting order.
+    pub const ALL: [Phase; 4] = [
+        Phase::EstimateTheta,
+        Phase::Sample,
+        Phase::SelectSeeds,
+        Phase::Other,
+    ];
+
+    /// Column label used by the benchmark harness.
+    #[must_use]
+    pub const fn label(self) -> &'static str {
+        match self {
+            Phase::EstimateTheta => "EstimateTheta",
+            Phase::Sample => "Sample",
+            Phase::SelectSeeds => "SelectSeeds",
+            Phase::Other => "Other",
+        }
+    }
+}
+
+impl fmt::Display for Phase {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Accumulated wall-clock per phase.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct PhaseTimers {
+    estimate: Duration,
+    sample: Duration,
+    select: Duration,
+    other: Duration,
+}
+
+impl PhaseTimers {
+    /// Creates zeroed timers.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds `d` to `phase`.
+    pub fn add(&mut self, phase: Phase, d: Duration) {
+        let slot = match phase {
+            Phase::EstimateTheta => &mut self.estimate,
+            Phase::Sample => &mut self.sample,
+            Phase::SelectSeeds => &mut self.select,
+            Phase::Other => &mut self.other,
+        };
+        *slot += d;
+    }
+
+    /// Times `f` and charges it to `phase`.
+    pub fn record<T>(&mut self, phase: Phase, f: impl FnOnce() -> T) -> T {
+        let start = Instant::now();
+        let out = f();
+        self.add(phase, start.elapsed());
+        out
+    }
+
+    /// Accumulated time of one phase.
+    #[must_use]
+    pub fn get(&self, phase: Phase) -> Duration {
+        match phase {
+            Phase::EstimateTheta => self.estimate,
+            Phase::Sample => self.sample,
+            Phase::SelectSeeds => self.select,
+            Phase::Other => self.other,
+        }
+    }
+
+    /// Sum over all phases.
+    #[must_use]
+    pub fn total(&self) -> Duration {
+        self.estimate + self.sample + self.select + self.other
+    }
+
+    /// Merges another timer set into this one.
+    pub fn merge(&mut self, other: &PhaseTimers) {
+        self.estimate += other.estimate;
+        self.sample += other.sample;
+        self.select += other.select;
+        self.other += other.other;
+    }
+}
+
+impl fmt::Display for PhaseTimers {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "EstimateTheta {:.3}s | Sample {:.3}s | SelectSeeds {:.3}s | Other {:.3}s",
+            self.estimate.as_secs_f64(),
+            self.sample.as_secs_f64(),
+            self.select.as_secs_f64(),
+            self.other.as_secs_f64()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_accumulates() {
+        let mut t = PhaseTimers::new();
+        let out = t.record(Phase::Sample, || 42);
+        assert_eq!(out, 42);
+        t.add(Phase::Sample, Duration::from_millis(5));
+        assert!(t.get(Phase::Sample) >= Duration::from_millis(5));
+        assert_eq!(t.get(Phase::SelectSeeds), Duration::ZERO);
+    }
+
+    #[test]
+    fn total_sums_phases() {
+        let mut t = PhaseTimers::new();
+        t.add(Phase::EstimateTheta, Duration::from_millis(2));
+        t.add(Phase::Other, Duration::from_millis(3));
+        assert_eq!(t.total(), Duration::from_millis(5));
+    }
+
+    #[test]
+    fn merge_adds() {
+        let mut a = PhaseTimers::new();
+        a.add(Phase::Sample, Duration::from_millis(1));
+        let mut b = PhaseTimers::new();
+        b.add(Phase::Sample, Duration::from_millis(2));
+        a.merge(&b);
+        assert_eq!(a.get(Phase::Sample), Duration::from_millis(3));
+    }
+
+    #[test]
+    fn labels() {
+        assert_eq!(Phase::EstimateTheta.label(), "EstimateTheta");
+        assert_eq!(Phase::ALL.len(), 4);
+    }
+}

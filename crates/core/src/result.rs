@@ -1,0 +1,62 @@
+//! The result record every IMM implementation returns.
+
+use crate::memory::MemoryStats;
+use crate::phases::PhaseTimers;
+use ripples_graph::Vertex;
+
+/// Everything an IMM run reports.
+#[derive(Clone, Debug)]
+pub struct ImmResult {
+    /// The selected seed set, in selection order.
+    pub seeds: Vec<Vertex>,
+    /// The final number of RRR samples `θ`.
+    pub theta: usize,
+    /// Coverage fraction `F_R(S)` of the final selection.
+    pub coverage_fraction: f64,
+    /// The lower bound on OPT established by estimation (`LB`), if any
+    /// round certified one.
+    pub opt_lower_bound: Option<f64>,
+    /// Wall-clock per phase.
+    pub timers: PhaseTimers,
+    /// Memory accounting.
+    pub memory: MemoryStats,
+    /// Per-sample work units (in-edges examined) for the final collection;
+    /// feeds the strong-scaling replay model. Empty if the implementation
+    /// did not track it.
+    pub sample_work: Vec<u64>,
+}
+
+impl ImmResult {
+    /// `n·F_R(S)`-style influence estimate implied by coverage: the unbiased
+    /// estimator of E[|I(S)|] from the RRR samples themselves.
+    #[must_use]
+    pub fn coverage_influence_estimate(&self, n: u32) -> f64 {
+        self.coverage_fraction * f64::from(n)
+    }
+
+    /// Total sampling work units recorded.
+    #[must_use]
+    pub fn total_sample_work(&self) -> u64 {
+        self.sample_work.iter().sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn influence_estimate_scales_with_n() {
+        let r = ImmResult {
+            seeds: vec![1, 2],
+            theta: 100,
+            coverage_fraction: 0.25,
+            opt_lower_bound: None,
+            timers: PhaseTimers::new(),
+            memory: MemoryStats::default(),
+            sample_work: vec![3, 4],
+        };
+        assert!((r.coverage_influence_estimate(400) - 100.0).abs() < 1e-12);
+        assert_eq!(r.total_sample_work(), 7);
+    }
+}

@@ -1,0 +1,461 @@
+//! Seed selection (Algorithm 4): greedy maximum coverage over the RRR
+//! collection, in four interchangeable engines.
+//!
+//! * [`select_seeds_sequential`] — reference implementation.
+//! * [`select_seeds_partitioned`] — the paper's multithreaded engine:
+//!   vertex-interval-partitioned counters so no thread ever needs an atomic
+//!   update, with binary-searched partition navigation inside each sorted
+//!   sample.
+//! * [`select_seeds_lazy`] — CELF-style lazy greedy over the counters
+//!   (ablation: the paper's related-work trades; coverage is submodular so
+//!   stale upper bounds are valid).
+//! * [`select_seeds_hypergraph`] — inverted-index-driven selection, the
+//!   strategy of Tang et al.'s original code (fast selection, 2× memory).
+//!
+//! All engines use the same deterministic tie-break (highest count, then
+//! lowest vertex id), so the greedy engines return *identical* seed sets on
+//! identical collections — a property the cross-implementation tests rely
+//! on.
+
+use ripples_diffusion::{HyperGraph, RrrCollection};
+use ripples_graph::Vertex;
+
+/// Result of a seed-selection pass.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Selection {
+    /// The chosen seeds, in selection order.
+    pub seeds: Vec<Vertex>,
+    /// Number of RRR sets covered by the seeds.
+    pub covered: usize,
+    /// `F_R(S)`: fraction of RRR sets covered.
+    pub fraction: f64,
+    /// Marginal cover counts, aligned with `seeds` (seed `i` covered this
+    /// many previously-uncovered sets when chosen).
+    pub marginal_gains: Vec<u64>,
+}
+
+impl Selection {
+    fn finish(seeds: Vec<Vertex>, marginal_gains: Vec<u64>, covered: usize, total: usize) -> Self {
+        Selection {
+            seeds,
+            covered,
+            fraction: if total == 0 {
+                0.0
+            } else {
+                covered as f64 / total as f64
+            },
+            marginal_gains,
+        }
+    }
+}
+
+/// Picks the argmax with deterministic tie-breaking (lowest id wins ties),
+/// skipping already-selected vertices. Returns `None` when every vertex is
+/// selected.
+fn argmax(counters: &[u64], selected: &[bool]) -> Option<Vertex> {
+    let mut best: Option<(u64, Vertex)> = None;
+    for (v, (&c, &s)) in counters.iter().zip(selected).enumerate() {
+        if s {
+            continue;
+        }
+        match best {
+            Some((bc, _)) if bc >= c => {}
+            _ => best = Some((c, v as Vertex)),
+        }
+    }
+    best.map(|(_, v)| v)
+}
+
+/// Reference sequential greedy max-cover.
+#[must_use]
+pub fn select_seeds_sequential(collection: &RrrCollection, n: u32, k: u32) -> Selection {
+    let n_us = n as usize;
+    let k = k.min(n);
+    let mut counters = vec![0u64; n_us];
+    for set in collection.iter() {
+        for &v in set {
+            counters[v as usize] += 1;
+        }
+    }
+    let mut covered = vec![false; collection.len()];
+    let mut selected = vec![false; n_us];
+    let mut seeds = Vec::with_capacity(k as usize);
+    let mut gains = Vec::with_capacity(k as usize);
+    let mut covered_count = 0usize;
+    for _ in 0..k {
+        let Some(v) = argmax(&counters, &selected) else {
+            break;
+        };
+        selected[v as usize] = true;
+        gains.push(counters[v as usize]);
+        seeds.push(v);
+        for (j, cov) in covered.iter_mut().enumerate() {
+            if *cov {
+                continue;
+            }
+            let set = collection.get(j);
+            if set.binary_search(&v).is_ok() {
+                *cov = true;
+                covered_count += 1;
+                for &u in set {
+                    counters[u as usize] -= 1;
+                }
+            }
+        }
+    }
+    Selection::finish(seeds, gains, covered_count, collection.len())
+}
+
+/// The multithreaded engine of Algorithm 4.
+///
+/// The vertex space is split into `p` intervals `[vl, vh)`; each interval is
+/// owned by exactly one rayon task, which updates only its own counter
+/// slice — the paper's synchronization-free design ("the alternative would
+/// have necessitated atomic updates"). Within each sample, a task locates
+/// its interval with binary search instead of scanning the whole sorted
+/// list.
+#[must_use]
+pub fn select_seeds_partitioned(
+    collection: &RrrCollection,
+    n: u32,
+    k: u32,
+    partitions: usize,
+) -> Selection {
+    let n_us = n as usize;
+    let k = k.min(n);
+    let p = partitions.clamp(1, n_us.max(1));
+    // Interval bounds: vl = n·t/p, vh = n·(t+1)/p (Algorithm 4).
+    let bounds: Vec<(Vertex, Vertex)> = (0..p)
+        .map(|t| {
+            (
+                ((n_us * t) / p) as Vertex,
+                ((n_us * (t + 1)) / p) as Vertex,
+            )
+        })
+        .collect();
+
+    let mut counters = vec![0u64; n_us];
+    // Disjoint mutable counter slices, one per interval owner.
+    let mut slices: Vec<&mut [u64]> = Vec::with_capacity(p);
+    {
+        let mut rest: &mut [u64] = &mut counters;
+        for (t, &(vl, vh)) in bounds.iter().enumerate() {
+            let len = (vh - vl) as usize;
+            let (head, tail) = rest.split_at_mut(len);
+            slices.push(head);
+            rest = tail;
+            let _ = t;
+        }
+    }
+
+    // Counting pass: each owner counts its interval across all samples,
+    // walking only the binary-searched sub-range of each sorted sample.
+    rayon::scope(|s| {
+        for (slice, &(vl, vh)) in slices.iter_mut().zip(&bounds) {
+            let collection = &collection;
+            s.spawn(move |_| {
+                for j in 0..collection.len() {
+                    for &u in collection.partition_slice(j, vl, vh) {
+                        slice[(u - vl) as usize] += 1;
+                    }
+                }
+            });
+        }
+    });
+
+    let mut covered = vec![false; collection.len()];
+    let mut selected = vec![false; n_us];
+    let mut seeds = Vec::with_capacity(k as usize);
+    let mut gains = Vec::with_capacity(k as usize);
+    let mut covered_count = 0usize;
+
+    for _ in 0..k {
+        let Some(v) = argmax(&counters, &selected) else {
+            break;
+        };
+        selected[v as usize] = true;
+        gains.push(counters[v as usize]);
+        seeds.push(v);
+
+        // Re-derive the disjoint slices for the decrement pass.
+        let mut slices: Vec<&mut [u64]> = Vec::with_capacity(p);
+        {
+            let mut rest: &mut [u64] = &mut counters;
+            for &(vl, vh) in &bounds {
+                let len = (vh - vl) as usize;
+                let (head, tail) = rest.split_at_mut(len);
+                slices.push(head);
+                rest = tail;
+            }
+        }
+        // Each owner independently identifies the samples containing v
+        // (binary search per alive sample) and decrements its interval.
+        // Owner 0 additionally reports which samples became covered.
+        let covered_ref = &covered;
+        let newly: Vec<usize> = rayon::scope(|s| {
+            let (first_slice, rest_slices) = slices.split_first_mut().expect("p >= 1");
+            for (slice, &(vl, vh)) in rest_slices.iter_mut().zip(&bounds[1..]) {
+                let collection = &collection;
+                s.spawn(move |_| {
+                    for (j, &cov) in covered_ref.iter().enumerate() {
+                        if cov {
+                            continue;
+                        }
+                        if collection.get(j).binary_search(&v).is_ok() {
+                            for &u in collection.partition_slice(j, vl, vh) {
+                                slice[(u - vl) as usize] -= 1;
+                            }
+                        }
+                    }
+                });
+            }
+            let (vl, vh) = bounds[0];
+            let mut newly = Vec::new();
+            for (j, &cov) in covered_ref.iter().enumerate() {
+                if cov {
+                    continue;
+                }
+                if collection.get(j).binary_search(&v).is_ok() {
+                    newly.push(j);
+                    for &u in collection.partition_slice(j, vl, vh) {
+                        first_slice[(u - vl) as usize] -= 1;
+                    }
+                }
+            }
+            newly
+        });
+        covered_count += newly.len();
+        for j in newly {
+            covered[j] = true;
+        }
+    }
+    Selection::finish(seeds, gains, covered_count, collection.len())
+}
+
+/// CELF-style lazy greedy on the cover counters.
+///
+/// Coverage is submodular, so a vertex's stale counter is an upper bound on
+/// its current marginal gain; the lazy queue only recomputes the head.
+/// Returns the same *coverage quality* as the eager engines (exact greedy),
+/// though tie order may differ.
+#[must_use]
+pub fn select_seeds_lazy(collection: &RrrCollection, n: u32, k: u32) -> Selection {
+    use std::cmp::Reverse;
+    use std::collections::BinaryHeap;
+    let n_us = n as usize;
+    let k = k.min(n);
+    let mut counters = vec![0u64; n_us];
+    for set in collection.iter() {
+        for &v in set {
+            counters[v as usize] += 1;
+        }
+    }
+    let mut covered = vec![false; collection.len()];
+    // Heap of (count, Reverse(id), round_validated).
+    let mut heap: BinaryHeap<(u64, Reverse<Vertex>, u32)> = (0..n)
+        .map(|v| (counters[v as usize], Reverse(v), 0u32))
+        .collect();
+    let mut seeds = Vec::with_capacity(k as usize);
+    let mut gains = Vec::with_capacity(k as usize);
+    let mut covered_count = 0usize;
+    let mut round = 0u32;
+    while seeds.len() < k as usize {
+        let Some((count, Reverse(v), validated)) = heap.pop() else {
+            break;
+        };
+        if validated < round {
+            // Stale: recompute v's true marginal gain and reinsert.
+            let fresh = collection
+                .iter()
+                .enumerate()
+                .filter(|(j, set)| !covered[*j] && set.binary_search(&v).is_ok())
+                .count() as u64;
+            heap.push((fresh, Reverse(v), round));
+            continue;
+        }
+        // Fresh entry at the top: greedy-optimal pick.
+        seeds.push(v);
+        gains.push(count);
+        round += 1;
+        for (j, set) in collection.iter().enumerate() {
+            if !covered[j] && set.binary_search(&v).is_ok() {
+                covered[j] = true;
+                covered_count += 1;
+            }
+        }
+    }
+    Selection::finish(seeds, gains, covered_count, collection.len())
+}
+
+/// Inverted-index selection over the two-direction hypergraph layout (the
+/// Tang-style baseline): covering a seed's samples and decrementing their
+/// member counters costs O(touched entries) instead of a scan over all
+/// samples.
+#[must_use]
+pub fn select_seeds_hypergraph(hyper: &HyperGraph, n: u32, k: u32) -> Selection {
+    let n_us = n as usize;
+    let k = k.min(n);
+    let mut counters: Vec<u64> = (0..n).map(|v| hyper.degree(v) as u64).collect();
+    let mut covered = vec![false; hyper.len()];
+    let mut selected = vec![false; n_us];
+    let mut seeds = Vec::with_capacity(k as usize);
+    let mut gains = Vec::with_capacity(k as usize);
+    let mut covered_count = 0usize;
+    for _ in 0..k {
+        let Some(v) = argmax(&counters, &selected) else {
+            break;
+        };
+        selected[v as usize] = true;
+        gains.push(counters[v as usize]);
+        seeds.push(v);
+        for &sid in hyper.samples_containing(v) {
+            let j = sid as usize;
+            if covered[j] {
+                continue;
+            }
+            covered[j] = true;
+            covered_count += 1;
+            for &u in hyper.sets().get(j) {
+                counters[u as usize] -= 1;
+            }
+        }
+    }
+    Selection::finish(seeds, gains, covered_count, hyper.len())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn collection(sets: &[&[Vertex]]) -> RrrCollection {
+        let mut c = RrrCollection::new();
+        for s in sets {
+            c.push(s);
+        }
+        c
+    }
+
+    #[test]
+    fn picks_the_obvious_cover() {
+        // Vertex 2 covers 3 sets; nothing else covers more than 1.
+        let c = collection(&[&[0, 2], &[2, 5], &[2], &[7]]);
+        let sel = select_seeds_sequential(&c, 8, 1);
+        assert_eq!(sel.seeds, vec![2]);
+        assert_eq!(sel.covered, 3);
+        assert!((sel.fraction - 0.75).abs() < 1e-12);
+        assert_eq!(sel.marginal_gains, vec![3]);
+    }
+
+    #[test]
+    fn second_seed_accounts_for_purged_sets() {
+        // After choosing 2, the set {2,5} is covered: 5's residual gain is 0
+        // while 7 still covers one.
+        let c = collection(&[&[0, 2], &[2, 5], &[2], &[7]]);
+        let sel = select_seeds_sequential(&c, 8, 2);
+        assert_eq!(sel.seeds, vec![2, 7]);
+        assert_eq!(sel.covered, 4);
+        assert_eq!(sel.marginal_gains, vec![3, 1]);
+    }
+
+    #[test]
+    fn ties_break_to_lowest_id() {
+        let c = collection(&[&[3], &[5]]);
+        let sel = select_seeds_sequential(&c, 8, 1);
+        assert_eq!(sel.seeds, vec![3]);
+    }
+
+    #[test]
+    fn all_engines_agree() {
+        // A messier instance exercising purge bookkeeping.
+        let c = collection(&[
+            &[0, 1, 2],
+            &[1, 2, 3],
+            &[2, 3, 4],
+            &[4, 5],
+            &[0, 5],
+            &[6],
+            &[1, 6],
+            &[2],
+        ]);
+        let n = 8;
+        let k = 4;
+        let seq = select_seeds_sequential(&c, n, k);
+        for p in [1, 2, 3, 5, 8] {
+            let par = select_seeds_partitioned(&c, n, k, p);
+            assert_eq!(par, seq, "partitioned(p={p}) diverged");
+        }
+        let hyper = HyperGraph::build(c.clone(), n);
+        let hg = select_seeds_hypergraph(&hyper, n, k);
+        assert_eq!(hg, seq, "hypergraph engine diverged");
+        let lazy = select_seeds_lazy(&c, n, k);
+        assert_eq!(lazy.covered, seq.covered, "lazy engine lost coverage");
+        assert_eq!(lazy.marginal_gains, seq.marginal_gains);
+    }
+
+    #[test]
+    fn k_larger_than_n_clamps() {
+        let c = collection(&[&[0], &[1]]);
+        let sel = select_seeds_sequential(&c, 2, 100);
+        assert_eq!(sel.seeds.len(), 2);
+        assert_eq!(sel.covered, 2);
+    }
+
+    #[test]
+    fn empty_collection_selects_arbitrary_vertices() {
+        let c = RrrCollection::new();
+        let sel = select_seeds_sequential(&c, 5, 2);
+        // No coverage signal: greedy falls back to lowest ids.
+        assert_eq!(sel.seeds, vec![0, 1]);
+        assert_eq!(sel.covered, 0);
+        assert_eq!(sel.fraction, 0.0);
+    }
+
+    #[test]
+    fn greedy_matches_brute_force_on_small_instance() {
+        // Exhaustively verify the (1−1/e) greedy against optimal cover for
+        // k=2 on a small universe.
+        let c = collection(&[
+            &[0, 1],
+            &[1, 2],
+            &[2, 3],
+            &[3, 4],
+            &[0, 4],
+            &[1],
+            &[3],
+        ]);
+        let n = 5u32;
+        let greedy = select_seeds_sequential(&c, n, 2);
+        // Brute-force optimum.
+        let mut best = 0usize;
+        for a in 0..n {
+            for b in (a + 1)..n {
+                let covered = c
+                    .iter()
+                    .filter(|s| s.binary_search(&a).is_ok() || s.binary_search(&b).is_ok())
+                    .count();
+                best = best.max(covered);
+            }
+        }
+        assert!(
+            greedy.covered as f64 >= (1.0 - 1.0 / std::f64::consts::E) * best as f64,
+            "greedy {} below guarantee vs optimal {best}",
+            greedy.covered
+        );
+    }
+
+    #[test]
+    fn partitioned_with_more_partitions_than_vertices() {
+        let c = collection(&[&[0], &[1], &[0, 1]]);
+        let sel = select_seeds_partitioned(&c, 2, 2, 64);
+        let seq = select_seeds_sequential(&c, 2, 2);
+        assert_eq!(sel, seq);
+    }
+
+    #[test]
+    fn lazy_on_empty_heap() {
+        let c = RrrCollection::new();
+        let sel = select_seeds_lazy(&c, 3, 2);
+        assert_eq!(sel.seeds.len(), 2);
+        assert_eq!(sel.covered, 0);
+    }
+}

@@ -1,0 +1,143 @@
+//! Property-based tests for the core algorithm components.
+
+use proptest::prelude::*;
+use ripples_core::select::{
+    select_seeds_hypergraph, select_seeds_lazy, select_seeds_partitioned,
+    select_seeds_sequential,
+};
+use ripples_core::theta::{log_binomial, ThetaSchedule};
+use ripples_diffusion::{HyperGraph, RrrCollection};
+
+/// Random RRR collections over a small vertex universe.
+fn collection_strategy() -> impl Strategy<Value = (u32, RrrCollection)> {
+    (4u32..40).prop_flat_map(|n| {
+        let set = prop::collection::btree_set(0..n, 0..8);
+        let sets = prop::collection::vec(set, 0..60);
+        (Just(n), sets).prop_map(|(n, sets)| {
+            let mut c = RrrCollection::new();
+            for s in sets {
+                let v: Vec<u32> = s.into_iter().collect();
+                c.push(&v);
+            }
+            (n, c)
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// All selection engines agree on the greedy outcome for any collection.
+    #[test]
+    fn selection_engines_equivalent((n, c) in collection_strategy(), k in 1u32..10) {
+        let seq = select_seeds_sequential(&c, n, k);
+        for p in [1usize, 2, 3, 7] {
+            let par = select_seeds_partitioned(&c, n, k, p);
+            prop_assert_eq!(&par, &seq, "partitioned({}) diverged", p);
+        }
+        let hyper = HyperGraph::build(c.clone(), n);
+        let hg = select_seeds_hypergraph(&hyper, n, k);
+        prop_assert_eq!(&hg, &seq, "hypergraph engine diverged");
+        let lazy = select_seeds_lazy(&c, n, k);
+        prop_assert_eq!(lazy.covered, seq.covered, "lazy engine lost coverage");
+        prop_assert_eq!(lazy.marginal_gains, seq.marginal_gains);
+    }
+
+    /// Greedy bookkeeping invariants: distinct seeds, non-increasing
+    /// marginal gains, coverage consistent with gains.
+    #[test]
+    fn selection_invariants((n, c) in collection_strategy(), k in 1u32..10) {
+        let sel = select_seeds_sequential(&c, n, k);
+        let mut sorted = sel.seeds.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        prop_assert_eq!(sorted.len(), sel.seeds.len(), "duplicate seeds");
+        for w in sel.marginal_gains.windows(2) {
+            prop_assert!(w[1] <= w[0], "gains must be non-increasing (submodularity)");
+        }
+        let gain_total: u64 = sel.marginal_gains.iter().sum();
+        prop_assert_eq!(gain_total as usize, sel.covered, "gains must sum to coverage");
+        prop_assert!(sel.covered <= c.len());
+    }
+
+    /// Hypergraph degree equals the number of samples containing the vertex.
+    #[test]
+    fn hypergraph_index_consistent((n, c) in collection_strategy()) {
+        let hyper = HyperGraph::build(c.clone(), n);
+        for v in 0..n {
+            let expect = c.iter().filter(|s| s.binary_search(&v).is_ok()).count();
+            prop_assert_eq!(hyper.degree(v), expect, "degree mismatch at {}", v);
+            for &sid in hyper.samples_containing(v) {
+                prop_assert!(c.get(sid as usize).binary_search(&v).is_ok());
+            }
+        }
+    }
+
+    /// log C(n,k) identities: symmetry and Pascal's rule.
+    #[test]
+    fn log_binomial_identities(n in 1u64..400, k in 0u64..400) {
+        prop_assume!(k <= n);
+        let lhs = log_binomial(n, k);
+        prop_assert!((lhs - log_binomial(n, n - k)).abs() < 1e-6);
+        if k >= 1 && k < n {
+            // C(n,k) = C(n-1,k-1) + C(n-1,k) ⇒ log-sum-exp check.
+            let a = log_binomial(n - 1, k - 1);
+            let b = log_binomial(n - 1, k);
+            let m = a.max(b);
+            let combined = m + ((a - m).exp() + (b - m).exp()).ln();
+            prop_assert!((lhs - combined).abs() < 1e-6, "Pascal failed: {} vs {}", lhs, combined);
+        }
+    }
+
+    /// θ-schedule monotonicity: smaller ε and larger k never reduce the
+    /// final θ at a fixed lower bound; round budgets increase with x.
+    #[test]
+    fn theta_schedule_monotone(
+        n in 100u64..1_000_000,
+        k in 1u64..100,
+        eps_idx in 0usize..4,
+        lb_frac in 0.001f64..1.0,
+    ) {
+        let eps_values = [0.2, 0.3, 0.4, 0.5];
+        let eps = eps_values[eps_idx];
+        prop_assume!(k <= n);
+        let s = ThetaSchedule::new(n, k, eps, 1.0);
+        let lb = (n as f64 * lb_frac).max(1.0);
+        let theta = s.final_theta(lb);
+        prop_assert!(theta > 0);
+        // Tighter ε ⇒ more samples.
+        if eps_idx > 0 {
+            let tighter = ThetaSchedule::new(n, k, eps_values[eps_idx - 1], 1.0);
+            prop_assert!(tighter.final_theta(lb) >= theta);
+        }
+        // Bigger k ⇒ more samples (logcnk grows for k ≤ n/2).
+        if k < n / 2 {
+            let bigger = ThetaSchedule::new(n, k + 1, eps, 1.0);
+            prop_assert!(bigger.final_theta(lb) >= theta);
+        }
+        // Round budgets strictly increase.
+        let mut prev = 0usize;
+        for x in 1..=s.max_rounds().min(8) {
+            let b = s.round_budget(x);
+            prop_assert!(b > prev);
+            prev = b;
+        }
+        // Larger LB ⇒ smaller θ.
+        prop_assert!(s.final_theta(lb * 2.0) <= theta);
+    }
+
+    /// The LB certification test is monotone in the coverage fraction.
+    #[test]
+    fn round_success_monotone(frac in 0.0f64..1.0) {
+        let s = ThetaSchedule::new(10_000, 20, 0.5, 1.0);
+        for x in 1..=s.max_rounds() {
+            if s.round_succeeds(x, frac) {
+                prop_assert!(s.round_succeeds(x, (frac + 0.1).min(1.0)));
+                // Deeper rounds have lower thresholds.
+                if x < s.max_rounds() {
+                    prop_assert!(s.round_succeeds(x + 1, frac));
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,167 @@
+//! The two-direction "hypergraph" sample storage of Tang et al.'s original
+//! IMM implementation — the measured baseline of Table 2.
+//!
+//! *"Previous implementations store this information in two directions using
+//! the notion of a hypergraph, where each RRR set (or sample) is a hyperedge
+//! consisting of a subset of vertices in the input graph. Information for
+//! each vertex about the samples that it participates in is also maintained.
+//! Thus, each association between a sample and a vertex is stored twice.
+//! While this information aids in faster selection of seed set later, the
+//! memory footprint can become a limitation."* (§3.1)
+//!
+//! This struct materializes exactly that layout: the sample→vertex arena
+//! plus the inverted vertex→sample index, so the Table 2 experiment can
+//! measure the memory gap and the seed-selection speed trade the paper
+//! describes.
+
+use crate::rrr::RrrCollection;
+use ripples_graph::Vertex;
+
+/// Two-direction RRR storage: samples by id *and* an inverted index from
+/// vertex to the samples containing it.
+#[derive(Clone, Debug)]
+pub struct HyperGraph {
+    sets: RrrCollection,
+    /// CSR offsets into `vertex_to_sets`, one slot per vertex.
+    index_offsets: Vec<usize>,
+    /// Sample ids, grouped by vertex.
+    vertex_to_sets: Vec<u32>,
+}
+
+impl HyperGraph {
+    /// Builds the inverted index over an existing sample collection.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a sample references a vertex ≥ `num_vertices` or if there
+    /// are ≥ 2³² samples.
+    #[must_use]
+    pub fn build(sets: RrrCollection, num_vertices: u32) -> Self {
+        assert!(sets.len() < u32::MAX as usize, "too many samples for u32 ids");
+        let n = num_vertices as usize;
+        let mut counts = vec![0usize; n + 1];
+        for set in sets.iter() {
+            for &v in set {
+                assert!((v as usize) < n, "sample vertex {v} out of range");
+                counts[v as usize + 1] += 1;
+            }
+        }
+        for i in 0..n {
+            counts[i + 1] += counts[i];
+        }
+        let index_offsets = counts;
+        let mut cursor = index_offsets.clone();
+        let mut vertex_to_sets = vec![0u32; sets.total_entries()];
+        for (sid, set) in sets.iter().enumerate() {
+            for &v in set {
+                let slot = cursor[v as usize];
+                vertex_to_sets[slot] = sid as u32;
+                cursor[v as usize] += 1;
+            }
+        }
+        Self {
+            sets,
+            index_offsets,
+            vertex_to_sets,
+        }
+    }
+
+    /// Number of samples.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.sets.len()
+    }
+
+    /// True when no samples are stored.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.sets.is_empty()
+    }
+
+    /// The sample collection (sample → vertices direction).
+    #[must_use]
+    pub fn sets(&self) -> &RrrCollection {
+        &self.sets
+    }
+
+    /// Sample ids containing `v` (vertex → samples direction), ascending.
+    #[must_use]
+    pub fn samples_containing(&self, v: Vertex) -> &[u32] {
+        let v = v as usize;
+        &self.vertex_to_sets[self.index_offsets[v]..self.index_offsets[v + 1]]
+    }
+
+    /// Occurrence count of `v` across samples — the initial greedy counter.
+    #[must_use]
+    pub fn degree(&self, v: Vertex) -> usize {
+        self.samples_containing(v).len()
+    }
+
+    /// Resident bytes of *both* directions — the "IMM" memory columns of
+    /// Table 2.
+    #[must_use]
+    pub fn resident_bytes(&self) -> usize {
+        use std::mem::size_of;
+        self.sets.resident_bytes()
+            + self.index_offsets.len() * size_of::<usize>()
+            + self.vertex_to_sets.len() * size_of::<u32>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_sets() -> RrrCollection {
+        let mut c = RrrCollection::new();
+        c.push(&[0, 2, 4]);
+        c.push(&[2]);
+        c.push(&[1, 2, 3]);
+        c
+    }
+
+    #[test]
+    fn inverted_index_contents() {
+        let h = HyperGraph::build(sample_sets(), 5);
+        assert_eq!(h.samples_containing(2), &[0, 1, 2]);
+        assert_eq!(h.samples_containing(0), &[0]);
+        assert_eq!(h.samples_containing(4), &[0]);
+        assert_eq!(h.samples_containing(1), &[2]);
+        assert_eq!(h.degree(2), 3);
+        assert_eq!(h.degree(3), 1);
+    }
+
+    #[test]
+    fn isolated_vertex_has_no_samples() {
+        let mut c = RrrCollection::new();
+        c.push(&[0]);
+        let h = HyperGraph::build(c, 3);
+        assert!(h.samples_containing(2).is_empty());
+    }
+
+    #[test]
+    fn memory_exceeds_one_direction() {
+        let sets = sample_sets();
+        let one_direction = sets.resident_bytes();
+        let h = HyperGraph::build(sets, 5);
+        assert!(
+            h.resident_bytes() > one_direction,
+            "hypergraph must store strictly more than the compact layout"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn rejects_out_of_range_vertex() {
+        let mut c = RrrCollection::new();
+        c.push(&[7]);
+        let _ = HyperGraph::build(c, 3);
+    }
+
+    #[test]
+    fn empty_collection_ok() {
+        let h = HyperGraph::build(RrrCollection::new(), 4);
+        assert!(h.is_empty());
+        assert_eq!(h.degree(0), 0);
+    }
+}

@@ -1,0 +1,39 @@
+//! Diffusion kernels for influence maximization.
+//!
+//! Two families of kernels, matching §3 of the CLUSTER'19 paper:
+//!
+//! * **Forward simulation** ([`forward`]): the probabilistic BFS that plays
+//!   a cascade out of a seed set under the Independent Cascade (IC) or
+//!   Linear Threshold (LT) model, plus the Monte-Carlo spread estimator used
+//!   to score seed sets (Figure 1's y-axis) and by the Kempe/CELF baseline.
+//! * **Reverse-reachability sampling** ([`rrr`], [`sampler`]): Algorithm 3's
+//!   `GenerateRR` — a probabilistic BFS over *incoming* edges from a random
+//!   root, evaluated lazily so the sampled subgraph `g` is never
+//!   materialized, returning the visited vertices **sorted by id** (the
+//!   paper's §3.1 layout decision that enables binary-searched partition
+//!   scans during seed selection).
+//!
+//! Storage of the sample collection comes in the two layouts Table 2
+//! compares: the compact one-direction [`rrr::RrrCollection`] (the paper's
+//! IMMOPT) and the two-direction inverted-index [`hypergraph::HyperGraph`]
+//! (Tang et al.'s original layout, kept as the measured baseline).
+
+#![warn(missing_docs)]
+
+pub mod compressed;
+pub mod forward;
+pub mod hypergraph;
+pub mod model;
+pub mod partitioned;
+pub mod rrr;
+pub mod sampler;
+pub mod sketches;
+
+pub use compressed::CompressedRrrCollection;
+pub use forward::{estimate_spread, simulate_cascade, CascadeOutcome};
+pub use hypergraph::HyperGraph;
+pub use model::DiffusionModel;
+pub use partitioned::GraphPartition;
+pub use rrr::{generate_rrr, RrrCollection, RrrScratch};
+pub use sampler::{sample_batch, sample_batch_sequential, BatchOutcome};
+pub use sketches::ReachabilitySketches;

@@ -1,0 +1,386 @@
+//! Random reverse-reachable (RRR) set generation — Algorithm 3's
+//! `GenerateRR` — and the compact one-direction sample collection.
+
+use crate::model::DiffusionModel;
+use ripples_graph::{Graph, Vertex};
+use ripples_rng::RandomSource;
+
+/// Reusable per-thread scratch for RRR generation.
+///
+/// Visited marks use the epoch trick: bumping a generation counter clears
+/// the whole array in O(1), so a thread generating millions of samples
+/// never re-touches `n` bytes between samples.
+#[derive(Clone, Debug)]
+pub struct RrrScratch {
+    visited_epoch: Vec<u32>,
+    epoch: u32,
+    queue: Vec<Vertex>,
+}
+
+impl RrrScratch {
+    /// Creates scratch sized for a graph with `num_vertices` vertices.
+    #[must_use]
+    pub fn new(num_vertices: u32) -> Self {
+        Self {
+            visited_epoch: vec![0; num_vertices as usize],
+            epoch: 0,
+            queue: Vec::with_capacity(1024),
+        }
+    }
+
+    #[inline]
+    fn begin(&mut self) {
+        self.epoch = self.epoch.wrapping_add(1);
+        if self.epoch == 0 {
+            // Wrapped: hard-clear once every 2^32 samples.
+            self.visited_epoch.fill(0);
+            self.epoch = 1;
+        }
+        self.queue.clear();
+    }
+
+    #[inline]
+    fn visit(&mut self, v: Vertex) -> bool {
+        let slot = &mut self.visited_epoch[v as usize];
+        if *slot == self.epoch {
+            false
+        } else {
+            *slot = self.epoch;
+            true
+        }
+    }
+}
+
+/// The outcome of one `GenerateRR` call.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RrrSample {
+    /// Vertices of the RRR set, **sorted ascending by id** (paper §3.1).
+    pub vertices: Vec<Vertex>,
+    /// Number of in-edges examined while generating this sample; the unit
+    /// of sampling work used by the scaling replay model.
+    pub edges_examined: u64,
+}
+
+/// Generates one random reverse-reachable set rooted at `root`.
+///
+/// The BFS walks *incoming* edges and decides lazily, per edge, whether the
+/// edge exists in the sampled live-edge graph `g` — `g` is never
+/// materialized (paper §3.1). Model semantics:
+///
+/// * **IC**: every in-edge `(u → v)` of a visited `v` is live independently
+///   with probability `p(u→v)`.
+/// * **LT**: each visited `v` selects *at most one* live in-edge, choosing
+///   `u` with probability `p(u→v)` (weights sum to ≤ 1; the remainder is
+///   "no incoming live edge"). This is why LT RRR sets are small — the
+///   reverse traversal is a path, not a tree (§4.2's observed LT/IC gap).
+#[must_use]
+pub fn generate_rrr<R: RandomSource>(
+    graph: &Graph,
+    model: DiffusionModel,
+    root: Vertex,
+    rng: &mut R,
+    scratch: &mut RrrScratch,
+) -> RrrSample {
+    debug_assert!(root < graph.num_vertices(), "root out of range");
+    scratch.begin();
+    scratch.visit(root);
+    scratch.queue.push(root);
+    let mut head = 0usize;
+    let mut edges_examined = 0u64;
+    while head < scratch.queue.len() {
+        let v = scratch.queue[head];
+        head += 1;
+        match model {
+            DiffusionModel::IndependentCascade => {
+                let sources = graph.in_neighbors(v);
+                let probs = graph.in_probs(v);
+                edges_examined += sources.len() as u64;
+                for (&u, &p) in sources.iter().zip(probs) {
+                    if rng.unit_f64() < f64::from(p) && scratch.visit(u) {
+                        scratch.queue.push(u);
+                    }
+                }
+            }
+            DiffusionModel::LinearThreshold => {
+                // One uniform draw selects among in-neighbors by weight; the
+                // tail probability (1 - Σw) selects "stop here".
+                let sources = graph.in_neighbors(v);
+                let probs = graph.in_probs(v);
+                let draw = rng.unit_f64();
+                let mut acc = 0.0f64;
+                for (&u, &p) in sources.iter().zip(probs) {
+                    edges_examined += 1;
+                    acc += f64::from(p);
+                    if draw < acc {
+                        if scratch.visit(u) {
+                            scratch.queue.push(u);
+                        }
+                        break;
+                    }
+                }
+            }
+        }
+    }
+    let mut vertices = scratch.queue.clone();
+    vertices.sort_unstable();
+    RrrSample {
+        vertices,
+        edges_examined,
+    }
+}
+
+/// The compact one-direction RRR storage of the paper's optimized serial
+/// implementation (IMMOPT): a flattened arena of sorted vertex lists.
+///
+/// *"We only store the information in one direction, where each sample in R
+/// is stored as a list of vertices in the corresponding RRR set — sorted by
+/// the vertex ids."* (§3.1). Contrast with [`crate::HyperGraph`].
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct RrrCollection {
+    offsets: Vec<usize>,
+    data: Vec<Vertex>,
+}
+
+impl RrrCollection {
+    /// Creates an empty collection.
+    #[must_use]
+    pub fn new() -> Self {
+        Self {
+            offsets: vec![0],
+            data: Vec::new(),
+        }
+    }
+
+    /// Number of samples stored.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// True when no samples are stored.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Total number of vertex entries across all samples.
+    #[must_use]
+    pub fn total_entries(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Appends one sample (must be sorted; checked in debug builds).
+    pub fn push(&mut self, vertices: &[Vertex]) {
+        debug_assert!(vertices.windows(2).all(|w| w[0] < w[1]), "sample not sorted");
+        self.data.extend_from_slice(vertices);
+        self.offsets.push(self.data.len());
+    }
+
+    /// The `i`-th sample's sorted vertex list.
+    #[inline]
+    #[must_use]
+    pub fn get(&self, i: usize) -> &[Vertex] {
+        &self.data[self.offsets[i]..self.offsets[i + 1]]
+    }
+
+    /// Iterates all samples.
+    pub fn iter(&self) -> impl Iterator<Item = &[Vertex]> + '_ {
+        (0..self.len()).map(move |i| self.get(i))
+    }
+
+    /// Resident bytes of the sample storage — the quantity Table 2's memory
+    /// columns compare between layouts.
+    #[must_use]
+    pub fn resident_bytes(&self) -> usize {
+        use std::mem::size_of;
+        self.offsets.len() * size_of::<usize>() + self.data.len() * size_of::<Vertex>()
+    }
+
+    /// The slice of sample `i` restricted to the vertex interval
+    /// `[vl, vh)`, located by binary search — the partition navigation of
+    /// Algorithm 4 ("vl and vh can be efficiently found using binary
+    /// search").
+    #[must_use]
+    pub fn partition_slice(&self, i: usize, vl: Vertex, vh: Vertex) -> &[Vertex] {
+        let set = self.get(i);
+        let lo = set.partition_point(|&x| x < vl);
+        let hi = set.partition_point(|&x| x < vh);
+        &set[lo..hi]
+    }
+}
+
+impl FromIterator<Vec<Vertex>> for RrrCollection {
+    fn from_iter<T: IntoIterator<Item = Vec<Vertex>>>(iter: T) -> Self {
+        let mut c = Self::new();
+        for s in iter {
+            c.push(&s);
+        }
+        c
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ripples_graph::GraphBuilder;
+    use ripples_rng::SplitMix64;
+
+    fn path(n: u32, p: f32) -> Graph {
+        let mut b = GraphBuilder::new(n);
+        for u in 0..n - 1 {
+            b.add_edge(u, u + 1, p).unwrap();
+        }
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn certain_edges_traverse_fully() {
+        // 0 -> 1 -> 2 -> 3 with p = 1: RRR(3) = {0,1,2,3}.
+        let g = path(4, 1.0);
+        let mut rng = SplitMix64::new(1);
+        let mut scratch = RrrScratch::new(4);
+        let s = generate_rrr(&g, DiffusionModel::IndependentCascade, 3, &mut rng, &mut scratch);
+        assert_eq!(s.vertices, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn zero_edges_stop_immediately() {
+        let g = path(4, 0.0);
+        let mut rng = SplitMix64::new(1);
+        let mut scratch = RrrScratch::new(4);
+        let s = generate_rrr(&g, DiffusionModel::IndependentCascade, 3, &mut rng, &mut scratch);
+        assert_eq!(s.vertices, vec![3]);
+        assert_eq!(s.edges_examined, 1);
+    }
+
+    #[test]
+    fn root_always_included() {
+        let g = path(6, 0.5);
+        let mut rng = SplitMix64::new(7);
+        let mut scratch = RrrScratch::new(6);
+        for root in 0..6 {
+            for _ in 0..20 {
+                let s = generate_rrr(&g, DiffusionModel::IndependentCascade, root, &mut rng, &mut scratch);
+                assert!(s.vertices.binary_search(&root).is_ok());
+            }
+        }
+    }
+
+    #[test]
+    fn output_sorted_and_deduped() {
+        // Diamond so both branches reach the same ancestor.
+        let mut b = GraphBuilder::new(4);
+        b.add_edge(0, 1, 1.0).unwrap();
+        b.add_edge(0, 2, 1.0).unwrap();
+        b.add_edge(1, 3, 1.0).unwrap();
+        b.add_edge(2, 3, 1.0).unwrap();
+        let g = b.build().unwrap();
+        let mut rng = SplitMix64::new(3);
+        let mut scratch = RrrScratch::new(4);
+        let s = generate_rrr(&g, DiffusionModel::IndependentCascade, 3, &mut rng, &mut scratch);
+        assert_eq!(s.vertices, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn lt_walks_are_paths() {
+        // Star into vertex 0: many in-neighbors, LT picks at most one.
+        let mut b = GraphBuilder::new(10);
+        for u in 1..10 {
+            b.add_edge(u, 0, 0.1).unwrap();
+        }
+        let g = b.build().unwrap();
+        let mut rng = SplitMix64::new(5);
+        let mut scratch = RrrScratch::new(10);
+        for _ in 0..50 {
+            let s = generate_rrr(&g, DiffusionModel::LinearThreshold, 0, &mut rng, &mut scratch);
+            assert!(s.vertices.len() <= 2, "LT grabbed {:?}", s.vertices);
+        }
+    }
+
+    #[test]
+    fn lt_respects_no_activation_mass() {
+        // Single in-edge of weight 0.5: about half of the walks stop at the
+        // root.
+        let g = path(2, 0.5);
+        let mut rng = SplitMix64::new(11);
+        let mut scratch = RrrScratch::new(2);
+        let n = 4000;
+        let extended = (0..n)
+            .filter(|_| {
+                generate_rrr(&g, DiffusionModel::LinearThreshold, 1, &mut rng, &mut scratch)
+                    .vertices
+                    .len()
+                    == 2
+            })
+            .count();
+        let freq = extended as f64 / f64::from(n);
+        assert!((freq - 0.5).abs() < 0.05, "freq {freq}");
+    }
+
+    #[test]
+    fn ic_respects_probability() {
+        let g = path(2, 0.25);
+        let mut rng = SplitMix64::new(13);
+        let mut scratch = RrrScratch::new(2);
+        let n = 8000;
+        let hits = (0..n)
+            .filter(|_| {
+                generate_rrr(&g, DiffusionModel::IndependentCascade, 1, &mut rng, &mut scratch)
+                    .vertices
+                    .len()
+                    == 2
+            })
+            .count();
+        let freq = hits as f64 / f64::from(n);
+        assert!((freq - 0.25).abs() < 0.03, "freq {freq}");
+    }
+
+    #[test]
+    fn scratch_reuse_is_clean() {
+        let g = path(5, 1.0);
+        let mut rng = SplitMix64::new(1);
+        let mut scratch = RrrScratch::new(5);
+        let a = generate_rrr(&g, DiffusionModel::IndependentCascade, 4, &mut rng, &mut scratch);
+        let b = generate_rrr(&g, DiffusionModel::IndependentCascade, 0, &mut rng, &mut scratch);
+        assert_eq!(a.vertices, vec![0, 1, 2, 3, 4]);
+        assert_eq!(b.vertices, vec![0]);
+    }
+
+    #[test]
+    fn collection_push_get_iter() {
+        let mut c = RrrCollection::new();
+        c.push(&[1, 3, 5]);
+        c.push(&[2]);
+        c.push(&[]);
+        assert_eq!(c.len(), 3);
+        assert_eq!(c.total_entries(), 4);
+        assert_eq!(c.get(0), &[1, 3, 5]);
+        assert_eq!(c.get(2), &[] as &[Vertex]);
+        let all: Vec<&[Vertex]> = c.iter().collect();
+        assert_eq!(all.len(), 3);
+    }
+
+    #[test]
+    fn collection_partition_slice() {
+        let mut c = RrrCollection::new();
+        c.push(&[1, 3, 5, 7, 9]);
+        assert_eq!(c.partition_slice(0, 3, 8), &[3, 5, 7]);
+        assert_eq!(c.partition_slice(0, 0, 1), &[] as &[Vertex]);
+        assert_eq!(c.partition_slice(0, 9, 100), &[9]);
+    }
+
+    #[test]
+    fn collection_bytes_grow() {
+        let mut c = RrrCollection::new();
+        let before = c.resident_bytes();
+        c.push(&[1, 2, 3, 4]);
+        assert!(c.resident_bytes() > before);
+    }
+
+    #[test]
+    fn collection_from_iter() {
+        let c: RrrCollection = vec![vec![0, 1], vec![2]].into_iter().collect();
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.get(1), &[2]);
+    }
+}

@@ -1,0 +1,441 @@
+//! Edge-list accumulation and CSR construction.
+
+use crate::csr::Graph;
+use crate::types::{GraphError, Vertex};
+use crate::weights::WeightModel;
+
+/// What to do when the same `(source, target)` pair is added twice.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum DuplicatePolicy {
+    /// Keep the first occurrence (default; matches SNAP loader behaviour).
+    #[default]
+    KeepFirst,
+    /// Keep the occurrence with the largest probability.
+    KeepMax,
+    /// Combine as independent chances: `1 − (1−p₁)(1−p₂)`.
+    NoisyOr,
+}
+
+/// Accumulates edges and produces a validated [`Graph`].
+///
+/// Construction is O(m log m) (one sort) plus two counting passes; peak
+/// transient memory is one `(u32, u32, f32)` triple per edge.
+///
+/// ```
+/// use ripples_graph::GraphBuilder;
+///
+/// let mut b = GraphBuilder::new(3);
+/// b.add_edge(0, 1, 0.5).unwrap();
+/// b.add_undirected(1, 2, 0.25).unwrap();
+/// let g = b.build().unwrap();
+/// assert_eq!(g.num_edges(), 3);
+/// assert_eq!(g.edge_prob(0, 1), Some(0.5));
+/// assert!(g.has_edge(2, 1));
+/// ```
+#[derive(Clone, Debug)]
+pub struct GraphBuilder {
+    num_vertices: u32,
+    edges: Vec<(Vertex, Vertex, f32)>,
+    duplicate_policy: DuplicatePolicy,
+    drop_self_loops: bool,
+}
+
+impl GraphBuilder {
+    /// Creates a builder for a graph with `num_vertices` vertices.
+    #[must_use]
+    pub fn new(num_vertices: u32) -> Self {
+        Self {
+            num_vertices,
+            edges: Vec::new(),
+            duplicate_policy: DuplicatePolicy::default(),
+            drop_self_loops: true,
+        }
+    }
+
+    /// Pre-allocates room for `additional` more edges.
+    pub fn reserve(&mut self, additional: usize) {
+        self.edges.reserve(additional);
+    }
+
+    /// Sets the duplicate-edge policy (default: keep first).
+    #[must_use]
+    pub fn duplicate_policy(mut self, policy: DuplicatePolicy) -> Self {
+        self.duplicate_policy = policy;
+        self
+    }
+
+    /// Sets whether self-loops are silently dropped (default: true).
+    /// Self-loops never affect influence spread — a vertex cannot
+    /// re-activate itself — so dropping them is semantics-preserving.
+    #[must_use]
+    pub fn keep_self_loops(mut self) -> Self {
+        self.drop_self_loops = false;
+        self
+    }
+
+    /// Number of edges currently buffered (before dedup).
+    #[must_use]
+    pub fn pending_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Adds a directed edge with an explicit activation probability.
+    pub fn add_edge(&mut self, source: Vertex, target: Vertex, prob: f32) -> Result<(), GraphError> {
+        if source >= self.num_vertices {
+            return Err(GraphError::VertexOutOfRange {
+                vertex: source,
+                num_vertices: self.num_vertices,
+            });
+        }
+        if target >= self.num_vertices {
+            return Err(GraphError::VertexOutOfRange {
+                vertex: target,
+                num_vertices: self.num_vertices,
+            });
+        }
+        if !prob.is_finite() || !(0.0..=1.0).contains(&prob) {
+            return Err(GraphError::InvalidProbability { value: prob });
+        }
+        if self.drop_self_loops && source == target {
+            return Ok(());
+        }
+        self.edges.push((source, target, prob));
+        Ok(())
+    }
+
+    /// Adds a directed edge with a placeholder probability of 1.0, to be
+    /// overwritten later by [`GraphBuilder::assign_weights`].
+    pub fn add_arc(&mut self, source: Vertex, target: Vertex) -> Result<(), GraphError> {
+        self.add_edge(source, target, 1.0)
+    }
+
+    /// Adds both directions of an undirected edge.
+    pub fn add_undirected(
+        &mut self,
+        a: Vertex,
+        b: Vertex,
+        prob: f32,
+    ) -> Result<(), GraphError> {
+        self.add_edge(a, b, prob)?;
+        self.add_edge(b, a, prob)
+    }
+
+    /// Overwrites every buffered probability according to `model`.
+    ///
+    /// Weight assignment is deterministic given the model (and its seed) and
+    /// the *final sorted edge order*, so identical edge sets produce
+    /// identical weights regardless of insertion order; it therefore runs on
+    /// the deduplicated, sorted list inside [`GraphBuilder::build`]. Calling
+    /// this method records the model to apply.
+    #[must_use]
+    pub fn assign_weights(mut self, model: WeightModel) -> WeightedBuilder {
+        // Probabilities buffered so far become irrelevant.
+        for e in &mut self.edges {
+            e.2 = 1.0;
+        }
+        WeightedBuilder {
+            inner: self,
+            model,
+            lt_normalize: false,
+        }
+    }
+
+    /// Sorts, deduplicates, and freezes the edge list into CSR form.
+    pub fn build(self) -> Result<Graph, GraphError> {
+        let Self {
+            num_vertices,
+            mut edges,
+            duplicate_policy,
+            ..
+        } = self;
+        if edges.len() >= u32::MAX as usize {
+            return Err(GraphError::TooLarge(format!(
+                "{} edges exceeds the u32 edge-count limit",
+                edges.len()
+            )));
+        }
+        edges.sort_unstable_by_key(|&(u, v, _)| (u, v));
+        dedup_edges(&mut edges, duplicate_policy);
+        Ok(build_csr(num_vertices, &edges))
+    }
+}
+
+/// A [`GraphBuilder`] with a recorded weight model; see
+/// [`GraphBuilder::assign_weights`].
+#[derive(Clone, Debug)]
+pub struct WeightedBuilder {
+    inner: GraphBuilder,
+    model: WeightModel,
+    lt_normalize: bool,
+}
+
+impl WeightedBuilder {
+    /// Enables the paper's linear-threshold weight readjustment: after the
+    /// model assigns raw weights, each vertex's incoming weights are scaled
+    /// so they sum to at most one (weights already summing below one are
+    /// left untouched, preserving a nonzero "no activation" probability).
+    #[must_use]
+    pub fn normalize_for_lt(mut self) -> Self {
+        self.lt_normalize = true;
+        self
+    }
+
+    /// Adds a directed arc (probability comes from the model).
+    pub fn add_arc(&mut self, source: Vertex, target: Vertex) -> Result<(), GraphError> {
+        self.inner.add_arc(source, target)
+    }
+
+    /// Adds both directions of an undirected edge.
+    pub fn add_undirected(&mut self, a: Vertex, b: Vertex) -> Result<(), GraphError> {
+        self.inner.add_arc(a, b)?;
+        self.inner.add_arc(b, a)
+    }
+
+    /// Sorts, deduplicates, weights, optionally LT-normalizes, and freezes.
+    pub fn build(self) -> Result<Graph, GraphError> {
+        let WeightedBuilder {
+            inner,
+            model,
+            lt_normalize,
+        } = self;
+        let GraphBuilder {
+            num_vertices,
+            mut edges,
+            duplicate_policy,
+            ..
+        } = inner;
+        if edges.len() >= u32::MAX as usize {
+            return Err(GraphError::TooLarge(format!(
+                "{} edges exceeds the u32 edge-count limit",
+                edges.len()
+            )));
+        }
+        edges.sort_unstable_by_key(|&(u, v, _)| (u, v));
+        dedup_edges(&mut edges, duplicate_policy);
+        model.apply(num_vertices, &mut edges);
+        if lt_normalize {
+            normalize_in_weights(num_vertices, &mut edges);
+        }
+        Ok(build_csr(num_vertices, &edges))
+    }
+}
+
+fn dedup_edges(edges: &mut Vec<(Vertex, Vertex, f32)>, policy: DuplicatePolicy) {
+    match policy {
+        DuplicatePolicy::KeepFirst => {
+            edges.dedup_by_key(|&mut (u, v, _)| (u, v));
+        }
+        DuplicatePolicy::KeepMax => {
+            edges.dedup_by(|next, kept| {
+                if (next.0, next.1) == (kept.0, kept.1) {
+                    kept.2 = kept.2.max(next.2);
+                    true
+                } else {
+                    false
+                }
+            });
+        }
+        DuplicatePolicy::NoisyOr => {
+            edges.dedup_by(|next, kept| {
+                if (next.0, next.1) == (kept.0, kept.1) {
+                    kept.2 = 1.0 - (1.0 - kept.2) * (1.0 - next.2);
+                    true
+                } else {
+                    false
+                }
+            });
+        }
+    }
+}
+
+/// Scales each destination's incoming weights to sum to ≤ 1 (Kempe-style LT
+/// readjustment). Operates on the sorted edge list so both CSR directions
+/// observe the same normalized values.
+fn normalize_in_weights(num_vertices: u32, edges: &mut [(Vertex, Vertex, f32)]) {
+    let mut sums = vec![0.0f64; num_vertices as usize];
+    for &(_, v, p) in edges.iter() {
+        sums[v as usize] += f64::from(p);
+    }
+    for e in edges.iter_mut() {
+        let s = sums[e.1 as usize];
+        if s > 1.0 {
+            e.2 = (f64::from(e.2) / s) as f32;
+        }
+    }
+}
+
+/// Builds both CSR directions from a sorted, deduplicated edge list.
+fn build_csr(num_vertices: u32, edges: &[(Vertex, Vertex, f32)]) -> Graph {
+    let n = num_vertices as usize;
+    let m = edges.len();
+
+    // Forward: the list is already sorted by (source, target).
+    let mut out_offsets = vec![0usize; n + 1];
+    for &(u, _, _) in edges {
+        out_offsets[u as usize + 1] += 1;
+    }
+    for i in 0..n {
+        out_offsets[i + 1] += out_offsets[i];
+    }
+    let mut out_targets = Vec::with_capacity(m);
+    let mut out_probs = Vec::with_capacity(m);
+    for &(_, v, p) in edges {
+        out_targets.push(v);
+        out_probs.push(p);
+    }
+
+    // Reverse: counting sort by destination; sources within a destination
+    // come out sorted because the input is sorted by source first.
+    let mut in_offsets = vec![0usize; n + 1];
+    for &(_, v, _) in edges {
+        in_offsets[v as usize + 1] += 1;
+    }
+    for i in 0..n {
+        in_offsets[i + 1] += in_offsets[i];
+    }
+    let mut cursor = in_offsets.clone();
+    let mut in_sources = vec![0 as Vertex; m];
+    let mut in_probs = vec![0.0f32; m];
+    for &(u, v, p) in edges {
+        let slot = cursor[v as usize];
+        in_sources[slot] = u;
+        in_probs[slot] = p;
+        cursor[v as usize] += 1;
+    }
+
+    Graph {
+        num_vertices,
+        out_offsets,
+        out_targets,
+        out_probs,
+        in_offsets,
+        in_sources,
+        in_probs,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rejects_out_of_range() {
+        let mut b = GraphBuilder::new(3);
+        assert!(matches!(
+            b.add_edge(3, 0, 0.5),
+            Err(GraphError::VertexOutOfRange { .. })
+        ));
+        assert!(matches!(
+            b.add_edge(0, 7, 0.5),
+            Err(GraphError::VertexOutOfRange { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_bad_probability() {
+        let mut b = GraphBuilder::new(3);
+        for p in [f32::NAN, f32::INFINITY, -0.1, 1.5] {
+            assert!(matches!(
+                b.add_edge(0, 1, p),
+                Err(GraphError::InvalidProbability { .. })
+            ));
+        }
+    }
+
+    #[test]
+    fn drops_self_loops_by_default() {
+        let mut b = GraphBuilder::new(2);
+        b.add_edge(1, 1, 0.4).unwrap();
+        let g = b.build().unwrap();
+        assert_eq!(g.num_edges(), 0);
+    }
+
+    #[test]
+    fn keeps_self_loops_on_request() {
+        let mut b = GraphBuilder::new(2).keep_self_loops();
+        b.add_edge(1, 1, 0.4).unwrap();
+        let g = b.build().unwrap();
+        assert_eq!(g.num_edges(), 1);
+        g.validate().unwrap();
+    }
+
+    #[test]
+    fn dedup_keep_first() {
+        let mut b = GraphBuilder::new(2);
+        b.add_edge(0, 1, 0.2).unwrap();
+        b.add_edge(0, 1, 0.9).unwrap();
+        let g = b.build().unwrap();
+        assert_eq!(g.num_edges(), 1);
+        assert_eq!(g.edge_prob(0, 1), Some(0.2));
+    }
+
+    #[test]
+    fn dedup_keep_max() {
+        let mut b = GraphBuilder::new(2).duplicate_policy(DuplicatePolicy::KeepMax);
+        b.add_edge(0, 1, 0.2).unwrap();
+        b.add_edge(0, 1, 0.9).unwrap();
+        b.add_edge(0, 1, 0.5).unwrap();
+        let g = b.build().unwrap();
+        assert_eq!(g.edge_prob(0, 1), Some(0.9));
+    }
+
+    #[test]
+    fn dedup_noisy_or() {
+        let mut b = GraphBuilder::new(2).duplicate_policy(DuplicatePolicy::NoisyOr);
+        b.add_edge(0, 1, 0.5).unwrap();
+        b.add_edge(0, 1, 0.5).unwrap();
+        let g = b.build().unwrap();
+        let p = g.edge_prob(0, 1).unwrap();
+        assert!((p - 0.75).abs() < 1e-6);
+    }
+
+    #[test]
+    fn insertion_order_irrelevant() {
+        let mut b1 = GraphBuilder::new(4);
+        let mut b2 = GraphBuilder::new(4);
+        let edges = [(0u32, 1u32, 0.1f32), (2, 3, 0.2), (1, 2, 0.3), (0, 3, 0.4)];
+        for &(u, v, p) in &edges {
+            b1.add_edge(u, v, p).unwrap();
+        }
+        for &(u, v, p) in edges.iter().rev() {
+            b2.add_edge(u, v, p).unwrap();
+        }
+        assert_eq!(b1.build().unwrap(), b2.build().unwrap());
+    }
+
+    #[test]
+    fn undirected_adds_both_directions() {
+        let mut b = GraphBuilder::new(2);
+        b.add_undirected(0, 1, 0.3).unwrap();
+        let g = b.build().unwrap();
+        assert!(g.has_edge(0, 1));
+        assert!(g.has_edge(1, 0));
+    }
+
+    #[test]
+    fn lt_normalization_caps_in_weight() {
+        let mut b = GraphBuilder::new(4).assign_weights(WeightModel::Constant(0.9));
+        // Vertex 3 has three in-edges of 0.9 → sum 2.7 → scaled to 1.0.
+        for u in 0..3 {
+            b.add_arc(u, 3).unwrap();
+        }
+        // Vertex 0 has a single in-edge, sum 0.9 ≤ 1 → untouched.
+        b.add_arc(1, 0).unwrap();
+        let g = b.normalize_for_lt().build().unwrap();
+        assert!((g.in_weight_sum(3) - 1.0).abs() < 1e-6);
+        assert!((g.in_weight_sum(0) - 0.9).abs() < 1e-6);
+        g.validate().unwrap();
+    }
+
+    #[test]
+    fn reverse_csr_mirrors_forward() {
+        let mut b = GraphBuilder::new(5);
+        b.add_edge(0, 4, 0.5).unwrap();
+        b.add_edge(3, 4, 0.25).unwrap();
+        b.add_edge(1, 4, 0.75).unwrap();
+        let g = b.build().unwrap();
+        assert_eq!(g.in_neighbors(4), &[0, 1, 3]);
+        assert_eq!(g.in_probs(4), &[0.5, 0.75, 0.25]);
+        g.validate().unwrap();
+    }
+}

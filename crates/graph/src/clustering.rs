@@ -1,0 +1,138 @@
+//! Triangle counting and clustering coefficients.
+//!
+//! Used to validate the SNAP stand-ins: the real datasets are published
+//! with clustering coefficients, and a credible stand-in should land in the
+//! same qualitative regime (social graphs are strongly clustered, R-MAT
+//! less so — a known R-MAT limitation the stand-in docs call out).
+
+use crate::csr::Graph;
+
+/// Counts triangles in the *undirected view* of the graph (each unordered
+/// vertex triple with all three connections, in any direction, counts
+/// once), using the standard sorted-adjacency merge over the u < v < w
+/// orientation.
+#[must_use]
+pub fn triangle_count(graph: &Graph) -> u64 {
+    let n = graph.num_vertices();
+    // Undirected neighbor lists restricted to higher ids.
+    let mut higher: Vec<Vec<u32>> = Vec::with_capacity(n as usize);
+    for v in 0..n {
+        let mut nb: Vec<u32> = graph
+            .out_neighbors(v)
+            .iter()
+            .chain(graph.in_neighbors(v).iter())
+            .copied()
+            .filter(|&u| u > v)
+            .collect();
+        nb.sort_unstable();
+        nb.dedup();
+        higher.push(nb);
+    }
+    let mut triangles = 0u64;
+    for v in 0..n as usize {
+        let nv = &higher[v];
+        for (i, &u) in nv.iter().enumerate() {
+            // Merge-intersect higher[v][i+1..] with higher[u].
+            let mut a = i + 1;
+            let mut b = 0usize;
+            let nu = &higher[u as usize];
+            while a < nv.len() && b < nu.len() {
+                match nv[a].cmp(&nu[b]) {
+                    std::cmp::Ordering::Less => a += 1,
+                    std::cmp::Ordering::Greater => b += 1,
+                    std::cmp::Ordering::Equal => {
+                        triangles += 1;
+                        a += 1;
+                        b += 1;
+                    }
+                }
+            }
+        }
+    }
+    triangles
+}
+
+/// Global clustering coefficient of the undirected view:
+/// `3·triangles / open-or-closed wedges`.
+#[must_use]
+pub fn global_clustering_coefficient(graph: &Graph) -> f64 {
+    let n = graph.num_vertices();
+    let mut wedges = 0u64;
+    for v in 0..n {
+        let mut nb: Vec<u32> = graph
+            .out_neighbors(v)
+            .iter()
+            .chain(graph.in_neighbors(v).iter())
+            .copied()
+            .filter(|&u| u != v)
+            .collect();
+        nb.sort_unstable();
+        nb.dedup();
+        let d = nb.len() as u64;
+        wedges += d * d.saturating_sub(1) / 2;
+    }
+    if wedges == 0 {
+        return 0.0;
+    }
+    3.0 * triangle_count(graph) as f64 / wedges as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::GraphBuilder;
+
+    #[test]
+    fn triangle_graph() {
+        let mut b = GraphBuilder::new(3);
+        b.add_undirected(0, 1, 1.0).unwrap();
+        b.add_undirected(1, 2, 1.0).unwrap();
+        b.add_undirected(2, 0, 1.0).unwrap();
+        let g = b.build().unwrap();
+        assert_eq!(triangle_count(&g), 1);
+        assert!((global_clustering_coefficient(&g) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn path_has_no_triangles() {
+        let mut b = GraphBuilder::new(4);
+        for u in 0..3 {
+            b.add_undirected(u, u + 1, 1.0).unwrap();
+        }
+        let g = b.build().unwrap();
+        assert_eq!(triangle_count(&g), 0);
+        assert_eq!(global_clustering_coefficient(&g), 0.0);
+    }
+
+    #[test]
+    fn k4_has_four_triangles() {
+        let mut b = GraphBuilder::new(4);
+        for i in 0..4u32 {
+            for j in (i + 1)..4 {
+                b.add_undirected(i, j, 1.0).unwrap();
+            }
+        }
+        let g = b.build().unwrap();
+        assert_eq!(triangle_count(&g), 4);
+        assert!((global_clustering_coefficient(&g) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn directed_edges_count_as_undirected() {
+        // One directed orientation only — still a triangle in the
+        // undirected view.
+        let mut b = GraphBuilder::new(3);
+        b.add_edge(0, 1, 1.0).unwrap();
+        b.add_edge(1, 2, 1.0).unwrap();
+        b.add_edge(2, 0, 1.0).unwrap();
+        let g = b.build().unwrap();
+        assert_eq!(triangle_count(&g), 1);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = GraphBuilder::new(0).build().unwrap();
+        assert_eq!(triangle_count(&g), 0);
+        assert_eq!(global_clustering_coefficient(&g), 0.0);
+    }
+}

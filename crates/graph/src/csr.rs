@@ -1,0 +1,297 @@
+//! Immutable bidirectional CSR graph storage.
+
+use crate::types::Vertex;
+
+/// A directed graph with per-edge activation probabilities, stored as two
+/// compressed-sparse-row structures: one over out-edges (forward diffusion)
+/// and one over in-edges (reverse-reachability sampling).
+///
+/// The structure is immutable after construction; build instances through
+/// [`crate::GraphBuilder`] or the generators. Probabilities are stored twice
+/// (once per direction) so both traversal directions stream contiguously —
+/// the reverse BFS in `ripples-diffusion` is the hottest loop in the whole
+/// system and must not chase an edge-id indirection per neighbor.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Graph {
+    pub(crate) num_vertices: u32,
+    // Forward CSR: edges grouped by source, targets sorted within a group.
+    pub(crate) out_offsets: Vec<usize>,
+    pub(crate) out_targets: Vec<Vertex>,
+    pub(crate) out_probs: Vec<f32>,
+    // Reverse CSR: edges grouped by destination, sources sorted in a group.
+    pub(crate) in_offsets: Vec<usize>,
+    pub(crate) in_sources: Vec<Vertex>,
+    pub(crate) in_probs: Vec<f32>,
+}
+
+impl Graph {
+    /// Number of vertices `n`.
+    #[inline]
+    #[must_use]
+    pub fn num_vertices(&self) -> u32 {
+        self.num_vertices
+    }
+
+    /// Number of directed edges `m`.
+    #[inline]
+    #[must_use]
+    pub fn num_edges(&self) -> usize {
+        self.out_targets.len()
+    }
+
+    /// True if the graph has no vertices.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.num_vertices == 0
+    }
+
+    /// Out-degree of `v`.
+    #[inline]
+    #[must_use]
+    pub fn out_degree(&self, v: Vertex) -> usize {
+        let v = v as usize;
+        self.out_offsets[v + 1] - self.out_offsets[v]
+    }
+
+    /// In-degree of `v`.
+    #[inline]
+    #[must_use]
+    pub fn in_degree(&self, v: Vertex) -> usize {
+        let v = v as usize;
+        self.in_offsets[v + 1] - self.in_offsets[v]
+    }
+
+    /// Targets of the out-edges of `v`, sorted ascending.
+    #[inline]
+    #[must_use]
+    pub fn out_neighbors(&self, v: Vertex) -> &[Vertex] {
+        let v = v as usize;
+        &self.out_targets[self.out_offsets[v]..self.out_offsets[v + 1]]
+    }
+
+    /// Activation probabilities aligned with [`Graph::out_neighbors`].
+    #[inline]
+    #[must_use]
+    pub fn out_probs(&self, v: Vertex) -> &[f32] {
+        let v = v as usize;
+        &self.out_probs[self.out_offsets[v]..self.out_offsets[v + 1]]
+    }
+
+    /// Sources of the in-edges of `v`, sorted ascending.
+    #[inline]
+    #[must_use]
+    pub fn in_neighbors(&self, v: Vertex) -> &[Vertex] {
+        let v = v as usize;
+        &self.in_sources[self.in_offsets[v]..self.in_offsets[v + 1]]
+    }
+
+    /// Activation probabilities aligned with [`Graph::in_neighbors`].
+    #[inline]
+    #[must_use]
+    pub fn in_probs(&self, v: Vertex) -> &[f32] {
+        let v = v as usize;
+        &self.in_probs[self.in_offsets[v]..self.in_offsets[v + 1]]
+    }
+
+    /// Iterates `(target, probability)` pairs of the out-edges of `v`.
+    #[inline]
+    pub fn out_edges(&self, v: Vertex) -> impl Iterator<Item = (Vertex, f32)> + '_ {
+        self.out_neighbors(v)
+            .iter()
+            .copied()
+            .zip(self.out_probs(v).iter().copied())
+    }
+
+    /// Iterates `(source, probability)` pairs of the in-edges of `v`.
+    #[inline]
+    pub fn in_edges(&self, v: Vertex) -> impl Iterator<Item = (Vertex, f32)> + '_ {
+        self.in_neighbors(v)
+            .iter()
+            .copied()
+            .zip(self.in_probs(v).iter().copied())
+    }
+
+    /// Iterates every edge as `(source, target, probability)` in forward CSR
+    /// order.
+    pub fn edges(&self) -> impl Iterator<Item = (Vertex, Vertex, f32)> + '_ {
+        (0..self.num_vertices).flat_map(move |u| {
+            self.out_edges(u).map(move |(v, p)| (u, v, p))
+        })
+    }
+
+    /// True if the directed edge `(u, v)` exists (binary search on the
+    /// sorted adjacency of `u`).
+    #[must_use]
+    pub fn has_edge(&self, u: Vertex, v: Vertex) -> bool {
+        self.out_neighbors(u).binary_search(&v).is_ok()
+    }
+
+    /// The probability of edge `(u, v)`, if present.
+    #[must_use]
+    pub fn edge_prob(&self, u: Vertex, v: Vertex) -> Option<f32> {
+        self.out_neighbors(u)
+            .binary_search(&v)
+            .ok()
+            .map(|i| self.out_probs(u)[i])
+    }
+
+    /// Sum of in-edge probabilities of `v` (the LT "total incoming weight").
+    #[must_use]
+    pub fn in_weight_sum(&self, v: Vertex) -> f64 {
+        self.in_probs(v).iter().map(|&p| f64::from(p)).sum()
+    }
+
+    /// Resident bytes of the CSR arrays (used by the memory experiments).
+    #[must_use]
+    pub fn resident_bytes(&self) -> usize {
+        use std::mem::size_of;
+        (self.out_offsets.len() + self.in_offsets.len()) * size_of::<usize>()
+            + (self.out_targets.len() + self.in_sources.len()) * size_of::<Vertex>()
+            + (self.out_probs.len() + self.in_probs.len()) * size_of::<f32>()
+    }
+
+    /// Checks the internal invariants; used by tests and after IO.
+    ///
+    /// Invariants: offset arrays are monotone and span the edge arrays; both
+    /// directions contain the same edge multiset; adjacency lists are sorted;
+    /// probabilities are finite and in `[0, 1]`.
+    pub fn validate(&self) -> Result<(), String> {
+        let n = self.num_vertices as usize;
+        if self.out_offsets.len() != n + 1 || self.in_offsets.len() != n + 1 {
+            return Err("offset arrays must have n+1 entries".into());
+        }
+        for w in [&self.out_offsets, &self.in_offsets] {
+            if w[0] != 0 || *w.last().unwrap() != self.out_targets.len() {
+                return Err("offsets must start at 0 and end at m".into());
+            }
+            if w.windows(2).any(|p| p[0] > p[1]) {
+                return Err("offsets must be monotone".into());
+            }
+        }
+        if self.out_targets.len() != self.out_probs.len()
+            || self.in_sources.len() != self.in_probs.len()
+            || self.out_targets.len() != self.in_sources.len()
+        {
+            return Err("edge arrays must have equal lengths".into());
+        }
+        for v in 0..self.num_vertices {
+            if self.out_neighbors(v).windows(2).any(|w| w[0] >= w[1]) {
+                return Err(format!("out-adjacency of {v} not strictly sorted"));
+            }
+            if self.in_neighbors(v).windows(2).any(|w| w[0] >= w[1]) {
+                return Err(format!("in-adjacency of {v} not strictly sorted"));
+            }
+        }
+        if self
+            .out_probs
+            .iter()
+            .chain(self.in_probs.iter())
+            .any(|p| !p.is_finite() || !(0.0..=1.0).contains(p))
+        {
+            return Err("probabilities must be finite in [0,1]".into());
+        }
+        // Directions agree: every out-edge appears as an in-edge with the
+        // same probability.
+        let mut fwd: Vec<(Vertex, Vertex, u32)> = self
+            .edges()
+            .map(|(u, v, p)| (u, v, p.to_bits()))
+            .collect();
+        let mut rev: Vec<(Vertex, Vertex, u32)> = (0..self.num_vertices)
+            .flat_map(|v| self.in_edges(v).map(move |(u, p)| (u, v, p.to_bits())))
+            .collect();
+        fwd.sort_unstable();
+        rev.sort_unstable();
+        if fwd != rev {
+            return Err("forward and reverse CSR disagree".into());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::GraphBuilder;
+
+    fn diamond() -> crate::Graph {
+        // 0 -> 1 -> 3, 0 -> 2 -> 3
+        let mut b = GraphBuilder::new(4);
+        b.add_edge(0, 1, 0.5).unwrap();
+        b.add_edge(0, 2, 0.25).unwrap();
+        b.add_edge(1, 3, 1.0).unwrap();
+        b.add_edge(2, 3, 0.75).unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn degrees() {
+        let g = diamond();
+        assert_eq!(g.out_degree(0), 2);
+        assert_eq!(g.in_degree(0), 0);
+        assert_eq!(g.out_degree(3), 0);
+        assert_eq!(g.in_degree(3), 2);
+        assert_eq!(g.num_edges(), 4);
+        assert_eq!(g.num_vertices(), 4);
+    }
+
+    #[test]
+    fn adjacency_contents() {
+        let g = diamond();
+        assert_eq!(g.out_neighbors(0), &[1, 2]);
+        assert_eq!(g.out_probs(0), &[0.5, 0.25]);
+        assert_eq!(g.in_neighbors(3), &[1, 2]);
+        assert_eq!(g.in_probs(3), &[1.0, 0.75]);
+    }
+
+    #[test]
+    fn edge_queries() {
+        let g = diamond();
+        assert!(g.has_edge(0, 1));
+        assert!(!g.has_edge(1, 0));
+        assert_eq!(g.edge_prob(2, 3), Some(0.75));
+        assert_eq!(g.edge_prob(3, 2), None);
+    }
+
+    #[test]
+    fn edge_iterator_covers_all() {
+        let g = diamond();
+        let edges: Vec<_> = g.edges().collect();
+        assert_eq!(edges.len(), 4);
+        assert!(edges.contains(&(0, 1, 0.5)));
+        assert!(edges.contains(&(2, 3, 0.75)));
+    }
+
+    #[test]
+    fn validates() {
+        diamond().validate().unwrap();
+    }
+
+    #[test]
+    fn in_weight_sum() {
+        let g = diamond();
+        assert!((g.in_weight_sum(3) - 1.75).abs() < 1e-9);
+        assert_eq!(g.in_weight_sum(0), 0.0);
+    }
+
+    #[test]
+    fn resident_bytes_positive() {
+        assert!(diamond().resident_bytes() > 0);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = GraphBuilder::new(0).build().unwrap();
+        assert!(g.is_empty());
+        assert_eq!(g.num_edges(), 0);
+        g.validate().unwrap();
+    }
+
+    #[test]
+    fn isolated_vertices() {
+        let g = GraphBuilder::new(5).build().unwrap();
+        for v in 0..5 {
+            assert_eq!(g.out_degree(v), 0);
+            assert_eq!(g.in_degree(v), 0);
+        }
+        g.validate().unwrap();
+    }
+}

@@ -1,0 +1,76 @@
+//! Erdős–Rényi `G(n, m)` random directed graphs.
+
+use super::arcs_to_graph;
+use crate::csr::Graph;
+use crate::types::Vertex;
+use crate::weights::WeightModel;
+use ripples_rng::SplitMix64;
+
+/// Generates a directed Erdős–Rényi graph with `n` vertices and
+/// approximately `m` edges (duplicates are merged, so the realized count can
+/// be slightly lower for dense requests).
+///
+/// # Panics
+///
+/// Panics if `n == 0` and `m > 0`, or `n == 1` and `m > 0` (self-loops are
+/// the only possible arcs and are dropped).
+#[must_use]
+pub fn erdos_renyi(n: u32, m: usize, model: WeightModel, lt_normalize: bool, seed: u64) -> Graph {
+    assert!(
+        m == 0 || n >= 2,
+        "G(n, m) with m > 0 needs at least two vertices"
+    );
+    let mut rng = SplitMix64::for_stream(seed, 0x4552);
+    let mut arcs: Vec<(Vertex, Vertex)> = Vec::with_capacity(m);
+    while arcs.len() < m {
+        let u = rng.bounded_u64(u64::from(n)) as Vertex;
+        let v = rng.bounded_u64(u64::from(n)) as Vertex;
+        if u != v {
+            arcs.push((u, v));
+        }
+    }
+    arcs_to_graph(n, &arcs, model, lt_normalize)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn produces_requested_size() {
+        let g = erdos_renyi(200, 1000, WeightModel::Constant(0.1), false, 7);
+        assert_eq!(g.num_vertices(), 200);
+        // Dedup can only shrink, and only slightly at this density.
+        assert!(g.num_edges() > 900 && g.num_edges() <= 1000);
+        g.validate().unwrap();
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = erdos_renyi(50, 200, WeightModel::Constant(0.5), false, 1);
+        let b = erdos_renyi(50, 200, WeightModel::Constant(0.5), false, 1);
+        let c = erdos_renyi(50, 200, WeightModel::Constant(0.5), false, 2);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn zero_edges_ok() {
+        let g = erdos_renyi(10, 0, WeightModel::Constant(0.1), false, 3);
+        assert_eq!(g.num_edges(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two")]
+    fn rejects_impossible_request() {
+        let _ = erdos_renyi(1, 5, WeightModel::Constant(0.1), false, 3);
+    }
+
+    #[test]
+    fn no_self_loops() {
+        let g = erdos_renyi(20, 150, WeightModel::Constant(0.1), false, 11);
+        for (u, v, _) in g.edges() {
+            assert_ne!(u, v);
+        }
+    }
+}

@@ -1,0 +1,191 @@
+//! R-MAT (recursive matrix) Kronecker-style graphs.
+//!
+//! R-MAT (Chakrabarti, Zhan, Faloutsos 2004) recursively bisects the
+//! adjacency matrix, dropping each edge into quadrants with probabilities
+//! `(a, b, c, d)`. Skewed parameters (`a ≫ d`) yield the heavy-tailed,
+//! community-ish structure of real social networks; it is the generator
+//! behind Graph500 and the natural stand-in for the paper's SNAP inputs.
+
+use super::arcs_to_graph;
+use crate::csr::Graph;
+use crate::types::Vertex;
+use crate::weights::WeightModel;
+use ripples_rng::SplitMix64;
+
+/// Parameters of an R-MAT generation.
+#[derive(Clone, Copy, Debug)]
+pub struct RmatConfig {
+    /// log2 of the vertex-id space: the graph has `2^scale` vertices.
+    pub scale: u32,
+    /// Number of edge-insertion attempts (realized edge count is lower after
+    /// deduplication, noticeably so for very skewed parameter sets).
+    pub edges: usize,
+    /// Quadrant probability a (top-left / "celebrity to celebrity").
+    pub a: f64,
+    /// Quadrant probability b (top-right).
+    pub b: f64,
+    /// Quadrant probability c (bottom-left).
+    pub c: f64,
+    /// Emit each generated edge in both directions.
+    pub undirected: bool,
+    /// Generation seed.
+    pub seed: u64,
+}
+
+impl RmatConfig {
+    /// The Graph500 reference parameter set (a=0.57, b=0.19, c=0.19).
+    #[must_use]
+    pub fn graph500(scale: u32, edges: usize, seed: u64) -> Self {
+        Self {
+            scale,
+            edges,
+            a: 0.57,
+            b: 0.19,
+            c: 0.19,
+            undirected: false,
+            seed,
+        }
+    }
+
+    fn d(&self) -> f64 {
+        1.0 - self.a - self.b - self.c
+    }
+}
+
+/// Generates an R-MAT graph.
+///
+/// # Panics
+///
+/// Panics if `scale` is 0 or > 31, or the quadrant probabilities are not a
+/// sub-distribution (each in `[0,1]`, a+b+c ≤ 1).
+#[must_use]
+pub fn rmat(config: &RmatConfig, model: WeightModel, lt_normalize: bool) -> Graph {
+    assert!(
+        (1..=31).contains(&config.scale),
+        "scale must be in 1..=31, got {}",
+        config.scale
+    );
+    let d = config.d();
+    for p in [config.a, config.b, config.c, d] {
+        assert!((0.0..=1.0).contains(&p), "quadrant probabilities invalid");
+    }
+    let n: u32 = 1 << config.scale;
+    let mut rng = SplitMix64::for_stream(config.seed, 0x524d_4154);
+    let mut arcs: Vec<(Vertex, Vertex)> = Vec::with_capacity(
+        config.edges * if config.undirected { 2 } else { 1 },
+    );
+    let ab = config.a + config.b;
+    let a_frac = if ab > 0.0 { config.a / ab } else { 0.5 };
+    let cd = 1.0 - ab;
+    let c_frac = if cd > 0.0 { config.c / cd } else { 0.5 };
+    let mut produced = 0usize;
+    while produced < config.edges {
+        let mut u: u32 = 0;
+        let mut v: u32 = 0;
+        for _ in 0..config.scale {
+            u <<= 1;
+            v <<= 1;
+            // Choose the quadrant; SMOOTH variant perturbs the split points
+            // slightly per level to avoid exact-power-of-two staircases.
+            let noise = 0.9 + 0.2 * rng.unit_f64();
+            let top = rng.unit_f64() < (ab * noise).min(1.0);
+            let left = if top {
+                rng.unit_f64() < a_frac
+            } else {
+                rng.unit_f64() < c_frac
+            };
+            if !top {
+                u |= 1;
+            }
+            if !left {
+                v |= 1;
+            }
+        }
+        if u == v {
+            continue;
+        }
+        arcs.push((u, v));
+        if config.undirected {
+            arcs.push((v, u));
+        }
+        produced += 1;
+    }
+    arcs_to_graph(n, &arcs, model, lt_normalize)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats::GraphStats;
+
+    #[test]
+    fn respects_scale() {
+        let g = rmat(
+            &RmatConfig::graph500(8, 2000, 3),
+            WeightModel::Constant(0.1),
+            false,
+        );
+        assert_eq!(g.num_vertices(), 256);
+        assert!(g.num_edges() > 1000);
+        g.validate().unwrap();
+    }
+
+    #[test]
+    fn skew_creates_hubs() {
+        let g = rmat(
+            &RmatConfig::graph500(10, 8000, 5),
+            WeightModel::Constant(0.1),
+            false,
+        );
+        let s = GraphStats::of(&g);
+        // With a=0.57 the top quadrant concentrates edges on low ids.
+        assert!(
+            s.max_out_degree as f64 > 8.0 * s.avg_degree,
+            "max {} vs avg {}",
+            s.max_out_degree,
+            s.avg_degree
+        );
+    }
+
+    #[test]
+    fn undirected_symmetry() {
+        let cfg = RmatConfig {
+            undirected: true,
+            ..RmatConfig::graph500(7, 500, 2)
+        };
+        let g = rmat(&cfg, WeightModel::Constant(0.1), false);
+        for (u, v, _) in g.edges() {
+            assert!(g.has_edge(v, u));
+        }
+    }
+
+    #[test]
+    fn deterministic() {
+        let cfg = RmatConfig::graph500(7, 600, 11);
+        let a = rmat(&cfg, WeightModel::Constant(0.1), false);
+        let b = rmat(&cfg, WeightModel::Constant(0.1), false);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "scale must be")]
+    fn rejects_zero_scale() {
+        let _ = rmat(
+            &RmatConfig::graph500(0, 10, 1),
+            WeightModel::Constant(0.1),
+            false,
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "quadrant")]
+    fn rejects_bad_quadrants() {
+        let cfg = RmatConfig {
+            a: 0.9,
+            b: 0.9,
+            c: 0.9,
+            ..RmatConfig::graph500(5, 10, 1)
+        };
+        let _ = rmat(&cfg, WeightModel::Constant(0.1), false);
+    }
+}

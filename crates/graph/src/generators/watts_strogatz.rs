@@ -1,0 +1,86 @@
+//! Watts–Strogatz small-world graphs.
+
+use super::arcs_to_graph;
+use crate::csr::Graph;
+use crate::types::Vertex;
+use crate::weights::WeightModel;
+use ripples_rng::SplitMix64;
+
+/// Generates an undirected Watts–Strogatz small-world graph: a ring lattice
+/// where each vertex connects to its `k` nearest neighbors on each side,
+/// with each lattice edge rewired to a random endpoint with probability
+/// `beta`.
+///
+/// # Panics
+///
+/// Panics unless `n > 2 * k` and `k ≥ 1` and `beta ∈ [0, 1]`.
+#[must_use]
+pub fn watts_strogatz(
+    n: u32,
+    k: u32,
+    beta: f64,
+    model: WeightModel,
+    lt_normalize: bool,
+    seed: u64,
+) -> Graph {
+    assert!(k >= 1, "k must be at least 1");
+    assert!(n > 2 * k, "need n > 2k for a valid ring lattice");
+    assert!((0.0..=1.0).contains(&beta), "beta must be in [0, 1]");
+    let mut rng = SplitMix64::for_stream(seed, 0x5753);
+    let mut arcs: Vec<(Vertex, Vertex)> = Vec::with_capacity(2 * (n as usize) * (k as usize));
+    for u in 0..n {
+        for j in 1..=k {
+            let mut v = (u + j) % n;
+            if rng.unit_f64() < beta {
+                // Rewire the far endpoint to a uniform non-self vertex.
+                loop {
+                    let cand = rng.bounded_u64(u64::from(n)) as Vertex;
+                    if cand != u {
+                        v = cand;
+                        break;
+                    }
+                }
+            }
+            arcs.push((u, v));
+            arcs.push((v, u));
+        }
+    }
+    arcs_to_graph(n, &arcs, model, lt_normalize)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lattice_when_beta_zero() {
+        let g = watts_strogatz(20, 2, 0.0, WeightModel::Constant(0.1), false, 1);
+        // Every vertex links to its 2 neighbors each side → degree 4.
+        for v in 0..20 {
+            assert_eq!(g.out_degree(v), 4, "vertex {v}");
+        }
+        g.validate().unwrap();
+    }
+
+    #[test]
+    fn rewiring_changes_structure() {
+        let a = watts_strogatz(100, 3, 0.0, WeightModel::Constant(0.1), false, 1);
+        let b = watts_strogatz(100, 3, 0.5, WeightModel::Constant(0.1), false, 1);
+        assert_ne!(a, b);
+        b.validate().unwrap();
+    }
+
+    #[test]
+    fn symmetric() {
+        let g = watts_strogatz(60, 2, 0.3, WeightModel::Constant(0.1), false, 4);
+        for (u, v, _) in g.edges() {
+            assert!(g.has_edge(v, u));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "n > 2k")]
+    fn rejects_small_ring() {
+        let _ = watts_strogatz(4, 2, 0.1, WeightModel::Constant(0.1), false, 1);
+    }
+}

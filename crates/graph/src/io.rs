@@ -1,0 +1,361 @@
+//! Graph I/O: SNAP-style edge-list text and a compact binary format.
+//!
+//! The text format is line-oriented: `source<ws>target[<ws>probability]`,
+//! with `#`-prefixed comment lines, exactly what the SNAP collection ships.
+//! Vertex ids are remapped densely in first-appearance order when
+//! `read_edge_list` is given `VertexIds::Remap` (SNAP files have gaps), or
+//! taken literally with `VertexIds::Literal`.
+
+use crate::builder::GraphBuilder;
+use crate::csr::Graph;
+use crate::types::{GraphError, Vertex};
+use crate::weights::WeightModel;
+use std::collections::HashMap;
+use std::io::{BufRead, BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+/// How textual vertex ids map to internal ids.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum VertexIds {
+    /// Ids in the file are used as-is; the vertex count is `max id + 1`.
+    Literal,
+    /// Ids are remapped densely in first-appearance order (SNAP files have
+    /// sparse id spaces).
+    Remap,
+}
+
+/// Options for reading an edge list.
+#[derive(Clone, Copy, Debug)]
+pub struct EdgeListOptions {
+    /// Id handling (default: remap).
+    pub vertex_ids: VertexIds,
+    /// Treat each line as an undirected edge (insert both directions).
+    pub undirected: bool,
+    /// Probability assigned to edges without an explicit third column.
+    pub default_prob: f32,
+    /// Weight model applied after loading; `None` keeps file probabilities.
+    pub weights: Option<WeightModel>,
+}
+
+impl Default for EdgeListOptions {
+    fn default() -> Self {
+        Self {
+            vertex_ids: VertexIds::Remap,
+            undirected: false,
+            default_prob: 1.0,
+            weights: None,
+        }
+    }
+}
+
+/// Reads an edge list from any reader.
+pub fn read_edge_list<R: Read>(reader: R, options: EdgeListOptions) -> Result<Graph, GraphError> {
+    let reader = BufReader::new(reader);
+    let mut raw_edges: Vec<(u64, u64, f32)> = Vec::new();
+    let mut max_id = 0u64;
+    for (idx, line) in reader.lines().enumerate() {
+        let line = line?;
+        let line_no = idx + 1;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') || trimmed.starts_with('%') {
+            continue;
+        }
+        let mut parts = trimmed.split_whitespace();
+        let u: u64 = parse_field(parts.next(), line_no, "source")?;
+        let v: u64 = parse_field(parts.next(), line_no, "target")?;
+        let p: f32 = match parts.next() {
+            Some(tok) => tok.parse().map_err(|_| GraphError::Parse {
+                line: line_no,
+                message: format!("invalid probability `{tok}`"),
+            })?,
+            None => options.default_prob,
+        };
+        if parts.next().is_some() {
+            return Err(GraphError::Parse {
+                line: line_no,
+                message: "too many fields (expected 2 or 3)".into(),
+            });
+        }
+        max_id = max_id.max(u).max(v);
+        raw_edges.push((u, v, p));
+    }
+
+    let (num_vertices, edges) = match options.vertex_ids {
+        VertexIds::Literal => {
+            if !raw_edges.is_empty() && max_id >= u64::from(u32::MAX) {
+                return Err(GraphError::TooLarge(format!(
+                    "literal vertex id {max_id} exceeds u32 range"
+                )));
+            }
+            let n = if raw_edges.is_empty() { 0 } else { (max_id + 1) as u32 };
+            let edges: Vec<(Vertex, Vertex, f32)> = raw_edges
+                .into_iter()
+                .map(|(u, v, p)| (u as Vertex, v as Vertex, p))
+                .collect();
+            (n, edges)
+        }
+        VertexIds::Remap => {
+            let mut map: HashMap<u64, Vertex> = HashMap::new();
+            let mut next: Vertex = 0;
+            let mut edges = Vec::with_capacity(raw_edges.len());
+            for (u, v, p) in raw_edges {
+                let mut id_of = |x: u64| -> Result<Vertex, GraphError> {
+                    if let Some(&id) = map.get(&x) {
+                        return Ok(id);
+                    }
+                    if next == u32::MAX {
+                        return Err(GraphError::TooLarge(
+                            "more than u32::MAX distinct vertices".into(),
+                        ));
+                    }
+                    let id = next;
+                    map.insert(x, id);
+                    next += 1;
+                    Ok(id)
+                };
+                let iu = id_of(u)?;
+                let iv = id_of(v)?;
+                edges.push((iu, iv, p));
+            }
+            (next, edges)
+        }
+    };
+
+    let mut builder = GraphBuilder::new(num_vertices);
+    builder.reserve(edges.len() * if options.undirected { 2 } else { 1 });
+    if let Some(model) = options.weights {
+        let mut wb = builder.assign_weights(model);
+        for (u, v, _) in edges {
+            if options.undirected {
+                wb.add_undirected(u, v)?;
+            } else {
+                wb.add_arc(u, v)?;
+            }
+        }
+        wb.build()
+    } else {
+        for (u, v, p) in edges {
+            if options.undirected {
+                builder.add_undirected(u, v, p)?;
+            } else {
+                builder.add_edge(u, v, p)?;
+            }
+        }
+        builder.build()
+    }
+}
+
+fn parse_field(tok: Option<&str>, line: usize, what: &str) -> Result<u64, GraphError> {
+    let tok = tok.ok_or_else(|| GraphError::Parse {
+        line,
+        message: format!("missing {what} field"),
+    })?;
+    tok.parse().map_err(|_| GraphError::Parse {
+        line,
+        message: format!("invalid {what} `{tok}`"),
+    })
+}
+
+/// Reads an edge list from a file path.
+pub fn read_edge_list_file<P: AsRef<Path>>(
+    path: P,
+    options: EdgeListOptions,
+) -> Result<Graph, GraphError> {
+    let file = std::fs::File::open(path)?;
+    read_edge_list(file, options)
+}
+
+/// Writes the graph as a `source target probability` edge list.
+pub fn write_edge_list<W: Write>(graph: &Graph, writer: W) -> Result<(), GraphError> {
+    let mut w = BufWriter::new(writer);
+    writeln!(w, "# ripples-rs edge list: {} vertices, {} edges", graph.num_vertices(), graph.num_edges())?;
+    for (u, v, p) in graph.edges() {
+        writeln!(w, "{u}\t{v}\t{p}")?;
+    }
+    w.flush()?;
+    Ok(())
+}
+
+const BINARY_MAGIC: &[u8; 8] = b"RIPGRPH1";
+
+/// Serializes the graph to a compact little-endian binary stream.
+///
+/// Layout: magic, n (u32), m (u64), then per-edge (source u32, target u32,
+/// prob f32) in forward CSR order. The reverse CSR is rebuilt on load.
+pub fn write_binary<W: Write>(graph: &Graph, writer: W) -> Result<(), GraphError> {
+    let mut w = BufWriter::new(writer);
+    w.write_all(BINARY_MAGIC)?;
+    w.write_all(&graph.num_vertices().to_le_bytes())?;
+    w.write_all(&(graph.num_edges() as u64).to_le_bytes())?;
+    for (u, v, p) in graph.edges() {
+        w.write_all(&u.to_le_bytes())?;
+        w.write_all(&v.to_le_bytes())?;
+        w.write_all(&p.to_le_bytes())?;
+    }
+    w.flush()?;
+    Ok(())
+}
+
+/// Deserializes a graph written by [`write_binary`].
+pub fn read_binary<R: Read>(reader: R) -> Result<Graph, GraphError> {
+    let mut r = BufReader::new(reader);
+    let mut magic = [0u8; 8];
+    r.read_exact(&mut magic)
+        .map_err(|e| GraphError::Corrupt(format!("missing magic: {e}")))?;
+    if &magic != BINARY_MAGIC {
+        return Err(GraphError::Corrupt("bad magic".into()));
+    }
+    let mut buf4 = [0u8; 4];
+    let mut buf8 = [0u8; 8];
+    r.read_exact(&mut buf4)?;
+    let n = u32::from_le_bytes(buf4);
+    r.read_exact(&mut buf8)?;
+    let m = u64::from_le_bytes(buf8);
+    if m > u64::from(u32::MAX) {
+        return Err(GraphError::Corrupt("edge count exceeds u32 limit".into()));
+    }
+    let mut builder = GraphBuilder::new(n);
+    builder.reserve(m as usize);
+    for i in 0..m {
+        let mut edge = [0u8; 12];
+        r.read_exact(&mut edge)
+            .map_err(|_| GraphError::Corrupt(format!("truncated at edge {i} of {m}")))?;
+        let u = u32::from_le_bytes(edge[0..4].try_into().unwrap());
+        let v = u32::from_le_bytes(edge[4..8].try_into().unwrap());
+        let p = f32::from_le_bytes(edge[8..12].try_into().unwrap());
+        builder.add_edge(u, v, p).map_err(|e| {
+            GraphError::Corrupt(format!("invalid edge {i}: {e}"))
+        })?;
+    }
+    builder.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::GraphBuilder;
+
+    fn sample() -> Graph {
+        let mut b = GraphBuilder::new(4);
+        b.add_edge(0, 1, 0.5).unwrap();
+        b.add_edge(1, 2, 0.25).unwrap();
+        b.add_edge(2, 3, 0.125).unwrap();
+        b.add_edge(3, 0, 1.0).unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn text_roundtrip() {
+        let g = sample();
+        let mut buf = Vec::new();
+        write_edge_list(&g, &mut buf).unwrap();
+        let g2 = read_edge_list(
+            buf.as_slice(),
+            EdgeListOptions {
+                vertex_ids: VertexIds::Literal,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(g, g2);
+    }
+
+    #[test]
+    fn binary_roundtrip() {
+        let g = sample();
+        let mut buf = Vec::new();
+        write_binary(&g, &mut buf).unwrap();
+        let g2 = read_binary(buf.as_slice()).unwrap();
+        assert_eq!(g, g2);
+    }
+
+    #[test]
+    fn binary_rejects_bad_magic() {
+        let err = read_binary(&b"NOTAGRPH\x00\x00\x00\x00"[..]).unwrap_err();
+        assert!(matches!(err, GraphError::Corrupt(_)));
+    }
+
+    #[test]
+    fn binary_rejects_truncation() {
+        let g = sample();
+        let mut buf = Vec::new();
+        write_binary(&g, &mut buf).unwrap();
+        buf.truncate(buf.len() - 5);
+        assert!(matches!(
+            read_binary(buf.as_slice()),
+            Err(GraphError::Corrupt(_))
+        ));
+    }
+
+    #[test]
+    fn parses_comments_and_default_probs() {
+        let text = "# a comment\n% another\n0 1\n1 2 0.5\n\n";
+        let g = read_edge_list(
+            text.as_bytes(),
+            EdgeListOptions {
+                vertex_ids: VertexIds::Literal,
+                default_prob: 0.75,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(g.num_edges(), 2);
+        assert_eq!(g.edge_prob(0, 1), Some(0.75));
+        assert_eq!(g.edge_prob(1, 2), Some(0.5));
+    }
+
+    #[test]
+    fn remap_compacts_sparse_ids() {
+        let text = "100 200\n200 4000\n";
+        let g = read_edge_list(text.as_bytes(), EdgeListOptions::default()).unwrap();
+        assert_eq!(g.num_vertices(), 3);
+        assert!(g.has_edge(0, 1));
+        assert!(g.has_edge(1, 2));
+    }
+
+    #[test]
+    fn undirected_doubles_edges() {
+        let text = "0 1\n";
+        let g = read_edge_list(
+            text.as_bytes(),
+            EdgeListOptions {
+                vertex_ids: VertexIds::Literal,
+                undirected: true,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(g.num_edges(), 2);
+    }
+
+    #[test]
+    fn rejects_malformed_lines() {
+        for bad in ["0\n", "a b\n", "0 1 x\n", "0 1 0.5 9\n"] {
+            let err = read_edge_list(bad.as_bytes(), EdgeListOptions::default()).unwrap_err();
+            assert!(matches!(err, GraphError::Parse { .. }), "input {bad:?}");
+        }
+    }
+
+    #[test]
+    fn weight_model_overrides_file_probs() {
+        let text = "0 1 0.9\n1 2 0.9\n";
+        let g = read_edge_list(
+            text.as_bytes(),
+            EdgeListOptions {
+                vertex_ids: VertexIds::Literal,
+                weights: Some(WeightModel::Constant(0.1)),
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        for (_, _, p) in g.edges() {
+            assert!((p - 0.1).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn empty_input_gives_empty_graph() {
+        let g = read_edge_list("".as_bytes(), EdgeListOptions::default()).unwrap();
+        assert!(g.is_empty());
+    }
+}

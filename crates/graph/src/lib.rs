@@ -1,0 +1,44 @@
+//! Directed-graph engine for `ripples-rs`.
+//!
+//! This crate is the input substrate of the CLUSTER'19 reproduction. It
+//! provides:
+//!
+//! * [`Graph`] — an immutable directed graph in compressed-sparse-row form,
+//!   stored in **both directions** (out-edges for forward diffusion
+//!   simulation, in-edges for reverse-reachability sampling) with per-edge
+//!   activation probabilities.
+//! * [`GraphBuilder`] — edge-list accumulation, deduplication, self-loop
+//!   policy, probability assignment ([`weights::WeightModel`]) and the
+//!   linear-threshold normalization described in the paper ("the weights are
+//!   readjusted such that the sum of the probabilities of traversing one of
+//!   the neighboring edges and of not traversing any of them, is one").
+//! * [`generators`] — deterministic synthetic network generators
+//!   (Erdős–Rényi, Barabási–Albert, R-MAT, Watts–Strogatz, a modular
+//!   "co-expression" generator for the paper's biology case study) and the
+//!   [`generators::snap_standins`] catalogue: scaled-down analogues of the
+//!   eight SNAP graphs in the paper's Table 2.
+//! * [`io`] — SNAP-style edge-list text I/O and a compact binary format.
+//! * [`stats`] — the Table 2 summary statistics (n, m, average/max degree).
+//! * [`traversal`] — plain BFS and weakly-connected components, used by
+//!   tests and the generators.
+
+#![warn(missing_docs)]
+
+pub mod builder;
+pub mod clustering;
+pub mod csr;
+pub mod generators;
+pub mod io;
+pub mod stats;
+pub mod subgraph;
+pub mod traversal;
+pub mod types;
+pub mod weights;
+
+pub use builder::GraphBuilder;
+pub use clustering::{global_clustering_coefficient, triangle_count};
+pub use csr::Graph;
+pub use stats::GraphStats;
+pub use subgraph::{induced_subgraph, split_by_labels, InducedSubgraph};
+pub use types::{GraphError, Vertex};
+pub use weights::WeightModel;

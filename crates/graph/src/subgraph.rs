@@ -1,0 +1,160 @@
+//! Induced subgraph extraction.
+//!
+//! Needed by the community-based influence-maximization heuristic
+//! (Halappanavar et al., the paper's reference \[14\]): each detected
+//! community is materialized as its own graph, mined independently, and the
+//! per-community seeds are mapped back through the returned vertex table.
+
+use crate::builder::GraphBuilder;
+use crate::csr::Graph;
+use crate::types::Vertex;
+
+/// A subgraph induced by a vertex subset, together with the mapping back to
+/// the parent graph's vertex ids.
+#[derive(Clone, Debug)]
+pub struct InducedSubgraph {
+    /// The induced graph over the renumbered vertices `0..members.len()`.
+    pub graph: Graph,
+    /// `members[new_id] = old_id` (sorted ascending).
+    pub members: Vec<Vertex>,
+}
+
+impl InducedSubgraph {
+    /// Maps a subgraph vertex id back to the parent graph.
+    #[must_use]
+    pub fn to_parent(&self, v: Vertex) -> Vertex {
+        self.members[v as usize]
+    }
+}
+
+/// Extracts the subgraph induced by `members` (need not be sorted or
+/// deduplicated; both are normalized). Edge probabilities are preserved.
+///
+/// # Panics
+///
+/// Panics if any member id is out of range for `graph`.
+#[must_use]
+pub fn induced_subgraph(graph: &Graph, members: &[Vertex]) -> InducedSubgraph {
+    let mut members: Vec<Vertex> = members.to_vec();
+    members.sort_unstable();
+    members.dedup();
+    for &m in &members {
+        assert!(m < graph.num_vertices(), "member {m} out of range");
+    }
+    // Old-id → new-id lookup; dense array keeps extraction O(n + m_sub).
+    let mut remap = vec![u32::MAX; graph.num_vertices() as usize];
+    for (new_id, &old_id) in members.iter().enumerate() {
+        remap[old_id as usize] = new_id as u32;
+    }
+    let mut builder = GraphBuilder::new(members.len() as u32);
+    for &old_u in &members {
+        let new_u = remap[old_u as usize];
+        for (old_v, p) in graph.out_edges(old_u) {
+            let new_v = remap[old_v as usize];
+            if new_v != u32::MAX {
+                builder
+                    .add_edge(new_u, new_v, p)
+                    .expect("remapped edge must be valid");
+            }
+        }
+    }
+    InducedSubgraph {
+        graph: builder.build().expect("induced subgraph must build"),
+        members,
+    }
+}
+
+/// Splits a graph into the subgraphs induced by a label assignment
+/// (`labels[v]` in `0..community_count`), returned in label order.
+#[must_use]
+pub fn split_by_labels(graph: &Graph, labels: &[u32], community_count: u32) -> Vec<InducedSubgraph> {
+    assert_eq!(
+        labels.len(),
+        graph.num_vertices() as usize,
+        "labels must cover every vertex"
+    );
+    let mut groups: Vec<Vec<Vertex>> = vec![Vec::new(); community_count as usize];
+    for (v, &l) in labels.iter().enumerate() {
+        assert!(l < community_count, "label {l} out of range");
+        groups[l as usize].push(v as Vertex);
+    }
+    groups
+        .into_iter()
+        .map(|members| induced_subgraph(graph, &members))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Graph {
+        // Two triangles joined by one bridge: {0,1,2} and {3,4,5}.
+        let mut b = GraphBuilder::new(6);
+        for &(u, v) in &[(0u32, 1u32), (1, 2), (2, 0), (3, 4), (4, 5), (5, 3)] {
+            b.add_undirected(u, v, 0.5).unwrap();
+        }
+        b.add_edge(2, 3, 0.9).unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn induced_keeps_internal_edges_only() {
+        let g = sample();
+        let sub = induced_subgraph(&g, &[0, 1, 2]);
+        assert_eq!(sub.graph.num_vertices(), 3);
+        assert_eq!(sub.graph.num_edges(), 6); // triangle, both directions
+        assert_eq!(sub.members, vec![0, 1, 2]);
+        // Bridge 2→3 must be gone.
+        for (u, v, _) in sub.graph.edges() {
+            assert!(u < 3 && v < 3);
+        }
+        sub.graph.validate().unwrap();
+    }
+
+    #[test]
+    fn probabilities_preserved() {
+        let g = sample();
+        let sub = induced_subgraph(&g, &[2, 3]);
+        // Only the bridge survives, renumbered to 0→1.
+        assert_eq!(sub.graph.num_edges(), 1);
+        assert_eq!(sub.graph.edge_prob(0, 1), Some(0.9));
+        assert_eq!(sub.to_parent(0), 2);
+        assert_eq!(sub.to_parent(1), 3);
+    }
+
+    #[test]
+    fn unsorted_duplicated_members_normalized() {
+        let g = sample();
+        let a = induced_subgraph(&g, &[2, 0, 1, 0]);
+        let b = induced_subgraph(&g, &[0, 1, 2]);
+        assert_eq!(a.graph, b.graph);
+        assert_eq!(a.members, b.members);
+    }
+
+    #[test]
+    fn split_covers_all_vertices() {
+        let g = sample();
+        let labels = vec![0u32, 0, 0, 1, 1, 1];
+        let parts = split_by_labels(&g, &labels, 2);
+        assert_eq!(parts.len(), 2);
+        assert_eq!(parts[0].members, vec![0, 1, 2]);
+        assert_eq!(parts[1].members, vec![3, 4, 5]);
+        let total: usize = parts.iter().map(|p| p.graph.num_vertices() as usize).sum();
+        assert_eq!(total, 6);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn rejects_bad_member() {
+        let g = sample();
+        let _ = induced_subgraph(&g, &[99]);
+    }
+
+    #[test]
+    fn empty_member_set() {
+        let g = sample();
+        let sub = induced_subgraph(&g, &[]);
+        assert!(sub.graph.is_empty());
+    }
+}

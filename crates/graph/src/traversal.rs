@@ -1,0 +1,158 @@
+//! Deterministic traversals: BFS and weakly-connected components.
+//!
+//! These are *non-probabilistic* utilities used by tests, generators, and
+//! the centrality crate; the probabilistic BFS variants at the heart of the
+//! paper live in `ripples-diffusion`.
+
+use crate::csr::Graph;
+use crate::types::Vertex;
+use std::collections::VecDeque;
+
+/// Breadth-first search over out-edges from `source`.
+///
+/// Returns the BFS distance for every vertex (`u32::MAX` when unreachable).
+#[must_use]
+pub fn bfs_distances(graph: &Graph, source: Vertex) -> Vec<u32> {
+    let n = graph.num_vertices() as usize;
+    let mut dist = vec![u32::MAX; n];
+    if n == 0 {
+        return dist;
+    }
+    assert!((source as usize) < n, "source vertex out of range");
+    let mut queue = VecDeque::new();
+    dist[source as usize] = 0;
+    queue.push_back(source);
+    while let Some(u) = queue.pop_front() {
+        let du = dist[u as usize];
+        for &v in graph.out_neighbors(u) {
+            if dist[v as usize] == u32::MAX {
+                dist[v as usize] = du + 1;
+                queue.push_back(v);
+            }
+        }
+    }
+    dist
+}
+
+/// The set of vertices reachable from `source` over out-edges (including
+/// `source`), in BFS discovery order.
+#[must_use]
+pub fn reachable_from(graph: &Graph, source: Vertex) -> Vec<Vertex> {
+    let n = graph.num_vertices() as usize;
+    let mut seen = vec![false; n];
+    let mut order = Vec::new();
+    let mut queue = VecDeque::new();
+    seen[source as usize] = true;
+    queue.push_back(source);
+    while let Some(u) = queue.pop_front() {
+        order.push(u);
+        for &v in graph.out_neighbors(u) {
+            if !seen[v as usize] {
+                seen[v as usize] = true;
+                queue.push_back(v);
+            }
+        }
+    }
+    order
+}
+
+/// Labels weakly-connected components (edges treated as undirected).
+///
+/// Returns `(labels, component_count)`; labels are dense in
+/// `0..component_count`, assigned in order of the smallest vertex in each
+/// component.
+#[must_use]
+pub fn weakly_connected_components(graph: &Graph) -> (Vec<u32>, u32) {
+    let n = graph.num_vertices() as usize;
+    let mut label = vec![u32::MAX; n];
+    let mut next = 0u32;
+    let mut queue = VecDeque::new();
+    for start in 0..n {
+        if label[start] != u32::MAX {
+            continue;
+        }
+        label[start] = next;
+        queue.push_back(start as Vertex);
+        while let Some(u) = queue.pop_front() {
+            for &v in graph
+                .out_neighbors(u)
+                .iter()
+                .chain(graph.in_neighbors(u).iter())
+            {
+                if label[v as usize] == u32::MAX {
+                    label[v as usize] = next;
+                    queue.push_back(v);
+                }
+            }
+        }
+        next += 1;
+    }
+    (label, next)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::GraphBuilder;
+
+    fn path_graph(n: u32) -> Graph {
+        let mut b = GraphBuilder::new(n);
+        for u in 0..n.saturating_sub(1) {
+            b.add_edge(u, u + 1, 1.0).unwrap();
+        }
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn bfs_on_path() {
+        let g = path_graph(5);
+        let d = bfs_distances(&g, 0);
+        assert_eq!(d, vec![0, 1, 2, 3, 4]);
+        // Directed: nothing reaches back to 0.
+        let d2 = bfs_distances(&g, 2);
+        assert_eq!(d2, vec![u32::MAX, u32::MAX, 0, 1, 2]);
+    }
+
+    #[test]
+    fn reachable_set() {
+        let g = path_graph(4);
+        assert_eq!(reachable_from(&g, 1), vec![1, 2, 3]);
+        assert_eq!(reachable_from(&g, 3), vec![3]);
+    }
+
+    #[test]
+    fn components_on_disjoint_paths() {
+        let mut b = GraphBuilder::new(6);
+        b.add_edge(0, 1, 1.0).unwrap();
+        b.add_edge(1, 2, 1.0).unwrap();
+        b.add_edge(3, 4, 1.0).unwrap();
+        let g = b.build().unwrap();
+        let (labels, count) = weakly_connected_components(&g);
+        assert_eq!(count, 3);
+        assert_eq!(labels[0], labels[1]);
+        assert_eq!(labels[1], labels[2]);
+        assert_eq!(labels[3], labels[4]);
+        assert_ne!(labels[0], labels[3]);
+        assert_ne!(labels[5], labels[0]);
+        assert_ne!(labels[5], labels[3]);
+    }
+
+    #[test]
+    fn weak_connectivity_ignores_direction() {
+        let mut b = GraphBuilder::new(3);
+        b.add_edge(0, 2, 1.0).unwrap();
+        b.add_edge(1, 2, 1.0).unwrap();
+        let g = b.build().unwrap();
+        let (_, count) = weakly_connected_components(&g);
+        assert_eq!(count, 1);
+    }
+
+    #[test]
+    fn empty_graph_traversals() {
+        let g = GraphBuilder::new(0).build().unwrap();
+        assert!(bfs_distances(&g, 0).is_empty());
+        let (labels, count) = weakly_connected_components(&g);
+        assert!(labels.is_empty());
+        assert_eq!(count, 0);
+    }
+}

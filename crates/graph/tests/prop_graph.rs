@@ -1,0 +1,135 @@
+//! Property-based tests for graph construction and I/O.
+
+use proptest::prelude::*;
+use ripples_graph::builder::DuplicatePolicy;
+use ripples_graph::io::{read_binary, read_edge_list, write_binary, write_edge_list, EdgeListOptions, VertexIds};
+use ripples_graph::{GraphBuilder, WeightModel};
+
+/// Strategy: a vertex count and an arbitrary edge list over it.
+fn edges_strategy() -> impl Strategy<Value = (u32, Vec<(u32, u32, f32)>)> {
+    (2u32..80).prop_flat_map(|n| {
+        let edge = (0..n, 0..n, 0.0f32..=1.0f32);
+        (Just(n), prop::collection::vec(edge, 0..300))
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Whatever we feed the builder, the result passes full validation.
+    #[test]
+    fn built_graphs_validate((n, edges) in edges_strategy()) {
+        let mut b = GraphBuilder::new(n);
+        for (u, v, p) in edges {
+            b.add_edge(u, v, p).unwrap();
+        }
+        let g = b.build().unwrap();
+        prop_assert!(g.validate().is_ok());
+    }
+
+    /// Insertion order never changes the built graph.
+    #[test]
+    fn order_independence((n, edges) in edges_strategy()) {
+        // KeepFirst is order-sensitive by definition; use NoisyOr which is
+        // commutative up to float rounding — so compare structure only.
+        let mut fwd = GraphBuilder::new(n).duplicate_policy(DuplicatePolicy::KeepMax);
+        let mut rev = GraphBuilder::new(n).duplicate_policy(DuplicatePolicy::KeepMax);
+        for &(u, v, p) in &edges {
+            fwd.add_edge(u, v, p).unwrap();
+        }
+        for &(u, v, p) in edges.iter().rev() {
+            rev.add_edge(u, v, p).unwrap();
+        }
+        prop_assert_eq!(fwd.build().unwrap(), rev.build().unwrap());
+    }
+
+    /// Both CSR directions always contain the same edge multiset.
+    #[test]
+    fn directions_agree((n, edges) in edges_strategy()) {
+        let mut b = GraphBuilder::new(n);
+        for (u, v, p) in edges {
+            b.add_edge(u, v, p).unwrap();
+        }
+        let g = b.build().unwrap();
+        let out_sum: usize = (0..n).map(|v| g.out_degree(v)).sum();
+        let in_sum: usize = (0..n).map(|v| g.in_degree(v)).sum();
+        prop_assert_eq!(out_sum, g.num_edges());
+        prop_assert_eq!(in_sum, g.num_edges());
+        for v in 0..n {
+            for (u, p) in g.in_edges(v) {
+                prop_assert_eq!(g.edge_prob(u, v), Some(p));
+            }
+        }
+    }
+
+    /// Binary serialization round-trips exactly.
+    #[test]
+    fn binary_roundtrip((n, edges) in edges_strategy()) {
+        let mut b = GraphBuilder::new(n);
+        for (u, v, p) in edges {
+            b.add_edge(u, v, p).unwrap();
+        }
+        let g = b.build().unwrap();
+        let mut buf = Vec::new();
+        write_binary(&g, &mut buf).unwrap();
+        prop_assert_eq!(read_binary(buf.as_slice()).unwrap(), g);
+    }
+
+    /// Text serialization round-trips structurally (probabilities via
+    /// shortest-float printing are exact for f32).
+    #[test]
+    fn text_roundtrip((n, edges) in edges_strategy()) {
+        let mut b = GraphBuilder::new(n);
+        for (u, v, p) in edges {
+            b.add_edge(u, v, p).unwrap();
+        }
+        let g = b.build().unwrap();
+        let mut buf = Vec::new();
+        write_edge_list(&g, &mut buf).unwrap();
+        let g2 = read_edge_list(
+            buf.as_slice(),
+            EdgeListOptions { vertex_ids: VertexIds::Literal, ..Default::default() },
+        )
+        .unwrap();
+        // Literal ids keep vertices that have at least one edge; isolated
+        // trailing vertices are dropped by the text format, so compare edges.
+        let e1: Vec<_> = g.edges().collect();
+        let e2: Vec<_> = g2.edges().collect();
+        prop_assert_eq!(e1, e2);
+    }
+
+    /// LT normalization caps every vertex's in-weight at one and never
+    /// increases a weight.
+    #[test]
+    fn lt_normalization_caps((n, edges) in edges_strategy()) {
+        let mut plain = GraphBuilder::new(n).assign_weights(WeightModel::UniformRandom { seed: 5 });
+        let mut normed = GraphBuilder::new(n).assign_weights(WeightModel::UniformRandom { seed: 5 });
+        for &(u, v, _) in &edges {
+            plain.add_arc(u, v).unwrap();
+            normed.add_arc(u, v).unwrap();
+        }
+        let plain = plain.build().unwrap();
+        let normed = normed.normalize_for_lt().build().unwrap();
+        for v in 0..n {
+            prop_assert!(normed.in_weight_sum(v) <= 1.0 + 1e-5);
+            for ((_, p_n), (_, p_p)) in normed.in_edges(v).zip(plain.in_edges(v)) {
+                prop_assert!(p_n <= p_p + 1e-6);
+            }
+        }
+    }
+
+    /// Weighted-cascade gives every non-source vertex in-weight exactly 1.
+    #[test]
+    fn weighted_cascade_sums((n, edges) in edges_strategy()) {
+        let mut b = GraphBuilder::new(n).assign_weights(WeightModel::WeightedCascade);
+        for &(u, v, _) in &edges {
+            b.add_arc(u, v).unwrap();
+        }
+        let g = b.build().unwrap();
+        for v in 0..n {
+            if g.in_degree(v) > 0 {
+                prop_assert!((g.in_weight_sum(v) - 1.0).abs() < 1e-4);
+            }
+        }
+    }
+}

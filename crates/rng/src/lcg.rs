@@ -1,0 +1,277 @@
+//! 64-bit linear congruential generator with O(log n) skip-ahead.
+//!
+//! The recurrence is the classic affine map over Z/2^64:
+//!
+//! ```text
+//! x_{n+1} = a · x_n + c   (mod 2^64)
+//! ```
+//!
+//! with Knuth's MMIX constants, the same family TRNG's `lcg64` uses. Because
+//! the modulus is a power of two the low bits have short periods, so the
+//! *output* function returns the high 32 bits per step and composes two steps
+//! for a full `u64` — callers that only need a `[0,1)` double get the top 53
+//! bits of one step, which are the strong ones.
+
+/// Knuth MMIX multiplier.
+pub const MMIX_MULTIPLIER: u64 = 6364136223846793005;
+/// Knuth MMIX increment.
+pub const MMIX_INCREMENT: u64 = 1442695040888963407;
+
+/// A 64-bit linear congruential generator `x ← a·x + c (mod 2^64)`.
+///
+/// Supports arbitrary-stride jumps in O(log stride) time via
+/// [`Lcg64::discard`], which is what makes leap-frog splitting and
+/// block-splitting across ranks cheap (see [`crate::leapfrog`]).
+///
+/// ```
+/// use ripples_rng::Lcg64;
+///
+/// let mut stepped = Lcg64::new(42);
+/// for _ in 0..1_000 {
+///     stepped.step();
+/// }
+/// let jumped = Lcg64::new(42).jumped(1_000);
+/// assert_eq!(stepped, jumped); // O(log n) skip-ahead
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Lcg64 {
+    state: u64,
+    multiplier: u64,
+    increment: u64,
+}
+
+impl Lcg64 {
+    /// Creates a generator with the MMIX parameters seeded with `seed`.
+    ///
+    /// The seed is pre-mixed through one SplitMix64 round so that small or
+    /// correlated seeds (0, 1, 2, …) do not produce correlated early output.
+    #[must_use]
+    pub fn new(seed: u64) -> Self {
+        Self {
+            state: crate::splitmix::mix64(seed),
+            multiplier: MMIX_MULTIPLIER,
+            increment: MMIX_INCREMENT,
+        }
+    }
+
+    /// Creates a generator with explicit parameters and *raw* (unmixed) state.
+    ///
+    /// Used by [`crate::leapfrog::LeapFrog`] to build derived streams whose
+    /// multiplier/increment encode a stride of the base sequence.
+    #[must_use]
+    pub const fn from_parts(state: u64, multiplier: u64, increment: u64) -> Self {
+        Self {
+            state,
+            multiplier,
+            increment,
+        }
+    }
+
+    /// The raw internal state (before output mixing).
+    #[must_use]
+    pub const fn state(&self) -> u64 {
+        self.state
+    }
+
+    /// The multiplier `a` of the affine update.
+    #[must_use]
+    pub const fn multiplier(&self) -> u64 {
+        self.multiplier
+    }
+
+    /// The increment `c` of the affine update.
+    #[must_use]
+    pub const fn increment(&self) -> u64 {
+        self.increment
+    }
+
+    /// Advances the state by one step and returns the *new* raw state.
+    #[inline]
+    pub fn step(&mut self) -> u64 {
+        self.state = self
+            .state
+            .wrapping_mul(self.multiplier)
+            .wrapping_add(self.increment);
+        self.state
+    }
+
+    /// Returns the next 32 random bits (the high half of one step).
+    #[inline]
+    pub fn next_u32(&mut self) -> u32 {
+        (self.step() >> 32) as u32
+    }
+
+    /// Returns the next 64 random bits (high halves of two steps).
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        let hi = u64::from(self.next_u32());
+        let lo = u64::from(self.next_u32());
+        (hi << 32) | lo
+    }
+
+    /// Returns a uniform `f64` in `[0, 1)` using the top 53 bits of one step.
+    #[inline]
+    pub fn unit_f64(&mut self) -> f64 {
+        crate::distributions::u64_to_unit_f64(self.step())
+    }
+
+    /// Skips the generator ahead by `n` steps in O(log n) time.
+    ///
+    /// Uses Brown's decomposition: the n-fold composition of `x ↦ a·x + c`
+    /// is itself affine, `x ↦ A·x + C` with `A = aⁿ` and
+    /// `C = c·(aⁿ⁻¹ + … + a + 1)`, both computable by binary exponentiation
+    /// entirely in wrapping arithmetic (no division by the even `a − 1`).
+    pub fn discard(&mut self, n: u64) {
+        let (a_total, c_total) = affine_pow(self.multiplier, self.increment, n);
+        self.state = self.state.wrapping_mul(a_total).wrapping_add(c_total);
+    }
+
+    /// Returns a copy of this generator advanced by `n` steps, leaving `self`
+    /// untouched.
+    #[must_use]
+    pub fn jumped(&self, n: u64) -> Self {
+        let mut g = self.clone();
+        g.discard(n);
+        g
+    }
+}
+
+/// Computes the coefficients `(A, C)` of the `n`-fold composition of the
+/// affine map `x ↦ a·x + c` over Z/2^64, i.e. the map `x ↦ A·x + C` equal to
+/// applying the update `n` times.
+#[must_use]
+pub fn affine_pow(a: u64, c: u64, mut n: u64) -> (u64, u64) {
+    // Invariant: applying (a_total, c_total) then (cur_a, cur_c)^(remaining n)
+    // equals the original n-fold map.
+    let mut a_total: u64 = 1;
+    let mut c_total: u64 = 0;
+    let mut cur_a = a;
+    let mut cur_c = c;
+    while n > 0 {
+        if n & 1 == 1 {
+            a_total = a_total.wrapping_mul(cur_a);
+            c_total = c_total.wrapping_mul(cur_a).wrapping_add(cur_c);
+        }
+        cur_c = cur_c.wrapping_mul(cur_a.wrapping_add(1));
+        cur_a = cur_a.wrapping_mul(cur_a);
+        n >>= 1;
+    }
+    (a_total, c_total)
+}
+
+impl rand::RngCore for Lcg64 {
+    fn next_u32(&mut self) -> u32 {
+        Lcg64::next_u32(self)
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        Lcg64::next_u64(self)
+    }
+
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        for chunk in dest.chunks_mut(8) {
+            let bits = self.next_u64().to_le_bytes();
+            chunk.copy_from_slice(&bits[..chunk.len()]);
+        }
+    }
+
+    fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), rand::Error> {
+        self.fill_bytes(dest);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn step_matches_recurrence() {
+        let mut g = Lcg64::new(42);
+        let x0 = g.state();
+        let x1 = g.step();
+        assert_eq!(
+            x1,
+            x0.wrapping_mul(MMIX_MULTIPLIER).wrapping_add(MMIX_INCREMENT)
+        );
+    }
+
+    #[test]
+    fn discard_equals_iterated_stepping() {
+        for n in [0u64, 1, 2, 3, 7, 64, 1000, 12345] {
+            let mut a = Lcg64::new(7);
+            let mut b = a.clone();
+            for _ in 0..n {
+                a.step();
+            }
+            b.discard(n);
+            assert_eq!(a, b, "discard({n}) diverged from stepping");
+        }
+    }
+
+    #[test]
+    fn jumped_does_not_mutate_original() {
+        let g = Lcg64::new(9);
+        let before = g.clone();
+        let j = g.jumped(100);
+        assert_eq!(g, before);
+        assert_ne!(j.state(), g.state());
+    }
+
+    #[test]
+    fn affine_pow_identity_and_single() {
+        let (a0, c0) = affine_pow(MMIX_MULTIPLIER, MMIX_INCREMENT, 0);
+        assert_eq!((a0, c0), (1, 0));
+        let (a1, c1) = affine_pow(MMIX_MULTIPLIER, MMIX_INCREMENT, 1);
+        assert_eq!((a1, c1), (MMIX_MULTIPLIER, MMIX_INCREMENT));
+    }
+
+    #[test]
+    fn affine_pow_composes() {
+        // (a,c)^(m+n) == (a,c)^m ∘ (a,c)^n for a few (m, n).
+        for (m, n) in [(3u64, 5u64), (17, 1), (100, 255), (1, 1)] {
+            let (am, cm) = affine_pow(MMIX_MULTIPLIER, MMIX_INCREMENT, m);
+            let (an, cn) = affine_pow(MMIX_MULTIPLIER, MMIX_INCREMENT, n);
+            let (amn, cmn) = affine_pow(MMIX_MULTIPLIER, MMIX_INCREMENT, m + n);
+            // Apply n first then m: A = am*an, C = am*cn + cm.
+            assert_eq!(amn, am.wrapping_mul(an));
+            assert_eq!(cmn, am.wrapping_mul(cn).wrapping_add(cm));
+        }
+    }
+
+    #[test]
+    fn unit_f64_in_range() {
+        let mut g = Lcg64::new(123);
+        for _ in 0..10_000 {
+            let u = g.unit_f64();
+            assert!((0.0..1.0).contains(&u));
+        }
+    }
+
+    #[test]
+    fn unit_f64_mean_reasonable() {
+        let mut g = Lcg64::new(2024);
+        let n = 100_000;
+        let sum: f64 = (0..n).map(|_| g.unit_f64()).sum();
+        let mean = sum / f64::from(n);
+        assert!((mean - 0.5).abs() < 0.01, "mean {mean} too far from 0.5");
+    }
+
+    #[test]
+    fn distinct_seeds_distinct_output() {
+        let mut a = Lcg64::new(1);
+        let mut b = Lcg64::new(2);
+        let av: Vec<u64> = (0..8).map(|_| a.next_u64()).collect();
+        let bv: Vec<u64> = (0..8).map(|_| b.next_u64()).collect();
+        assert_ne!(av, bv);
+    }
+
+    #[test]
+    fn rngcore_fill_bytes_works() {
+        use rand::RngCore as _;
+        let mut g = Lcg64::new(5);
+        let mut buf = [0u8; 33];
+        g.fill_bytes(&mut buf);
+        assert!(buf.iter().any(|&b| b != 0));
+    }
+}

@@ -1,0 +1,96 @@
+//! Property-based tests for the RNG substrate.
+
+use proptest::prelude::*;
+use ripples_rng::lcg::{affine_pow, Lcg64};
+use ripples_rng::{LeapFrog, SplitMix64};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Skip-ahead by any n must equal n sequential steps.
+    #[test]
+    fn discard_matches_stepping(seed in any::<u64>(), n in 0u64..2000) {
+        let mut a = Lcg64::new(seed);
+        let mut b = a.clone();
+        for _ in 0..n {
+            a.step();
+        }
+        b.discard(n);
+        prop_assert_eq!(a, b);
+    }
+
+    /// affine_pow must be a homomorphism: coeffs(m+n) = coeffs(m) ∘ coeffs(n).
+    #[test]
+    fn affine_pow_homomorphism(a in any::<u64>(), c in any::<u64>(), m in 0u64..1000, n in 0u64..1000) {
+        let (am, cm) = affine_pow(a, c, m);
+        let (an, cn) = affine_pow(a, c, n);
+        let (amn, cmn) = affine_pow(a, c, m + n);
+        prop_assert_eq!(amn, am.wrapping_mul(an));
+        prop_assert_eq!(cmn, am.wrapping_mul(cn).wrapping_add(cm));
+    }
+
+    /// Leap-frog streams must partition the base sequence for any world size.
+    #[test]
+    fn leapfrog_partitions(seed in any::<u64>(), world in 1u32..12, rounds in 1usize..40) {
+        let base = Lcg64::new(seed);
+        let mut serial = base.clone();
+        let mut streams: Vec<LeapFrog> =
+            (0..world).map(|r| LeapFrog::new(&base, r, world)).collect();
+        for _ in 0..rounds {
+            for s in streams.iter_mut() {
+                prop_assert_eq!(s.step(), serial.step());
+            }
+        }
+    }
+
+    /// Leap-frog discard must commute with stepping for any rank.
+    #[test]
+    fn leapfrog_discard(seed in any::<u64>(), world in 1u32..8, n in 0u64..500) {
+        let base = Lcg64::new(seed);
+        let rank = (seed % u64::from(world)) as u32;
+        let mut a = LeapFrog::new(&base, rank, world);
+        let mut b = a.clone();
+        for _ in 0..n {
+            a.step();
+        }
+        b.discard(n);
+        prop_assert_eq!(a.step(), b.step());
+    }
+
+    /// Unit uniforms always land in [0, 1).
+    #[test]
+    fn unit_uniform_range(seed in any::<u64>()) {
+        let mut g = SplitMix64::new(seed);
+        for _ in 0..100 {
+            let u = g.unit_f64();
+            prop_assert!((0.0..1.0).contains(&u));
+        }
+    }
+
+    /// Bounded draws always land in range for any bound ≥ 1.
+    #[test]
+    fn bounded_in_range(seed in any::<u64>(), bound in 1u64..1_000_000) {
+        let mut g = SplitMix64::new(seed);
+        for _ in 0..50 {
+            prop_assert!(g.bounded_u64(bound) < bound);
+        }
+    }
+
+    /// Stream derivation is a pure function of (seed, index).
+    #[test]
+    fn stream_derivation_deterministic(seed in any::<u64>(), idx in any::<u64>()) {
+        let mut a = SplitMix64::for_stream(seed, idx);
+        let mut b = SplitMix64::for_stream(seed, idx);
+        prop_assert_eq!(a.next_u64(), b.next_u64());
+    }
+
+    /// Distinct stream indices yield distinct first outputs (mix64 is a
+    /// bijection, so collisions would imply equal pre-images).
+    #[test]
+    fn stream_indices_distinct(seed in any::<u64>(), i in 0u64..1_000, j in 0u64..1_000) {
+        prop_assume!(i != j);
+        let mut a = SplitMix64::for_stream(seed, i);
+        let mut b = SplitMix64::for_stream(seed, j);
+        prop_assert_ne!(a.next_u64(), b.next_u64());
+    }
+}

@@ -1,0 +1,63 @@
+//! Edge-probability sensitivity study.
+//!
+//! §4.1 of the paper remarks that *"the probabilities of the edges have a
+//! nonlinear influence on the runtime"* — their uniform-[0,1] assignment
+//! versus Tang et al.'s constant 0.10 changes runtimes wholesale. This
+//! example quantifies that: the same graph under four weight models, same
+//! (k, ε), comparing θ, per-sample work, runtime, and the achieved spread.
+//!
+//! Run with: `cargo run --release -p ripples-core --example parameter_study`
+
+use ripples_core::mt::imm_multithreaded;
+use ripples_core::ImmParams;
+use ripples_diffusion::{estimate_spread, DiffusionModel};
+use ripples_graph::generators::standin;
+use ripples_graph::WeightModel;
+use ripples_rng::StreamFactory;
+
+fn main() {
+    let spec = standin("soc-Epinions1").expect("catalog");
+    let models: [(&str, WeightModel); 4] = [
+        ("uniform[0,1)", WeightModel::UniformRandom { seed: 11 }),
+        ("const 0.10", WeightModel::Constant(0.1)),
+        ("weighted-cascade", WeightModel::WeightedCascade),
+        ("trivalency", WeightModel::Trivalency { seed: 11 }),
+    ];
+    let k = 20u32;
+    let eps = 0.5f64;
+    let factory = StreamFactory::new(808);
+
+    println!("# Weight-model sensitivity: {} stand-in, k = {k}, ε = {eps}, IC", spec.name);
+    println!(
+        "{:<18} {:>10} {:>16} {:>10} {:>12}",
+        "weights", "theta", "work/sample", "time_s", "activated"
+    );
+    for (label, weights) in models {
+        let graph = spec.build(32, weights, false);
+        let params = ImmParams::new(k, eps, DiffusionModel::IndependentCascade, 99);
+        let start = std::time::Instant::now();
+        let result = imm_multithreaded(&graph, &params, 0);
+        let secs = start.elapsed().as_secs_f64();
+        let spread = estimate_spread(
+            &graph,
+            DiffusionModel::IndependentCascade,
+            &result.seeds,
+            400,
+            &factory,
+        );
+        println!(
+            "{:<18} {:>10} {:>16.1} {:>10.3} {:>12.1}",
+            label,
+            result.theta,
+            result.total_sample_work() as f64 / result.theta.max(1) as f64,
+            secs,
+            spread
+        );
+    }
+    println!(
+        "\nReading: uniform weights sit near criticality (huge RRR sets, long runtimes);\n\
+         weighted-cascade and trivalency are sub-critical (cheap samples, more of them\n\
+         needed per unit coverage). This is the nonlinearity §4.1 warns about — runtimes\n\
+         across papers are not comparable unless the weight model matches."
+    );
+}

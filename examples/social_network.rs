@@ -1,0 +1,60 @@
+//! Social-network campaign planning: sweep the seed-set size k under both
+//! diffusion models and report the activation each budget buys — the
+//! trade-off curve of the paper's Figure 1.
+//!
+//! Run with: `cargo run --release -p ripples-core --example social_network`
+
+use ripples_core::mt::imm_multithreaded;
+use ripples_core::ImmParams;
+use ripples_diffusion::{estimate_spread, DiffusionModel};
+use ripples_graph::generators::standin;
+use ripples_graph::WeightModel;
+use ripples_rng::StreamFactory;
+
+fn main() {
+    // The soc-Epinions1 stand-in at a laptop-friendly scale.
+    let spec = standin("soc-Epinions1").expect("catalog entry");
+    let graph = spec.build(32, WeightModel::UniformRandom { seed: 5 }, false);
+    let graph_lt = spec.build(32, WeightModel::WeightedCascade, true);
+    println!(
+        "# {} stand-in: {} vertices, {} edges",
+        spec.name,
+        graph.num_vertices(),
+        graph.num_edges()
+    );
+    println!(
+        "{:>6} {:>6} {:>12} {:>14} {:>10}",
+        "model", "k", "theta", "activated", "time_s"
+    );
+
+    let factory = StreamFactory::new(31);
+    for model in [
+        DiffusionModel::IndependentCascade,
+        DiffusionModel::LinearThreshold,
+    ] {
+        let g = match model {
+            DiffusionModel::IndependentCascade => &graph,
+            DiffusionModel::LinearThreshold => &graph_lt,
+        };
+        for k in [5u32, 10, 25, 50] {
+            let params = ImmParams::new(k, 0.5, model, 17);
+            let start = std::time::Instant::now();
+            let result = imm_multithreaded(g, &params, 0);
+            let secs = start.elapsed().as_secs_f64();
+            let spread = estimate_spread(g, model, &result.seeds, 500, &factory);
+            println!(
+                "{:>6} {:>6} {:>12} {:>14.1} {:>10.3}",
+                model.tag(),
+                k,
+                result.theta,
+                spread,
+                secs
+            );
+        }
+    }
+    println!(
+        "\nNote: activation grows sub-linearly in k (submodularity) and LT \
+         cascades are smaller than IC — the two qualitative facts the paper's \
+         Figure 1 and §4.2 rely on."
+    );
+}

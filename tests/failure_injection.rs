@@ -1,0 +1,134 @@
+//! Failure injection and degenerate inputs across the public API surface.
+
+use ripples_core::mt::imm_multithreaded;
+use ripples_core::seq::immopt_sequential;
+use ripples_core::ImmParams;
+use ripples_diffusion::{estimate_spread, DiffusionModel};
+use ripples_graph::io::{read_binary, read_edge_list, EdgeListOptions};
+use ripples_graph::{GraphBuilder, GraphError, WeightModel};
+use ripples_rng::StreamFactory;
+
+#[test]
+fn malformed_edge_lists_are_rejected_not_panicked() {
+    for bad in [
+        "0\n",              // missing target
+        "a b\n",            // non-numeric
+        "0 1 nope\n",       // bad probability
+        "0 1 0.5 extra\n",  // too many fields
+    ] {
+        let err = read_edge_list(bad.as_bytes(), EdgeListOptions::default())
+            .expect_err(&format!("{bad:?} should fail"));
+        assert!(matches!(err, GraphError::Parse { .. }));
+    }
+}
+
+#[test]
+fn corrupt_binary_is_rejected() {
+    assert!(matches!(
+        read_binary(&b"garbage!"[..]),
+        Err(GraphError::Corrupt(_))
+    ));
+    assert!(matches!(
+        read_binary(&b"RIPGRPH1\x01"[..]),
+        Err(GraphError::Io(_)) | Err(GraphError::Corrupt(_))
+    ));
+}
+
+#[test]
+fn imm_on_empty_and_tiny_graphs() {
+    let p = ImmParams::new(3, 0.5, DiffusionModel::IndependentCascade, 1);
+    let empty = GraphBuilder::new(0).build().unwrap();
+    assert!(immopt_sequential(&empty, &p).seeds.is_empty());
+
+    let one = GraphBuilder::new(1).build().unwrap();
+    assert_eq!(immopt_sequential(&one, &p).seeds, vec![0]);
+
+    let mut b = GraphBuilder::new(2);
+    b.add_edge(0, 1, 0.5).unwrap();
+    let two = b.build().unwrap();
+    let r = immopt_sequential(&two, &p);
+    assert_eq!(r.seeds.len(), 2);
+}
+
+#[test]
+fn imm_on_edgeless_graph() {
+    // No edges: every RRR set is a single root; greedy picks arbitrary but
+    // valid distinct vertices.
+    let g = GraphBuilder::new(50).build().unwrap();
+    let p = ImmParams::new(5, 0.5, DiffusionModel::IndependentCascade, 2);
+    let r = imm_multithreaded(&g, &p, 2);
+    assert_eq!(r.seeds.len(), 5);
+    let mut sorted = r.seeds.clone();
+    sorted.sort_unstable();
+    sorted.dedup();
+    assert_eq!(sorted.len(), 5, "duplicate seeds on edgeless graph");
+}
+
+#[test]
+fn probability_extremes() {
+    // All-certain and all-impossible edges must both terminate.
+    for prob in [0.0f32, 1.0] {
+        let mut b = GraphBuilder::new(30);
+        for u in 0..29 {
+            b.add_edge(u, u + 1, prob).unwrap();
+        }
+        let g = b.build().unwrap();
+        let p = ImmParams::new(3, 0.5, DiffusionModel::IndependentCascade, 3);
+        let r = immopt_sequential(&g, &p);
+        assert_eq!(r.seeds.len(), 3, "p = {prob}");
+        if prob == 1.0 {
+            // With certain edges the chain head dominates.
+            assert!(r.seeds.contains(&0), "p=1 chain should seed the head");
+        }
+    }
+}
+
+#[test]
+fn disconnected_components_all_reachable() {
+    // Two disjoint cliques: k = 2 should seed both (one each), not two in
+    // one.
+    let mut b = GraphBuilder::new(20);
+    for base in [0u32, 10] {
+        for i in 0..10u32 {
+            for j in 0..10u32 {
+                if i != j {
+                    b.add_edge(base + i, base + j, 0.9).unwrap();
+                }
+            }
+        }
+    }
+    let g = b.build().unwrap();
+    let p = ImmParams::new(2, 0.5, DiffusionModel::IndependentCascade, 5);
+    let r = immopt_sequential(&g, &p);
+    let sides: Vec<bool> = r.seeds.iter().map(|&s| s < 10).collect();
+    assert_ne!(sides[0], sides[1], "both seeds landed in one component: {:?}", r.seeds);
+}
+
+#[test]
+fn spread_estimation_handles_empty_inputs() {
+    let g = GraphBuilder::new(10).build().unwrap();
+    let f = StreamFactory::new(1);
+    assert_eq!(
+        estimate_spread(&g, DiffusionModel::IndependentCascade, &[], 100, &f),
+        0.0
+    );
+    let empty = GraphBuilder::new(0).build().unwrap();
+    assert_eq!(
+        estimate_spread(&empty, DiffusionModel::IndependentCascade, &[], 100, &f),
+        0.0
+    );
+}
+
+#[test]
+fn weight_models_survive_extreme_graphs() {
+    // Trivalency / weighted-cascade on a graph with a universal sink.
+    let mut b = GraphBuilder::new(100).assign_weights(WeightModel::WeightedCascade);
+    for u in 1..100 {
+        b.add_arc(u, 0).unwrap();
+    }
+    let g = b.build().unwrap();
+    assert!((g.in_weight_sum(0) - 1.0).abs() < 1e-4);
+    let p = ImmParams::new(3, 0.5, DiffusionModel::LinearThreshold, 1);
+    let r = immopt_sequential(&g, &p);
+    assert_eq!(r.seeds.len(), 3);
+}
