@@ -22,13 +22,8 @@ fn bench_comm_modes(c: &mut Criterion) {
     ] {
         let bytes = world
             .run(|comm| {
-                let _ = imm_distributed_full(
-                    comm,
-                    &graph,
-                    &params,
-                    DistRngMode::IndexedStreams,
-                    mode,
-                );
+                let _ =
+                    imm_distributed_full(comm, &graph, &params, DistRngMode::IndexedStreams, mode);
                 comm.stats().bytes_moved
             })
             .into_iter()
@@ -46,14 +41,8 @@ fn bench_comm_modes(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::from_parameter(label), &mode, |b, &mode| {
             b.iter(|| {
                 world.run(|comm| {
-                    imm_distributed_full(
-                        comm,
-                        &graph,
-                        &params,
-                        DistRngMode::IndexedStreams,
-                        mode,
-                    )
-                    .theta
+                    imm_distributed_full(comm, &graph, &params, DistRngMode::IndexedStreams, mode)
+                        .theta
                 })
             });
         });

@@ -13,7 +13,12 @@ use std::sync::atomic::{AtomicU64, Ordering};
 fn count_partitioned(collection: &RrrCollection, n: u32, parts: usize) -> Vec<u64> {
     let n_us = n as usize;
     let bounds: Vec<(u32, u32)> = (0..parts)
-        .map(|t| (((n_us * t) / parts) as u32, ((n_us * (t + 1)) / parts) as u32))
+        .map(|t| {
+            (
+                ((n_us * t) / parts) as u32,
+                ((n_us * (t + 1)) / parts) as u32,
+            )
+        })
         .collect();
     let mut counters = vec![0u64; n_us];
     let mut slices: Vec<&mut [u64]> = Vec::with_capacity(parts);
@@ -63,7 +68,10 @@ fn bench_counters(c: &mut Criterion) {
     let n = graph.num_vertices();
 
     // Correctness cross-check before timing.
-    assert_eq!(count_partitioned(&collection, n, 4), count_atomic(&collection, n));
+    assert_eq!(
+        count_partitioned(&collection, n, 4),
+        count_atomic(&collection, n)
+    );
 
     let mut group = c.benchmark_group("counting_pass");
     group.sample_size(10);

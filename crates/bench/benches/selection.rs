@@ -29,13 +29,9 @@ fn bench_selection(c: &mut Criterion) {
         b.iter(|| select_seeds_sequential(&collection, n, k));
     });
     for parts in [2usize, 4, 8] {
-        group.bench_with_input(
-            BenchmarkId::new("partitioned", parts),
-            &parts,
-            |b, &p| {
-                b.iter(|| select_seeds_partitioned(&collection, n, k, p));
-            },
-        );
+        group.bench_with_input(BenchmarkId::new("partitioned", parts), &parts, |b, &p| {
+            b.iter(|| select_seeds_partitioned(&collection, n, k, p));
+        });
     }
     group.finish();
 }

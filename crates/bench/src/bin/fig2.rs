@@ -55,5 +55,7 @@ fn main() {
     }
     table.print(args.flag("csv"));
     println!("\n# expected shape: θ increases monotonically as ε decreases and as k increases,");
-    println!("# crossing n = {n} well before the tightest setting (the paper's log-scale hockey stick)");
+    println!(
+        "# crossing n = {n} well before the tightest setting (the paper's log-scale hockey stick)"
+    );
 }

@@ -20,7 +20,9 @@ fn main() {
     let epsilon: f64 = args.parse_or("epsilon", 0.5);
     let ks: Vec<u32> = (1..=10).map(|i| i * 10).collect();
 
-    println!("# Figure 4 reproduction: phase-decomposed runtime vs k (ε = {epsilon}, IC, all threads)");
+    println!(
+        "# Figure 4 reproduction: phase-decomposed runtime vs k (ε = {epsilon}, IC, all threads)"
+    );
     let mut table = Table::new(vec![
         "graph",
         "k",
@@ -55,5 +57,7 @@ fn main() {
         }
     }
     table.print(args.flag("csv"));
-    println!("\n# expected shape: runtime grows with k (θ does too); SelectSeeds' share grows with k");
+    println!(
+        "\n# expected shape: runtime grows with k (θ does too); SelectSeeds' share grows with k"
+    );
 }

@@ -43,10 +43,16 @@ fn main() {
         "# Figures 5/6 reproduction: multithreaded strong scaling (ε = 0.5, k = {k}, {model})"
     );
     println!("# measured_s = real wall-clock at that thread count on THIS host");
-    println!("# model_s    = work-replay prediction for a dedicated 20-core node (see DESIGN.md)\n");
+    println!(
+        "# model_s    = work-replay prediction for a dedicated 20-core node (see DESIGN.md)\n"
+    );
 
     let mut table = Table::new(vec![
-        "graph", "threads", "measured_s", "model_s", "model_speedup_vs_2t",
+        "graph",
+        "threads",
+        "measured_s",
+        "model_s",
+        "model_speedup_vs_2t",
     ]);
     for spec in standin_catalog() {
         if let Some(ref names) = filter {
@@ -82,5 +88,7 @@ fn main() {
     }
     table.print(args.flag("csv"));
     println!("\n# expected shape (paper): larger inputs scale better; IC scales better than LT;");
-    println!("# peak ~12.5x vs 2 threads for com-Orkut under IC; small inputs stall on SelectSeeds");
+    println!(
+        "# peak ~12.5x vs 2 threads for com-Orkut under IC; small inputs stall on SelectSeeds"
+    );
 }

@@ -48,13 +48,12 @@ fn main() {
         ],
     };
 
-    println!(
-        "# Figures 7/8 reproduction: distributed strong scaling (ε = {epsilon}, k = {k})"
-    );
+    println!("# Figures 7/8 reproduction: distributed strong scaling (ε = {epsilon}, k = {k})");
     println!("# validated on {validation_ranks} real in-process ranks, then replayed through the α–β model\n");
 
     let mut table = Table::new(vec![
-        "cluster", "graph", "model", "nodes", "sample_s", "select_s", "comm_s", "total_s", "speedup",
+        "cluster", "graph", "model", "nodes", "sample_s", "select_s", "comm_s", "total_s",
+        "speedup",
     ]);
     for spec in big_four() {
         let divisor = effective_divisor(spec, scale_div);
@@ -111,6 +110,8 @@ fn main() {
         }
     }
     table.print(args.flag("csv"));
-    println!("\n# expected shape (paper): IC keeps scaling to high node counts; LT saturates early");
+    println!(
+        "\n# expected shape (paper): IC keeps scaling to high node counts; LT saturates early"
+    );
     println!("# (insufficient work per rank) and the All-Reduce term grows with lg(nodes)");
 }

@@ -8,14 +8,29 @@
 //!         [--engine opt|baseline|mt|dist|partitioned|community|celf|tim|degdiscount]
 //!         [--model ic|lt] [--k K] [--epsilon E] [--seed S]
 //!         [--threads T | --ranks R] [--simulate TRIALS]
+//!         [--report pretty|json]
 //! ripples --standin com-Orkut --scale-div 64 ...
 //! ```
+//!
+//! `--report` prints the engine's full [`RunReport`] (phase span tree, work
+//! counters, RRR size histogram, communication accounting) to stderr —
+//! `pretty` for humans, `json` for one machine-readable line. Seeds stay on
+//! stdout either way. Heuristic engines (community, celf, degdiscount) run
+//! no IMM pipeline and emit no report.
 
 use ripples_bench::Args;
 use ripples_comm::ThreadWorld;
-use ripples_core::{celf::celf_greedy, community::community_imm, dist::imm_distributed,
-    dist_partitioned::imm_partitioned, heuristics::degree_discount_ic, mt::imm_multithreaded,
-    seq::{imm_baseline, immopt_sequential}, tim::tim_plus, ImmParams};
+use ripples_core::{
+    celf::celf_greedy,
+    community::community_imm,
+    dist::imm_distributed,
+    dist_partitioned::imm_partitioned,
+    heuristics::degree_discount_ic,
+    mt::imm_multithreaded,
+    seq::{imm_baseline, immopt_sequential},
+    tim::tim_plus,
+    ImmParams,
+};
 use ripples_diffusion::{estimate_spread, DiffusionModel};
 use ripples_graph::generators::standin;
 use ripples_graph::io::{read_edge_list_file, EdgeListOptions, VertexIds};
@@ -87,30 +102,34 @@ fn main() {
     let engine = args.get("engine").unwrap_or("mt").to_string();
 
     let start = std::time::Instant::now();
-    let (seeds, detail) = match engine.as_str() {
+    let (seeds, detail, report) = match engine.as_str() {
         "opt" => {
             let r = immopt_sequential(&graph, &params);
-            (r.seeds, format!("theta={} phases=[{}]", r.theta, r.timers))
+            let detail = format!("theta={} phases=[{}]", r.theta, r.timers);
+            (r.seeds, detail, Some(r.report))
         }
         "baseline" => {
             let r = imm_baseline(&graph, &params);
-            (r.seeds, format!("theta={} phases=[{}]", r.theta, r.timers))
+            let detail = format!("theta={} phases=[{}]", r.theta, r.timers);
+            (r.seeds, detail, Some(r.report))
         }
         "dist" => {
             let ranks: u32 = args.parse_or("ranks", 2);
             let world = ThreadWorld::new(ranks);
             let mut results = world.run(|comm| imm_distributed(comm, &graph, &params));
             let r = results.pop().expect("at least one rank");
-            (
-                r.seeds,
-                format!("ranks={ranks} theta={} phases=[{}]", r.theta, r.timers),
-            )
+            let detail = format!("ranks={ranks} theta={} phases=[{}]", r.theta, r.timers);
+            (r.seeds, detail, Some(r.report))
         }
         "community" => {
             let r = community_imm(&graph, &params);
             (
                 r.seeds,
-                format!("communities={} allocation={:?}", r.communities, r.allocation),
+                format!(
+                    "communities={} allocation={:?}",
+                    r.communities, r.allocation
+                ),
+                None,
             )
         }
         "partitioned" => {
@@ -118,37 +137,49 @@ fn main() {
             let world = ThreadWorld::new(ranks);
             let mut results = world.run(|comm| imm_partitioned(comm, &graph, &params));
             let r = results.pop().expect("at least one rank");
-            (
-                r.seeds,
-                format!(
-                    "ranks={ranks} theta={} per-rank-graph={}B phases=[{}]",
-                    r.theta, r.memory.graph_bytes, r.timers
-                ),
-            )
+            let detail = format!(
+                "ranks={ranks} theta={} per-rank-graph={}B phases=[{}]",
+                r.theta, r.memory.graph_bytes, r.timers
+            );
+            (r.seeds, detail, Some(r.report))
         }
         "tim" => {
             let r = tim_plus(&graph, &params);
-            (r.seeds, format!("theta={} phases=[{}]", r.theta, r.timers))
+            let detail = format!("theta={} phases=[{}]", r.theta, r.timers);
+            (r.seeds, detail, Some(r.report))
         }
         "degdiscount" => {
             let p: f64 = args.parse_or("prob", 0.1);
             let seeds = degree_discount_ic(&graph, k, p);
-            (seeds, format!("degree-discount p={p} (no approximation guarantee)"))
+            (
+                seeds,
+                format!("degree-discount p={p} (no approximation guarantee)"),
+                None,
+            )
         }
         "celf" => {
             let trials: u32 = args.parse_or("trials", 200);
             let r = celf_greedy(&graph, model, k, trials, seed);
-            (r.seeds, format!("evaluations={}", r.evaluations))
+            (r.seeds, format!("evaluations={}", r.evaluations), None)
         }
         _ => {
             let threads: usize = args.parse_or("threads", 0);
             let r = imm_multithreaded(&graph, &params, threads);
-            (r.seeds, format!("theta={} phases=[{}]", r.theta, r.timers))
+            let detail = format!("theta={} phases=[{}]", r.theta, r.timers);
+            (r.seeds, detail, Some(r.report))
         }
     };
     let elapsed = start.elapsed();
     eprintln!("engine={engine} model={model} k={k} epsilon={epsilon}: {detail}");
     eprintln!("time: {:.3}s", elapsed.as_secs_f64());
+
+    if let Some(mode) = args.get("report") {
+        match (&report, mode) {
+            (Some(rep), "json") => eprintln!("{}", rep.to_json()),
+            (Some(rep), _) => eprintln!("{}", rep.render_pretty()),
+            (None, _) => eprintln!("engine `{engine}` does not produce a run report"),
+        }
+    }
 
     if let Some(trials) = args.get("simulate") {
         let trials: u32 = trials.parse().expect("--simulate takes a trial count");

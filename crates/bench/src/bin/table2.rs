@@ -26,7 +26,9 @@ fn main() {
     let epsilon: f64 = args.parse_or("epsilon", 0.5);
     let model = DiffusionModel::IndependentCascade;
 
-    println!("# Table 2 reproduction: IMM (hypergraph) vs IMMOPT (compact), ε = {epsilon}, k = {k}");
+    println!(
+        "# Table 2 reproduction: IMM (hypergraph) vs IMMOPT (compact), ε = {epsilon}, k = {k}"
+    );
     println!("# stand-in divisors scaled by {scale_div}; pass --scale-div 1 for the full stand-in sizes\n");
 
     let mut table = Table::new(vec![
@@ -57,7 +59,8 @@ fn main() {
 
         let speedup = t_baseline.as_secs_f64() / t_opt.as_secs_f64().max(1e-9);
         let savings = 100.0
-            * (1.0 - opt.memory.peak_rrr_bytes as f64 / baseline.memory.peak_rrr_bytes.max(1) as f64);
+            * (1.0
+                - opt.memory.peak_rrr_bytes as f64 / baseline.memory.peak_rrr_bytes.max(1) as f64);
         table.row(vec![
             spec.name.to_string(),
             stats.nodes.to_string(),
@@ -75,5 +78,7 @@ fn main() {
     }
     table.print(args.flag("csv"));
     println!("\n# paper: speedups 2.4–4.2x, savings 18–58% (their hardware, full SNAP inputs)");
-    println!("# expected shape: IMMOPT never slower, never more memory; savings grow with RRR volume");
+    println!(
+        "# expected shape: IMMOPT never slower, never more memory; savings grow with RRR volume"
+    );
 }

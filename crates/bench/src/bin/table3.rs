@@ -36,9 +36,14 @@ fn main() {
 
     println!("# Table 3 reproduction: improvement in runtime relative to IMM [Tang et al.]");
     println!("# rows 1–3 measured on this host; row 4 executed on in-process ranks and");
-    println!("# projected to 1024 Edison nodes via the α–β replay model (ε: 0.5 → 0.13, k: {k} → {})\n", 2 * k);
+    println!(
+        "# projected to 1024 Edison nodes via the α–β replay model (ε: 0.5 → 0.13, k: {k} → {})\n",
+        2 * k
+    );
 
-    let mut table = Table::new(vec!["graph", "variant", "epsilon", "k", "time_s", "speedup"]);
+    let mut table = Table::new(vec![
+        "graph", "variant", "epsilon", "k", "time_s", "speedup",
+    ]);
     for name in ["com-Orkut", "soc-LiveJournal1"] {
         let spec = standin(name).expect("catalog");
         let divisor = effective_divisor(spec, scale_div);

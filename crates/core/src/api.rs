@@ -136,7 +136,12 @@ mod tests {
     #[test]
     fn builder_matches_direct_call() {
         let g = erdos_renyi(150, 900, WeightModel::Constant(0.1), false, 5);
-        let via_builder = ImmRunner::new(&g).seeds(4).epsilon(0.5).rng_seed(9).threads(1).run();
+        let via_builder = ImmRunner::new(&g)
+            .seeds(4)
+            .epsilon(0.5)
+            .rng_seed(9)
+            .threads(1)
+            .run();
         let p = ImmParams::new(
             4,
             0.5,

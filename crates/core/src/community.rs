@@ -99,8 +99,9 @@ pub fn community_imm(graph: &Graph, params: &ImmParams) -> CommunityImmResult {
         if k_c == 0 {
             continue;
         }
-        let sub_params = ImmParams::new(k_c, params.epsilon, params.model, params.seed ^ (c as u64))
-            .with_ell(params.ell);
+        let sub_params =
+            ImmParams::new(k_c, params.epsilon, params.model, params.seed ^ (c as u64))
+                .with_ell(params.ell);
         let sub_result = immopt_sequential(&part.graph, &sub_params);
         timers.merge(&sub_result.timers);
         seeds.extend(sub_result.seeds.iter().map(|&v| part.to_parent(v)));

@@ -17,8 +17,8 @@
 //!   seed set — the cross-implementation equivalence the test suite checks.
 
 use crate::memory::MemoryStats;
+use crate::obs::{CommCounters, Histogram, RunReport};
 use crate::params::ImmParams;
-use crate::phases::{Phase, PhaseTimers};
 use crate::result::ImmResult;
 use crate::theta::ThetaSchedule;
 use ripples_comm::Communicator;
@@ -164,7 +164,43 @@ pub(crate) fn select_seeds_distributed_public<C: Communicator>(
     n: u32,
     k: u32,
 ) -> (Vec<Vertex>, usize, f64) {
-    select_seeds_distributed(comm, local, theta_global, n, k, DistSelectMode::DenseAllReduce)
+    select_seeds_distributed(
+        comm,
+        local,
+        theta_global,
+        n,
+        k,
+        DistSelectMode::DenseAllReduce,
+    )
+}
+
+/// Merges one rank's local histogram into the identical global histogram on
+/// every rank: the summable state travels in one All-Reduce, the maximum in
+/// one max-reduce. Must be called collectively.
+pub(crate) fn globalize_histogram<C: Communicator>(comm: &C, hist: &mut Histogram) {
+    let mut flat = hist.to_flat();
+    comm.all_reduce_sum_u64(&mut flat);
+    let max = comm.all_reduce_max_f64(hist.max() as f64) as u64;
+    hist.set_from_flat(&flat, max);
+}
+
+/// Replaces this rank's local deterministic counters (samples, edges, RRR
+/// entries, unsorted pushes) with their global sums, and merges the RRR-size
+/// histogram, so every rank — at every world size — reports the same values.
+/// Must be called collectively.
+pub(crate) fn globalize_counters<C: Communicator>(comm: &C, report: &mut RunReport) {
+    let mut buf = [
+        report.counters.samples_generated,
+        report.counters.edges_examined,
+        report.counters.rrr_entries,
+        report.counters.unsorted_pushes,
+    ];
+    comm.all_reduce_sum_u64(&mut buf);
+    report.counters.samples_generated = buf[0];
+    report.counters.edges_examined = buf[1];
+    report.counters.rrr_entries = buf[2];
+    report.counters.unsorted_pushes = buf[3];
+    globalize_histogram(comm, &mut report.rrr_sizes);
 }
 
 /// Scalar convenience over the slice All-Reduce.
@@ -216,7 +252,13 @@ pub fn imm_distributed_with_rng<C: Communicator>(
     params: &ImmParams,
     rng_mode: DistRngMode,
 ) -> ImmResult {
-    imm_distributed_full(comm, graph, params, rng_mode, DistSelectMode::DenseAllReduce)
+    imm_distributed_full(
+        comm,
+        graph,
+        params,
+        rng_mode,
+        DistSelectMode::DenseAllReduce,
+    )
 }
 
 /// The fully-parameterized distributed entry point: RNG strategy ×
@@ -242,7 +284,8 @@ pub fn imm_distributed_full<C: Communicator>(
     let rank = comm.rank();
     let size = comm.size();
 
-    let mut timers = PhaseTimers::new();
+    let mut report = RunReport::new("dist");
+    let comm_before = comm.stats();
     let mut memory = MemoryStats {
         counter_bytes: 2 * n as usize * std::mem::size_of::<u64>(),
         graph_bytes: graph.resident_bytes(),
@@ -256,13 +299,16 @@ pub fn imm_distributed_full<C: Communicator>(
     let mut rank_stream = RankStream::new(params.seed, rank, size);
 
     // Append this rank's stride of the newly added global range
-    // [current_total, new_total).
+    // [current_total, new_total). Counters record *local* work here; they
+    // are globalized once at the end of the run.
     let mut grow_to = |new_total: usize,
                        local: &mut RrrCollection,
                        scratch: &mut RrrScratch,
                        sample_work: &mut Vec<u64>,
+                       report: &mut RunReport,
                        current_total: usize| {
         debug_assert!(new_total >= current_total);
+        let mut batch_samples = 0u64;
         for index in
             strided_indices(new_total, rank, size).skip_while(|&i| i < current_total as u64)
         {
@@ -277,9 +323,15 @@ pub fn imm_distributed_full<C: Communicator>(
                     generate_rrr(graph, model, root, &mut rank_stream, scratch)
                 }
             };
+            report.counters.edges_examined += s.edges_examined;
+            report.rrr_sizes.record(s.vertices.len() as u64);
             local.push(&s.vertices);
             sample_work.push(s.edges_examined);
+            batch_samples += 1;
         }
+        report.counters.samples_generated += batch_samples;
+        // One "worker" per rank: the batch lands wholly on this rank.
+        report.thread_samples.record(batch_samples);
     };
 
     // --- EstimateTheta -----------------------------------------------------
@@ -289,18 +341,34 @@ pub fn imm_distributed_full<C: Communicator>(
         let scratch_ref = &mut scratch;
         let work_ref = &mut sample_work;
         let theta_ref = &mut theta_global;
-        timers.record(Phase::EstimateTheta, || {
+        let memory = &mut memory;
+        let lb = &mut lb;
+        report.span("EstimateTheta", |report| {
             for x in 1..=schedule.max_rounds() {
                 let budget = schedule.round_budget(x);
-                if budget > *theta_ref {
-                    grow_to(budget, local_ref, scratch_ref, work_ref, *theta_ref);
-                    *theta_ref = budget;
-                }
-                memory.observe_rrr(local_ref.resident_bytes());
-                let (_, _, fraction) =
-                    select_seeds_distributed(comm, local_ref, *theta_ref, n, k, select_mode);
-                if schedule.round_succeeds(x, fraction) {
-                    lb = Some(schedule.lower_bound(fraction));
+                let stop = report.span(&format!("round-{x}"), |report| {
+                    if budget > *theta_ref {
+                        report.span("sample", |report| {
+                            grow_to(budget, local_ref, scratch_ref, work_ref, report, *theta_ref);
+                        });
+                        *theta_ref = budget;
+                    }
+                    memory.observe_rrr(local_ref.resident_bytes());
+                    let (sel_seeds, _, fraction) = report.span("select", |_| {
+                        select_seeds_distributed(comm, local_ref, *theta_ref, n, k, select_mode)
+                    });
+                    report.counters.theta_rounds += 1;
+                    report.counters.select_iterations += sel_seeds.len() as u64;
+                    report.counters.round_budgets.push(budget as u64);
+                    report.counters.round_coverage.push(fraction);
+                    if schedule.round_succeeds(x, fraction) {
+                        *lb = Some(schedule.lower_bound(fraction));
+                        true
+                    } else {
+                        false
+                    }
+                });
+                if stop {
                     break;
                 }
             }
@@ -317,26 +385,35 @@ pub fn imm_distributed_full<C: Communicator>(
         let scratch_ref = &mut scratch;
         let work_ref = &mut sample_work;
         let current = theta_global;
-        timers.record(Phase::Sample, || {
-            grow_to(theta, local_ref, scratch_ref, work_ref, current);
+        report.span("Sample", |report| {
+            grow_to(theta, local_ref, scratch_ref, work_ref, report, current);
         });
         theta_global = theta;
     }
     memory.observe_rrr(local.resident_bytes());
 
     // --- SelectSeeds ------------------------------------------------------
-    let (seeds, _, fraction) = timers.record(Phase::SelectSeeds, || {
+    let (seeds, _, fraction) = report.span("SelectSeeds", |_| {
         select_seeds_distributed(comm, &local, theta_global, n, k, select_mode)
     });
+    report.counters.select_iterations += seeds.len() as u64;
+
+    report.counters.rrr_entries = local.total_entries() as u64;
+    report.counters.rrr_bytes_peak = memory.peak_rrr_bytes as u64;
+    report.counters.theta_final = theta_global as u64;
+    report.counters.unsorted_pushes = local.unsorted_pushes();
+    globalize_counters(comm, &mut report);
+    report.comm = Some(CommCounters::delta(&comm_before, &comm.stats()));
 
     ImmResult {
         seeds,
         theta: theta_global,
         coverage_fraction: fraction,
         opt_lower_bound: lb,
-        timers,
+        timers: report.phase_timers(),
         memory,
         sample_work,
+        report,
     }
 }
 
@@ -397,7 +474,10 @@ mod tests {
     #[test]
     fn multi_rank_matches_sequential_and_each_other() {
         let g = test_graph();
-        for model in [DiffusionModel::IndependentCascade, DiffusionModel::LinearThreshold] {
+        for model in [
+            DiffusionModel::IndependentCascade,
+            DiffusionModel::LinearThreshold,
+        ] {
             let p = ImmParams::new(5, 0.5, model, 13);
             let seq = immopt_sequential(&g, &p);
             for world_size in [2u32, 3, 5] {
@@ -439,24 +519,26 @@ mod sparse_select_tests {
 
     #[test]
     fn sparse_mode_returns_identical_seeds() {
-        let g = erdos_renyi(
-            300,
-            2400,
-            WeightModel::UniformRandom { seed: 5 },
-            false,
-            44,
-        );
+        let g = erdos_renyi(300, 2400, WeightModel::UniformRandom { seed: 5 }, false, 44);
         let p = ImmParams::new(6, 0.5, DiffusionModel::IndependentCascade, 12);
         for size in [1u32, 2, 4] {
             let world = ThreadWorld::new(size);
             let dense = world.run(|comm| {
                 imm_distributed_full(
-                    comm, &g, &p, DistRngMode::IndexedStreams, DistSelectMode::DenseAllReduce,
+                    comm,
+                    &g,
+                    &p,
+                    DistRngMode::IndexedStreams,
+                    DistSelectMode::DenseAllReduce,
                 )
             });
             let sparse = world.run(|comm| {
                 imm_distributed_full(
-                    comm, &g, &p, DistRngMode::IndexedStreams, DistSelectMode::SparseAllGather,
+                    comm,
+                    &g,
+                    &p,
+                    DistRngMode::IndexedStreams,
+                    DistSelectMode::SparseAllGather,
                 )
             });
             for (d, s) in dense.iter().zip(&sparse) {
@@ -481,7 +563,11 @@ mod sparse_select_tests {
         let dense_bytes = world
             .run(|comm| {
                 let _ = imm_distributed_full(
-                    comm, &g, &p, DistRngMode::IndexedStreams, DistSelectMode::DenseAllReduce,
+                    comm,
+                    &g,
+                    &p,
+                    DistRngMode::IndexedStreams,
+                    DistSelectMode::DenseAllReduce,
                 );
                 comm.stats().bytes_moved
             })
@@ -491,7 +577,11 @@ mod sparse_select_tests {
         let sparse_bytes = world
             .run(|comm| {
                 let _ = imm_distributed_full(
-                    comm, &g, &p, DistRngMode::IndexedStreams, DistSelectMode::SparseAllGather,
+                    comm,
+                    &g,
+                    &p,
+                    DistRngMode::IndexedStreams,
+                    DistSelectMode::SparseAllGather,
                 );
                 comm.stats().bytes_moved
             })
@@ -550,13 +640,7 @@ mod leapfrog_mode_tests {
     #[test]
     fn leapfrog_ranks_agree_with_each_other() {
         // Within one world size, all ranks still return the same answer.
-        let g = erdos_renyi(
-            200,
-            1500,
-            WeightModel::UniformRandom { seed: 3 },
-            false,
-            66,
-        );
+        let g = erdos_renyi(200, 1500, WeightModel::UniformRandom { seed: 3 }, false, 66);
         let p = ImmParams::new(4, 0.5, DiffusionModel::IndependentCascade, 9);
         let world = ripples_comm::ThreadWorld::new(4);
         let results =

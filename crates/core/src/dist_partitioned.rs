@@ -25,8 +25,8 @@
 //! the seed set (tested below).
 
 use crate::memory::MemoryStats;
+use crate::obs::{CommCounters, RunReport};
 use crate::params::ImmParams;
-use crate::phases::{Phase, PhaseTimers};
 use crate::result::ImmResult;
 use crate::theta::ThetaSchedule;
 use ripples_comm::Communicator;
@@ -163,7 +163,8 @@ pub fn imm_partitioned<C: Communicator>(comm: &C, graph: &Graph, params: &ImmPar
     let model = params.model;
     let partition = GraphPartition::extract(graph, comm.rank(), comm.size());
 
-    let mut timers = PhaseTimers::new();
+    let mut report = RunReport::new("partitioned");
+    let comm_before = comm.stats();
     let mut memory = MemoryStats {
         counter_bytes: 2 * n as usize * std::mem::size_of::<u64>(),
         // The honest headline: per-rank graph bytes are the partition's.
@@ -174,33 +175,66 @@ pub fn imm_partitioned<C: Communicator>(comm: &C, graph: &Graph, params: &ImmPar
     let mut sample_work: Vec<u64> = Vec::new();
     let mut theta_global: usize = 0;
 
+    // Records local counters for one cooperative batch: the home samples
+    // this rank kept plus the expansion work it performed. Globalized once
+    // at the end of the run.
+    let record_batch =
+        |report: &mut RunReport, local: &RrrCollection, old_len: usize, local_work: u64| {
+            let new_samples = (local.len() - old_len) as u64;
+            report.counters.samples_generated += new_samples;
+            report.counters.edges_examined += local_work;
+            for slot in old_len..local.len() {
+                report.rrr_sizes.record(local.get(slot).len() as u64);
+            }
+            report.thread_samples.record(new_samples);
+        };
+
     let mut lb: Option<f64> = None;
     {
         let local_ref = &mut local;
         let work_ref = &mut sample_work;
         let theta_ref = &mut theta_global;
-        timers.record(Phase::EstimateTheta, || {
+        let memory = &mut memory;
+        let lb = &mut lb;
+        report.span("EstimateTheta", |report| {
             for x in 1..=schedule.max_rounds() {
                 let budget = schedule.round_budget(x);
-                if budget > *theta_ref {
-                    let work = sample_batch_cooperative(
-                        comm,
-                        &partition,
-                        model,
-                        &factory,
-                        *theta_ref as u64,
-                        budget - *theta_ref,
-                        local_ref,
-                    );
-                    work_ref.push(work);
-                    *theta_ref = budget;
-                }
-                memory.observe_rrr(local_ref.resident_bytes());
-                let (_, _, fraction) = crate::dist::select_seeds_distributed_public(
-                    comm, local_ref, *theta_ref, n, k,
-                );
-                if schedule.round_succeeds(x, fraction) {
-                    lb = Some(schedule.lower_bound(fraction));
+                let stop = report.span(&format!("round-{x}"), |report| {
+                    if budget > *theta_ref {
+                        let old_len = local_ref.len();
+                        let work = report.span("sample", |_| {
+                            sample_batch_cooperative(
+                                comm,
+                                &partition,
+                                model,
+                                &factory,
+                                *theta_ref as u64,
+                                budget - *theta_ref,
+                                local_ref,
+                            )
+                        });
+                        work_ref.push(work);
+                        record_batch(report, local_ref, old_len, work);
+                        *theta_ref = budget;
+                    }
+                    memory.observe_rrr(local_ref.resident_bytes());
+                    let (sel_seeds, _, fraction) = report.span("select", |_| {
+                        crate::dist::select_seeds_distributed_public(
+                            comm, local_ref, *theta_ref, n, k,
+                        )
+                    });
+                    report.counters.theta_rounds += 1;
+                    report.counters.select_iterations += sel_seeds.len() as u64;
+                    report.counters.round_budgets.push(budget as u64);
+                    report.counters.round_coverage.push(fraction);
+                    if schedule.round_succeeds(x, fraction) {
+                        *lb = Some(schedule.lower_bound(fraction));
+                        true
+                    } else {
+                        false
+                    }
+                });
+                if stop {
                     break;
                 }
             }
@@ -214,7 +248,8 @@ pub fn imm_partitioned<C: Communicator>(comm: &C, graph: &Graph, params: &ImmPar
         let local_ref = &mut local;
         let work_ref = &mut sample_work;
         let current = theta_global;
-        timers.record(Phase::Sample, || {
+        report.span("Sample", |report| {
+            let old_len = local_ref.len();
             let work = sample_batch_cooperative(
                 comm,
                 &partition,
@@ -225,23 +260,33 @@ pub fn imm_partitioned<C: Communicator>(comm: &C, graph: &Graph, params: &ImmPar
                 local_ref,
             );
             work_ref.push(work);
+            record_batch(report, local_ref, old_len, work);
         });
         theta_global = theta;
     }
     memory.observe_rrr(local.resident_bytes());
 
-    let (seeds, _, fraction) = timers.record(Phase::SelectSeeds, || {
+    let (seeds, _, fraction) = report.span("SelectSeeds", |_| {
         crate::dist::select_seeds_distributed_public(comm, &local, theta_global, n, k)
     });
+    report.counters.select_iterations += seeds.len() as u64;
+
+    report.counters.rrr_entries = local.total_entries() as u64;
+    report.counters.rrr_bytes_peak = memory.peak_rrr_bytes as u64;
+    report.counters.theta_final = theta_global as u64;
+    report.counters.unsorted_pushes = local.unsorted_pushes();
+    crate::dist::globalize_counters(comm, &mut report);
+    report.comm = Some(CommCounters::delta(&comm_before, &comm.stats()));
 
     ImmResult {
         seeds,
         theta: theta_global,
         coverage_fraction: fraction,
         opt_lower_bound: lb,
-        timers,
+        timers: report.phase_timers(),
         memory,
         sample_work,
+        report,
     }
 }
 
@@ -255,13 +300,7 @@ mod tests {
     use ripples_graph::WeightModel;
 
     fn graph() -> Graph {
-        erdos_renyi(
-            200,
-            1600,
-            WeightModel::UniformRandom { seed: 7 },
-            false,
-            61,
-        )
+        erdos_renyi(200, 1600, WeightModel::UniformRandom { seed: 7 }, false, 61)
     }
 
     #[test]
@@ -269,7 +308,10 @@ mod tests {
         let g = graph();
         let factory = StreamFactory::new(404);
         let count = 60usize;
-        for model in [DiffusionModel::IndependentCascade, DiffusionModel::LinearThreshold] {
+        for model in [
+            DiffusionModel::IndependentCascade,
+            DiffusionModel::LinearThreshold,
+        ] {
             // Sequential reference.
             let mut scratch = RrrScratch::new(g.num_vertices());
             let reference: Vec<Vec<Vertex>> = (0..count as u64)
@@ -286,8 +328,9 @@ mod tests {
                 // Reassemble by home-rank ownership (index % size == rank,
                 // in index order per rank).
                 for (rank, collection) in per_rank {
-                    let mine: Vec<usize> =
-                        (0..count).filter(|i| i % size as usize == rank as usize).collect();
+                    let mine: Vec<usize> = (0..count)
+                        .filter(|i| i % size as usize == rank as usize)
+                        .collect();
                     assert_eq!(collection.len(), mine.len());
                     for (slot, &index) in mine.iter().enumerate() {
                         assert_eq!(

@@ -48,6 +48,7 @@ pub mod dist_partitioned;
 pub mod heuristics;
 pub mod memory;
 pub mod mt;
+pub mod obs;
 pub mod params;
 pub mod phases;
 pub mod result;
@@ -59,6 +60,7 @@ pub mod tim;
 
 pub use api::maximize_influence;
 pub use memory::MemoryStats;
+pub use obs::RunReport;
 pub use params::ImmParams;
 pub use phases::{Phase, PhaseTimers};
 pub use result::ImmResult;

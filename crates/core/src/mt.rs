@@ -35,6 +35,7 @@ pub fn imm_multithreaded(graph: &Graph, params: &ImmParams, threads: usize) -> I
     let run = || {
         let effective_threads = rayon::current_num_threads();
         run_imm_compact(
+            "mt",
             graph,
             params,
             |first, count, out| sample_batch(graph, model, &factory, first, count, out),
@@ -61,19 +62,16 @@ mod tests {
     use ripples_graph::WeightModel;
 
     fn test_graph() -> Graph {
-        erdos_renyi(
-            300,
-            2400,
-            WeightModel::UniformRandom { seed: 8 },
-            false,
-            21,
-        )
+        erdos_renyi(300, 2400, WeightModel::UniformRandom { seed: 8 }, false, 21)
     }
 
     #[test]
     fn matches_sequential_at_any_thread_count() {
         let g = test_graph();
-        for model in [DiffusionModel::IndependentCascade, DiffusionModel::LinearThreshold] {
+        for model in [
+            DiffusionModel::IndependentCascade,
+            DiffusionModel::LinearThreshold,
+        ] {
             let p = ImmParams::new(6, 0.5, model, 5);
             let seq = immopt_sequential(&g, &p);
             for threads in [1, 2, 4] {
@@ -101,5 +99,37 @@ mod tests {
         assert!(r.memory.peak_rrr_bytes > 0);
         assert!(r.memory.graph_bytes > 0);
         assert!(r.timers.total().as_nanos() > 0);
+    }
+
+    #[test]
+    fn run_report_populated_and_thread_invariant() {
+        let g = test_graph();
+        let p = ImmParams::new(4, 0.5, DiffusionModel::IndependentCascade, 2);
+        let seq = immopt_sequential(&g, &p);
+        for threads in [1usize, 2, 4] {
+            let r = imm_multithreaded(&g, &p, threads);
+            assert_eq!(r.report.engine, "mt");
+            assert_eq!(
+                r.report.counters.samples_generated, seq.report.counters.samples_generated,
+                "{threads} threads"
+            );
+            assert_eq!(
+                r.report.counters.edges_examined,
+                seq.report.counters.edges_examined
+            );
+            assert_eq!(
+                r.report.counters.rrr_entries,
+                seq.report.counters.rrr_entries
+            );
+            assert_eq!(
+                r.report.counters.theta_rounds,
+                seq.report.counters.theta_rounds
+            );
+            assert_eq!(r.report.counters.theta_final, r.theta as u64);
+            assert_eq!(r.report.rrr_sizes.count(), r.theta as u64);
+            // The flat timer view is the span tree's top level.
+            assert!(!r.report.spans().is_empty());
+            assert_eq!(r.timers.total(), r.report.phase_timers().total());
+        }
     }
 }

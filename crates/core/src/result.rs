@@ -1,6 +1,7 @@
 //! The result record every IMM implementation returns.
 
 use crate::memory::MemoryStats;
+use crate::obs::RunReport;
 use crate::phases::PhaseTimers;
 use ripples_graph::Vertex;
 
@@ -24,6 +25,10 @@ pub struct ImmResult {
     /// feeds the strong-scaling replay model. Empty if the implementation
     /// did not track it.
     pub sample_work: Vec<u64>,
+    /// Full observability record: phase spans, work counters, histograms,
+    /// and (for distributed engines) communication accounting. `timers` is
+    /// the flat view derived from this report's span tree.
+    pub report: RunReport,
 }
 
 impl ImmResult {
@@ -55,6 +60,7 @@ mod tests {
             timers: PhaseTimers::new(),
             memory: MemoryStats::default(),
             sample_work: vec![3, 4],
+            report: RunReport::new("test"),
         };
         assert!((r.coverage_influence_estimate(400) - 100.0).abs() < 1e-12);
         assert_eq!(r.total_sample_work(), 7);

@@ -103,8 +103,9 @@ pub fn lpt_makespan(work: &[u64], workers: u32) -> u64 {
     let mut sorted: Vec<u64> = work.to_vec();
     sorted.sort_unstable_by_key(|&w| Reverse(w));
     // Min-heap of worker loads.
-    let mut loads: BinaryHeap<Reverse<u64>> =
-        (0..workers.min(sorted.len() as u32)).map(|_| Reverse(0u64)).collect();
+    let mut loads: BinaryHeap<Reverse<u64>> = (0..workers.min(sorted.len() as u32))
+        .map(|_| Reverse(0u64))
+        .collect();
     for w in sorted {
         let Reverse(least) = loads.pop().expect("at least one worker");
         loads.push(Reverse(least + w));

@@ -126,12 +126,7 @@ pub fn select_seeds_partitioned(
     let p = partitions.clamp(1, n_us.max(1));
     // Interval bounds: vl = n·t/p, vh = n·(t+1)/p (Algorithm 4).
     let bounds: Vec<(Vertex, Vertex)> = (0..p)
-        .map(|t| {
-            (
-                ((n_us * t) / p) as Vertex,
-                ((n_us * (t + 1)) / p) as Vertex,
-            )
-        })
+        .map(|t| (((n_us * t) / p) as Vertex, ((n_us * (t + 1)) / p) as Vertex))
         .collect();
 
     let mut counters = vec![0u64; n_us];
@@ -414,15 +409,7 @@ mod tests {
     fn greedy_matches_brute_force_on_small_instance() {
         // Exhaustively verify the (1−1/e) greedy against optimal cover for
         // k=2 on a small universe.
-        let c = collection(&[
-            &[0, 1],
-            &[1, 2],
-            &[2, 3],
-            &[3, 4],
-            &[0, 4],
-            &[1],
-            &[3],
-        ]);
+        let c = collection(&[&[0, 1], &[1, 2], &[2, 3], &[3, 4], &[0, 4], &[1], &[3]]);
         let n = 5u32;
         let greedy = select_seeds_sequential(&c, n, 2);
         // Brute-force optimum.

@@ -13,8 +13,8 @@
 //! which is exactly the delta Table 2 measures.
 
 use crate::memory::MemoryStats;
+use crate::obs::RunReport;
 use crate::params::ImmParams;
-use crate::phases::{Phase, PhaseTimers};
 use crate::result::ImmResult;
 use crate::select::{select_seeds_sequential, Selection};
 use crate::theta::ThetaSchedule;
@@ -24,20 +24,41 @@ use ripples_graph::{Graph, Vertex};
 use ripples_rng::StreamFactory;
 
 /// Trivial result for graphs too small for the estimation math (`n < 2`).
-fn degenerate_result(graph: &Graph, params: &ImmParams) -> ImmResult {
+fn degenerate_result(engine: &str, graph: &Graph, params: &ImmParams) -> ImmResult {
     let n = graph.num_vertices();
     let k = params.effective_k(n);
+    let report = RunReport::new(engine);
     ImmResult {
         seeds: (0..k).collect(),
         theta: 0,
         coverage_fraction: if n > 0 { 1.0 } else { 0.0 },
         opt_lower_bound: None,
-        timers: PhaseTimers::new(),
+        timers: report.phase_timers(),
         memory: MemoryStats {
             graph_bytes: graph.resident_bytes(),
             ..MemoryStats::default()
         },
         sample_work: Vec::new(),
+        report,
+    }
+}
+
+/// Records one sampling batch's outcome into `report`: sample/edge counters,
+/// per-worker load-balance observations, and the sizes of the samples
+/// appended to `collection` since `old_len`.
+pub(crate) fn record_batch(
+    report: &mut RunReport,
+    collection: &RrrCollection,
+    old_len: usize,
+    outcome: &BatchOutcome,
+) {
+    report.counters.samples_generated += (collection.len() - old_len) as u64;
+    report.counters.edges_examined += outcome.total_work();
+    for &w in &outcome.per_worker_samples {
+        report.thread_samples.record(w);
+    }
+    for j in old_len..collection.len() {
+        report.rrr_sizes.record(collection.get(j).len() as u64);
     }
 }
 
@@ -48,6 +69,7 @@ fn degenerate_result(graph: &Graph, params: &ImmParams) -> ImmResult {
 /// max-cover pass. The sequential and multithreaded entry points supply
 /// different engines for the two hooks.
 pub(crate) fn run_imm_compact(
+    engine: &str,
     graph: &Graph,
     params: &ImmParams,
     mut sampler: impl FnMut(u64, usize, &mut RrrCollection) -> BatchOutcome,
@@ -55,12 +77,12 @@ pub(crate) fn run_imm_compact(
 ) -> ImmResult {
     let n = graph.num_vertices();
     if n < 2 {
-        return degenerate_result(graph, params);
+        return degenerate_result(engine, graph, params);
     }
     let k = params.effective_k(n);
     let schedule = ThetaSchedule::new(u64::from(n), u64::from(k), params.epsilon, params.ell);
 
-    let mut timers = PhaseTimers::new();
+    let mut report = RunReport::new(engine);
     let mut memory = MemoryStats {
         counter_bytes: n as usize * std::mem::size_of::<u64>(),
         graph_bytes: graph.resident_bytes(),
@@ -72,31 +94,45 @@ pub(crate) fn run_imm_compact(
 
     // --- EstimateTheta (Algorithm 2) -----------------------------------
     let mut lb: Option<f64> = None;
-    let (lb_found, peak_during_estimation) = {
+    {
         let collection = &mut collection;
         let sample_work = &mut sample_work;
-        timers.record(Phase::EstimateTheta, || {
-            let mut peak = 0usize;
+        let next_index = &mut next_index;
+        let memory = &mut memory;
+        let lb = &mut lb;
+        report.span("EstimateTheta", |report| {
             for x in 1..=schedule.max_rounds() {
                 let budget = schedule.round_budget(x);
-                if budget > collection.len() {
-                    let need = budget - collection.len();
-                    let outcome = sampler(next_index, need, collection);
-                    next_index += need as u64;
-                    sample_work.extend_from_slice(&outcome.work_per_sample);
-                }
-                peak = peak.max(collection.resident_bytes());
-                let sel = selector(collection, n, k);
-                if schedule.round_succeeds(x, sel.fraction) {
-                    lb = Some(schedule.lower_bound(sel.fraction));
+                let stop = report.span(&format!("round-{x}"), |report| {
+                    if budget > collection.len() {
+                        let need = budget - collection.len();
+                        let old_len = collection.len();
+                        let outcome =
+                            report.span("sample", |_| sampler(*next_index, need, collection));
+                        *next_index += need as u64;
+                        sample_work.extend_from_slice(&outcome.work_per_sample);
+                        record_batch(report, collection, old_len, &outcome);
+                    }
+                    memory.observe_rrr(collection.resident_bytes());
+                    let sel = report.span("select", |_| selector(collection, n, k));
+                    report.counters.theta_rounds += 1;
+                    report.counters.select_iterations += sel.seeds.len() as u64;
+                    report.counters.round_budgets.push(budget as u64);
+                    report.counters.round_coverage.push(sel.fraction);
+                    if schedule.round_succeeds(x, sel.fraction) {
+                        *lb = Some(schedule.lower_bound(sel.fraction));
+                        true
+                    } else {
+                        false
+                    }
+                });
+                if stop {
                     break;
                 }
             }
-            (lb, peak)
-        })
-    };
-    memory.observe_rrr(peak_during_estimation);
-    let theta = match lb_found {
+        });
+    }
+    let theta = match lb {
         Some(bound) => schedule.final_theta(bound),
         None => schedule.fallback_theta(u64::from(k)),
     };
@@ -104,23 +140,32 @@ pub(crate) fn run_imm_compact(
     // --- Sample top-up (Algorithm 3 from the skeleton) ------------------
     if theta > collection.len() {
         let need = theta - collection.len();
+        let old_len = collection.len();
         let collection_ref = &mut collection;
-        let outcome = timers.record(Phase::Sample, || sampler(next_index, need, collection_ref));
+        let next = next_index;
+        let outcome = report.span("Sample", |_| sampler(next, need, collection_ref));
         sample_work.extend_from_slice(&outcome.work_per_sample);
+        record_batch(&mut report, &collection, old_len, &outcome);
     }
     memory.observe_rrr(collection.resident_bytes());
 
     // --- SelectSeeds (Algorithm 4) ---------------------------------------
-    let final_sel = timers.record(Phase::SelectSeeds, || selector(&collection, n, k));
+    let final_sel = report.span("SelectSeeds", |_| selector(&collection, n, k));
+    report.counters.select_iterations += final_sel.seeds.len() as u64;
 
+    report.counters.rrr_entries = collection.total_entries() as u64;
+    report.counters.rrr_bytes_peak = memory.peak_rrr_bytes as u64;
+    report.counters.theta_final = collection.len() as u64;
+    report.counters.unsorted_pushes = collection.unsorted_pushes();
     ImmResult {
         seeds: final_sel.seeds,
         theta: collection.len(),
         coverage_fraction: final_sel.fraction,
-        opt_lower_bound: lb_found,
-        timers,
+        opt_lower_bound: lb,
+        timers: report.phase_timers(),
         memory,
         sample_work,
+        report,
     }
 }
 
@@ -131,6 +176,7 @@ pub fn immopt_sequential(graph: &Graph, params: &ImmParams) -> ImmResult {
     let factory = StreamFactory::new(params.seed);
     let model = params.model;
     run_imm_compact(
+        "immopt",
         graph,
         params,
         |first, count, out| sample_batch_sequential(graph, model, &factory, first, count, out),
@@ -273,14 +319,14 @@ pub fn imm_baseline_with_options(
 ) -> ImmResult {
     let n = graph.num_vertices();
     if n < 2 {
-        return degenerate_result(graph, params);
+        return degenerate_result("baseline", graph, params);
     }
     let k = params.effective_k(n);
     let schedule = ThetaSchedule::new(u64::from(n), u64::from(k), params.epsilon, params.ell);
     let factory = StreamFactory::new(params.seed);
     let model = params.model;
 
-    let mut timers = PhaseTimers::new();
+    let mut report = RunReport::new("baseline");
     let mut memory = MemoryStats {
         counter_bytes: n as usize * std::mem::size_of::<u64>(),
         graph_bytes: graph.resident_bytes(),
@@ -291,44 +337,66 @@ pub fn imm_baseline_with_options(
     let mut sample_work: Vec<u64> = Vec::new();
     let mut next_index: u64 = 0;
 
-    let sample_into =
-        |storage: &mut TangStorage, scratch: &mut RrrScratch, work: &mut Vec<u64>, first: u64, count: usize| {
-            for offset in 0..count as u64 {
-                let index = first + offset;
-                let mut rng = factory.sample_stream(index);
-                let root = rng.bounded_u64(u64::from(n)) as Vertex;
-                let s = generate_rrr(graph, model, root, &mut rng, scratch);
-                work.push(s.edges_examined);
-                storage.push(s.vertices);
-            }
-        };
+    let sample_into = |storage: &mut TangStorage,
+                       scratch: &mut RrrScratch,
+                       work: &mut Vec<u64>,
+                       report: &mut RunReport,
+                       first: u64,
+                       count: usize| {
+        for offset in 0..count as u64 {
+            let index = first + offset;
+            let mut rng = factory.sample_stream(index);
+            let root = rng.bounded_u64(u64::from(n)) as Vertex;
+            let s = generate_rrr(graph, model, root, &mut rng, scratch);
+            work.push(s.edges_examined);
+            report.counters.samples_generated += 1;
+            report.counters.edges_examined += s.edges_examined;
+            report.rrr_sizes.record(s.vertices.len() as u64);
+            storage.push(s.vertices);
+        }
+        // Single-threaded engine: the whole batch lands on one worker.
+        report.thread_samples.record(count as u64);
+    };
 
     // EstimateTheta.
     let mut lb: Option<f64> = None;
-    let peak = {
+    {
         let storage = &mut storage;
         let scratch = &mut scratch;
         let sample_work = &mut sample_work;
-        timers.record(Phase::EstimateTheta, || {
-            let mut peak = 0usize;
+        let next_index = &mut next_index;
+        let memory = &mut memory;
+        let lb = &mut lb;
+        report.span("EstimateTheta", |report| {
             for x in 1..=schedule.max_rounds() {
                 let budget = schedule.round_budget(x);
-                if budget > storage.len() {
-                    let need = budget - storage.len();
-                    sample_into(storage, scratch, sample_work, next_index, need);
-                    next_index += need as u64;
-                }
-                peak = peak.max(storage.resident_bytes());
-                let sel = storage.select(n, k);
-                if schedule.round_succeeds(x, sel.fraction) {
-                    lb = Some(schedule.lower_bound(sel.fraction));
+                let stop = report.span(&format!("round-{x}"), |report| {
+                    if budget > storage.len() {
+                        let need = budget - storage.len();
+                        report.span("sample", |report| {
+                            sample_into(storage, scratch, sample_work, report, *next_index, need);
+                        });
+                        *next_index += need as u64;
+                    }
+                    memory.observe_rrr(storage.resident_bytes());
+                    let sel = report.span("select", |_| storage.select(n, k));
+                    report.counters.theta_rounds += 1;
+                    report.counters.select_iterations += sel.seeds.len() as u64;
+                    report.counters.round_budgets.push(budget as u64);
+                    report.counters.round_coverage.push(sel.fraction);
+                    if schedule.round_succeeds(x, sel.fraction) {
+                        *lb = Some(schedule.lower_bound(sel.fraction));
+                        true
+                    } else {
+                        false
+                    }
+                });
+                if stop {
                     break;
                 }
             }
-            peak
-        })
-    };
-    memory.observe_rrr(peak);
+        });
+    }
     let theta = match lb {
         Some(bound) => schedule.final_theta(bound),
         None => schedule.fallback_theta(u64::from(k)),
@@ -341,31 +409,38 @@ pub fn imm_baseline_with_options(
         let storage_ref = &mut storage;
         let scratch_ref = &mut scratch;
         let work_ref = &mut sample_work;
-        timers.record(Phase::Sample, || {
-            sample_into(storage_ref, scratch_ref, work_ref, next_index, theta);
+        let next = next_index;
+        report.span("Sample", |report| {
+            sample_into(storage_ref, scratch_ref, work_ref, report, next, theta);
         });
     } else if theta > storage.len() {
         let need = theta - storage.len();
         let storage_ref = &mut storage;
         let scratch_ref = &mut scratch;
         let work_ref = &mut sample_work;
-        timers.record(Phase::Sample, || {
-            sample_into(storage_ref, scratch_ref, work_ref, next_index, need);
+        let next = next_index;
+        report.span("Sample", |report| {
+            sample_into(storage_ref, scratch_ref, work_ref, report, next, need);
         });
     }
     memory.observe_rrr(storage.resident_bytes());
 
     // Final selection.
-    let final_sel = timers.record(Phase::SelectSeeds, || storage.select(n, k));
+    let final_sel = report.span("SelectSeeds", |_| storage.select(n, k));
+    report.counters.select_iterations += final_sel.seeds.len() as u64;
 
+    report.counters.rrr_entries = storage.sets.iter().map(|s| s.len() as u64).sum();
+    report.counters.rrr_bytes_peak = memory.peak_rrr_bytes as u64;
+    report.counters.theta_final = storage.len() as u64;
     ImmResult {
         seeds: final_sel.seeds,
         theta: storage.len(),
         coverage_fraction: final_sel.fraction,
         opt_lower_bound: lb,
-        timers,
+        timers: report.phase_timers(),
         memory,
         sample_work,
+        report,
     }
 }
 
@@ -377,13 +452,7 @@ mod tests {
     use ripples_graph::WeightModel;
 
     fn test_graph() -> Graph {
-        erdos_renyi(
-            400,
-            3000,
-            WeightModel::UniformRandom { seed: 2 },
-            false,
-            11,
-        )
+        erdos_renyi(400, 3000, WeightModel::UniformRandom { seed: 2 }, false, 11)
     }
 
     #[test]
@@ -404,7 +473,10 @@ mod tests {
     #[test]
     fn baseline_and_immopt_agree_on_seeds() {
         let g = test_graph();
-        for model in [DiffusionModel::IndependentCascade, DiffusionModel::LinearThreshold] {
+        for model in [
+            DiffusionModel::IndependentCascade,
+            DiffusionModel::LinearThreshold,
+        ] {
             let p = ImmParams::new(5, 0.5, model, 33);
             let a = imm_baseline(&g, &p);
             let b = immopt_sequential(&g, &p);

@@ -66,15 +66,12 @@ impl ThetaSchedule {
         let logcnk = log_binomial(n, k);
         let eps_prime = std::f64::consts::SQRT_2 * epsilon;
         let log2_n = nf.log2();
-        let lambda_prime = (2.0 + 2.0 / 3.0 * eps_prime)
-            * (logcnk + ell * ln_n + log2_n.ln())
-            * nf
+        let lambda_prime = (2.0 + 2.0 / 3.0 * eps_prime) * (logcnk + ell * ln_n + log2_n.ln()) * nf
             / (eps_prime * eps_prime);
         let one_minus_inv_e = 1.0 - std::f64::consts::E.recip();
         let alpha = (ell * ln_n + std::f64::consts::LN_2).sqrt();
         let beta = (one_minus_inv_e * (logcnk + ell * ln_n + std::f64::consts::LN_2)).sqrt();
-        let lambda_star =
-            2.0 * nf * (one_minus_inv_e * alpha + beta).powi(2) / (epsilon * epsilon);
+        let lambda_star = 2.0 * nf * (one_minus_inv_e * alpha + beta).powi(2) / (epsilon * epsilon);
         Self {
             n: nf,
             epsilon,
@@ -241,5 +238,65 @@ mod tests {
     fn round_budget_bounds_checked() {
         let s = ThetaSchedule::new(1024, 10, 0.5, 1.0);
         let _ = s.round_budget(0);
+    }
+
+    mod properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(256))]
+
+            /// Budget monotonicity over the whole admissible parameter
+            /// space, not just one tuple: θₓ = λ′·2ˣ/n doubles (before
+            /// ceiling) every round, and since θ₁ ≥ 1 the ceiled budgets
+            /// are *strictly* increasing — the estimation loop always makes
+            /// progress and never re-runs selection on an unchanged
+            /// collection.
+            #[test]
+            fn round_budgets_strictly_increase(
+                n in 2u64..200_000,
+                k_frac in 0.0f64..1.0,
+                epsilon in 0.05f64..0.95,
+                ell in 0.5f64..2.0,
+            ) {
+                #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+                let k = (1 + ((n - 1) as f64 * k_frac) as u64).min(n);
+                let s = ThetaSchedule::new(n, k, epsilon, ell);
+                prop_assert!(s.max_rounds() >= 1);
+                let mut prev = 0usize;
+                for x in 1..=s.max_rounds() {
+                    let b = s.round_budget(x);
+                    prop_assert!(
+                        b > prev,
+                        "n={} k={} eps={} ell={}: round {} budget {} <= prev {}",
+                        n, k, epsilon, ell, x, b, prev
+                    );
+                    prev = b;
+                }
+            }
+
+            /// The success threshold loosens monotonically with depth: a
+            /// coverage fraction that certifies round x also certifies any
+            /// deeper round.
+            #[test]
+            fn success_threshold_monotone_in_round(
+                n in 2u64..200_000,
+                epsilon in 0.05f64..0.95,
+                fraction in 0.0f64..1.0,
+            ) {
+                let s = ThetaSchedule::new(n, 1, epsilon, 1.0);
+                let mut succeeded = false;
+                for x in 1..=s.max_rounds() {
+                    let now = s.round_succeeds(x, fraction);
+                    prop_assert!(
+                        now || !succeeded,
+                        "round {} failed after a shallower round succeeded",
+                        x
+                    );
+                    succeeded = succeeded || now;
+                }
+            }
+        }
     }
 }

@@ -22,8 +22,8 @@
 //!    standard greedy max-cover.
 
 use crate::memory::MemoryStats;
+use crate::obs::RunReport;
 use crate::params::ImmParams;
-use crate::phases::{Phase, PhaseTimers};
 use crate::result::ImmResult;
 use crate::select::select_seeds_sequential;
 use crate::theta::log_binomial;
@@ -55,7 +55,7 @@ pub fn tim_plus(graph: &Graph, params: &ImmParams) -> ImmResult {
     let factory = StreamFactory::new(params.seed);
     let model = params.model;
 
-    let mut timers = PhaseTimers::new();
+    let mut report = RunReport::new("tim");
     let mut memory = MemoryStats {
         counter_bytes: n as usize * std::mem::size_of::<u64>(),
         graph_bytes: graph.resident_bytes(),
@@ -71,36 +71,58 @@ pub fn tim_plus(graph: &Graph, params: &ImmParams) -> ImmResult {
         let collection = &mut collection;
         let sample_work = &mut sample_work;
         let next_index = &mut next_index;
-        timers.record(Phase::EstimateTheta, || {
+        let memory = &mut memory;
+        let kpt = &mut kpt;
+        report.span("EstimateTheta", |report| {
             let c_base = 6.0 * ell * ln_n + 6.0 * log2_n.ln().max(0.0);
             let max_i = (log2_n.floor() as u32).saturating_sub(1).max(1);
             for i in 1..=max_i {
                 let budget = (c_base * 2f64.powi(i as i32)).ceil() as usize;
-                if budget > collection.len() {
-                    let need = budget - collection.len();
-                    let outcome = sample_batch_sequential(
-                        graph, model, &factory, *next_index, need, collection,
-                    );
-                    *next_index += need as u64;
-                    sample_work.extend_from_slice(&outcome.work_per_sample);
-                }
-                let kappa_sum: f64 = collection
-                    .iter()
-                    .map(|set| 1.0 - (1.0 - width(graph, set) as f64 / m).powi(k as i32))
-                    .sum();
-                let mean_kappa = kappa_sum / collection.len() as f64;
-                if mean_kappa > 1.0 / 2f64.powi(i as i32) {
-                    kpt = mean_kappa * nf / 2.0;
+                let stop = report.span(&format!("round-{i}"), |report| {
+                    if budget > collection.len() {
+                        let need = budget - collection.len();
+                        let old_len = collection.len();
+                        let outcome = report.span("sample", |_| {
+                            sample_batch_sequential(
+                                graph,
+                                model,
+                                &factory,
+                                *next_index,
+                                need,
+                                collection,
+                            )
+                        });
+                        *next_index += need as u64;
+                        sample_work.extend_from_slice(&outcome.work_per_sample);
+                        crate::seq::record_batch(report, collection, old_len, &outcome);
+                    }
+                    report.counters.theta_rounds += 1;
+                    report.counters.round_budgets.push(budget as u64);
+                    let kappa_sum: f64 = collection
+                        .iter()
+                        .map(|set| 1.0 - (1.0 - width(graph, set) as f64 / m).powi(k as i32))
+                        .sum();
+                    let mean_kappa = kappa_sum / collection.len() as f64;
+                    report.counters.round_coverage.push(mean_kappa);
+                    if mean_kappa > 1.0 / 2f64.powi(i as i32) {
+                        *kpt = mean_kappa * nf / 2.0;
+                        true
+                    } else {
+                        false
+                    }
+                });
+                if stop {
                     break;
                 }
             }
             // TIM⁺ refinement: greedy coverage on the phase-1 samples gives
             // an alternative lower bound on OPT.
             if !collection.is_empty() {
-                let sel = select_seeds_sequential(collection, n, k);
+                let sel = report.span("refine", |_| select_seeds_sequential(collection, n, k));
+                report.counters.select_iterations += sel.seeds.len() as u64;
                 let eps_prime = std::f64::consts::SQRT_2 * epsilon;
                 let refined = sel.fraction * nf / (1.0 + eps_prime);
-                kpt = kpt.max(refined);
+                *kpt = kpt.max(refined);
             }
             memory.observe_rrr(collection.resident_bytes());
         });
@@ -114,25 +136,34 @@ pub fn tim_plus(graph: &Graph, params: &ImmParams) -> ImmResult {
     let theta = (lambda / kpt.max(1.0)).ceil() as usize;
     if theta > collection.len() {
         let need = theta - collection.len();
+        let old_len = collection.len();
         let collection_ref = &mut collection;
-        let outcome = timers.record(Phase::Sample, || {
+        let outcome = report.span("Sample", |_| {
             sample_batch_sequential(graph, model, &factory, next_index, need, collection_ref)
         });
         sample_work.extend_from_slice(&outcome.work_per_sample);
+        crate::seq::record_batch(&mut report, &collection, old_len, &outcome);
     }
     memory.observe_rrr(collection.resident_bytes());
 
-    let final_sel =
-        timers.record(Phase::SelectSeeds, || select_seeds_sequential(&collection, n, k));
+    let final_sel = report.span("SelectSeeds", |_| {
+        select_seeds_sequential(&collection, n, k)
+    });
+    report.counters.select_iterations += final_sel.seeds.len() as u64;
+    report.counters.rrr_entries = collection.total_entries() as u64;
+    report.counters.rrr_bytes_peak = memory.peak_rrr_bytes as u64;
+    report.counters.theta_final = collection.len() as u64;
+    report.counters.unsorted_pushes = collection.unsorted_pushes();
 
     ImmResult {
         seeds: final_sel.seeds,
         theta: collection.len(),
         coverage_fraction: final_sel.fraction,
         opt_lower_bound: Some(kpt),
-        timers,
+        timers: report.phase_timers(),
         memory,
         sample_work,
+        report,
     }
 }
 

@@ -2,8 +2,7 @@
 
 use proptest::prelude::*;
 use ripples_core::select::{
-    select_seeds_hypergraph, select_seeds_lazy, select_seeds_partitioned,
-    select_seeds_sequential,
+    select_seeds_hypergraph, select_seeds_lazy, select_seeds_partitioned, select_seeds_sequential,
 };
 use ripples_core::theta::{log_binomial, ThetaSchedule};
 use ripples_diffusion::{HyperGraph, RrrCollection};

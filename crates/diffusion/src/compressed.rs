@@ -82,7 +82,10 @@ impl CompressedRrrCollection {
 
     /// Appends a sorted sample (first id absolute, then gap-1 deltas).
     pub fn push(&mut self, vertices: &[Vertex]) {
-        debug_assert!(vertices.windows(2).all(|w| w[0] < w[1]), "sample not sorted");
+        debug_assert!(
+            vertices.windows(2).all(|w| w[0] < w[1]),
+            "sample not sorted"
+        );
         let mut prev: Vertex = 0;
         for (idx, &v) in vertices.iter().enumerate() {
             if idx == 0 {
@@ -299,7 +302,11 @@ mod tests {
         // done in ripples-core's integration tests; here verify coverage
         // consistency directly.
         let covered = (0..plain.len())
-            .filter(|&i| seeds.iter().any(|&s| plain.get(i).binary_search(&s).is_ok()))
+            .filter(|&i| {
+                seeds
+                    .iter()
+                    .any(|&s| plain.get(i).binary_search(&s).is_ok())
+            })
             .count();
         assert!(covered > 0);
     }

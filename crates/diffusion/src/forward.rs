@@ -241,7 +241,8 @@ mod tests {
         let mut hits = 0;
         for t in 0..n {
             let mut rng = SplitMix64::new(5000 + t as u64);
-            if simulate_cascade(&g, DiffusionModel::IndependentCascade, &[0], &mut rng).size() == 2 {
+            if simulate_cascade(&g, DiffusionModel::IndependentCascade, &[0], &mut rng).size() == 2
+            {
                 hits += 1;
             }
         }
@@ -272,14 +273,20 @@ mod tests {
         let f = StreamFactory::new(42);
         let one = estimate_spread(&g, DiffusionModel::IndependentCascade, &[4], 800, &f);
         let two = estimate_spread(&g, DiffusionModel::IndependentCascade, &[0, 4], 800, &f);
-        assert!(two >= one, "adding a seed cannot reduce spread: {one} vs {two}");
+        assert!(
+            two >= one,
+            "adding a seed cannot reduce spread: {one} vs {two}"
+        );
     }
 
     #[test]
     fn zero_trials_zero_spread() {
         let g = path(3, 1.0);
         let f = StreamFactory::new(1);
-        assert_eq!(estimate_spread(&g, DiffusionModel::IndependentCascade, &[0], 0, &f), 0.0);
+        assert_eq!(
+            estimate_spread(&g, DiffusionModel::IndependentCascade, &[0], 0, &f),
+            0.0
+        );
     }
 
     #[test]

@@ -37,7 +37,10 @@ impl HyperGraph {
     /// are ≥ 2³² samples.
     #[must_use]
     pub fn build(sets: RrrCollection, num_vertices: u32) -> Self {
-        assert!(sets.len() < u32::MAX as usize, "too many samples for u32 ids");
+        assert!(
+            sets.len() < u32::MAX as usize,
+            "too many samples for u32 ids"
+        );
         let n = num_vertices as usize;
         let mut counts = vec![0usize; n + 1];
         for set in sets.iter() {

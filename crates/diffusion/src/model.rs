@@ -58,7 +58,10 @@ mod tests {
         ] {
             assert_eq!(DiffusionModel::from_tag(m.tag()), Some(m));
         }
-        assert_eq!(DiffusionModel::from_tag("IC"), Some(DiffusionModel::IndependentCascade));
+        assert_eq!(
+            DiffusionModel::from_tag("IC"),
+            Some(DiffusionModel::IndependentCascade)
+        );
         assert_eq!(DiffusionModel::from_tag("bogus"), None);
     }
 

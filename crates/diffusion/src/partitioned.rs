@@ -270,13 +270,7 @@ mod tests {
     use ripples_graph::{GraphBuilder, WeightModel};
 
     fn graph() -> Graph {
-        erdos_renyi(
-            120,
-            900,
-            WeightModel::UniformRandom { seed: 5 },
-            false,
-            31,
-        )
+        erdos_renyi(120, 900, WeightModel::UniformRandom { seed: 5 }, false, 31)
     }
 
     #[test]
@@ -294,8 +288,9 @@ mod tests {
     fn ownership_is_consistent() {
         let g = graph();
         let size = 4;
-        let parts: Vec<GraphPartition> =
-            (0..size).map(|r| GraphPartition::extract(&g, r, size)).collect();
+        let parts: Vec<GraphPartition> = (0..size)
+            .map(|r| GraphPartition::extract(&g, r, size))
+            .collect();
         for v in 0..g.num_vertices() {
             let owner = GraphPartition::owner_of(v, g.num_vertices(), size);
             assert!(parts[owner as usize].owns(v), "vertex {v} owner {owner}");
@@ -319,7 +314,10 @@ mod tests {
         let g = graph();
         let f = StreamFactory::new(77);
         let mut scratch = RrrScratch::new(g.num_vertices());
-        for model in [DiffusionModel::IndependentCascade, DiffusionModel::LinearThreshold] {
+        for model in [
+            DiffusionModel::IndependentCascade,
+            DiffusionModel::LinearThreshold,
+        ] {
             for idx in 0..50u64 {
                 let root = sample_root(&f, idx, g.num_vertices());
                 let s = vertex_keyed_rrr(&g, model, &f, idx, &mut scratch);

@@ -135,11 +135,23 @@ pub fn generate_rrr<R: RandomSource>(
 /// *"We only store the information in one direction, where each sample in R
 /// is stored as a list of vertices in the corresponding RRR set — sorted by
 /// the vertex ids."* (§3.1). Contrast with [`crate::HyperGraph`].
-#[derive(Clone, Debug, Default, PartialEq, Eq)]
+#[derive(Clone, Debug, Default)]
 pub struct RrrCollection {
     offsets: Vec<usize>,
     data: Vec<Vertex>,
+    /// Samples that arrived unsorted (or with duplicates) and were repaired
+    /// on insert; see [`RrrCollection::push`]. Diagnostic only — excluded
+    /// from equality so repaired collections still compare by content.
+    unsorted_pushes: u64,
 }
+
+impl PartialEq for RrrCollection {
+    fn eq(&self, other: &Self) -> bool {
+        self.offsets == other.offsets && self.data == other.data
+    }
+}
+
+impl Eq for RrrCollection {}
 
 impl RrrCollection {
     /// Creates an empty collection.
@@ -148,6 +160,7 @@ impl RrrCollection {
         Self {
             offsets: vec![0],
             data: Vec::new(),
+            unsorted_pushes: 0,
         }
     }
 
@@ -169,11 +182,34 @@ impl RrrCollection {
         self.data.len()
     }
 
-    /// Appends one sample (must be sorted; checked in debug builds).
+    /// Appends one sample. Samples must be sorted ascending with no
+    /// duplicates — every downstream consumer (binary-search partition
+    /// navigation, merge-style selection, bitwise cross-engine comparison)
+    /// relies on that invariant, and in release builds a `debug_assert`
+    /// would silently let a violation corrupt results. Instead the cheap
+    /// O(len) check always runs; a violating sample is repaired
+    /// (sorted + deduplicated) and counted in
+    /// [`RrrCollection::unsorted_pushes`] so run reports surface the bug
+    /// without poisoning the collection.
     pub fn push(&mut self, vertices: &[Vertex]) {
-        debug_assert!(vertices.windows(2).all(|w| w[0] < w[1]), "sample not sorted");
-        self.data.extend_from_slice(vertices);
+        if vertices.windows(2).all(|w| w[0] < w[1]) {
+            self.data.extend_from_slice(vertices);
+        } else {
+            self.unsorted_pushes += 1;
+            let mut repaired = vertices.to_vec();
+            repaired.sort_unstable();
+            repaired.dedup();
+            self.data.extend_from_slice(&repaired);
+        }
         self.offsets.push(self.data.len());
+    }
+
+    /// Number of pushed samples that violated the sorted/deduped contract
+    /// and were repaired on insert. Nonzero values indicate a generator
+    /// bug; the run report exports this counter.
+    #[must_use]
+    pub fn unsorted_pushes(&self) -> u64 {
+        self.unsorted_pushes
     }
 
     /// The `i`-th sample's sorted vertex list.
@@ -239,7 +275,13 @@ mod tests {
         let g = path(4, 1.0);
         let mut rng = SplitMix64::new(1);
         let mut scratch = RrrScratch::new(4);
-        let s = generate_rrr(&g, DiffusionModel::IndependentCascade, 3, &mut rng, &mut scratch);
+        let s = generate_rrr(
+            &g,
+            DiffusionModel::IndependentCascade,
+            3,
+            &mut rng,
+            &mut scratch,
+        );
         assert_eq!(s.vertices, vec![0, 1, 2, 3]);
     }
 
@@ -248,7 +290,13 @@ mod tests {
         let g = path(4, 0.0);
         let mut rng = SplitMix64::new(1);
         let mut scratch = RrrScratch::new(4);
-        let s = generate_rrr(&g, DiffusionModel::IndependentCascade, 3, &mut rng, &mut scratch);
+        let s = generate_rrr(
+            &g,
+            DiffusionModel::IndependentCascade,
+            3,
+            &mut rng,
+            &mut scratch,
+        );
         assert_eq!(s.vertices, vec![3]);
         assert_eq!(s.edges_examined, 1);
     }
@@ -260,7 +308,13 @@ mod tests {
         let mut scratch = RrrScratch::new(6);
         for root in 0..6 {
             for _ in 0..20 {
-                let s = generate_rrr(&g, DiffusionModel::IndependentCascade, root, &mut rng, &mut scratch);
+                let s = generate_rrr(
+                    &g,
+                    DiffusionModel::IndependentCascade,
+                    root,
+                    &mut rng,
+                    &mut scratch,
+                );
                 assert!(s.vertices.binary_search(&root).is_ok());
             }
         }
@@ -277,7 +331,13 @@ mod tests {
         let g = b.build().unwrap();
         let mut rng = SplitMix64::new(3);
         let mut scratch = RrrScratch::new(4);
-        let s = generate_rrr(&g, DiffusionModel::IndependentCascade, 3, &mut rng, &mut scratch);
+        let s = generate_rrr(
+            &g,
+            DiffusionModel::IndependentCascade,
+            3,
+            &mut rng,
+            &mut scratch,
+        );
         assert_eq!(s.vertices, vec![0, 1, 2, 3]);
     }
 
@@ -292,7 +352,13 @@ mod tests {
         let mut rng = SplitMix64::new(5);
         let mut scratch = RrrScratch::new(10);
         for _ in 0..50 {
-            let s = generate_rrr(&g, DiffusionModel::LinearThreshold, 0, &mut rng, &mut scratch);
+            let s = generate_rrr(
+                &g,
+                DiffusionModel::LinearThreshold,
+                0,
+                &mut rng,
+                &mut scratch,
+            );
             assert!(s.vertices.len() <= 2, "LT grabbed {:?}", s.vertices);
         }
     }
@@ -307,9 +373,15 @@ mod tests {
         let n = 4000;
         let extended = (0..n)
             .filter(|_| {
-                generate_rrr(&g, DiffusionModel::LinearThreshold, 1, &mut rng, &mut scratch)
-                    .vertices
-                    .len()
+                generate_rrr(
+                    &g,
+                    DiffusionModel::LinearThreshold,
+                    1,
+                    &mut rng,
+                    &mut scratch,
+                )
+                .vertices
+                .len()
                     == 2
             })
             .count();
@@ -325,9 +397,15 @@ mod tests {
         let n = 8000;
         let hits = (0..n)
             .filter(|_| {
-                generate_rrr(&g, DiffusionModel::IndependentCascade, 1, &mut rng, &mut scratch)
-                    .vertices
-                    .len()
+                generate_rrr(
+                    &g,
+                    DiffusionModel::IndependentCascade,
+                    1,
+                    &mut rng,
+                    &mut scratch,
+                )
+                .vertices
+                .len()
                     == 2
             })
             .count();
@@ -340,8 +418,20 @@ mod tests {
         let g = path(5, 1.0);
         let mut rng = SplitMix64::new(1);
         let mut scratch = RrrScratch::new(5);
-        let a = generate_rrr(&g, DiffusionModel::IndependentCascade, 4, &mut rng, &mut scratch);
-        let b = generate_rrr(&g, DiffusionModel::IndependentCascade, 0, &mut rng, &mut scratch);
+        let a = generate_rrr(
+            &g,
+            DiffusionModel::IndependentCascade,
+            4,
+            &mut rng,
+            &mut scratch,
+        );
+        let b = generate_rrr(
+            &g,
+            DiffusionModel::IndependentCascade,
+            0,
+            &mut rng,
+            &mut scratch,
+        );
         assert_eq!(a.vertices, vec![0, 1, 2, 3, 4]);
         assert_eq!(b.vertices, vec![0]);
     }
@@ -382,5 +472,75 @@ mod tests {
         let c: RrrCollection = vec![vec![0, 1], vec![2]].into_iter().collect();
         assert_eq!(c.len(), 2);
         assert_eq!(c.get(1), &[2]);
+    }
+
+    #[test]
+    fn unsorted_push_is_repaired_and_counted() {
+        // Runs identically in debug and release: the sortedness check is no
+        // longer a debug_assert, so an unsorted sample can never silently
+        // corrupt binary-search navigation in optimized builds.
+        let mut c = RrrCollection::new();
+        c.push(&[1, 3, 5]);
+        c.push(&[5, 1, 3, 3]); // unsorted + duplicate
+        c.push(&[2, 4]);
+        assert_eq!(c.unsorted_pushes(), 1);
+        assert_eq!(c.get(1), &[1, 3, 5]);
+        assert_eq!(c.partition_slice(1, 2, 6), &[3, 5]);
+        // Sorted pushes leave the counter untouched.
+        assert_eq!(c.get(2), &[2, 4]);
+        let mut clean = RrrCollection::new();
+        clean.push(&[1, 3, 5]);
+        clean.push(&[1, 3, 5]);
+        clean.push(&[2, 4]);
+        assert_eq!(clean.unsorted_pushes(), 0);
+        // Equality compares content only — the diagnostic counter is not
+        // part of the value.
+        assert_eq!(c, clean);
+    }
+
+    #[test]
+    fn scratch_epoch_wraparound_hard_clears() {
+        // After 2^32 samples the epoch counter wraps; begin() must
+        // hard-clear the visited marks so stale entries written at epoch
+        // u32::MAX cannot masquerade as "visited" under the restarted
+        // epoch. We fast-forward the counter instead of generating 2^32
+        // samples.
+        let g = path(5, 1.0);
+        let mut rng = SplitMix64::new(1);
+        let mut scratch = RrrScratch::new(5);
+        scratch.epoch = u32::MAX - 1;
+        let a = generate_rrr(
+            &g,
+            DiffusionModel::IndependentCascade,
+            4,
+            &mut rng,
+            &mut scratch,
+        );
+        assert_eq!(a.vertices, vec![0, 1, 2, 3, 4]);
+        assert_eq!(scratch.epoch, u32::MAX);
+        // Next sample wraps: every mark in visited_epoch equals u32::MAX,
+        // and without the hard clear epoch would restart at 0/1 and either
+        // treat everything as visited or never terminate cleanly.
+        let b = generate_rrr(
+            &g,
+            DiffusionModel::IndependentCascade,
+            4,
+            &mut rng,
+            &mut scratch,
+        );
+        assert_eq!(scratch.epoch, 1, "wrap must reset to a fresh epoch");
+        assert_eq!(
+            b.vertices,
+            vec![0, 1, 2, 3, 4],
+            "stale marks leaked through the wrap"
+        );
+        let c = generate_rrr(
+            &g,
+            DiffusionModel::IndependentCascade,
+            0,
+            &mut rng,
+            &mut scratch,
+        );
+        assert_eq!(c.vertices, vec![0]);
     }
 }

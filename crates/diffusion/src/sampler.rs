@@ -18,6 +18,10 @@ pub struct BatchOutcome {
     /// Per-sample in-edges examined, aligned with the batch's samples; the
     /// work units consumed by the strong-scaling replay model.
     pub work_per_sample: Vec<u64>,
+    /// Sample counts per worker under the contiguous block partition used
+    /// for generation (one entry per worker that received at least one
+    /// sample). Sequential paths report the whole batch as one worker.
+    pub per_worker_samples: Vec<u64>,
 }
 
 impl BatchOutcome {
@@ -33,7 +37,11 @@ impl BatchOutcome {
 /// The root draw is the first draw of the sample's stream ("Select v ∈ V
 /// uniformly at random", Algorithm 3).
 #[inline]
-fn sample_root(graph: &Graph, factory: &StreamFactory, index: u64) -> (Vertex, ripples_rng::SplitMix64) {
+fn sample_root(
+    graph: &Graph,
+    factory: &StreamFactory,
+    index: u64,
+) -> (Vertex, ripples_rng::SplitMix64) {
     let mut rng = factory.sample_stream(index);
     let root = rng.bounded_u64(u64::from(graph.num_vertices())) as Vertex;
     (root, rng)
@@ -73,12 +81,24 @@ pub fn sample_batch(
         .collect();
     let mut outcome = BatchOutcome {
         work_per_sample: Vec::with_capacity(count),
+        per_worker_samples: worker_sample_counts(count, rayon::current_num_threads().max(1)),
     };
     for (vertices, work) in samples {
         out.push(&vertices);
         outcome.work_per_sample.push(work);
     }
     outcome
+}
+
+/// The contiguous block partition of `count` samples over `workers`
+/// threads (how the parallel batch is load-balanced): worker `t` handles
+/// `count·(t+1)/workers − count·t/workers` samples. Zero-sample workers
+/// are omitted.
+fn worker_sample_counts(count: usize, workers: usize) -> Vec<u64> {
+    (0..workers)
+        .map(|t| (count * (t + 1) / workers - count * t / workers) as u64)
+        .filter(|&c| c > 0)
+        .collect()
 }
 
 /// Sequential reference version of [`sample_batch`]; produces bitwise
@@ -98,6 +118,11 @@ pub fn sample_batch_sequential(
     let mut scratch = RrrScratch::new(graph.num_vertices());
     let mut outcome = BatchOutcome {
         work_per_sample: Vec::with_capacity(count),
+        per_worker_samples: if count > 0 {
+            vec![count as u64]
+        } else {
+            Vec::new()
+        },
     };
     for offset in 0..count as u64 {
         let index = first_index + offset;
@@ -116,20 +141,17 @@ mod tests {
     use ripples_graph::WeightModel;
 
     fn graph() -> Graph {
-        erdos_renyi(
-            300,
-            2000,
-            WeightModel::UniformRandom { seed: 3 },
-            false,
-            99,
-        )
+        erdos_renyi(300, 2000, WeightModel::UniformRandom { seed: 3 }, false, 99)
     }
 
     #[test]
     fn parallel_equals_sequential() {
         let g = graph();
         let f = StreamFactory::new(1234);
-        for model in [DiffusionModel::IndependentCascade, DiffusionModel::LinearThreshold] {
+        for model in [
+            DiffusionModel::IndependentCascade,
+            DiffusionModel::LinearThreshold,
+        ] {
             let mut par = RrrCollection::new();
             let mut seq = RrrCollection::new();
             let po = sample_batch(&g, model, &f, 0, 500, &mut par);

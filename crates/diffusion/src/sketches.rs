@@ -17,7 +17,7 @@
 
 use crate::model::DiffusionModel;
 use ripples_graph::{Graph, Vertex};
-use ripples_rng::{RandomSource, SplitMix64};
+use ripples_rng::SplitMix64;
 use std::collections::VecDeque;
 
 /// Per-vertex combined bottom-k sketch over `instances` live-edge samples.
@@ -74,7 +74,7 @@ impl ReachabilitySketches {
             // (sketch propagation walks from a vertex to everything that
             // can reach it).
             let mut rev_adj: Vec<Vec<Vertex>> = vec![Vec::new(); n];
-            let mut edge_rng = SplitMix64::for_stream(seed ^ 0x5E7C_0DE, u64::from(inst));
+            let mut edge_rng = SplitMix64::for_stream(seed ^ 0x05E7_C0DE, u64::from(inst));
             for u in 0..graph.num_vertices() {
                 for (v, p) in graph.out_edges(u) {
                     if edge_rng.unit_f64() < f64::from(p) {
@@ -85,8 +85,10 @@ impl ReachabilitySketches {
             // Independent uniform rank per (vertex, instance).
             let mut order: Vec<(f64, Vertex)> = (0..graph.num_vertices())
                 .map(|v| {
-                    let mut r =
-                        SplitMix64::for_stream(seed ^ 0x5E7C_0DF, (u64::from(inst) << 32) | u64::from(v));
+                    let mut r = SplitMix64::for_stream(
+                        seed ^ 0x05E7_C0DF,
+                        (u64::from(inst) << 32) | u64::from(v),
+                    );
                     (r.unit_f64(), v)
                 })
                 .collect();
@@ -120,8 +122,7 @@ impl ReachabilitySketches {
                 merged.clear();
                 let (mut a, mut b) = (0usize, 0usize);
                 while merged.len() < k && (a < global.len() || b < inst.len()) {
-                    let take_a = b >= inst.len()
-                        || (a < global.len() && global[a] <= inst[b]);
+                    let take_a = b >= inst.len() || (a < global.len() && global[a] <= inst[b]);
                     if take_a {
                         merged.push(global[a]);
                         a += 1;
@@ -206,10 +207,7 @@ mod tests {
         for v in 0..6u32 {
             let expect = f64::from(6 - v);
             let got = sk.estimate_influence(v);
-            assert!(
-                (got - expect).abs() < 1e-9,
-                "vertex {v}: {got} vs {expect}"
-            );
+            assert!((got - expect).abs() < 1e-9, "vertex {v}: {got} vs {expect}");
         }
     }
 
@@ -259,8 +257,20 @@ mod tests {
         let top = sk.ranking()[0];
         // The top sketch pick should be a genuinely high-spread vertex.
         let factory = StreamFactory::new(7);
-        let top_spread = estimate_spread(&g, DiffusionModel::IndependentCascade, &[top], 1_000, &factory);
-        let median_spread = estimate_spread(&g, DiffusionModel::IndependentCascade, &[200], 1_000, &factory);
+        let top_spread = estimate_spread(
+            &g,
+            DiffusionModel::IndependentCascade,
+            &[top],
+            1_000,
+            &factory,
+        );
+        let median_spread = estimate_spread(
+            &g,
+            DiffusionModel::IndependentCascade,
+            &[200],
+            1_000,
+            &factory,
+        );
         assert!(
             top_spread > median_spread,
             "top pick {top} spreads {top_spread} ≤ arbitrary vertex {median_spread}"

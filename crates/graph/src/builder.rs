@@ -80,7 +80,12 @@ impl GraphBuilder {
     }
 
     /// Adds a directed edge with an explicit activation probability.
-    pub fn add_edge(&mut self, source: Vertex, target: Vertex, prob: f32) -> Result<(), GraphError> {
+    pub fn add_edge(
+        &mut self,
+        source: Vertex,
+        target: Vertex,
+        prob: f32,
+    ) -> Result<(), GraphError> {
         if source >= self.num_vertices {
             return Err(GraphError::VertexOutOfRange {
                 vertex: source,
@@ -110,12 +115,7 @@ impl GraphBuilder {
     }
 
     /// Adds both directions of an undirected edge.
-    pub fn add_undirected(
-        &mut self,
-        a: Vertex,
-        b: Vertex,
-        prob: f32,
-    ) -> Result<(), GraphError> {
+    pub fn add_undirected(&mut self, a: Vertex, b: Vertex, prob: f32) -> Result<(), GraphError> {
         self.add_edge(a, b, prob)?;
         self.add_edge(b, a, prob)
     }

@@ -114,9 +114,7 @@ impl Graph {
     /// Iterates every edge as `(source, target, probability)` in forward CSR
     /// order.
     pub fn edges(&self) -> impl Iterator<Item = (Vertex, Vertex, f32)> + '_ {
-        (0..self.num_vertices).flat_map(move |u| {
-            self.out_edges(u).map(move |(v, p)| (u, v, p))
-        })
+        (0..self.num_vertices).flat_map(move |u| self.out_edges(u).map(move |(v, p)| (u, v, p)))
     }
 
     /// True if the directed edge `(u, v)` exists (binary search on the
@@ -192,10 +190,8 @@ impl Graph {
         }
         // Directions agree: every out-edge appears as an in-edge with the
         // same probability.
-        let mut fwd: Vec<(Vertex, Vertex, u32)> = self
-            .edges()
-            .map(|(u, v, p)| (u, v, p.to_bits()))
-            .collect();
+        let mut fwd: Vec<(Vertex, Vertex, u32)> =
+            self.edges().map(|(u, v, p)| (u, v, p.to_bits())).collect();
         let mut rev: Vec<(Vertex, Vertex, u32)> = (0..self.num_vertices)
             .flat_map(|v| self.in_edges(v).map(move |(u, p)| (u, v, p.to_bits())))
             .collect();

@@ -29,8 +29,7 @@ pub fn barabasi_albert(
     let mut rng = SplitMix64::for_stream(seed, 0x4241);
     // Endpoint multiset: vertex v appears deg(v) times.
     let mut endpoints: Vec<Vertex> = Vec::with_capacity(2 * (n as usize) * (attach as usize));
-    let mut arcs: Vec<(Vertex, Vertex)> =
-        Vec::with_capacity(2 * (n as usize) * (attach as usize));
+    let mut arcs: Vec<(Vertex, Vertex)> = Vec::with_capacity(2 * (n as usize) * (attach as usize));
 
     // Seed clique-ish core: a path over the first `attach + 1` vertices so
     // every early vertex has nonzero degree.

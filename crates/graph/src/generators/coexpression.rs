@@ -62,7 +62,10 @@ impl CoexpressionConfig {
 /// Generates an undirected modular co-expression-like network.
 #[must_use]
 pub fn coexpression(config: &CoexpressionConfig, model: WeightModel, lt_normalize: bool) -> Graph {
-    assert!(config.modules >= 1 && config.module_size >= 2, "modules too small");
+    assert!(
+        config.modules >= 1 && config.module_size >= 2,
+        "modules too small"
+    );
     assert!((0.0..=1.0).contains(&config.intra_density));
     assert!((0.0..=1.0).contains(&config.hub_coverage));
     let n = config.num_vertices();
@@ -96,7 +99,11 @@ pub fn coexpression(config: &CoexpressionConfig, model: WeightModel, lt_normaliz
         for b in (a + 1)..config.modules {
             let mut expect = config.inter_edges_per_pair;
             while expect > 0.0 {
-                let fire = if expect >= 1.0 { true } else { rng.unit_f64() < expect };
+                let fire = if expect >= 1.0 {
+                    true
+                } else {
+                    rng.unit_f64() < expect
+                };
                 if fire {
                     let u = a * ms + rng.bounded_u64(u64::from(ms)) as u32;
                     let v = b * ms + rng.bounded_u64(u64::from(ms)) as u32;
@@ -154,10 +161,8 @@ mod tests {
         let cfg = CoexpressionConfig::default();
         let g = coexpression(&cfg, WeightModel::WeightedCascade, false);
         let hub_base = cfg.modules * cfg.module_size;
-        let avg_module_degree: f64 = (0..hub_base)
-            .map(|v| g.out_degree(v) as f64)
-            .sum::<f64>()
-            / f64::from(hub_base);
+        let avg_module_degree: f64 =
+            (0..hub_base).map(|v| g.out_degree(v) as f64).sum::<f64>() / f64::from(hub_base);
         let avg_hub_degree: f64 = (hub_base..g.num_vertices())
             .map(|v| g.out_degree(v) as f64)
             .sum::<f64>()

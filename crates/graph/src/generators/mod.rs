@@ -43,6 +43,10 @@ pub(crate) fn arcs_to_graph(
         // Generators only emit in-range endpoints; treat failure as a bug.
         wb.add_arc(u, v).expect("generator produced invalid arc");
     }
-    let wb = if lt_normalize { wb.normalize_for_lt() } else { wb };
+    let wb = if lt_normalize {
+        wb.normalize_for_lt()
+    } else {
+        wb
+    };
     wb.build().expect("generator produced unbuildable graph")
 }

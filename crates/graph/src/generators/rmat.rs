@@ -71,9 +71,8 @@ pub fn rmat(config: &RmatConfig, model: WeightModel, lt_normalize: bool) -> Grap
     }
     let n: u32 = 1 << config.scale;
     let mut rng = SplitMix64::for_stream(config.seed, 0x524d_4154);
-    let mut arcs: Vec<(Vertex, Vertex)> = Vec::with_capacity(
-        config.edges * if config.undirected { 2 } else { 1 },
-    );
+    let mut arcs: Vec<(Vertex, Vertex)> =
+        Vec::with_capacity(config.edges * if config.undirected { 2 } else { 1 });
     let ab = config.a + config.b;
     let a_frac = if ab > 0.0 { config.a / ab } else { 0.5 };
     let cd = 1.0 - ab;

@@ -87,7 +87,11 @@ pub fn read_edge_list<R: Read>(reader: R, options: EdgeListOptions) -> Result<Gr
                     "literal vertex id {max_id} exceeds u32 range"
                 )));
             }
-            let n = if raw_edges.is_empty() { 0 } else { (max_id + 1) as u32 };
+            let n = if raw_edges.is_empty() {
+                0
+            } else {
+                (max_id + 1) as u32
+            };
             let edges: Vec<(Vertex, Vertex, f32)> = raw_edges
                 .into_iter()
                 .map(|(u, v, p)| (u as Vertex, v as Vertex, p))
@@ -168,7 +172,12 @@ pub fn read_edge_list_file<P: AsRef<Path>>(
 /// Writes the graph as a `source target probability` edge list.
 pub fn write_edge_list<W: Write>(graph: &Graph, writer: W) -> Result<(), GraphError> {
     let mut w = BufWriter::new(writer);
-    writeln!(w, "# ripples-rs edge list: {} vertices, {} edges", graph.num_vertices(), graph.num_edges())?;
+    writeln!(
+        w,
+        "# ripples-rs edge list: {} vertices, {} edges",
+        graph.num_vertices(),
+        graph.num_edges()
+    )?;
     for (u, v, p) in graph.edges() {
         writeln!(w, "{u}\t{v}\t{p}")?;
     }
@@ -223,9 +232,9 @@ pub fn read_binary<R: Read>(reader: R) -> Result<Graph, GraphError> {
         let u = u32::from_le_bytes(edge[0..4].try_into().unwrap());
         let v = u32::from_le_bytes(edge[4..8].try_into().unwrap());
         let p = f32::from_le_bytes(edge[8..12].try_into().unwrap());
-        builder.add_edge(u, v, p).map_err(|e| {
-            GraphError::Corrupt(format!("invalid edge {i}: {e}"))
-        })?;
+        builder
+            .add_edge(u, v, p)
+            .map_err(|e| GraphError::Corrupt(format!("invalid edge {i}: {e}")))?;
     }
     builder.build()
 }

@@ -1,11 +1,10 @@
 //! Graph summary statistics (the columns of the paper's Table 2).
 
 use crate::csr::Graph;
-use serde::{Deserialize, Serialize};
 
 /// The per-graph summary the paper reports in Table 2: vertex count, edge
 /// count, average degree, and maximum degree.
-#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct GraphStats {
     /// Number of vertices.
     pub nodes: u32,

@@ -67,7 +67,11 @@ pub fn induced_subgraph(graph: &Graph, members: &[Vertex]) -> InducedSubgraph {
 /// Splits a graph into the subgraphs induced by a label assignment
 /// (`labels[v]` in `0..community_count`), returned in label order.
 #[must_use]
-pub fn split_by_labels(graph: &Graph, labels: &[u32], community_count: u32) -> Vec<InducedSubgraph> {
+pub fn split_by_labels(
+    graph: &Graph,
+    labels: &[u32],
+    community_count: u32,
+) -> Vec<InducedSubgraph> {
     assert_eq!(
         labels.len(),
         graph.num_vertices() as usize,

@@ -59,7 +59,10 @@ impl fmt::Display for GraphError {
                 "vertex {vertex} out of range for graph with {num_vertices} vertices"
             ),
             GraphError::InvalidProbability { value } => {
-                write!(f, "edge probability {value} is not a finite value in [0, 1]")
+                write!(
+                    f,
+                    "edge probability {value} is not a finite value in [0, 1]"
+                )
             }
             GraphError::Parse { line, message } => {
                 write!(f, "parse error on line {line}: {message}")
@@ -95,7 +98,9 @@ mod tests {
             message: "bad token".into(),
         };
         assert!(e.to_string().contains("line 3"));
-        assert!(GraphError::Corrupt("x".into()).to_string().contains("corrupt"));
+        assert!(GraphError::Corrupt("x".into())
+            .to_string()
+            .contains("corrupt"));
     }
 
     #[test]

@@ -9,10 +9,9 @@
 
 use crate::types::Vertex;
 use ripples_rng::SplitMix64;
-use serde::{Deserialize, Serialize};
 
 /// How activation probabilities are assigned to edges.
-#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub enum WeightModel {
     /// Every edge gets an independent uniform draw from `[0, 1)` — the
     /// paper's setting. The seed makes assignment deterministic.

@@ -2,7 +2,9 @@
 
 use proptest::prelude::*;
 use ripples_graph::builder::DuplicatePolicy;
-use ripples_graph::io::{read_binary, read_edge_list, write_binary, write_edge_list, EdgeListOptions, VertexIds};
+use ripples_graph::io::{
+    read_binary, read_edge_list, write_binary, write_edge_list, EdgeListOptions, VertexIds,
+};
 use ripples_graph::{GraphBuilder, WeightModel};
 
 /// Strategy: a vertex count and an arbitrary edge list over it.

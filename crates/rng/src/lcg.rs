@@ -192,7 +192,8 @@ mod tests {
         let x1 = g.step();
         assert_eq!(
             x1,
-            x0.wrapping_mul(MMIX_MULTIPLIER).wrapping_add(MMIX_INCREMENT)
+            x0.wrapping_mul(MMIX_MULTIPLIER)
+                .wrapping_add(MMIX_INCREMENT)
         );
     }
 

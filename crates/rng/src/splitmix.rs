@@ -53,7 +53,9 @@ impl SplitMix64 {
         // Two mixing rounds decorrelate (seed, index) pairs that differ in
         // few bits; a single round leaves detectable structure when both the
         // seed and the index are small integers.
-        Self::new(mix64(mix64(seed).wrapping_add(index.wrapping_mul(GOLDEN_GAMMA))))
+        Self::new(mix64(
+            mix64(seed).wrapping_add(index.wrapping_mul(GOLDEN_GAMMA)),
+        ))
     }
 
     /// Returns the next 64 random bits.

@@ -16,7 +16,7 @@
 //! The paper-faithful leap-frog mode ([`RankStream`]) is kept for the
 //! distributed implementation benchmarks and for the RNG ablation study.
 
-use crate::{LeapFrog, Lcg64, SplitMix64};
+use crate::{Lcg64, LeapFrog, SplitMix64};
 
 /// Domain-separation tags so that generators for different purposes never
 /// collide even when their logical indices do.
@@ -174,8 +174,9 @@ mod tests {
         let master = 555;
         let world = 3;
         let mut serial = Lcg64::new(master);
-        let mut ranks: Vec<RankStream> =
-            (0..world).map(|r| RankStream::new(master, r, world)).collect();
+        let mut ranks: Vec<RankStream> = (0..world)
+            .map(|r| RankStream::new(master, r, world))
+            .collect();
         for _ in 0..20 {
             for r in ranks.iter_mut() {
                 assert_eq!(r.lf.step(), serial.step());

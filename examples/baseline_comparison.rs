@@ -50,7 +50,10 @@ fn main() {
     let celf_spread = estimate_spread(&graph, model, &celf.seeds, trials, &factory);
     let imm_spread = estimate_spread(&graph, model, &imm.seeds, trials, &factory);
 
-    println!("\n{:<22} {:>12} {:>14} {:>16}", "method", "time_s", "influence", "oracle calls");
+    println!(
+        "\n{:<22} {:>12} {:>14} {:>16}",
+        "method", "time_s", "influence", "oracle calls"
+    );
     println!(
         "{:<22} {:>12.3} {:>14.1} {:>16}",
         "CELF greedy (MC)", celf_secs, celf_spread, celf.evaluations

@@ -85,9 +85,21 @@ fn main() {
             .count()
     };
     println!("\ndesignated regulator hubs recovered in top-{k}:");
-    println!("  IMM         : {:>3} / {}", hub_count(&imm.seeds), config.hubs);
-    println!("  degree      : {:>3} / {}", hub_count(&by_degree), config.hubs);
-    println!("  betweenness : {:>3} / {}", hub_count(&by_betweenness), config.hubs);
+    println!(
+        "  IMM         : {:>3} / {}",
+        hub_count(&imm.seeds),
+        config.hubs
+    );
+    println!(
+        "  degree      : {:>3} / {}",
+        hub_count(&by_degree),
+        config.hubs
+    );
+    println!(
+        "  betweenness : {:>3} / {}",
+        hub_count(&by_betweenness),
+        config.hubs
+    );
     println!(
         "\nInterpretation (mirrors §5): IMM overlaps the topological rankings \
          partially but not fully — it surfaces additional, complementary \

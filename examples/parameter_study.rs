@@ -27,7 +27,10 @@ fn main() {
     let eps = 0.5f64;
     let factory = StreamFactory::new(808);
 
-    println!("# Weight-model sensitivity: {} stand-in, k = {k}, ε = {eps}, IC", spec.name);
+    println!(
+        "# Weight-model sensitivity: {} stand-in, k = {k}, ε = {eps}, IC",
+        spec.name
+    );
     println!(
         "{:<18} {:>10} {:>16} {:>10} {:>12}",
         "weights", "theta", "work/sample", "time_s", "activated"

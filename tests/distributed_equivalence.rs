@@ -57,7 +57,10 @@ fn selfcomm_equals_threadworld_of_one() {
     let p = ImmParams::new(4, 0.5, DiffusionModel::IndependentCascade, 3);
     let a = imm_distributed(&SelfComm::new(), &g, &p);
     let world = ThreadWorld::new(1);
-    let b = world.run(|comm| imm_distributed(comm, &g, &p)).pop().unwrap();
+    let b = world
+        .run(|comm| imm_distributed(comm, &g, &p))
+        .pop()
+        .unwrap();
     assert_eq!(a.seeds, b.seeds);
     assert_eq!(a.theta, b.theta);
 }

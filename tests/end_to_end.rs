@@ -62,7 +62,9 @@ fn imm_seeds_beat_random_seeds() {
     let factory = StreamFactory::new(123);
     let imm_spread = estimate_spread(&graph, model, &result.seeds, 400, &factory);
     // Deterministic arbitrary picks, far from any hub bias.
-    let random: Vec<u32> = (0..8u32).map(|i| (i * 131 + 7) % graph.num_vertices()).collect();
+    let random: Vec<u32> = (0..8u32)
+        .map(|i| (i * 131 + 7) % graph.num_vertices())
+        .collect();
     let random_spread = estimate_spread(&graph, model, &random, 400, &factory);
     assert!(
         imm_spread > random_spread,

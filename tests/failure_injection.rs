@@ -11,10 +11,10 @@ use ripples_rng::StreamFactory;
 #[test]
 fn malformed_edge_lists_are_rejected_not_panicked() {
     for bad in [
-        "0\n",              // missing target
-        "a b\n",            // non-numeric
-        "0 1 nope\n",       // bad probability
-        "0 1 0.5 extra\n",  // too many fields
+        "0\n",             // missing target
+        "a b\n",           // non-numeric
+        "0 1 nope\n",      // bad probability
+        "0 1 0.5 extra\n", // too many fields
     ] {
         let err = read_edge_list(bad.as_bytes(), EdgeListOptions::default())
             .expect_err(&format!("{bad:?} should fail"));
@@ -101,7 +101,11 @@ fn disconnected_components_all_reachable() {
     let p = ImmParams::new(2, 0.5, DiffusionModel::IndependentCascade, 5);
     let r = immopt_sequential(&g, &p);
     let sides: Vec<bool> = r.seeds.iter().map(|&s| s < 10).collect();
-    assert_ne!(sides[0], sides[1], "both seeds landed in one component: {:?}", r.seeds);
+    assert_ne!(
+        sides[0], sides[1],
+        "both seeds landed in one component: {:?}",
+        r.seeds
+    );
 }
 
 #[test]

@@ -14,13 +14,17 @@ fn immopt_saves_memory_on_standins() {
     // stand-ins (at reduced size) and require savings in a generous band.
     for name in ["cit-HepTh", "com-DBLP"] {
         let spec = standin(name).unwrap();
-        let g = spec.build(spec.default_divisor * 8, WeightModel::UniformRandom { seed: 3 }, false);
+        let g = spec.build(
+            spec.default_divisor * 8,
+            WeightModel::UniformRandom { seed: 3 },
+            false,
+        );
         let p = ImmParams::new(5, 0.5, DiffusionModel::IndependentCascade, 7);
         let baseline = imm_baseline(&g, &p);
         let opt = immopt_sequential(&g, &p);
         assert_eq!(baseline.seeds, opt.seeds, "{name}: outputs must agree");
-        let savings = 1.0
-            - opt.memory.peak_rrr_bytes as f64 / baseline.memory.peak_rrr_bytes as f64;
+        let savings =
+            1.0 - opt.memory.peak_rrr_bytes as f64 / baseline.memory.peak_rrr_bytes as f64;
         assert!(
             savings > 0.10,
             "{name}: savings {:.1}% below the paper's band (baseline {} vs opt {})",

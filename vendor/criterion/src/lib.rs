@@ -1,0 +1,243 @@
+//! Offline stand-in for `criterion`, covering the subset the workspace's
+//! benches use: `Criterion::benchmark_group`, `sample_size`, `throughput`,
+//! `bench_function`, `bench_with_input`, `Bencher::iter`, `BenchmarkId`,
+//! `Throughput`, and the `criterion_group!` / `criterion_main!` macros.
+//!
+//! Statistics are intentionally minimal: each benchmark runs a short
+//! adaptive timing loop and prints the mean per-iteration wall-clock. The
+//! point is that `cargo bench` compiles and produces comparable numbers
+//! offline, not publication-grade confidence intervals.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Opaque measurement of how much work one iteration performs.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Iterations process this many logical elements.
+    Elements(u64),
+    /// Iterations process this many bytes.
+    Bytes(u64),
+}
+
+/// A benchmark identifier, optionally parameterized.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id combining a function name and a parameter value.
+    pub fn new(name: impl Into<String>, parameter: impl Display) -> Self {
+        Self {
+            id: format!("{}/{parameter}", name.into()),
+        }
+    }
+
+    /// An id carrying only a parameter value.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        Self {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        Self { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        Self { id: s }
+    }
+}
+
+/// Times closures handed to [`BenchmarkGroup::bench_function`].
+#[derive(Debug, Default)]
+pub struct Bencher {
+    samples: Vec<Duration>,
+    target_samples: usize,
+}
+
+impl Bencher {
+    /// Runs `f` repeatedly (one warm-up plus a few timed samples) and
+    /// records per-iteration timings.
+    pub fn iter<R>(&mut self, mut f: impl FnMut() -> R) {
+        std::hint::black_box(f());
+        let samples = self.target_samples.max(1);
+        // Cap total measurement time so heavyweight benches stay usable.
+        let budget = Duration::from_millis(500);
+        let started = Instant::now();
+        for _ in 0..samples {
+            let t0 = Instant::now();
+            std::hint::black_box(f());
+            self.samples.push(t0.elapsed());
+            if started.elapsed() > budget {
+                break;
+            }
+        }
+    }
+
+    fn mean(&self) -> Option<Duration> {
+        if self.samples.is_empty() {
+            return None;
+        }
+        Some(self.samples.iter().sum::<Duration>() / self.samples.len() as u32)
+    }
+}
+
+/// A named collection of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets how many timed samples each benchmark takes.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n;
+        self
+    }
+
+    /// Declares per-iteration throughput, reported alongside timings.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Runs one benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut b = Bencher {
+            samples: Vec::new(),
+            // Keep the shim loop count modest regardless of requested size.
+            target_samples: self.sample_size.clamp(1, 10),
+        };
+        f(&mut b);
+        self.report(&id, &b);
+        self
+    }
+
+    /// Runs one benchmark with an explicit input value.
+    pub fn bench_with_input<I, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        I: ?Sized,
+        F: FnMut(&mut Bencher, &I),
+    {
+        let id = id.into();
+        let mut b = Bencher {
+            samples: Vec::new(),
+            target_samples: self.sample_size.clamp(1, 10),
+        };
+        f(&mut b, input);
+        self.report(&id, &b);
+        self
+    }
+
+    /// Finalizes the group (printing happens per-benchmark; this is a
+    /// no-op kept for API compatibility).
+    pub fn finish(self) {}
+
+    fn report(&self, id: &BenchmarkId, b: &Bencher) {
+        match b.mean() {
+            Some(mean) => {
+                let extra = match self.throughput {
+                    Some(Throughput::Elements(n)) if mean.as_secs_f64() > 0.0 => {
+                        format!(" ({:.3e} elem/s)", n as f64 / mean.as_secs_f64())
+                    }
+                    Some(Throughput::Bytes(n)) if mean.as_secs_f64() > 0.0 => {
+                        format!(" ({:.3e} B/s)", n as f64 / mean.as_secs_f64())
+                    }
+                    _ => String::new(),
+                };
+                println!(
+                    "bench {}/{}: {:?} mean over {} samples{extra}",
+                    self.name,
+                    id.id,
+                    mean,
+                    b.samples.len()
+                );
+            }
+            None => println!("bench {}/{}: no samples", self.name, id.id),
+        }
+    }
+}
+
+/// Top-level benchmark driver (mirrors `criterion::Criterion`).
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: 3,
+            throughput: None,
+            _criterion: self,
+        }
+    }
+}
+
+/// Prevents the compiler from optimizing away a value (re-export of
+/// `std::hint::black_box` under criterion's name).
+pub fn black_box<T>(value: T) -> T {
+    std::hint::black_box(value)
+}
+
+/// Declares a group-runner function from benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares `main` from group-runner functions.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_bench(c: &mut Criterion) {
+        let mut group = c.benchmark_group("shim");
+        group.sample_size(10).throughput(Throughput::Elements(64));
+        group.bench_function("sum", |b| b.iter(|| (0..64u64).sum::<u64>()));
+        group.bench_with_input(BenchmarkId::new("scaled", 4), &4u64, |b, &n| {
+            b.iter(|| n * 2)
+        });
+        group.finish();
+    }
+
+    criterion_group!(benches, sample_bench);
+
+    #[test]
+    fn group_runs_every_benchmark() {
+        benches();
+    }
+}

@@ -1,0 +1,128 @@
+//! Offline stand-in for `parking_lot`, backed by `std::sync` primitives.
+//!
+//! Exposes the subset this workspace uses: [`Mutex`] whose `lock` returns a
+//! guard directly (no poison `Result`), and [`Condvar`] whose `wait` takes
+//! the guard by `&mut` rather than by value. Poisoned std locks are
+//! recovered transparently, matching parking_lot's no-poisoning semantics.
+
+use std::ops::{Deref, DerefMut};
+use std::sync::PoisonError;
+
+/// A mutual-exclusion primitive (mirrors `parking_lot::Mutex`).
+#[derive(Debug, Default)]
+pub struct Mutex<T> {
+    inner: std::sync::Mutex<T>,
+}
+
+impl<T> Mutex<T> {
+    /// Creates a mutex protecting `value`.
+    pub const fn new(value: T) -> Self {
+        Self {
+            inner: std::sync::Mutex::new(value),
+        }
+    }
+
+    /// Acquires the lock, blocking until available. Never poisons.
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        MutexGuard {
+            inner: Some(self.inner.lock().unwrap_or_else(PoisonError::into_inner)),
+        }
+    }
+
+    /// Consumes the mutex, returning the protected value.
+    pub fn into_inner(self) -> T {
+        self.inner
+            .into_inner()
+            .unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+/// RAII guard returned by [`Mutex::lock`].
+///
+/// Wraps the std guard in an `Option` so [`Condvar::wait`] can temporarily
+/// take ownership through an `&mut` reference (parking_lot's signature).
+#[derive(Debug)]
+pub struct MutexGuard<'a, T> {
+    inner: Option<std::sync::MutexGuard<'a, T>>,
+}
+
+impl<T> Deref for MutexGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        self.inner.as_ref().expect("guard present")
+    }
+}
+
+impl<T> DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        self.inner.as_mut().expect("guard present")
+    }
+}
+
+/// A condition variable (mirrors `parking_lot::Condvar`).
+#[derive(Debug, Default)]
+pub struct Condvar {
+    inner: std::sync::Condvar,
+}
+
+impl Condvar {
+    /// Creates a new condition variable.
+    pub const fn new() -> Self {
+        Self {
+            inner: std::sync::Condvar::new(),
+        }
+    }
+
+    /// Atomically releases the lock held by `guard` and blocks until
+    /// notified, reacquiring the lock before returning.
+    pub fn wait<T>(&self, guard: &mut MutexGuard<'_, T>) {
+        let std_guard = guard.inner.take().expect("guard present");
+        let std_guard = self
+            .inner
+            .wait(std_guard)
+            .unwrap_or_else(PoisonError::into_inner);
+        guard.inner = Some(std_guard);
+    }
+
+    /// Wakes one blocked waiter.
+    pub fn notify_one(&self) {
+        self.inner.notify_one();
+    }
+
+    /// Wakes all blocked waiters.
+    pub fn notify_all(&self) {
+        self.inner.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn wait_notify_round_trip() {
+        let state = Arc::new((Mutex::new(0u32), Condvar::new()));
+        let s2 = Arc::clone(&state);
+        let handle = std::thread::spawn(move || {
+            let (m, cv) = &*s2;
+            let mut g = m.lock();
+            *g = 1;
+            cv.notify_all();
+            while *g != 2 {
+                cv.wait(&mut g);
+            }
+        });
+        let (m, cv) = &*state;
+        {
+            let mut g = m.lock();
+            while *g != 1 {
+                cv.wait(&mut g);
+            }
+            *g = 2;
+            cv.notify_all();
+        }
+        handle.join().unwrap();
+        assert_eq!(*m.lock(), 2);
+    }
+}

@@ -1,0 +1,558 @@
+//! Offline stand-in for `rayon`, exposing the subset this workspace uses
+//! with genuine data parallelism built on `std::thread::scope`.
+//!
+//! Covered surface:
+//! - `(a..b).into_par_iter()` over `u32` / `u64` / `usize` ranges, with
+//!   `.map(..)`, `.map_init(..)`, `.for_each(..)`, `.collect()`, `.sum()`,
+//!   and `.reduce(identity, op)` consumers;
+//! - `slice.par_chunks(n)` with the same consumers;
+//! - `rayon::scope(|s| s.spawn(..))` fork–join scopes;
+//! - `ThreadPoolBuilder` / `ThreadPool::install` (implemented as a
+//!   thread-count override for the duration of the closure);
+//! - `current_num_threads()`.
+//!
+//! Work is split into at most `current_num_threads()` contiguous index
+//! chunks, one OS thread per chunk. That preserves rayon's semantics for
+//! every call site in this workspace (all of which are order-independent
+//! or collect in index order) while keeping the implementation small
+//! enough to audit. Results are always recombined in index order, so
+//! `collect` is deterministic regardless of thread count.
+
+use std::cell::Cell;
+use std::fmt;
+use std::ops::Range;
+
+/// Re-exports that `use rayon::prelude::*` is expected to bring in scope.
+pub mod prelude {
+    pub use crate::{IntoParallelIterator, ParallelSlice};
+}
+
+// ---------------------------------------------------------------------------
+// Thread-count configuration.
+
+thread_local! {
+    /// Per-thread override installed by [`ThreadPool::install`]; 0 = unset.
+    static POOL_THREADS: Cell<usize> = const { Cell::new(0) };
+}
+
+fn default_num_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// The number of worker threads parallel operations will use, honouring an
+/// enclosing [`ThreadPool::install`].
+#[must_use]
+pub fn current_num_threads() -> usize {
+    let o = POOL_THREADS.with(Cell::get);
+    if o > 0 {
+        o
+    } else {
+        default_num_threads()
+    }
+}
+
+/// Error returned by [`ThreadPoolBuilder::build`]. Never produced by this
+/// shim; exists for signature compatibility.
+#[derive(Debug)]
+pub struct ThreadPoolBuildError {
+    _private: (),
+}
+
+impl fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("thread pool build error")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+/// Builder for a [`ThreadPool`] (mirrors `rayon::ThreadPoolBuilder`).
+#[derive(Debug, Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: usize,
+}
+
+impl ThreadPoolBuilder {
+    /// Creates a builder with the default configuration.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the worker-thread count (0 = use the machine default).
+    #[must_use]
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self.num_threads = n;
+        self
+    }
+
+    /// Builds the pool. Infallible in this shim.
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        Ok(ThreadPool {
+            threads: self.num_threads,
+        })
+    }
+}
+
+/// A scoped thread-count configuration (mirrors `rayon::ThreadPool`).
+///
+/// The shim spawns threads per parallel call rather than keeping a resident
+/// pool, so "installing" the pool just pins [`current_num_threads`] for the
+/// duration of the closure — which is the only property the workspace's
+/// call sites rely on.
+#[derive(Debug)]
+pub struct ThreadPool {
+    threads: usize,
+}
+
+impl ThreadPool {
+    /// Runs `op` with this pool's thread count as the ambient parallelism.
+    pub fn install<R>(&self, op: impl FnOnce() -> R) -> R {
+        struct Restore(usize);
+        impl Drop for Restore {
+            fn drop(&mut self) {
+                POOL_THREADS.with(|c| c.set(self.0));
+            }
+        }
+        let threads = if self.threads == 0 {
+            default_num_threads()
+        } else {
+            self.threads
+        };
+        let _restore = Restore(POOL_THREADS.with(|c| c.replace(threads)));
+        op()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Fork–join scopes.
+
+/// A fork–join scope handle (mirrors `rayon::Scope`).
+pub struct Scope<'scope, 'env: 'scope> {
+    inner: &'scope std::thread::Scope<'scope, 'env>,
+}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    /// Spawns `body` onto the scope; all spawned work completes before
+    /// [`scope`] returns.
+    pub fn spawn<F>(&self, body: F)
+    where
+        F: FnOnce(&Scope<'scope, 'env>) + Send + 'scope,
+    {
+        let inner = self.inner;
+        inner.spawn(move || body(&Scope { inner }));
+    }
+}
+
+/// Creates a fork–join scope: `f` may spawn tasks borrowing from the
+/// enclosing stack frame; all of them finish before `scope` returns.
+pub fn scope<'env, F, R>(f: F) -> R
+where
+    F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+{
+    std::thread::scope(|s| f(&Scope { inner: s }))
+}
+
+// ---------------------------------------------------------------------------
+// Indexed parallel sources.
+
+/// A source of `len()` independent items addressable by index.
+///
+/// This is the shim's replacement for rayon's producer/consumer machinery:
+/// every parallel iterator in the workspace is an indexed source plus a
+/// per-item mapping, so chunked evaluation over index ranges is sufficient.
+pub trait IndexedSource: Sync {
+    /// The item produced for each index.
+    type Item;
+    /// Number of items.
+    fn len(&self) -> usize;
+    /// Produces the item at `index` (< `len()`).
+    fn item(&self, index: usize) -> Self::Item;
+    /// True if the source is empty.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// Integer index types usable as range endpoints.
+pub trait RangeIndex: Copy + Send + Sync {
+    /// `self + offset`, assuming no overflow (ranges are validated).
+    fn offset(self, by: usize) -> Self;
+    /// Distance from `self` to `end` as a `usize`, saturating at 0.
+    fn distance_to(self, end: Self) -> usize;
+}
+
+macro_rules! impl_range_index {
+    ($($t:ty),*) => {$(
+        impl RangeIndex for $t {
+            #[allow(clippy::cast_possible_truncation)]
+            fn offset(self, by: usize) -> Self {
+                self + by as $t
+            }
+            fn distance_to(self, end: Self) -> usize {
+                if end > self { (end - self) as usize } else { 0 }
+            }
+        }
+    )*};
+}
+
+impl_range_index!(u32, u64, usize);
+
+/// Indexed source over an integer range.
+pub struct RangeSource<T> {
+    start: T,
+    len: usize,
+}
+
+impl<T: RangeIndex> IndexedSource for RangeSource<T> {
+    type Item = T;
+    fn len(&self) -> usize {
+        self.len
+    }
+    fn item(&self, index: usize) -> T {
+        self.start.offset(index)
+    }
+}
+
+/// Indexed source over fixed-size sub-slices of a slice.
+pub struct ChunkSource<'a, T> {
+    slice: &'a [T],
+    chunk: usize,
+}
+
+impl<'a, T: Sync> IndexedSource for ChunkSource<'a, T> {
+    type Item = &'a [T];
+    fn len(&self) -> usize {
+        self.slice.len().div_ceil(self.chunk)
+    }
+    fn item(&self, index: usize) -> &'a [T] {
+        let lo = index * self.chunk;
+        let hi = (lo + self.chunk).min(self.slice.len());
+        &self.slice[lo..hi]
+    }
+}
+
+/// Conversion into a parallel iterator (mirrors
+/// `rayon::iter::IntoParallelIterator`).
+pub trait IntoParallelIterator {
+    /// The parallel-iterator type produced.
+    type Iter;
+    /// Converts `self` into a parallel iterator.
+    fn into_par_iter(self) -> Self::Iter;
+}
+
+macro_rules! impl_into_par_iter_range {
+    ($($t:ty),*) => {$(
+        impl IntoParallelIterator for Range<$t> {
+            type Iter = ParIter<RangeSource<$t>>;
+            fn into_par_iter(self) -> Self::Iter {
+                ParIter {
+                    source: RangeSource {
+                        start: self.start,
+                        len: self.start.distance_to(self.end),
+                    },
+                }
+            }
+        }
+    )*};
+}
+
+impl_into_par_iter_range!(u32, u64, usize);
+
+/// `par_chunks` entry point for slices (mirrors `rayon::slice::ParallelSlice`).
+pub trait ParallelSlice<T: Sync> {
+    /// Parallel iterator over contiguous chunks of length `chunk` (the last
+    /// chunk may be shorter).
+    fn par_chunks(&self, chunk: usize) -> ParIter<ChunkSource<'_, T>>;
+}
+
+impl<T: Sync> ParallelSlice<T> for [T] {
+    fn par_chunks(&self, chunk: usize) -> ParIter<ChunkSource<'_, T>> {
+        assert!(chunk > 0, "chunk size must be positive");
+        ParIter {
+            source: ChunkSource { slice: self, chunk },
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Chunked execution engine.
+
+/// Splits `0..len` into at most `current_num_threads()` contiguous chunks,
+/// evaluates each on its own thread, and returns per-chunk results in index
+/// order. Runs inline when one thread suffices.
+fn run_chunks<R, F>(len: usize, eval: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(usize, Range<usize>) -> R + Sync,
+{
+    if len == 0 {
+        return Vec::new();
+    }
+    let threads = current_num_threads().clamp(1, len);
+    if threads == 1 {
+        return vec![eval(0, 0..len)];
+    }
+    let bounds: Vec<Range<usize>> = (0..threads)
+        .map(|t| (len * t / threads)..(len * (t + 1) / threads))
+        .collect();
+    std::thread::scope(|s| {
+        let mut handles = Vec::with_capacity(threads - 1);
+        let eval = &eval;
+        for (t, range) in bounds.iter().enumerate().skip(1) {
+            let range = range.clone();
+            handles.push(s.spawn(move || eval(t, range)));
+        }
+        let first = eval(0, bounds[0].clone());
+        let mut out = Vec::with_capacity(threads);
+        out.push(first);
+        for h in handles {
+            out.push(h.join().expect("parallel worker panicked"));
+        }
+        out
+    })
+}
+
+/// Collection types constructible from ordered parallel results (mirrors
+/// `rayon::iter::FromParallelIterator` for the cases the workspace uses).
+pub trait FromParallelIterator<T> {
+    /// Builds the collection from items already in index order.
+    fn from_ordered(items: Vec<T>) -> Self;
+}
+
+impl<T> FromParallelIterator<T> for Vec<T> {
+    fn from_ordered(items: Vec<T>) -> Self {
+        items
+    }
+}
+
+/// A parallel iterator over an indexed source.
+pub struct ParIter<S> {
+    source: S,
+}
+
+impl<S: IndexedSource> ParIter<S> {
+    /// Applies `f` to every item in parallel.
+    pub fn map<F, R>(self, f: F) -> MapIter<S, F>
+    where
+        F: Fn(S::Item) -> R + Sync,
+    {
+        MapIter {
+            source: self.source,
+            f,
+        }
+    }
+
+    /// Like [`ParIter::map`], with a per-worker scratch value created by
+    /// `init` (mirrors rayon's `map_init`).
+    pub fn map_init<I, T, F, R>(self, init: I, f: F) -> MapInitIter<S, I, F>
+    where
+        I: Fn() -> T + Sync,
+        F: Fn(&mut T, S::Item) -> R + Sync,
+    {
+        MapInitIter {
+            source: self.source,
+            init,
+            f,
+        }
+    }
+
+    /// Runs `f` on every item in parallel.
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn(S::Item) + Sync,
+    {
+        let source = &self.source;
+        run_chunks(source.len(), |_, range| {
+            for i in range {
+                f(source.item(i));
+            }
+        });
+    }
+}
+
+/// Result of [`ParIter::map`].
+pub struct MapIter<S, F> {
+    source: S,
+    f: F,
+}
+
+impl<S, F, R> MapIter<S, F>
+where
+    S: IndexedSource,
+    F: Fn(S::Item) -> R + Sync,
+    R: Send,
+{
+    /// Collects mapped items in index order.
+    pub fn collect<C: FromParallelIterator<R>>(self) -> C {
+        let source = &self.source;
+        let f = &self.f;
+        let chunks = run_chunks(source.len(), |_, range| {
+            range.map(|i| f(source.item(i))).collect::<Vec<R>>()
+        });
+        C::from_ordered(chunks.into_iter().flatten().collect())
+    }
+
+    /// Sums mapped items.
+    pub fn sum<T>(self) -> T
+    where
+        T: std::iter::Sum<R> + std::iter::Sum<T> + Send,
+    {
+        let source = &self.source;
+        let f = &self.f;
+        run_chunks(source.len(), |_, range| {
+            range.map(|i| f(source.item(i))).sum::<T>()
+        })
+        .into_iter()
+        .sum()
+    }
+
+    /// Reduces mapped items with `op`, using `identity` as the neutral
+    /// element (mirrors rayon's `reduce`: `op` must be associative and
+    /// `identity()` a left/right identity for it).
+    pub fn reduce<ID, OP>(self, identity: ID, op: OP) -> R
+    where
+        ID: Fn() -> R + Sync,
+        OP: Fn(R, R) -> R + Sync,
+    {
+        let source = &self.source;
+        let f = &self.f;
+        let op = &op;
+        run_chunks(source.len(), |_, range| {
+            range.map(|i| f(source.item(i))).fold(identity(), op)
+        })
+        .into_iter()
+        .fold(identity(), op)
+    }
+}
+
+/// Result of [`ParIter::map_init`].
+pub struct MapInitIter<S, I, F> {
+    source: S,
+    init: I,
+    f: F,
+}
+
+impl<S, I, T, F, R> MapInitIter<S, I, F>
+where
+    S: IndexedSource,
+    I: Fn() -> T + Sync,
+    F: Fn(&mut T, S::Item) -> R + Sync,
+    R: Send,
+{
+    /// Collects mapped items in index order; each worker chunk gets one
+    /// scratch value from `init`.
+    pub fn collect<C: FromParallelIterator<R>>(self) -> C {
+        let source = &self.source;
+        let init = &self.init;
+        let f = &self.f;
+        let chunks = run_chunks(source.len(), |_, range| {
+            let mut scratch = init();
+            range
+                .map(|i| f(&mut scratch, source.item(i)))
+                .collect::<Vec<R>>()
+        });
+        C::from_ordered(chunks.into_iter().flatten().collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    #[test]
+    fn range_map_collect_in_order() {
+        let v: Vec<u64> = (0u64..1000).into_par_iter().map(|i| i * 2).collect();
+        assert_eq!(v.len(), 1000);
+        assert!(v.iter().enumerate().all(|(i, &x)| x == 2 * i as u64));
+    }
+
+    #[test]
+    fn map_sum_matches_sequential() {
+        let s: u64 = (0u32..10_000).into_par_iter().map(u64::from).sum();
+        assert_eq!(s, 9_999 * 10_000 / 2);
+    }
+
+    #[test]
+    fn map_init_counts_every_item() {
+        let v: Vec<u32> = (0u32..257)
+            .into_par_iter()
+            .map_init(
+                || 0u32,
+                |acc, i| {
+                    *acc += 1;
+                    i
+                },
+            )
+            .collect();
+        assert_eq!(v, (0u32..257).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn par_chunks_reduce() {
+        let data: Vec<u64> = (0..503).collect();
+        let total = data
+            .par_chunks(64)
+            .map(|c| c.iter().sum::<u64>())
+            .reduce(|| 0, |a, b| a + b);
+        assert_eq!(total, 502 * 503 / 2);
+    }
+
+    #[test]
+    fn for_each_visits_all() {
+        let hits = AtomicU64::new(0);
+        (0usize..777).into_par_iter().for_each(|_| {
+            hits.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(hits.load(Ordering::Relaxed), 777);
+    }
+
+    #[test]
+    fn scope_joins_spawned_work() {
+        let mut parts = vec![0u64; 4];
+        {
+            let mut rest: &mut [u64] = &mut parts;
+            scope(|s| {
+                for i in 0..4u64 {
+                    let (head, tail) = rest.split_at_mut(1);
+                    rest = tail;
+                    s.spawn(move |_| head[0] = i + 1);
+                }
+            });
+        }
+        assert_eq!(parts, vec![1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn scope_returns_value() {
+        let out: Vec<usize> = scope(|s| {
+            s.spawn(|_| {});
+            vec![1, 2, 3]
+        });
+        assert_eq!(out, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn install_pins_thread_count() {
+        let pool = ThreadPoolBuilder::new().num_threads(3).build().unwrap();
+        assert_eq!(pool.install(current_num_threads), 3);
+        let nested = ThreadPoolBuilder::new().num_threads(1).build().unwrap();
+        pool.install(|| {
+            assert_eq!(nested.install(current_num_threads), 1);
+            assert_eq!(current_num_threads(), 3);
+        });
+    }
+
+    #[test]
+    #[allow(clippy::reversed_empty_ranges)] // inverted ranges are the point
+    fn empty_range_is_fine() {
+        let v: Vec<u32> = (5u32..5).into_par_iter().map(|i| i).collect();
+        assert!(v.is_empty());
+        let s: u64 = (5u64..2).into_par_iter().map(|_| 1u64).sum();
+        assert_eq!(s, 0);
+    }
+}
