@@ -1,0 +1,190 @@
+//! `perf_snapshot` — perf-trajectory benchmark harness.
+//!
+//! Runs a small fixed matrix of (engine × synthetic graph) configurations
+//! and writes one dated JSON snapshot (`BENCH_<date>.json`) so the repo
+//! accumulates a performance trajectory over time: each PR can commit a
+//! fresh snapshot and regressions show up as a diff against the previous
+//! file instead of being lost to CI log rotation.
+//!
+//! ```text
+//! perf_snapshot [--out DIR] [--date YYYY-MM-DD] [--quick]
+//! ```
+//!
+//! - `--out DIR` — output directory (default `results/`).
+//! - `--date`    — override the UTC date stamp in the file name.
+//! - `--quick`   — smaller graphs, for CI smoke runs.
+//!
+//! The schema (`ripples-perf-snapshot-v1`) is documented in
+//! `EXPERIMENTS.md`; every record carries the wall time plus the key
+//! [`RunReport`](ripples_core::obs::RunReport) counters so a snapshot is
+//! interpretable on its own, without re-running anything.
+
+use ripples_bench::{measure, Args};
+use ripples_comm::ThreadWorld;
+use ripples_core::{
+    dist::imm_distributed, dist_partitioned::imm_partitioned, mt::imm_multithreaded,
+    seq::immopt_sequential, ImmParams, ImmResult,
+};
+use ripples_diffusion::DiffusionModel;
+use ripples_graph::generators::{barabasi_albert, erdos_renyi};
+use ripples_graph::{Graph, WeightModel};
+use std::fmt::Write as _;
+
+/// Gregorian civil date from days since the Unix epoch (Howard Hinnant's
+/// `civil_from_days` algorithm) — keeps the binary dependency-free.
+fn civil_from_days(z: i64) -> (i64, u32, u32) {
+    let z = z + 719_468;
+    let era = if z >= 0 { z } else { z - 146_096 } / 146_097;
+    let doe = (z - era * 146_097) as u64;
+    let yoe = (doe - doe / 1460 + doe / 36_524 - doe / 146_096) / 365;
+    let y = yoe as i64 + era * 400;
+    let doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
+    let mp = (5 * doy + 2) / 153;
+    let d = (doy - (153 * mp + 2) / 5 + 1) as u32;
+    let m = if mp < 10 { mp + 3 } else { mp - 9 } as u32;
+    (if m <= 2 { y + 1 } else { y }, m, d)
+}
+
+fn today_utc() -> String {
+    let secs = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0);
+    let (y, m, d) = civil_from_days((secs / 86_400) as i64);
+    format!("{y:04}-{m:02}-{d:02}")
+}
+
+struct Config {
+    graph_name: &'static str,
+    engine: &'static str,
+}
+
+fn build_graph(name: &str, quick: bool) -> Graph {
+    let scale = if quick { 4 } else { 1 };
+    let weights = WeightModel::UniformRandom { seed: 7 };
+    match name {
+        "er-sparse" => erdos_renyi(2000 / scale, 16_000 / scale as usize, weights, false, 42),
+        "ba-hubs" => barabasi_albert(2000 / scale, 8, weights, false, 42),
+        other => panic!("unknown snapshot graph `{other}`"),
+    }
+}
+
+fn run_engine(engine: &str, graph: &Graph, params: &ImmParams) -> ImmResult {
+    match engine {
+        "opt" => immopt_sequential(graph, params),
+        "mt" => imm_multithreaded(graph, params, 0),
+        "dist" => {
+            let world = ThreadWorld::new(2);
+            world
+                .run(|comm| imm_distributed(comm, graph, params))
+                .pop()
+                .expect("at least one rank")
+        }
+        "partitioned" => {
+            let world = ThreadWorld::new(2);
+            world
+                .run(|comm| imm_partitioned(comm, graph, params))
+                .pop()
+                .expect("at least one rank")
+        }
+        other => panic!("unknown snapshot engine `{other}`"),
+    }
+}
+
+fn main() {
+    let args = Args::from_env();
+    let quick = args.flag("quick");
+    let out_dir = args.get("out").unwrap_or("results").to_string();
+    let date = args
+        .get("date")
+        .map(str::to_string)
+        .unwrap_or_else(today_utc);
+
+    let matrix = [
+        Config {
+            graph_name: "er-sparse",
+            engine: "opt",
+        },
+        Config {
+            graph_name: "er-sparse",
+            engine: "mt",
+        },
+        Config {
+            graph_name: "er-sparse",
+            engine: "dist",
+        },
+        Config {
+            graph_name: "ba-hubs",
+            engine: "mt",
+        },
+        Config {
+            graph_name: "ba-hubs",
+            engine: "partitioned",
+        },
+    ];
+
+    let params = ImmParams::new(16, 0.5, DiffusionModel::IndependentCascade, 0);
+    let mut records = String::new();
+    for (i, config) in matrix.iter().enumerate() {
+        let graph = build_graph(config.graph_name, quick);
+        let (result, wall) = measure(|| run_engine(config.engine, &graph, &params));
+        let c = &result.report.counters;
+        eprintln!(
+            "{}/{}: {} on {} ({} vertices): {:.3}s theta={}",
+            i + 1,
+            matrix.len(),
+            config.engine,
+            config.graph_name,
+            graph.num_vertices(),
+            wall.as_secs_f64(),
+            result.theta
+        );
+        if i > 0 {
+            records.push(',');
+        }
+        let comm = match &result.report.comm {
+            Some(cc) => format!(
+                "{{\"allreduce_calls\":{},\"barrier_calls\":{},\"broadcast_calls\":{},\"allgather_calls\":{},\"bytes_moved\":{}}}",
+                cc.allreduce_calls, cc.barrier_calls, cc.broadcast_calls, cc.allgather_calls, cc.bytes_moved
+            ),
+            None => "null".to_string(),
+        };
+        write!(
+            records,
+            "\n    {{\"engine\":\"{}\",\"graph\":\"{}\",\"vertices\":{},\"edges\":{},\"k\":{},\"epsilon\":{},\"wall_s\":{:.6},\"theta\":{},\"theta_rounds\":{},\"samples_generated\":{},\"edges_examined\":{},\"rrr_entries\":{},\"rrr_bytes_peak\":{},\"select_iterations\":{},\"comm\":{}}}",
+            config.engine,
+            config.graph_name,
+            graph.num_vertices(),
+            graph.num_edges(),
+            params.k,
+            params.epsilon,
+            wall.as_secs_f64(),
+            result.theta,
+            c.theta_rounds,
+            c.samples_generated,
+            c.edges_examined,
+            c.rrr_entries,
+            c.rrr_bytes_peak,
+            c.select_iterations,
+            comm,
+        )
+        .expect("writing to String cannot fail");
+    }
+
+    let threads = std::thread::available_parallelism().map_or(1, |p| p.get());
+    let json = format!(
+        "{{\n  \"schema\": \"ripples-perf-snapshot-v1\",\n  \"date\": \"{date}\",\n  \"quick\": {quick},\n  \"host\": {{\"threads\": {threads}}},\n  \"configs\": [{records}\n  ]\n}}\n",
+    );
+    ripples_trace::validate_json(&json).expect("snapshot must be valid JSON");
+
+    if let Err(e) = std::fs::create_dir_all(&out_dir) {
+        eprintln!("error: cannot create {out_dir}: {e}");
+        std::process::exit(1);
+    }
+    let path = format!("{out_dir}/BENCH_{date}.json");
+    if let Err(e) = std::fs::write(&path, &json) {
+        eprintln!("error: cannot write {path}: {e}");
+        std::process::exit(1);
+    }
+    eprintln!("snapshot written to {path}");
+}

@@ -8,18 +8,28 @@
 //!         [--engine opt|baseline|mt|dist|partitioned|community|celf|tim|degdiscount]
 //!         [--model ic|lt] [--k K] [--epsilon E] [--seed S]
 //!         [--threads T | --ranks R] [--simulate TRIALS]
-//!         [--report pretty|json]
+//!         [--report pretty|json] [--report-out FILE]
+//!         [--trace FILE] [--trace-buffer EVENTS]
 //! ripples --standin com-Orkut --scale-div 64 ...
 //! ```
 //!
 //! `--report` prints the engine's full [`RunReport`] (phase span tree, work
 //! counters, RRR size histogram, communication accounting) to stderr —
-//! `pretty` for humans, `json` for one machine-readable line. Seeds stay on
+//! `pretty` (alias `text`) for humans, `json` for one machine-readable
+//! line; `--report-out FILE` writes it to a file instead. Seeds stay on
 //! stdout either way. Heuristic engines (community, celf, degdiscount) run
 //! no IMM pipeline and emit no report.
+//!
+//! `--trace FILE` enables the structured event tracer for the run and
+//! writes a Chrome Trace Event Format JSON file (open in `chrome://tracing`
+//! or <https://ui.perfetto.dev>; one track per worker thread / rank).
+//! `--trace-buffer` caps the per-worker ring size in events (default
+//! 16384, env `RIPPLES_TRACE_BUFFER`); overflowing events are dropped and
+//! counted, never blocking the run.
 
 use ripples_bench::Args;
 use ripples_comm::ThreadWorld;
+use ripples_core::obs::trace;
 use ripples_core::{
     celf::celf_greedy,
     community::community_imm,
@@ -101,6 +111,14 @@ fn main() {
     let params = ImmParams::new(k, epsilon, model, seed);
     let engine = args.get("engine").unwrap_or("mt").to_string();
 
+    let trace_path = args.get("trace").map(str::to_string);
+    if trace_path.is_some() {
+        let capacity = args
+            .get("trace-buffer")
+            .map(|s| s.parse().expect("--trace-buffer takes an event count"));
+        trace::start(capacity);
+    }
+
     let start = std::time::Instant::now();
     let (seeds, detail, report) = match engine.as_str() {
         "opt" => {
@@ -173,11 +191,50 @@ fn main() {
     eprintln!("engine={engine} model={model} k={k} epsilon={epsilon}: {detail}");
     eprintln!("time: {:.3}s", elapsed.as_secs_f64());
 
+    if let Some(path) = &trace_path {
+        trace::stop();
+        // Engines attach the merged timeline to their report; heuristic
+        // engines have no report, so drain whatever the process recorded.
+        let merged = report
+            .as_ref()
+            .and_then(|r| r.trace.clone())
+            .unwrap_or_else(trace::collect_all);
+        match std::fs::write(path, merged.to_chrome_json()) {
+            Ok(()) => eprintln!(
+                "trace: {} events ({} dropped) written to {path}",
+                merged.len(),
+                merged.dropped
+            ),
+            Err(e) => {
+                eprintln!("error: cannot write trace {path}: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+
     if let Some(mode) = args.get("report") {
-        match (&report, mode) {
-            (Some(rep), "json") => eprintln!("{}", rep.to_json()),
-            (Some(rep), _) => eprintln!("{}", rep.render_pretty()),
-            (None, _) => eprintln!("engine `{engine}` does not produce a run report"),
+        let rendered = match (&report, mode) {
+            (Some(rep), "json") => Some(rep.to_json()),
+            (Some(rep), "pretty" | "text") => Some(rep.render_pretty()),
+            (Some(rep), other) => {
+                eprintln!("warning: unknown --report mode `{other}`; rendering pretty");
+                Some(rep.render_pretty())
+            }
+            (None, _) => {
+                eprintln!("engine `{engine}` does not produce a run report");
+                None
+            }
+        };
+        if let Some(text) = rendered {
+            match args.get("report-out") {
+                Some(path) => {
+                    if let Err(e) = std::fs::write(path, &text) {
+                        eprintln!("error: cannot write report {path}: {e}");
+                        std::process::exit(1);
+                    }
+                }
+                None => eprintln!("{text}"),
+            }
         }
     }
 

@@ -53,6 +53,24 @@ impl StatsCell {
     }
 }
 
+/// Runs a collective body under a trace span carrying the payload byte
+/// count, when tracing is enabled; otherwise the only cost is one relaxed
+/// load and a branch.
+pub(crate) fn traced<T>(
+    name: ripples_trace::TraceName,
+    payload_bytes: u64,
+    f: impl FnOnce() -> T,
+) -> T {
+    if ripples_trace::enabled() {
+        let t0 = std::time::Instant::now();
+        let out = f();
+        ripples_trace::complete(name, t0, payload_bytes, 0);
+        out
+    } else {
+        f()
+    }
+}
+
 /// The message-passing interface the distributed IMM algorithm requires.
 ///
 /// Implementations must guarantee MPI collective semantics: every rank of

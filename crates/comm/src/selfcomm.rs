@@ -1,6 +1,7 @@
 //! The single-rank communicator.
 
-use crate::communicator::{CommStats, Communicator, StatsCell};
+use crate::communicator::{traced, CommStats, Communicator, StatsCell};
+use ripples_trace::TraceName;
 
 /// A world of one rank: every collective is the identity.
 ///
@@ -32,6 +33,7 @@ impl Communicator for SelfComm {
         self.stats
             .barrier_calls
             .set(self.stats.barrier_calls.get() + 1);
+        traced(TraceName::CommBarrier, 0, || {});
     }
 
     fn all_reduce_sum_u64(&self, _buf: &mut [u64]) {
@@ -39,20 +41,21 @@ impl Communicator for SelfComm {
             .allreduce_calls
             .set(self.stats.allreduce_calls.get() + 1);
         // One rank: no bytes move.
+        traced(TraceName::CommAllReduce, 0, || {});
     }
 
     fn all_reduce_sum_f64(&self, value: f64) -> f64 {
         self.stats
             .allreduce_calls
             .set(self.stats.allreduce_calls.get() + 1);
-        value
+        traced(TraceName::CommAllReduce, 0, || value)
     }
 
     fn all_reduce_max_f64(&self, value: f64) -> f64 {
         self.stats
             .allreduce_calls
             .set(self.stats.allreduce_calls.get() + 1);
-        value
+        traced(TraceName::CommAllReduce, 0, || value)
     }
 
     fn broadcast_u64(&self, root: u32, value: u64) -> u64 {
@@ -60,21 +63,21 @@ impl Communicator for SelfComm {
         self.stats
             .broadcast_calls
             .set(self.stats.broadcast_calls.get() + 1);
-        value
+        traced(TraceName::CommBroadcast, 0, || value)
     }
 
     fn all_gather_u64(&self, value: u64) -> Vec<u64> {
         self.stats
             .allgather_calls
             .set(self.stats.allgather_calls.get() + 1);
-        vec![value]
+        traced(TraceName::CommAllGather, 0, || vec![value])
     }
 
     fn all_gather_u64_list(&self, items: &[u64]) -> Vec<Vec<u64>> {
         self.stats
             .allgather_calls
             .set(self.stats.allgather_calls.get() + 1);
-        vec![items.to_vec()]
+        traced(TraceName::CommAllGather, 0, || vec![items.to_vec()])
     }
 
     fn stats(&self) -> CommStats {

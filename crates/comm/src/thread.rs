@@ -10,8 +10,9 @@
 //! correct; modeled costs for real networks come from
 //! [`crate::costmodel`], not from timing this loopback implementation.
 
-use crate::communicator::{CommStats, Communicator, StatsCell};
+use crate::communicator::{traced, CommStats, Communicator, StatsCell};
 use parking_lot::{Condvar, Mutex};
+use ripples_trace::TraceName;
 use std::sync::Arc;
 
 struct BarrierState {
@@ -147,7 +148,7 @@ impl Communicator for ThreadComm {
         self.stats
             .barrier_calls
             .set(self.stats.barrier_calls.get() + 1);
-        self.shared.barrier_wait();
+        traced(TraceName::CommBarrier, 0, || self.shared.barrier_wait());
     }
 
     fn all_reduce_sum_u64(&self, buf: &mut [u64]) {
@@ -156,27 +157,29 @@ impl Communicator for ThreadComm {
             .set(self.stats.allreduce_calls.get() + 1);
         self.stats
             .charge_log_rounds(8 * buf.len() as u64, self.shared.size);
-        if self.shared.size == 1 {
-            return;
-        }
-        {
-            let mut slots = self.shared.u64_slots.lock();
-            let slot = &mut slots[self.rank as usize];
-            slot.clear();
-            slot.extend_from_slice(buf);
-        }
-        self.shared.barrier_wait();
-        {
-            let slots = self.shared.u64_slots.lock();
-            buf.fill(0);
-            for contribution in slots.iter() {
-                debug_assert_eq!(contribution.len(), buf.len(), "ragged all-reduce");
-                for (acc, &x) in buf.iter_mut().zip(contribution) {
-                    *acc += x;
+        traced(TraceName::CommAllReduce, 8 * buf.len() as u64, || {
+            if self.shared.size == 1 {
+                return;
+            }
+            {
+                let mut slots = self.shared.u64_slots.lock();
+                let slot = &mut slots[self.rank as usize];
+                slot.clear();
+                slot.extend_from_slice(buf);
+            }
+            self.shared.barrier_wait();
+            {
+                let slots = self.shared.u64_slots.lock();
+                buf.fill(0);
+                for contribution in slots.iter() {
+                    debug_assert_eq!(contribution.len(), buf.len(), "ragged all-reduce");
+                    for (acc, &x) in buf.iter_mut().zip(contribution) {
+                        *acc += x;
+                    }
                 }
             }
-        }
-        self.shared.barrier_wait();
+            self.shared.barrier_wait();
+        });
     }
 
     fn all_reduce_sum_f64(&self, value: f64) -> f64 {
@@ -193,21 +196,23 @@ impl Communicator for ThreadComm {
             .broadcast_calls
             .set(self.stats.broadcast_calls.get() + 1);
         self.stats.charge_log_rounds(8, self.shared.size);
-        if self.shared.size == 1 {
-            return value;
-        }
-        if self.rank == root {
-            let mut slots = self.shared.u64_slots.lock();
-            slots[root as usize].clear();
-            slots[root as usize].push(value);
-        }
-        self.shared.barrier_wait();
-        let result = {
-            let slots = self.shared.u64_slots.lock();
-            slots[root as usize][0]
-        };
-        self.shared.barrier_wait();
-        result
+        traced(TraceName::CommBroadcast, 8, || {
+            if self.shared.size == 1 {
+                return value;
+            }
+            if self.rank == root {
+                let mut slots = self.shared.u64_slots.lock();
+                slots[root as usize].clear();
+                slots[root as usize].push(value);
+            }
+            self.shared.barrier_wait();
+            let result = {
+                let slots = self.shared.u64_slots.lock();
+                slots[root as usize][0]
+            };
+            self.shared.barrier_wait();
+            result
+        })
     }
 
     fn all_gather_u64(&self, value: u64) -> Vec<u64> {
@@ -216,22 +221,28 @@ impl Communicator for ThreadComm {
             .set(self.stats.allgather_calls.get() + 1);
         self.stats
             .charge_log_rounds(8 * u64::from(self.shared.size), self.shared.size);
-        if self.shared.size == 1 {
-            return vec![value];
-        }
-        {
-            let mut slots = self.shared.u64_slots.lock();
-            let slot = &mut slots[self.rank as usize];
-            slot.clear();
-            slot.push(value);
-        }
-        self.shared.barrier_wait();
-        let result: Vec<u64> = {
-            let slots = self.shared.u64_slots.lock();
-            slots.iter().map(|s| s[0]).collect()
-        };
-        self.shared.barrier_wait();
-        result
+        traced(
+            TraceName::CommAllGather,
+            8 * u64::from(self.shared.size),
+            || {
+                if self.shared.size == 1 {
+                    return vec![value];
+                }
+                {
+                    let mut slots = self.shared.u64_slots.lock();
+                    let slot = &mut slots[self.rank as usize];
+                    slot.clear();
+                    slot.push(value);
+                }
+                self.shared.barrier_wait();
+                let result: Vec<u64> = {
+                    let slots = self.shared.u64_slots.lock();
+                    slots.iter().map(|s| s[0]).collect()
+                };
+                self.shared.barrier_wait();
+                result
+            },
+        )
     }
 
     fn all_gather_u64_list(&self, items: &[u64]) -> Vec<Vec<u64>> {
@@ -241,22 +252,24 @@ impl Communicator for ThreadComm {
         // Modeled volume: every rank ends up holding every list.
         self.stats
             .charge_log_rounds(8 * items.len() as u64, self.shared.size);
-        if self.shared.size == 1 {
-            return vec![items.to_vec()];
-        }
-        {
-            let mut slots = self.shared.u64_slots.lock();
-            let slot = &mut slots[self.rank as usize];
-            slot.clear();
-            slot.extend_from_slice(items);
-        }
-        self.shared.barrier_wait();
-        let result: Vec<Vec<u64>> = {
-            let slots = self.shared.u64_slots.lock();
-            slots.iter().cloned().collect()
-        };
-        self.shared.barrier_wait();
-        result
+        traced(TraceName::CommAllGather, 8 * items.len() as u64, || {
+            if self.shared.size == 1 {
+                return vec![items.to_vec()];
+            }
+            {
+                let mut slots = self.shared.u64_slots.lock();
+                let slot = &mut slots[self.rank as usize];
+                slot.clear();
+                slot.extend_from_slice(items);
+            }
+            self.shared.barrier_wait();
+            let result: Vec<Vec<u64>> = {
+                let slots = self.shared.u64_slots.lock();
+                slots.iter().cloned().collect()
+            };
+            self.shared.barrier_wait();
+            result
+        })
     }
 
     fn stats(&self) -> CommStats {
@@ -270,20 +283,22 @@ impl ThreadComm {
             .allreduce_calls
             .set(self.stats.allreduce_calls.get() + 1);
         self.stats.charge_log_rounds(8, self.shared.size);
-        if self.shared.size == 1 {
-            return value;
-        }
-        {
-            let mut slots = self.shared.f64_slots.lock();
-            slots[self.rank as usize] = value;
-        }
-        self.shared.barrier_wait();
-        let result = {
-            let slots = self.shared.f64_slots.lock();
-            slots.iter().copied().fold(identity, op)
-        };
-        self.shared.barrier_wait();
-        result
+        traced(TraceName::CommAllReduce, 8, || {
+            if self.shared.size == 1 {
+                return value;
+            }
+            {
+                let mut slots = self.shared.f64_slots.lock();
+                slots[self.rank as usize] = value;
+            }
+            self.shared.barrier_wait();
+            let result = {
+                let slots = self.shared.f64_slots.lock();
+                slots.iter().copied().fold(identity, op)
+            };
+            self.shared.barrier_wait();
+            result
+        })
     }
 }
 

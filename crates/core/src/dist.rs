@@ -98,8 +98,11 @@ pub(crate) fn select_seeds_distributed<C: Communicator>(
                 _ => best = Some((c, v as Vertex)),
             }
         }
-        let Some((_, v)) = best else { break };
+        let Some((gain, v)) = best else { break };
         selected[v as usize] = true;
+        if crate::obs::trace::enabled() {
+            crate::obs::trace::mark(crate::obs::trace::TraceName::SelectStep, u64::from(v), gain);
+        }
         seeds.push(v);
 
         // Purge local samples containing v; accumulate counter decrements.
@@ -283,6 +286,9 @@ pub fn imm_distributed_full<C: Communicator>(
     let model: DiffusionModel = params.model;
     let rank = comm.rank();
     let size = comm.size();
+    // Tag this rank thread's event ring so the merged trace shows one
+    // process track per rank.
+    crate::obs::trace::set_thread_rank(rank);
 
     let mut report = RunReport::new("dist");
     let comm_before = comm.stats();
@@ -404,6 +410,11 @@ pub fn imm_distributed_full<C: Communicator>(
     report.counters.unsorted_pushes = local.unsorted_pushes();
     globalize_counters(comm, &mut report);
     report.comm = Some(CommCounters::delta(&comm_before, &comm.stats()));
+    if crate::obs::trace::enabled() {
+        // Collective: every rank contributes its timeline and every rank
+        // receives the same rank-tagged merge.
+        report.trace = Some(crate::obs::trace::gather_trace(comm));
+    }
 
     ImmResult {
         seeds,

@@ -162,6 +162,9 @@ pub fn imm_partitioned<C: Communicator>(comm: &C, graph: &Graph, params: &ImmPar
     let factory = StreamFactory::new(params.seed);
     let model = params.model;
     let partition = GraphPartition::extract(graph, comm.rank(), comm.size());
+    // Tag this rank thread's event ring so the merged trace shows one
+    // process track per rank.
+    crate::obs::trace::set_thread_rank(comm.rank());
 
     let mut report = RunReport::new("partitioned");
     let comm_before = comm.stats();
@@ -277,6 +280,11 @@ pub fn imm_partitioned<C: Communicator>(comm: &C, graph: &Graph, params: &ImmPar
     report.counters.unsorted_pushes = local.unsorted_pushes();
     crate::dist::globalize_counters(comm, &mut report);
     report.comm = Some(CommCounters::delta(&comm_before, &comm.stats()));
+    if crate::obs::trace::enabled() {
+        // Collective: every rank contributes its timeline and every rank
+        // receives the same rank-tagged merge.
+        report.trace = Some(crate::obs::trace::gather_trace(comm));
+    }
 
     ImmResult {
         seeds,

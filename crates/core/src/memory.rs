@@ -25,9 +25,14 @@ impl MemoryStats {
         self.peak_rrr_bytes + self.counter_bytes + self.graph_bytes
     }
 
-    /// Records a new RRR-storage observation, keeping the peak.
+    /// Records a new RRR-storage observation, keeping the peak. When
+    /// tracing is enabled, the sample also lands on the event timeline as
+    /// an `rrr-bytes` counter track.
     pub fn observe_rrr(&mut self, bytes: usize) {
         self.peak_rrr_bytes = self.peak_rrr_bytes.max(bytes);
+        if crate::obs::trace::enabled() {
+            crate::obs::trace::counter(crate::obs::trace::TraceName::RrrBytes, bytes as u64);
+        }
     }
 
     /// Formats a byte count as mebibytes (the paper's Table 2 unit).

@@ -16,7 +16,14 @@
 //! Exporters are dependency-free: [`RunReport::to_json`] emits a single
 //! machine-readable JSON object, [`RunReport::render_pretty`] an indented
 //! human-readable text block. The `ripples` CLI exposes both behind
-//! `--report text|json`.
+//! `--report pretty|json` (`text` is accepted as an alias for `pretty`).
+//!
+//! Aggregates answer *how much*; the [`trace`] submodule answers *when and
+//! where*: when tracing is enabled (CLI `--trace <file>`), every span exit,
+//! sampler chunk, selection step, and collective also lands on a per-worker
+//! event timeline attached to the report as [`RunReport::trace`].
+
+pub mod trace;
 
 use crate::phases::{Phase, PhaseTimers};
 use ripples_comm::CommStats;
@@ -256,6 +263,11 @@ pub struct RunReport {
     pub thread_samples: Histogram,
     /// Communication accounting; `None` for the shared-memory engines.
     pub comm: Option<CommCounters>,
+    /// The merged event timeline, when the run executed with tracing
+    /// enabled ([`trace::start`]); `None` otherwise. Its
+    /// [`trace::Trace::dropped`] counter reports events lost to full ring
+    /// buffers, so truncated traces are never silent.
+    pub trace: Option<trace::Trace>,
     spans: Vec<SpanNode>,
     open: Vec<OpenSpan>,
 }
@@ -270,6 +282,7 @@ impl RunReport {
             rrr_sizes: Histogram::new(),
             thread_samples: Histogram::new(),
             comm: None,
+            trace: None,
             spans: Vec::new(),
             open: Vec::new(),
         }
@@ -289,6 +302,10 @@ impl RunReport {
     /// the root list). A stray `exit` with no open span is a no-op.
     pub fn exit(&mut self) {
         let Some(open) = self.open.pop() else { return };
+        if trace::enabled() {
+            let (name, arg0) = trace::span_trace_name(&open.name);
+            trace::complete(name, open.start, arg0, 0);
+        }
         let node = SpanNode {
             name: open.name,
             nanos: open.start.elapsed().as_nanos(),
@@ -390,6 +407,13 @@ impl RunReport {
                 );
             }
         }
+        out.push_str(",\"trace\":");
+        match &self.trace {
+            None => out.push_str("null"),
+            Some(t) => {
+                let _ = write!(out, "{{\"events\":{},\"dropped\":{}}}", t.len(), t.dropped);
+            }
+        }
         out.push_str(",\"spans\":");
         json_spans(&mut out, &self.spans);
         out.push('}');
@@ -439,6 +463,9 @@ impl RunReport {
                 cc.barrier_calls,
                 cc.bytes_moved
             );
+        }
+        if let Some(t) = &self.trace {
+            let _ = writeln!(out, "trace:\n  events {}  dropped {}", t.len(), t.dropped);
         }
         out
     }

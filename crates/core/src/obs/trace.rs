@@ -1,0 +1,80 @@
+//! Structured event tracing for IMM runs.
+//!
+//! This module re-exports the [`ripples_trace`] tracer (see that crate for
+//! the ring-buffer design and the Chrome Trace Event export) and adds the
+//! one piece that needs the communicator: gathering per-rank timelines into
+//! a single rank-tagged [`Trace`].
+//!
+//! # Lifecycle
+//!
+//! 1. The harness (CLI `--trace`, or a test) calls [`start`] before the run.
+//! 2. The engines, the sampler, and the communicator backends record events
+//!    whenever [`enabled`] — every [`super::RunReport`] span exit becomes a
+//!    Chrome `X` event, every parallel sampling block a `sample-chunk`
+//!    span, every greedy selection step a `select-step` mark, and every
+//!    collective a span carrying its payload bytes.
+//! 3. At run end the engine attaches the merged timeline to
+//!    `RunReport::trace`: shared-memory engines via [`collect_all`] (one
+//!    track per worker thread), distributed engines via [`gather_trace`]
+//!    (one process per rank, gathered over the communicator).
+//! 4. The harness calls [`stop`] and exports with [`Trace::to_chrome_json`].
+
+pub use ripples_trace::{
+    collect_all, complete, counter, enabled, encode_thread_events, mark, ns_since_epoch,
+    set_thread_rank, start, stop, validate_json, EventKind, Trace, TraceEvent, TraceName,
+    TraceRecord, CAPACITY_ENV, DEFAULT_CAPACITY,
+};
+
+use ripples_comm::Communicator;
+
+/// Gathers every rank's main-thread events over `comm` into one merged,
+/// rank-tagged trace. A collective: every rank of the world must call it,
+/// and every rank returns the same merged trace.
+///
+/// Each rank contributes the events recorded on its calling (rank) thread —
+/// engine spans, selection marks, collectives, and the sampling chunk it
+/// executed itself. Sampling chunks executed on short-lived worker threads
+/// stay in the process-local ring pool (visible to [`collect_all`], used by
+/// the shared-memory engines) rather than being attributed to a rank.
+pub fn gather_trace<C: Communicator + ?Sized>(comm: &C) -> Trace {
+    let mine = encode_thread_events();
+    let buffers = comm.all_gather_u64_list(&mine);
+    Trace::from_rank_buffers(&buffers)
+}
+
+/// Maps a [`super::RunReport`] span label to its trace catalog entry plus a
+/// numeric argument (the round index for `round-N` spans, else 0).
+#[must_use]
+pub fn span_trace_name(label: &str) -> (TraceName, u64) {
+    if let Some(idx) = label.strip_prefix("round-") {
+        return (TraceName::Round, idx.parse().unwrap_or(0));
+    }
+    let name = match label {
+        "EstimateTheta" => TraceName::EstimateTheta,
+        "Sample" | "sample" => TraceName::SampleBatch,
+        "SelectSeeds" => TraceName::SelectSeeds,
+        "select" => TraceName::Select,
+        _ => TraceName::Generic,
+    };
+    (name, 0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn span_labels_map_to_catalog() {
+        assert_eq!(
+            span_trace_name("EstimateTheta"),
+            (TraceName::EstimateTheta, 0)
+        );
+        assert_eq!(span_trace_name("round-7"), (TraceName::Round, 7));
+        assert_eq!(span_trace_name("round-x"), (TraceName::Round, 0));
+        assert_eq!(span_trace_name("sample"), (TraceName::SampleBatch, 0));
+        assert_eq!(span_trace_name("Sample"), (TraceName::SampleBatch, 0));
+        assert_eq!(span_trace_name("select"), (TraceName::Select, 0));
+        assert_eq!(span_trace_name("SelectSeeds"), (TraceName::SelectSeeds, 0));
+        assert_eq!(span_trace_name("warmup"), (TraceName::Generic, 0));
+    }
+}

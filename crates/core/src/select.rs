@@ -87,6 +87,13 @@ pub fn select_seeds_sequential(collection: &RrrCollection, n: u32, k: u32) -> Se
             break;
         };
         selected[v as usize] = true;
+        if crate::obs::trace::enabled() {
+            crate::obs::trace::mark(
+                crate::obs::trace::TraceName::SelectStep,
+                u64::from(v),
+                counters[v as usize],
+            );
+        }
         gains.push(counters[v as usize]);
         seeds.push(v);
         for (j, cov) in covered.iter_mut().enumerate() {
@@ -169,6 +176,13 @@ pub fn select_seeds_partitioned(
             break;
         };
         selected[v as usize] = true;
+        if crate::obs::trace::enabled() {
+            crate::obs::trace::mark(
+                crate::obs::trace::TraceName::SelectStep,
+                u64::from(v),
+                counters[v as usize],
+            );
+        }
         gains.push(counters[v as usize]);
         seeds.push(v);
 

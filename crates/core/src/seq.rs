@@ -157,6 +157,9 @@ pub(crate) fn run_imm_compact(
     report.counters.rrr_bytes_peak = memory.peak_rrr_bytes as u64;
     report.counters.theta_final = collection.len() as u64;
     report.counters.unsorted_pushes = collection.unsorted_pushes();
+    if crate::obs::trace::enabled() {
+        report.trace = Some(crate::obs::trace::collect_all());
+    }
     ImmResult {
         seeds: final_sel.seeds,
         theta: collection.len(),
@@ -432,6 +435,9 @@ pub fn imm_baseline_with_options(
     report.counters.rrr_entries = storage.sets.iter().map(|s| s.len() as u64).sum();
     report.counters.rrr_bytes_peak = memory.peak_rrr_bytes as u64;
     report.counters.theta_final = storage.len() as u64;
+    if crate::obs::trace::enabled() {
+        report.trace = Some(crate::obs::trace::collect_all());
+    }
     ImmResult {
         seeds: final_sel.seeds,
         theta: storage.len(),

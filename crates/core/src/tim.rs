@@ -154,6 +154,9 @@ pub fn tim_plus(graph: &Graph, params: &ImmParams) -> ImmResult {
     report.counters.rrr_bytes_peak = memory.peak_rrr_bytes as u64;
     report.counters.theta_final = collection.len() as u64;
     report.counters.unsorted_pushes = collection.unsorted_pushes();
+    if crate::obs::trace::enabled() {
+        report.trace = Some(crate::obs::trace::collect_all());
+    }
 
     ImmResult {
         seeds: final_sel.seeds,

@@ -65,27 +65,52 @@ pub fn sample_batch(
         count == 0 || graph.num_vertices() > 0,
         "cannot sample from an empty graph"
     );
-    // Parallel generation into per-sample vectors; append preserves index
-    // order so the collection layout is deterministic.
-    let samples: Vec<(Vec<Vertex>, u64)> = (0..count as u64)
+    // Parallel generation over the contiguous block partition of
+    // `worker_sample_counts`, one block per worker; blocks are re-appended
+    // in index order so the collection layout is deterministic, and each
+    // sample's content depends only on its global index, so the result is
+    // identical for any worker count. Each non-empty block emits one
+    // `sample-chunk` trace span, giving the timeline a per-worker view of
+    // batch load imbalance.
+    let workers = rayon::current_num_threads().max(1);
+    let nchunks = workers.min(count.max(1));
+    let chunks: Vec<Vec<(Vec<Vertex>, u64)>> = (0..nchunks as u64)
         .into_par_iter()
         .map_init(
             || RrrScratch::new(graph.num_vertices()),
-            |scratch, offset| {
-                let index = first_index + offset;
-                let (root, mut rng) = sample_root(graph, factory, index);
-                let s = generate_rrr(graph, model, root, &mut rng, scratch);
-                (s.vertices, s.edges_examined)
+            |scratch, chunk| {
+                let chunk = chunk as usize;
+                let lo = count * chunk / nchunks;
+                let hi = count * (chunk + 1) / nchunks;
+                let t0 = (hi > lo && ripples_trace::enabled()).then(std::time::Instant::now);
+                let mut block = Vec::with_capacity(hi - lo);
+                for offset in lo..hi {
+                    let index = first_index + offset as u64;
+                    let (root, mut rng) = sample_root(graph, factory, index);
+                    let s = generate_rrr(graph, model, root, &mut rng, scratch);
+                    block.push((s.vertices, s.edges_examined));
+                }
+                if let Some(t0) = t0 {
+                    ripples_trace::complete(
+                        ripples_trace::TraceName::SampleChunk,
+                        t0,
+                        first_index + lo as u64,
+                        (hi - lo) as u64,
+                    );
+                }
+                block
             },
         )
         .collect();
     let mut outcome = BatchOutcome {
         work_per_sample: Vec::with_capacity(count),
-        per_worker_samples: worker_sample_counts(count, rayon::current_num_threads().max(1)),
+        per_worker_samples: worker_sample_counts(count, workers),
     };
-    for (vertices, work) in samples {
-        out.push(&vertices);
-        outcome.work_per_sample.push(work);
+    for block in chunks {
+        for (vertices, work) in block {
+            out.push(&vertices);
+            outcome.work_per_sample.push(work);
+        }
     }
     outcome
 }

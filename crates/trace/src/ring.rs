@@ -1,0 +1,119 @@
+//! Per-worker bounded event storage.
+//!
+//! Each worker thread owns one [`WorkerRing`]; only that thread appends.
+//! The collector (another thread, at run end) reads events published with a
+//! Release store on `len`, so every slot it observes was fully written.
+//! Slots are plain `AtomicU64` words — five per event — which keeps the
+//! owner/collector interaction free of `unsafe` and of data races even if a
+//! drain overlaps a late append (the worst case is a skipped or duplicated
+//! event at the boundary, never torn memory).
+
+use crate::{EventKind, TraceEvent, TraceName};
+use std::sync::atomic::{AtomicU32, AtomicU64, AtomicUsize, Ordering};
+
+const WORDS_PER_EVENT: usize = 5;
+
+/// A bounded append-only event buffer owned by one worker thread.
+pub(crate) struct WorkerRing {
+    /// Process-unique worker id (becomes the Chrome `tid`).
+    tid: u32,
+    /// Rank tag for distributed runs; 0 otherwise.
+    rank: AtomicU32,
+    /// Tracing session this ring's contents belong to.
+    session: AtomicU64,
+    /// Events appended this session (never exceeds `capacity`).
+    len: AtomicUsize,
+    /// Events rejected because the ring was full.
+    dropped: AtomicU64,
+    /// `capacity × WORDS_PER_EVENT` word slots.
+    slots: Box<[AtomicU64]>,
+}
+
+impl WorkerRing {
+    pub(crate) fn new(tid: u32, capacity: usize) -> Self {
+        let slots = (0..capacity * WORDS_PER_EVENT)
+            .map(|_| AtomicU64::new(0))
+            .collect();
+        WorkerRing {
+            tid,
+            rank: AtomicU32::new(0),
+            session: AtomicU64::new(0),
+            len: AtomicUsize::new(0),
+            dropped: AtomicU64::new(0),
+            slots,
+        }
+    }
+
+    pub(crate) fn capacity(&self) -> usize {
+        self.slots.len() / WORDS_PER_EVENT
+    }
+
+    pub(crate) fn session(&self) -> u64 {
+        self.session.load(Ordering::Relaxed)
+    }
+
+    pub(crate) fn set_rank(&self, rank: u32) {
+        self.rank.store(rank, Ordering::Relaxed);
+    }
+
+    /// Lazily resets the ring when it still holds a previous session's
+    /// events. Called by the owning thread before each append.
+    pub(crate) fn ensure_session(&self, session: u64) {
+        if self.session.load(Ordering::Relaxed) != session {
+            self.len.store(0, Ordering::Relaxed);
+            self.dropped.store(0, Ordering::Relaxed);
+            self.session.store(session, Ordering::Relaxed);
+        }
+    }
+
+    /// Appends one event, or counts a drop when full. Owner thread only.
+    pub(crate) fn push(&self, e: TraceEvent) {
+        let n = self.len.load(Ordering::Relaxed);
+        if n >= self.capacity() {
+            self.dropped.fetch_add(1, Ordering::Relaxed);
+            return;
+        }
+        let base = n * WORDS_PER_EVENT;
+        self.slots[base].store(pack_event_meta(e.kind, e.name), Ordering::Relaxed);
+        self.slots[base + 1].store(e.ts_ns, Ordering::Relaxed);
+        self.slots[base + 2].store(e.dur_ns, Ordering::Relaxed);
+        self.slots[base + 3].store(e.arg0, Ordering::Relaxed);
+        self.slots[base + 4].store(e.arg1, Ordering::Relaxed);
+        // Publish: a collector that Acquire-loads `len` sees the full slot.
+        self.len.store(n + 1, Ordering::Release);
+    }
+
+    /// Reads out and clears the ring: `(tid, rank, events, dropped)`.
+    pub(crate) fn drain(&self) -> (u32, u32, Vec<TraceEvent>, u64) {
+        let n = self.len.load(Ordering::Acquire);
+        let mut events = Vec::with_capacity(n);
+        for i in 0..n {
+            let base = i * WORDS_PER_EVENT;
+            let meta = self.slots[base].load(Ordering::Relaxed);
+            let Some((kind, name)) = unpack_event_meta(meta) else {
+                continue;
+            };
+            events.push(TraceEvent {
+                kind,
+                name,
+                ts_ns: self.slots[base + 1].load(Ordering::Relaxed),
+                dur_ns: self.slots[base + 2].load(Ordering::Relaxed),
+                arg0: self.slots[base + 3].load(Ordering::Relaxed),
+                arg1: self.slots[base + 4].load(Ordering::Relaxed),
+            });
+        }
+        let dropped = self.dropped.swap(0, Ordering::Relaxed);
+        self.len.store(0, Ordering::Release);
+        (self.tid, self.rank.load(Ordering::Relaxed), events, dropped)
+    }
+}
+
+fn pack_event_meta(kind: EventKind, name: TraceName) -> u64 {
+    ((kind as u64) << 8) | name as u64
+}
+
+fn unpack_event_meta(meta: u64) -> Option<(EventKind, TraceName)> {
+    let kind = EventKind::from_u8(((meta >> 8) & 0xFF) as u8)?;
+    let name = TraceName::from_u8((meta & 0xFF) as u8)?;
+    Some((kind, name))
+}

@@ -1,0 +1,118 @@
+//! CommStats parity across communicator backends (ISSUE 2 satellite):
+//! `SelfComm` and a single-rank `ThreadWorld` must report *identical*
+//! collective call counts and byte totals for the same distributed run —
+//! the algorithm cannot tell them apart, so neither may the accounting.
+//! Bytes agree at size 1 because both charge zero (`ThreadComm` models
+//! `payload × ⌈log₂ size⌉` rounds, and ⌈log₂ 1⌉ = 0 matches "no bytes
+//! move inside one address space"). At larger world sizes the call counts
+//! stay rank-invariant and the modeled bytes scale with the log factor.
+
+use ripples_comm::{SelfComm, ThreadWorld};
+use ripples_core::dist::imm_distributed;
+use ripples_core::dist_partitioned::imm_partitioned;
+use ripples_core::ImmParams;
+use ripples_diffusion::DiffusionModel;
+use ripples_graph::generators::erdos_renyi;
+use ripples_graph::{Graph, WeightModel};
+
+fn graph() -> Graph {
+    erdos_renyi(
+        300,
+        2400,
+        WeightModel::UniformRandom { seed: 31 },
+        false,
+        90,
+    )
+}
+
+fn params() -> ImmParams {
+    ImmParams::new(5, 0.5, DiffusionModel::IndependentCascade, 17)
+}
+
+#[test]
+fn selfcomm_and_single_rank_threadworld_report_identical_stats() {
+    let g = graph();
+    let p = params();
+
+    let self_run = imm_distributed(&SelfComm::new(), &g, &p);
+    let self_comm = self_run.report.comm.expect("dist run reports comm");
+
+    let world = ThreadWorld::new(1);
+    let mut results = world.run(|comm| imm_distributed(comm, &g, &p));
+    let thread_run = results.pop().expect("one rank");
+    let thread_comm = thread_run.report.comm.expect("dist run reports comm");
+
+    assert_eq!(self_run.seeds, thread_run.seeds, "same run, same answer");
+    assert_eq!(self_comm.allreduce_calls, thread_comm.allreduce_calls);
+    assert_eq!(self_comm.barrier_calls, thread_comm.barrier_calls);
+    assert_eq!(self_comm.broadcast_calls, thread_comm.broadcast_calls);
+    assert_eq!(self_comm.allgather_calls, thread_comm.allgather_calls);
+    assert_eq!(
+        self_comm.bytes_moved, thread_comm.bytes_moved,
+        "at world size 1 both backends must charge the same bytes"
+    );
+    assert_eq!(self_comm.bytes_moved, 0, "no bytes move inside one rank");
+}
+
+#[test]
+fn partitioned_engine_parity_at_size_one() {
+    let g = graph();
+    let p = params();
+
+    let self_run = imm_partitioned(&SelfComm::new(), &g, &p);
+    let self_comm = self_run.report.comm.expect("partitioned run reports comm");
+
+    let world = ThreadWorld::new(1);
+    let mut results = world.run(|comm| imm_partitioned(comm, &g, &p));
+    let thread_run = results.pop().expect("one rank");
+    let thread_comm = thread_run
+        .report
+        .comm
+        .expect("partitioned run reports comm");
+
+    assert_eq!(self_run.seeds, thread_run.seeds);
+    assert_eq!(self_comm.allreduce_calls, thread_comm.allreduce_calls);
+    assert_eq!(self_comm.barrier_calls, thread_comm.barrier_calls);
+    assert_eq!(self_comm.broadcast_calls, thread_comm.broadcast_calls);
+    assert_eq!(self_comm.allgather_calls, thread_comm.allgather_calls);
+    assert_eq!(self_comm.bytes_moved, thread_comm.bytes_moved);
+    assert_eq!(self_comm.bytes_moved, 0);
+}
+
+#[test]
+fn multi_rank_counts_are_rank_invariant_and_bytes_follow_the_model() {
+    let g = graph();
+    let p = params();
+
+    // Call counts are a property of the algorithm, not the placement: the
+    // single-rank counts must be preserved at every world size, on every
+    // rank. Only the modeled byte volume grows (⌈log₂ size⌉ rounds).
+    let baseline = imm_distributed(&SelfComm::new(), &g, &p)
+        .report
+        .comm
+        .expect("comm stats");
+
+    for size in [2u32, 4] {
+        let world = ThreadWorld::new(size);
+        let results = world.run(|comm| imm_distributed(comm, &g, &p));
+        for (rank, r) in results.iter().enumerate() {
+            let c = r.report.comm.expect("comm stats");
+            assert_eq!(
+                c.allreduce_calls, baseline.allreduce_calls,
+                "rank {rank} of {size}"
+            );
+            assert_eq!(c.barrier_calls, baseline.barrier_calls);
+            assert_eq!(c.broadcast_calls, baseline.broadcast_calls);
+            assert_eq!(c.allgather_calls, baseline.allgather_calls);
+            assert!(
+                c.bytes_moved > 0,
+                "rank {rank} of {size}: multi-rank runs must move bytes"
+            );
+            assert_eq!(
+                c.bytes_moved,
+                results[0].report.comm.expect("comm stats").bytes_moved,
+                "byte accounting must agree across ranks"
+            );
+        }
+    }
+}
