@@ -7,23 +7,28 @@
 //! file instead of being lost to CI log rotation.
 //!
 //! ```text
-//! perf_snapshot [--out DIR] [--date YYYY-MM-DD] [--quick]
+//! perf_snapshot [--out DIR] [--date YYYY-MM-DD] [--quick] [--select ENGINE]
 //! ```
 //!
-//! - `--out DIR` — output directory (default `results/`).
-//! - `--date`    — override the UTC date stamp in the file name.
-//! - `--quick`   — smaller graphs, for CI smoke runs.
+//! - `--out DIR`       — output directory (default `results/`).
+//! - `--date`          — override the UTC date stamp in the file name.
+//! - `--quick`         — smaller graphs, for CI smoke runs.
+//! - `--select ENGINE` — override the selection engine for the `opt` and
+//!   `mt` cells (e.g. `partitioned` to record a before-run against the
+//!   default `auto` dispatch); distributed cells are unaffected.
 //!
-//! The schema (`ripples-perf-snapshot-v1`) is documented in
-//! `EXPERIMENTS.md`; every record carries the wall time plus the key
+//! The schema (`ripples-perf-snapshot-v2`) is documented in
+//! `EXPERIMENTS.md`; every record carries the wall time, the per-phase
+//! sampling/selection wall-time split (summed from the span tree), the peak
+//! RRR/index/arena byte counts, and the key
 //! [`RunReport`](ripples_core::obs::RunReport) counters so a snapshot is
 //! interpretable on its own, without re-running anything.
 
 use ripples_bench::{measure, Args};
 use ripples_comm::ThreadWorld;
 use ripples_core::{
-    dist::imm_distributed, dist_partitioned::imm_partitioned, mt::imm_multithreaded,
-    seq::immopt_sequential, ImmParams, ImmResult,
+    dist::imm_distributed, dist_partitioned::imm_partitioned, mt::imm_multithreaded_with_select,
+    seq::immopt_sequential_with_select, ImmParams, ImmResult, SelectEngine,
 };
 use ripples_diffusion::DiffusionModel;
 use ripples_graph::generators::{barabasi_albert, erdos_renyi};
@@ -59,20 +64,46 @@ struct Config {
     engine: &'static str,
 }
 
+/// Sums the wall time of every span (at any depth) whose name is in
+/// `names`, without double-counting nested matches: once a span matches,
+/// its children are not descended into.
+fn phase_wall_s(spans: &[ripples_core::obs::SpanNode], names: &[&str]) -> f64 {
+    let mut nanos: u128 = 0;
+    let mut stack: Vec<&ripples_core::obs::SpanNode> = spans.iter().collect();
+    while let Some(span) = stack.pop() {
+        if names.contains(&span.name.as_str()) {
+            nanos += span.nanos;
+        } else {
+            stack.extend(span.children.iter());
+        }
+    }
+    nanos as f64 / 1e9
+}
+
 fn build_graph(name: &str, quick: bool) -> Graph {
     let scale = if quick { 4 } else { 1 };
-    let weights = WeightModel::UniformRandom { seed: 7 };
+    let uniform = WeightModel::UniformRandom { seed: 7 };
     match name {
-        "er-sparse" => erdos_renyi(2000 / scale, 16_000 / scale as usize, weights, false, 42),
-        "ba-hubs" => barabasi_albert(2000 / scale, 8, weights, false, 42),
+        "er-sparse" => erdos_renyi(2000 / scale, 16_000 / scale as usize, uniform, false, 42),
+        // Weighted-cascade probabilities (1/in-degree) produce the short
+        // RRR sets of realistic cascades — the regime where the fused
+        // engine's index pays off and `auto` dispatches to it.
+        "er-wc" => erdos_renyi(
+            2000 / scale,
+            16_000 / scale as usize,
+            WeightModel::WeightedCascade,
+            false,
+            42,
+        ),
+        "ba-hubs" => barabasi_albert(2000 / scale, 8, uniform, false, 42),
         other => panic!("unknown snapshot graph `{other}`"),
     }
 }
 
-fn run_engine(engine: &str, graph: &Graph, params: &ImmParams) -> ImmResult {
+fn run_engine(engine: &str, graph: &Graph, params: &ImmParams, select: SelectEngine) -> ImmResult {
     match engine {
-        "opt" => immopt_sequential(graph, params),
-        "mt" => imm_multithreaded(graph, params, 0),
+        "opt" => immopt_sequential_with_select(graph, params, select),
+        "mt" => imm_multithreaded_with_select(graph, params, 0, select),
         "dist" => {
             let world = ThreadWorld::new(2);
             world
@@ -99,6 +130,13 @@ fn main() {
         .get("date")
         .map(str::to_string)
         .unwrap_or_else(today_utc);
+    let select = match args.get("select") {
+        Some(tag) => SelectEngine::from_tag(tag).unwrap_or_else(|| {
+            eprintln!("error: unknown --select `{tag}`");
+            std::process::exit(1);
+        }),
+        None => SelectEngine::Auto,
+    };
 
     let matrix = [
         Config {
@@ -121,13 +159,21 @@ fn main() {
             graph_name: "ba-hubs",
             engine: "partitioned",
         },
+        Config {
+            graph_name: "er-wc",
+            engine: "opt",
+        },
+        Config {
+            graph_name: "er-wc",
+            engine: "mt",
+        },
     ];
 
     let params = ImmParams::new(16, 0.5, DiffusionModel::IndependentCascade, 0);
     let mut records = String::new();
     for (i, config) in matrix.iter().enumerate() {
         let graph = build_graph(config.graph_name, quick);
-        let (result, wall) = measure(|| run_engine(config.engine, &graph, &params));
+        let (result, wall) = measure(|| run_engine(config.engine, &graph, &params, select));
         let c = &result.report.counters;
         eprintln!(
             "{}/{}: {} on {} ({} vertices): {:.3}s theta={}",
@@ -149,9 +195,11 @@ fn main() {
             ),
             None => "null".to_string(),
         };
+        let sampling_wall_s = phase_wall_s(result.report.spans(), &["sample", "Sample"]);
+        let selection_wall_s = phase_wall_s(result.report.spans(), &["select", "SelectSeeds"]);
         write!(
             records,
-            "\n    {{\"engine\":\"{}\",\"graph\":\"{}\",\"vertices\":{},\"edges\":{},\"k\":{},\"epsilon\":{},\"wall_s\":{:.6},\"theta\":{},\"theta_rounds\":{},\"samples_generated\":{},\"edges_examined\":{},\"rrr_entries\":{},\"rrr_bytes_peak\":{},\"select_iterations\":{},\"comm\":{}}}",
+            "\n    {{\"engine\":\"{}\",\"graph\":\"{}\",\"vertices\":{},\"edges\":{},\"k\":{},\"epsilon\":{},\"wall_s\":{:.6},\"sampling_wall_s\":{:.6},\"selection_wall_s\":{:.6},\"theta\":{},\"theta_rounds\":{},\"samples_generated\":{},\"edges_examined\":{},\"rrr_entries\":{},\"rrr_bytes_peak\":{},\"index_bytes_peak\":{},\"arena_bytes_peak\":{},\"select_entries_touched\":{},\"index_build_nanos\":{},\"select_iterations\":{},\"comm\":{}}}",
             config.engine,
             config.graph_name,
             graph.num_vertices(),
@@ -159,12 +207,18 @@ fn main() {
             params.k,
             params.epsilon,
             wall.as_secs_f64(),
+            sampling_wall_s,
+            selection_wall_s,
             result.theta,
             c.theta_rounds,
             c.samples_generated,
             c.edges_examined,
             c.rrr_entries,
             c.rrr_bytes_peak,
+            c.index_bytes_peak,
+            c.arena_bytes_peak,
+            c.select_entries_touched,
+            c.index_build_nanos,
             c.select_iterations,
             comm,
         )
@@ -173,7 +227,7 @@ fn main() {
 
     let threads = std::thread::available_parallelism().map_or(1, |p| p.get());
     let json = format!(
-        "{{\n  \"schema\": \"ripples-perf-snapshot-v1\",\n  \"date\": \"{date}\",\n  \"quick\": {quick},\n  \"host\": {{\"threads\": {threads}}},\n  \"configs\": [{records}\n  ]\n}}\n",
+        "{{\n  \"schema\": \"ripples-perf-snapshot-v2\",\n  \"date\": \"{date}\",\n  \"quick\": {quick},\n  \"host\": {{\"threads\": {threads}}},\n  \"configs\": [{records}\n  ]\n}}\n",
     );
     ripples_trace::validate_json(&json).expect("snapshot must be valid JSON");
 

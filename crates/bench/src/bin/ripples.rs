@@ -8,10 +8,16 @@
 //!         [--engine opt|baseline|mt|dist|partitioned|community|celf|tim|degdiscount]
 //!         [--model ic|lt] [--k K] [--epsilon E] [--seed S]
 //!         [--threads T | --ranks R] [--simulate TRIALS]
+//!         [--select auto|sequential|partitioned|lazy|hypergraph|fused]
 //!         [--report pretty|json] [--report-out FILE]
 //!         [--trace FILE] [--trace-buffer EVENTS]
 //! ripples --standin com-Orkut --scale-div 64 ...
 //! ```
+//!
+//! `--select` picks the greedy max-cover engine for the `opt` and `mt`
+//! engines (default `auto`, a cost-model dispatch between `fused` and
+//! `partitioned`; every choice returns the same seed set — see
+//! EXPERIMENTS.md for the memory/speed trade-offs).
 //!
 //! `--report` prints the engine's full [`RunReport`] (phase span tree, work
 //! counters, RRR size histogram, communication accounting) to stderr —
@@ -36,10 +42,10 @@ use ripples_core::{
     dist::imm_distributed,
     dist_partitioned::imm_partitioned,
     heuristics::degree_discount_ic,
-    mt::imm_multithreaded,
-    seq::{imm_baseline, immopt_sequential},
+    mt::imm_multithreaded_with_select,
+    seq::{imm_baseline, immopt_sequential, immopt_sequential_with_select},
     tim::tim_plus,
-    ImmParams,
+    ImmParams, SelectEngine,
 };
 use ripples_diffusion::{estimate_spread, DiffusionModel};
 use ripples_graph::generators::standin;
@@ -110,6 +116,15 @@ fn main() {
     let seed: u64 = args.parse_or("seed", 0);
     let params = ImmParams::new(k, epsilon, model, seed);
     let engine = args.get("engine").unwrap_or("mt").to_string();
+    let select = args.get("select").map(|tag| {
+        SelectEngine::from_tag(tag).unwrap_or_else(|| {
+            eprintln!(
+                "error: unknown --select `{tag}` \
+                 (try auto|sequential|partitioned|lazy|hypergraph|fused)"
+            );
+            std::process::exit(1);
+        })
+    });
 
     let trace_path = args.get("trace").map(str::to_string);
     if trace_path.is_some() {
@@ -122,7 +137,10 @@ fn main() {
     let start = std::time::Instant::now();
     let (seeds, detail, report) = match engine.as_str() {
         "opt" => {
-            let r = immopt_sequential(&graph, &params);
+            let r = match select {
+                Some(engine) => immopt_sequential_with_select(&graph, &params, engine),
+                None => immopt_sequential(&graph, &params),
+            };
             let detail = format!("theta={} phases=[{}]", r.theta, r.timers);
             (r.seeds, detail, Some(r.report))
         }
@@ -182,7 +200,12 @@ fn main() {
         }
         _ => {
             let threads: usize = args.parse_or("threads", 0);
-            let r = imm_multithreaded(&graph, &params, threads);
+            let r = imm_multithreaded_with_select(
+                &graph,
+                &params,
+                threads,
+                select.unwrap_or(SelectEngine::Auto),
+            );
             let detail = format!("theta={} phases=[{}]", r.theta, r.timers);
             (r.seeds, detail, Some(r.report))
         }

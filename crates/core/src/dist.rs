@@ -20,10 +20,11 @@ use crate::memory::MemoryStats;
 use crate::obs::{CommCounters, Histogram, RunReport};
 use crate::params::ImmParams;
 use crate::result::ImmResult;
+use crate::select::{fused_is_profitable, SelectStats};
 use crate::theta::ThetaSchedule;
 use ripples_comm::Communicator;
 use ripples_diffusion::rrr::{generate_rrr, RrrScratch};
-use ripples_diffusion::{DiffusionModel, RrrCollection};
+use ripples_diffusion::{DiffusionModel, RrrCollection, SampleIndex};
 use ripples_graph::{Graph, Vertex};
 use ripples_rng::{RankStream, StreamFactory};
 
@@ -59,7 +60,8 @@ pub enum DistSelectMode {
 
 /// Distributed greedy seed selection over each rank's local samples.
 ///
-/// Returns `(seeds, covered_global, fraction)`; identical on every rank.
+/// Returns `(seeds, covered_global, fraction, stats)`; everything but the
+/// per-rank `stats` is identical on every rank.
 pub(crate) fn select_seeds_distributed<C: Communicator>(
     comm: &C,
     local: &RrrCollection,
@@ -67,17 +69,54 @@ pub(crate) fn select_seeds_distributed<C: Communicator>(
     n: u32,
     k: u32,
     select_mode: DistSelectMode,
-) -> (Vec<Vertex>, usize, f64) {
+) -> (Vec<Vertex>, usize, f64, SelectStats) {
     let n_us = n as usize;
     let k = k.min(n);
 
-    // Local counting pass, then one All-Reduce for the global counts.
-    let mut counters = vec![0u64; n_us];
-    for set in local.iter() {
-        for &v in set {
-            counters[v as usize] += 1;
+    // Per-call serial inverted index over this rank's local samples: the
+    // purge step for a chosen seed walks exactly the samples containing it
+    // instead of binary-searching every alive local sample per iteration.
+    // Only built when the cost model says its O(E) construction amortizes
+    // over the k purge passes; the decrement sums are identical either way,
+    // so ranks may even disagree on the choice without diverging.
+    let index = if fused_is_profitable(local, k) {
+        let t0 = std::time::Instant::now();
+        let index = SampleIndex::build(local, n, 1);
+        if crate::obs::trace::enabled() {
+            crate::obs::trace::complete(
+                crate::obs::trace::TraceName::IndexBuild,
+                t0,
+                index.total_entries() as u64,
+                1,
+            );
         }
-    }
+        Some((index, t0.elapsed()))
+    } else {
+        None
+    };
+    let mut stats = match &index {
+        Some((index, build)) => SelectStats {
+            index_build_nanos: u64::try_from(build.as_nanos()).unwrap_or(u64::MAX),
+            index_bytes: index.resident_bytes(),
+            entries_touched: 0,
+        },
+        None => SelectStats::default(),
+    };
+
+    // Local counting pass (the index's vertex degrees, or one direct sweep
+    // over the local samples), then one All-Reduce for the global counts.
+    let mut counters: Vec<u64> = match &index {
+        Some((index, _)) => (0..n).map(|v| index.degree(v)).collect(),
+        None => {
+            let mut counts = vec![0u64; n_us];
+            for set in local.iter() {
+                for &u in set {
+                    counts[u as usize] += 1;
+                }
+            }
+            counts
+        }
+    };
     comm.all_reduce_sum_u64(&mut counters);
 
     let mut covered = vec![false; local.len()];
@@ -107,16 +146,35 @@ pub(crate) fn select_seeds_distributed<C: Communicator>(
 
         // Purge local samples containing v; accumulate counter decrements.
         decrements.fill(0);
-        for (j, cov) in covered.iter_mut().enumerate() {
-            if *cov {
-                continue;
+        match &index {
+            Some((index, _)) => {
+                for &sid in index.samples_containing(v) {
+                    let j = sid as usize;
+                    if covered[j] {
+                        continue;
+                    }
+                    covered[j] = true;
+                    covered_local += 1;
+                    let set = local.get(j);
+                    stats.entries_touched += set.len() as u64;
+                    for &u in set {
+                        decrements[u as usize] += 1;
+                    }
+                }
             }
-            let set = local.get(j);
-            if set.binary_search(&v).is_ok() {
-                *cov = true;
-                covered_local += 1;
-                for &u in set {
-                    decrements[u as usize] += 1;
+            None => {
+                for (j, cov) in covered.iter_mut().enumerate() {
+                    if *cov {
+                        continue;
+                    }
+                    let set = local.get(j);
+                    if set.binary_search(&v).is_ok() {
+                        *cov = true;
+                        covered_local += 1;
+                        for &u in set {
+                            decrements[u as usize] += 1;
+                        }
+                    }
                 }
             }
         }
@@ -155,7 +213,7 @@ pub(crate) fn select_seeds_distributed<C: Communicator>(
     } else {
         covered_global as f64 / theta_global as f64
     };
-    (seeds, covered_global, fraction)
+    (seeds, covered_global, fraction, stats)
 }
 
 /// Crate-internal entry used by the partitioned engine: the paper's dense
@@ -166,7 +224,7 @@ pub(crate) fn select_seeds_distributed_public<C: Communicator>(
     theta_global: usize,
     n: u32,
     k: u32,
-) -> (Vec<Vertex>, usize, f64) {
+) -> (Vec<Vertex>, usize, f64, SelectStats) {
     select_seeds_distributed(
         comm,
         local,
@@ -188,21 +246,23 @@ pub(crate) fn globalize_histogram<C: Communicator>(comm: &C, hist: &mut Histogra
 }
 
 /// Replaces this rank's local deterministic counters (samples, edges, RRR
-/// entries, unsorted pushes) with their global sums, and merges the RRR-size
-/// histogram, so every rank — at every world size — reports the same values.
-/// Must be called collectively.
+/// entries, unsorted pushes, selection entries touched) with their global
+/// sums, and merges the RRR-size histogram, so every rank — at every world
+/// size — reports the same values. Must be called collectively.
 pub(crate) fn globalize_counters<C: Communicator>(comm: &C, report: &mut RunReport) {
     let mut buf = [
         report.counters.samples_generated,
         report.counters.edges_examined,
         report.counters.rrr_entries,
         report.counters.unsorted_pushes,
+        report.counters.select_entries_touched,
     ];
     comm.all_reduce_sum_u64(&mut buf);
     report.counters.samples_generated = buf[0];
     report.counters.edges_examined = buf[1];
     report.counters.rrr_entries = buf[2];
     report.counters.unsorted_pushes = buf[3];
+    report.counters.select_entries_touched = buf[4];
     globalize_histogram(comm, &mut report.rrr_sizes);
 }
 
@@ -301,6 +361,7 @@ pub fn imm_distributed_full<C: Communicator>(
     let mut scratch = RrrScratch::new(n);
     let mut sample_work: Vec<u64> = Vec::new();
     let mut theta_global: usize = 0;
+    let mut select_stats = SelectStats::default();
     // Persistent per-rank leap-frog stream (used only in LeapFrog mode).
     let mut rank_stream = RankStream::new(params.seed, rank, size);
 
@@ -349,6 +410,7 @@ pub fn imm_distributed_full<C: Communicator>(
         let theta_ref = &mut theta_global;
         let memory = &mut memory;
         let lb = &mut lb;
+        let select_stats = &mut select_stats;
         report.span("EstimateTheta", |report| {
             for x in 1..=schedule.max_rounds() {
                 let budget = schedule.round_budget(x);
@@ -360,9 +422,10 @@ pub fn imm_distributed_full<C: Communicator>(
                         *theta_ref = budget;
                     }
                     memory.observe_rrr(local_ref.resident_bytes());
-                    let (sel_seeds, _, fraction) = report.span("select", |_| {
+                    let (sel_seeds, _, fraction, sstats) = report.span("select", |_| {
                         select_seeds_distributed(comm, local_ref, *theta_ref, n, k, select_mode)
                     });
+                    select_stats.absorb(sstats);
                     report.counters.theta_rounds += 1;
                     report.counters.select_iterations += sel_seeds.len() as u64;
                     report.counters.round_budgets.push(budget as u64);
@@ -399,15 +462,20 @@ pub fn imm_distributed_full<C: Communicator>(
     memory.observe_rrr(local.resident_bytes());
 
     // --- SelectSeeds ------------------------------------------------------
-    let (seeds, _, fraction) = report.span("SelectSeeds", |_| {
+    let (seeds, _, fraction, final_stats) = report.span("SelectSeeds", |_| {
         select_seeds_distributed(comm, &local, theta_global, n, k, select_mode)
     });
+    select_stats.absorb(final_stats);
     report.counters.select_iterations += seeds.len() as u64;
 
+    memory.observe_index(select_stats.index_bytes);
     report.counters.rrr_entries = local.total_entries() as u64;
     report.counters.rrr_bytes_peak = memory.peak_rrr_bytes as u64;
     report.counters.theta_final = theta_global as u64;
     report.counters.unsorted_pushes = local.unsorted_pushes();
+    report.counters.select_entries_touched = select_stats.entries_touched;
+    report.counters.index_build_nanos = select_stats.index_build_nanos;
+    report.counters.index_bytes_peak = select_stats.index_bytes as u64;
     globalize_counters(comm, &mut report);
     report.comm = Some(CommCounters::delta(&comm_before, &comm.stats()));
     if crate::obs::trace::enabled() {

@@ -177,6 +177,7 @@ pub fn imm_partitioned<C: Communicator>(comm: &C, graph: &Graph, params: &ImmPar
     let mut local = RrrCollection::new();
     let mut sample_work: Vec<u64> = Vec::new();
     let mut theta_global: usize = 0;
+    let mut select_stats = crate::select::SelectStats::default();
 
     // Records local counters for one cooperative batch: the home samples
     // this rank kept plus the expansion work it performed. Globalized once
@@ -199,6 +200,7 @@ pub fn imm_partitioned<C: Communicator>(comm: &C, graph: &Graph, params: &ImmPar
         let theta_ref = &mut theta_global;
         let memory = &mut memory;
         let lb = &mut lb;
+        let select_stats = &mut select_stats;
         report.span("EstimateTheta", |report| {
             for x in 1..=schedule.max_rounds() {
                 let budget = schedule.round_budget(x);
@@ -221,11 +223,12 @@ pub fn imm_partitioned<C: Communicator>(comm: &C, graph: &Graph, params: &ImmPar
                         *theta_ref = budget;
                     }
                     memory.observe_rrr(local_ref.resident_bytes());
-                    let (sel_seeds, _, fraction) = report.span("select", |_| {
+                    let (sel_seeds, _, fraction, sstats) = report.span("select", |_| {
                         crate::dist::select_seeds_distributed_public(
                             comm, local_ref, *theta_ref, n, k,
                         )
                     });
+                    select_stats.absorb(sstats);
                     report.counters.theta_rounds += 1;
                     report.counters.select_iterations += sel_seeds.len() as u64;
                     report.counters.round_budgets.push(budget as u64);
@@ -269,15 +272,20 @@ pub fn imm_partitioned<C: Communicator>(comm: &C, graph: &Graph, params: &ImmPar
     }
     memory.observe_rrr(local.resident_bytes());
 
-    let (seeds, _, fraction) = report.span("SelectSeeds", |_| {
+    let (seeds, _, fraction, final_stats) = report.span("SelectSeeds", |_| {
         crate::dist::select_seeds_distributed_public(comm, &local, theta_global, n, k)
     });
+    select_stats.absorb(final_stats);
     report.counters.select_iterations += seeds.len() as u64;
 
+    memory.observe_index(select_stats.index_bytes);
     report.counters.rrr_entries = local.total_entries() as u64;
     report.counters.rrr_bytes_peak = memory.peak_rrr_bytes as u64;
     report.counters.theta_final = theta_global as u64;
     report.counters.unsorted_pushes = local.unsorted_pushes();
+    report.counters.select_entries_touched = select_stats.entries_touched;
+    report.counters.index_build_nanos = select_stats.index_build_nanos;
+    report.counters.index_bytes_peak = select_stats.index_bytes as u64;
     crate::dist::globalize_counters(comm, &mut report);
     report.comm = Some(CommCounters::delta(&comm_before, &comm.stats()));
     if crate::obs::trace::enabled() {

@@ -12,6 +12,10 @@ pub struct MemoryStats {
     /// Peak bytes of RRR-set storage (both directions for the hypergraph
     /// baseline, one direction for IMMOPT and the parallel versions).
     pub peak_rrr_bytes: usize,
+    /// Peak bytes of the selection inverted index (the fused engine's
+    /// u32-CSR [`ripples_diffusion::SampleIndex`], or the hypergraph
+    /// engine's second direction); 0 for scan-based selection.
+    pub peak_index_bytes: usize,
     /// Bytes of the per-vertex counter array used in seed selection.
     pub counter_bytes: usize,
     /// Bytes of the input graph CSR (context; identical across variants).
@@ -22,7 +26,7 @@ impl MemoryStats {
     /// Total of all tracked byte counts.
     #[must_use]
     pub fn total(&self) -> usize {
-        self.peak_rrr_bytes + self.counter_bytes + self.graph_bytes
+        self.peak_rrr_bytes + self.peak_index_bytes + self.counter_bytes + self.graph_bytes
     }
 
     /// Records a new RRR-storage observation, keeping the peak. When
@@ -33,6 +37,11 @@ impl MemoryStats {
         if crate::obs::trace::enabled() {
             crate::obs::trace::counter(crate::obs::trace::TraceName::RrrBytes, bytes as u64);
         }
+    }
+
+    /// Records a selection-index observation, keeping the peak.
+    pub fn observe_index(&mut self, bytes: usize) {
+        self.peak_index_bytes = self.peak_index_bytes.max(bytes);
     }
 
     /// Formats a byte count as mebibytes (the paper's Table 2 unit).
@@ -60,10 +69,19 @@ mod tests {
     fn totals() {
         let m = MemoryStats {
             peak_rrr_bytes: 10,
+            peak_index_bytes: 5,
             counter_bytes: 20,
             graph_bytes: 30,
         };
-        assert_eq!(m.total(), 60);
+        assert_eq!(m.total(), 65);
+    }
+
+    #[test]
+    fn observe_index_keeps_peak() {
+        let mut m = MemoryStats::default();
+        m.observe_index(40);
+        m.observe_index(25);
+        assert_eq!(m.peak_index_bytes, 40);
     }
 
     #[test]

@@ -16,13 +16,17 @@
 
 use crate::params::ImmParams;
 use crate::result::ImmResult;
-use crate::select::select_seeds_partitioned;
+use crate::select::{select_with_engine, SelectEngine};
 use crate::seq::run_imm_compact;
 use ripples_diffusion::sample_batch;
 use ripples_graph::Graph;
 use ripples_rng::StreamFactory;
 
-/// Runs IMM with `threads` worker threads (0 = rayon default).
+/// Runs IMM with `threads` worker threads (0 = rayon default), selecting
+/// seeds with the cost-model dispatch ([`SelectEngine::Auto`]): the fused
+/// index-driven engine when its O(E) build amortizes over the greedy
+/// passes, the interval-partitioned engine otherwise — partitioned one
+/// interval per worker either way.
 ///
 /// Given identical `params`, returns the *same seed set* as
 /// [`crate::seq::immopt_sequential`] at any thread count: sample content is
@@ -30,6 +34,18 @@ use ripples_rng::StreamFactory;
 /// deterministic tie-break.
 #[must_use]
 pub fn imm_multithreaded(graph: &Graph, params: &ImmParams, threads: usize) -> ImmResult {
+    imm_multithreaded_with_select(graph, params, threads, SelectEngine::Auto)
+}
+
+/// [`imm_multithreaded`] with an explicit selection engine (CLI
+/// `--select`); `Partitioned` recovers the previous default.
+#[must_use]
+pub fn imm_multithreaded_with_select(
+    graph: &Graph,
+    params: &ImmParams,
+    threads: usize,
+    select: SelectEngine,
+) -> ImmResult {
     let factory = StreamFactory::new(params.seed);
     let model = params.model;
     let run = || {
@@ -39,7 +55,7 @@ pub fn imm_multithreaded(graph: &Graph, params: &ImmParams, threads: usize) -> I
             graph,
             params,
             |first, count, out| sample_batch(graph, model, &factory, first, count, out),
-            |collection, n, k| select_seeds_partitioned(collection, n, k, effective_threads),
+            |collection, n, k| select_with_engine(select, collection, n, k, effective_threads),
         )
     };
     if threads == 0 {
@@ -99,6 +115,38 @@ mod tests {
         assert!(r.memory.peak_rrr_bytes > 0);
         assert!(r.memory.graph_bytes > 0);
         assert!(r.timers.total().as_nanos() > 0);
+    }
+
+    #[test]
+    fn explicit_engines_all_match_default() {
+        let g = test_graph();
+        let p = ImmParams::new(5, 0.5, DiffusionModel::IndependentCascade, 7);
+        let default = imm_multithreaded(&g, &p, 2);
+        for engine in [
+            SelectEngine::Auto,
+            SelectEngine::Sequential,
+            SelectEngine::Partitioned,
+            SelectEngine::Hypergraph,
+            SelectEngine::Fused,
+        ] {
+            let r = imm_multithreaded_with_select(&g, &p, 2, engine);
+            assert_eq!(r.seeds, default.seeds, "{engine:?}");
+            assert_eq!(r.theta, default.theta, "{engine:?}");
+        }
+    }
+
+    #[test]
+    fn fused_engine_populates_index_stats() {
+        let g = test_graph();
+        let p = ImmParams::new(5, 0.5, DiffusionModel::IndependentCascade, 7);
+        let r = imm_multithreaded_with_select(&g, &p, 2, SelectEngine::Fused);
+        let c = &r.report.counters;
+        assert!(c.select_entries_touched > 0, "no touched entries recorded");
+        assert!(c.index_bytes_peak > 0, "no index bytes recorded");
+        assert!(c.index_build_nanos > 0, "no index build time recorded");
+        assert!(c.arena_bytes_peak > 0, "no arena bytes recorded");
+        assert_eq!(r.memory.peak_index_bytes as u64, c.index_bytes_peak);
+        assert!(r.memory.total() > r.memory.peak_rrr_bytes);
     }
 
     #[test]

@@ -64,6 +64,18 @@ pub struct Counters {
     /// Out-of-contract (unsorted) `RrrCollection::push` calls that were
     /// repaired by sorting; always 0 for the in-tree samplers.
     pub unsorted_pushes: u64,
+    /// Collection entries walked by index-driven selection engines across
+    /// all cover+decrement steps (globally, for the distributed engines);
+    /// 0 for engines that scan rather than index.
+    pub select_entries_touched: u64,
+    /// Wall time spent building selection inverted indexes, nanoseconds,
+    /// summed over every selection pass on this process.
+    pub index_build_nanos: u64,
+    /// Peak resident bytes of a selection inverted index on this process.
+    pub index_bytes_peak: u64,
+    /// Peak transient bytes of the sampler's worker-local arenas on this
+    /// process (0 for the sequential sampler, which has no arenas).
+    pub arena_bytes_peak: u64,
     /// Per-round sample budgets `θ_x` requested by the schedule.
     pub round_budgets: Vec<u64>,
     /// Per-round coverage fraction achieved by the greedy selection.
@@ -362,7 +374,9 @@ impl RunReport {
             out,
             "\"samples_generated\":{},\"edges_examined\":{},\"rrr_entries\":{},\
              \"rrr_bytes_peak\":{},\"theta_rounds\":{},\"theta_final\":{},\
-             \"select_iterations\":{},\"unsorted_pushes\":{}",
+             \"select_iterations\":{},\"unsorted_pushes\":{},\
+             \"select_entries_touched\":{},\"index_build_nanos\":{},\
+             \"index_bytes_peak\":{},\"arena_bytes_peak\":{}",
             c.samples_generated,
             c.edges_examined,
             c.rrr_entries,
@@ -370,7 +384,11 @@ impl RunReport {
             c.theta_rounds,
             c.theta_final,
             c.select_iterations,
-            c.unsorted_pushes
+            c.unsorted_pushes,
+            c.select_entries_touched,
+            c.index_build_nanos,
+            c.index_bytes_peak,
+            c.arena_bytes_peak
         );
         out.push_str(",\"round_budgets\":[");
         for (i, b) in c.round_budgets.iter().enumerate() {
@@ -439,6 +457,10 @@ impl RunReport {
         let _ = writeln!(out, "  theta (final)       {}", c.theta_final);
         let _ = writeln!(out, "  select iterations   {}", c.select_iterations);
         let _ = writeln!(out, "  unsorted pushes     {}", c.unsorted_pushes);
+        let _ = writeln!(out, "  select touched      {}", c.select_entries_touched);
+        let _ = writeln!(out, "  index build (ns)    {}", c.index_build_nanos);
+        let _ = writeln!(out, "  index bytes (peak)  {}", c.index_bytes_peak);
+        let _ = writeln!(out, "  arena bytes (peak)  {}", c.arena_bytes_peak);
         for (i, (b, f)) in c.round_budgets.iter().zip(&c.round_coverage).enumerate() {
             let _ = writeln!(
                 out,

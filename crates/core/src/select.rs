@@ -1,5 +1,5 @@
 //! Seed selection (Algorithm 4): greedy maximum coverage over the RRR
-//! collection, in four interchangeable engines.
+//! collection, in five interchangeable engines.
 //!
 //! * [`select_seeds_sequential`] — reference implementation.
 //! * [`select_seeds_partitioned`] — the paper's multithreaded engine:
@@ -11,13 +11,18 @@
 //!   stale upper bounds are valid).
 //! * [`select_seeds_hypergraph`] — inverted-index-driven selection, the
 //!   strategy of Tang et al.'s original code (fast selection, 2× memory).
+//! * [`select_seeds_fused`] — the default engine: a borrowed u32-CSR
+//!   inverted index fuses the hypergraph engine's O(touched entries) cover
+//!   step with the partitioned engine's synchronization-free interval
+//!   counters, plus an incrementally maintained per-interval argmax so each
+//!   round's winner is a p-way reduction rather than an O(n) scan.
 //!
 //! All engines use the same deterministic tie-break (highest count, then
 //! lowest vertex id), so the greedy engines return *identical* seed sets on
 //! identical collections — a property the cross-implementation tests rely
 //! on.
 
-use ripples_diffusion::{HyperGraph, RrrCollection};
+use ripples_diffusion::{HyperGraph, RrrCollection, SampleIndex};
 use ripples_graph::Vertex;
 
 /// Result of a seed-selection pass.
@@ -283,6 +288,13 @@ pub fn select_seeds_lazy(collection: &RrrCollection, n: u32, k: u32) -> Selectio
             continue;
         }
         // Fresh entry at the top: greedy-optimal pick.
+        if crate::obs::trace::enabled() {
+            crate::obs::trace::mark(
+                crate::obs::trace::TraceName::SelectStep,
+                u64::from(v),
+                count,
+            );
+        }
         seeds.push(v);
         gains.push(count);
         round += 1;
@@ -315,6 +327,13 @@ pub fn select_seeds_hypergraph(hyper: &HyperGraph, n: u32, k: u32) -> Selection 
             break;
         };
         selected[v as usize] = true;
+        if crate::obs::trace::enabled() {
+            crate::obs::trace::mark(
+                crate::obs::trace::TraceName::SelectStep,
+                u64::from(v),
+                counters[v as usize],
+            );
+        }
         gains.push(counters[v as usize]);
         seeds.push(v);
         for &sid in hyper.samples_containing(v) {
@@ -330,6 +349,325 @@ pub fn select_seeds_hypergraph(hyper: &HyperGraph, n: u32, k: u32) -> Selection 
         }
     }
     Selection::finish(seeds, gains, covered_count, hyper.len())
+}
+
+/// Per-pass statistics of an index-driven selection engine, reported
+/// separately from [`Selection`] so the cross-engine equality tests keep
+/// comparing pure selection results.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SelectStats {
+    /// Wall time spent building the inverted index, nanoseconds.
+    pub index_build_nanos: u64,
+    /// Reserved bytes of the inverted index.
+    pub index_bytes: usize,
+    /// Index/collection entries touched across all cover+decrement steps.
+    pub entries_touched: u64,
+}
+
+impl SelectStats {
+    /// Accumulates another pass's statistics (peak for bytes, sums for the
+    /// monotonic quantities).
+    pub fn absorb(&mut self, other: SelectStats) {
+        self.index_build_nanos += other.index_build_nanos;
+        self.index_bytes = self.index_bytes.max(other.index_bytes);
+        self.entries_touched += other.entries_touched;
+    }
+}
+
+/// Rescans one interval's counter slice for its champion: the unselected
+/// vertex with the highest count, lowest id on ties (`selected` is indexed
+/// absolutely; the slice covers vertices `vl..vl + slice.len()`).
+fn slice_champion(slice: &[u64], selected: &[bool], vl: Vertex) -> Option<(u64, Vertex)> {
+    let mut best: Option<(u64, Vertex)> = None;
+    for (i, &c) in slice.iter().enumerate() {
+        if selected[vl as usize + i] {
+            continue;
+        }
+        match best {
+            Some((bc, _)) if bc >= c => {}
+            _ => best = Some((c, vl + i as Vertex)),
+        }
+    }
+    best
+}
+
+/// The fused selection engine — the crate's default for shared-memory runs.
+///
+/// Fuses the two fast strategies that were previously mutually exclusive:
+///
+/// * **O(touched entries) cover step** from the hypergraph engine, driven
+///   by a borrowed [`SampleIndex`] (u32-CSR, built here by a parallel
+///   counting sort) instead of the 2×-memory [`HyperGraph`] copy;
+/// * **interval-partitioned counter ownership** from the partitioned
+///   engine — each of `partitions` owners decrements only its own slice,
+///   so there are no atomics;
+///
+/// and adds an incrementally maintained per-interval argmax: an owner
+/// rescans its interval only when its champion was selected or decremented
+/// (counters never increase, so an untouched champion stays optimal), which
+/// makes each round's winner a p-way reduction instead of an O(n) scan.
+///
+/// Returns bitwise the same [`Selection`] as [`select_seeds_sequential`].
+#[must_use]
+pub fn select_seeds_fused(
+    collection: &RrrCollection,
+    n: u32,
+    k: u32,
+    partitions: usize,
+) -> Selection {
+    select_seeds_fused_with_stats(collection, n, k, partitions).0
+}
+
+/// [`select_seeds_fused`] plus its [`SelectStats`].
+#[must_use]
+pub fn select_seeds_fused_with_stats(
+    collection: &RrrCollection,
+    n: u32,
+    k: u32,
+    partitions: usize,
+) -> (Selection, SelectStats) {
+    let n_us = n as usize;
+    let k = k.min(n);
+    let p = partitions.clamp(1, n_us.max(1));
+
+    let t0 = std::time::Instant::now();
+    let index = SampleIndex::build(collection, n, p);
+    let mut stats = SelectStats {
+        index_build_nanos: u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX),
+        index_bytes: index.resident_bytes(),
+        entries_touched: 0,
+    };
+    if crate::obs::trace::enabled() {
+        crate::obs::trace::complete(
+            crate::obs::trace::TraceName::IndexBuild,
+            t0,
+            index.total_entries() as u64,
+            p as u64,
+        );
+    }
+
+    let bounds: Vec<(Vertex, Vertex)> = (0..p)
+        .map(|t| (((n_us * t) / p) as Vertex, ((n_us * (t + 1)) / p) as Vertex))
+        .collect();
+    let mut counters: Vec<u64> = (0..n).map(|v| index.degree(v)).collect();
+    let mut selected = vec![false; n_us];
+    let mut covered = vec![false; collection.len()];
+    // Invariant: each interval's champion carries its *current* count and
+    // beats every other unselected vertex of the interval on
+    // (count, lowest id).
+    let mut champions: Vec<Option<(u64, Vertex)>> = {
+        let mut rest: &[u64] = &counters;
+        bounds
+            .iter()
+            .map(|&(vl, vh)| {
+                let (slice, tail) = rest.split_at((vh - vl) as usize);
+                rest = tail;
+                slice_champion(slice, &selected, vl)
+            })
+            .collect()
+    };
+
+    let mut seeds = Vec::with_capacity(k as usize);
+    let mut gains = Vec::with_capacity(k as usize);
+    let mut covered_count = 0usize;
+    for _ in 0..k {
+        // p-way reduction over interval champions; ascending interval order
+        // plus the strict comparison reproduces argmax's lowest-id
+        // tie-break globally.
+        let mut best: Option<(u64, Vertex)> = None;
+        for &ch in &champions {
+            let Some((c, v)) = ch else { continue };
+            match best {
+                Some((bc, bv)) if bc > c || (bc == c && bv < v) => {}
+                _ => best = Some((c, v)),
+            }
+        }
+        let Some((gain, v)) = best else {
+            break;
+        };
+        selected[v as usize] = true;
+        if crate::obs::trace::enabled() {
+            crate::obs::trace::mark(crate::obs::trace::TraceName::SelectStep, u64::from(v), gain);
+        }
+        seeds.push(v);
+        gains.push(gain);
+
+        // Cover step: walk only the samples containing v.
+        let mut newly: Vec<u32> = Vec::new();
+        let mut touched = 0u64;
+        for &sid in index.samples_containing(v) {
+            let j = sid as usize;
+            if covered[j] {
+                continue;
+            }
+            covered[j] = true;
+            newly.push(sid);
+            touched += collection.get(j).len() as u64;
+        }
+        debug_assert_eq!(gain as usize, newly.len(), "stale champion count");
+        covered_count += newly.len();
+        stats.entries_touched += touched;
+        if crate::obs::trace::enabled() {
+            crate::obs::trace::mark(
+                crate::obs::trace::TraceName::SelectTouched,
+                touched,
+                u64::from(v),
+            );
+        }
+
+        // Decrement step: each owner updates its interval over the newly
+        // covered samples and rescans its champion only when invalidated
+        // (champion selected or decremented). Counters never increase, so
+        // an untouched champion cannot be overtaken.
+        let decrement_one =
+            |champ: &mut Option<(u64, Vertex)>, slice: &mut [u64], vl: Vertex, vh: Vertex| {
+                let mut dirty = matches!(*champ, Some((_, cv)) if cv == v);
+                for &sid in &newly {
+                    for &u in collection.partition_slice(sid as usize, vl, vh) {
+                        slice[(u - vl) as usize] -= 1;
+                        if matches!(*champ, Some((_, cv)) if cv == u) {
+                            dirty = true;
+                        }
+                    }
+                }
+                if dirty {
+                    *champ = slice_champion(slice, &selected, vl);
+                }
+            };
+        if p == 1 {
+            let (vl, vh) = bounds[0];
+            decrement_one(&mut champions[0], &mut counters, vl, vh);
+        } else {
+            let mut rest: &mut [u64] = &mut counters;
+            rayon::scope(|s| {
+                for (champ, &(vl, vh)) in champions.iter_mut().zip(&bounds) {
+                    let (slice, tail) = rest.split_at_mut((vh - vl) as usize);
+                    rest = tail;
+                    let decrement_one = &decrement_one;
+                    s.spawn(move |_| decrement_one(champ, slice, vl, vh));
+                }
+            });
+        }
+    }
+    (
+        Selection::finish(seeds, gains, covered_count, collection.len()),
+        stats,
+    )
+}
+
+/// Cost-model check for the fused engine: building and walking the u32-CSR
+/// index costs O(E) (E = total RRR entries), while the partitioned engine's
+/// per-seed purge scans cost O(k·θ·(log₂s̄+1)) binary-search steps
+/// (s̄ = E/θ, the mean set size). Dividing both by θ, the index pays for
+/// itself when `k·(log₂s̄+1) ≥ 2·s̄`: always for the small sets realistic
+/// cascades produce (s̄ ≲ 50), only at very large `k` for dense synthetic
+/// graphs whose samples span a large fraction of the vertex set.
+#[must_use]
+pub fn fused_is_profitable(collection: &RrrCollection, k: u32) -> bool {
+    let theta = collection.len() as u64;
+    if theta == 0 {
+        return false;
+    }
+    let sbar = (collection.total_entries() as u64 / theta).max(1);
+    u64::from(k) * u64::from(sbar.ilog2() + 1) >= 2 * sbar
+}
+
+/// Which greedy max-cover engine a run uses for its selection passes.
+/// All variants except `Lazy` return identical [`Selection`]s; `Lazy` may
+/// reorder tied seeds but preserves coverage and marginal gains.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SelectEngine {
+    /// Cost-model dispatch (the default): [`SelectEngine::Fused`] when
+    /// [`fused_is_profitable`], else [`SelectEngine::Partitioned`].
+    Auto,
+    /// [`select_seeds_sequential`] — the O(k·θ) reference scan.
+    Sequential,
+    /// [`select_seeds_partitioned`] — interval counters, full purge scans.
+    Partitioned,
+    /// [`select_seeds_lazy`] — CELF lazy greedy.
+    Lazy,
+    /// [`select_seeds_hypergraph`] — Tang-style two-direction layout
+    /// (copies the collection to build the [`HyperGraph`]).
+    Hypergraph,
+    /// [`select_seeds_fused`] — u32-CSR index + interval counters +
+    /// incremental argmax.
+    Fused,
+}
+
+impl SelectEngine {
+    /// Parses a CLI tag (`--select ENGINE`).
+    #[must_use]
+    pub fn from_tag(tag: &str) -> Option<Self> {
+        match tag {
+            "auto" => Some(SelectEngine::Auto),
+            "sequential" | "seq" => Some(SelectEngine::Sequential),
+            "partitioned" | "part" => Some(SelectEngine::Partitioned),
+            "lazy" | "celf" => Some(SelectEngine::Lazy),
+            "hypergraph" | "hyper" => Some(SelectEngine::Hypergraph),
+            "fused" => Some(SelectEngine::Fused),
+            _ => None,
+        }
+    }
+
+    /// Canonical tag, the inverse of [`SelectEngine::from_tag`].
+    #[must_use]
+    pub const fn tag(self) -> &'static str {
+        match self {
+            SelectEngine::Auto => "auto",
+            SelectEngine::Sequential => "sequential",
+            SelectEngine::Partitioned => "partitioned",
+            SelectEngine::Lazy => "lazy",
+            SelectEngine::Hypergraph => "hypergraph",
+            SelectEngine::Fused => "fused",
+        }
+    }
+}
+
+/// Runs one selection pass with `engine`. `partitions` is consumed by the
+/// partitioned and fused engines and ignored by the serial ones. Engines
+/// without an index report default (zero) [`SelectStats`]; the hypergraph
+/// engine charges its two-direction build to the stats so CLI comparisons
+/// see its true cost.
+#[must_use]
+pub fn select_with_engine(
+    engine: SelectEngine,
+    collection: &RrrCollection,
+    n: u32,
+    k: u32,
+    partitions: usize,
+) -> (Selection, SelectStats) {
+    match engine {
+        SelectEngine::Auto => {
+            let resolved = if fused_is_profitable(collection, k) {
+                SelectEngine::Fused
+            } else {
+                SelectEngine::Partitioned
+            };
+            select_with_engine(resolved, collection, n, k, partitions)
+        }
+        SelectEngine::Sequential => (
+            select_seeds_sequential(collection, n, k),
+            SelectStats::default(),
+        ),
+        SelectEngine::Partitioned => (
+            select_seeds_partitioned(collection, n, k, partitions),
+            SelectStats::default(),
+        ),
+        SelectEngine::Lazy => (select_seeds_lazy(collection, n, k), SelectStats::default()),
+        SelectEngine::Hypergraph => {
+            let t0 = std::time::Instant::now();
+            let hyper = HyperGraph::build(collection.clone(), n);
+            let stats = SelectStats {
+                index_build_nanos: u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX),
+                index_bytes: hyper
+                    .resident_bytes()
+                    .saturating_sub(collection.resident_bytes()),
+                entries_touched: 0,
+            };
+            (select_seeds_hypergraph(&hyper, n, k), stats)
+        }
+        SelectEngine::Fused => select_seeds_fused_with_stats(collection, n, k, partitions),
+    }
 }
 
 #[cfg(test)]
@@ -396,9 +734,100 @@ mod tests {
         let hyper = HyperGraph::build(c.clone(), n);
         let hg = select_seeds_hypergraph(&hyper, n, k);
         assert_eq!(hg, seq, "hypergraph engine diverged");
+        for p in [1, 2, 3, 5, 8] {
+            let (fused, stats) = select_seeds_fused_with_stats(&c, n, k, p);
+            assert_eq!(fused, seq, "fused(p={p}) diverged");
+            assert!(stats.index_bytes > 0);
+            assert!(stats.entries_touched > 0);
+        }
         let lazy = select_seeds_lazy(&c, n, k);
         assert_eq!(lazy.covered, seq.covered, "lazy engine lost coverage");
         assert_eq!(lazy.marginal_gains, seq.marginal_gains);
+    }
+
+    #[test]
+    fn fused_on_empty_collection_matches_sequential() {
+        let c = RrrCollection::new();
+        let seq = select_seeds_sequential(&c, 5, 2);
+        for p in [1, 3] {
+            assert_eq!(select_seeds_fused(&c, 5, 2, p), seq);
+        }
+    }
+
+    #[test]
+    fn fused_with_more_partitions_than_vertices() {
+        let c = collection(&[&[0], &[1], &[0, 1]]);
+        assert_eq!(
+            select_seeds_fused(&c, 2, 2, 64),
+            select_seeds_sequential(&c, 2, 2)
+        );
+    }
+
+    #[test]
+    fn engine_dispatch_is_consistent() {
+        let c = collection(&[&[0, 1, 2], &[1, 2, 3], &[2, 3, 4], &[4, 5], &[0, 5]]);
+        let (seq, seq_stats) = select_with_engine(SelectEngine::Sequential, &c, 6, 3, 4);
+        for engine in [
+            SelectEngine::Auto,
+            SelectEngine::Partitioned,
+            SelectEngine::Hypergraph,
+            SelectEngine::Fused,
+        ] {
+            let (sel, _) = select_with_engine(engine, &c, 6, 3, 4);
+            assert_eq!(sel, seq, "{} diverged", engine.tag());
+        }
+        assert_eq!(seq_stats, SelectStats::default());
+        let (lazy, _) = select_with_engine(SelectEngine::Lazy, &c, 6, 3, 4);
+        assert_eq!(lazy.marginal_gains, seq.marginal_gains);
+    }
+
+    #[test]
+    fn cost_model_prefers_fused_for_sparse_sets() {
+        // Empty collection: nothing to index, never profitable.
+        assert!(!fused_is_profitable(&RrrCollection::new(), 100));
+        // s̄ = 2: k·(log₂2+1) = 2k ≥ 4 already at k = 2.
+        let sparse = collection(&[&[0, 1], &[2, 3], &[4, 5]]);
+        assert!(fused_is_profitable(&sparse, 2));
+        assert!(!fused_is_profitable(&sparse, 1));
+        // s̄ = 1024: needs k·11 ≥ 2048, i.e. k ≥ 187.
+        let mut dense = RrrCollection::new();
+        let big: Vec<Vertex> = (0..1024).collect();
+        dense.push(&big);
+        assert!(!fused_is_profitable(&dense, 100));
+        assert!(fused_is_profitable(&dense, 200));
+    }
+
+    #[test]
+    fn engine_tags_round_trip() {
+        for engine in [
+            SelectEngine::Auto,
+            SelectEngine::Sequential,
+            SelectEngine::Partitioned,
+            SelectEngine::Lazy,
+            SelectEngine::Hypergraph,
+            SelectEngine::Fused,
+        ] {
+            assert_eq!(SelectEngine::from_tag(engine.tag()), Some(engine));
+        }
+        assert_eq!(SelectEngine::from_tag("celf"), Some(SelectEngine::Lazy));
+        assert!(SelectEngine::from_tag("bogus").is_none());
+    }
+
+    #[test]
+    fn select_stats_absorb_peaks_and_sums() {
+        let mut a = SelectStats {
+            index_build_nanos: 5,
+            index_bytes: 100,
+            entries_touched: 7,
+        };
+        a.absorb(SelectStats {
+            index_build_nanos: 3,
+            index_bytes: 40,
+            entries_touched: 2,
+        });
+        assert_eq!(a.index_build_nanos, 8);
+        assert_eq!(a.index_bytes, 100);
+        assert_eq!(a.entries_touched, 9);
     }
 
     #[test]

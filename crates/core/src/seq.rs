@@ -16,7 +16,7 @@ use crate::memory::MemoryStats;
 use crate::obs::RunReport;
 use crate::params::ImmParams;
 use crate::result::ImmResult;
-use crate::select::{select_seeds_sequential, Selection};
+use crate::select::{select_with_engine, SelectEngine, SelectStats, Selection};
 use crate::theta::ThetaSchedule;
 use ripples_diffusion::rrr::{generate_rrr, RrrScratch};
 use ripples_diffusion::{sample_batch_sequential, BatchOutcome, RrrCollection};
@@ -60,20 +60,25 @@ pub(crate) fn record_batch(
     for j in old_len..collection.len() {
         report.rrr_sizes.record(collection.get(j).len() as u64);
     }
+    report.counters.arena_bytes_peak = report
+        .counters
+        .arena_bytes_peak
+        .max(outcome.arena_bytes as u64);
 }
 
 /// Shared Algorithm 1 skeleton over the compact one-direction storage.
 ///
 /// `sampler(first_index, count, &mut R)` appends samples with global indices
 /// `first_index..first_index+count`; `selector(&R, n, k)` runs a greedy
-/// max-cover pass. The sequential and multithreaded entry points supply
-/// different engines for the two hooks.
+/// max-cover pass and reports the pass's [`SelectStats`] (index-free engines
+/// return the zero default). The sequential and multithreaded entry points
+/// supply different engines for the two hooks.
 pub(crate) fn run_imm_compact(
     engine: &str,
     graph: &Graph,
     params: &ImmParams,
     mut sampler: impl FnMut(u64, usize, &mut RrrCollection) -> BatchOutcome,
-    mut selector: impl FnMut(&RrrCollection, u32, u32) -> Selection,
+    mut selector: impl FnMut(&RrrCollection, u32, u32) -> (Selection, SelectStats),
 ) -> ImmResult {
     let n = graph.num_vertices();
     if n < 2 {
@@ -91,6 +96,7 @@ pub(crate) fn run_imm_compact(
     let mut collection = RrrCollection::new();
     let mut sample_work: Vec<u64> = Vec::new();
     let mut next_index: u64 = 0;
+    let mut select_stats = SelectStats::default();
 
     // --- EstimateTheta (Algorithm 2) -----------------------------------
     let mut lb: Option<f64> = None;
@@ -100,6 +106,7 @@ pub(crate) fn run_imm_compact(
         let next_index = &mut next_index;
         let memory = &mut memory;
         let lb = &mut lb;
+        let select_stats = &mut select_stats;
         report.span("EstimateTheta", |report| {
             for x in 1..=schedule.max_rounds() {
                 let budget = schedule.round_budget(x);
@@ -114,7 +121,8 @@ pub(crate) fn run_imm_compact(
                         record_batch(report, collection, old_len, &outcome);
                     }
                     memory.observe_rrr(collection.resident_bytes());
-                    let sel = report.span("select", |_| selector(collection, n, k));
+                    let (sel, sstats) = report.span("select", |_| selector(collection, n, k));
+                    select_stats.absorb(sstats);
                     report.counters.theta_rounds += 1;
                     report.counters.select_iterations += sel.seeds.len() as u64;
                     report.counters.round_budgets.push(budget as u64);
@@ -150,13 +158,18 @@ pub(crate) fn run_imm_compact(
     memory.observe_rrr(collection.resident_bytes());
 
     // --- SelectSeeds (Algorithm 4) ---------------------------------------
-    let final_sel = report.span("SelectSeeds", |_| selector(&collection, n, k));
+    let (final_sel, final_stats) = report.span("SelectSeeds", |_| selector(&collection, n, k));
+    select_stats.absorb(final_stats);
     report.counters.select_iterations += final_sel.seeds.len() as u64;
 
+    memory.observe_index(select_stats.index_bytes);
     report.counters.rrr_entries = collection.total_entries() as u64;
     report.counters.rrr_bytes_peak = memory.peak_rrr_bytes as u64;
     report.counters.theta_final = collection.len() as u64;
     report.counters.unsorted_pushes = collection.unsorted_pushes();
+    report.counters.select_entries_touched = select_stats.entries_touched;
+    report.counters.index_build_nanos = select_stats.index_build_nanos;
+    report.counters.index_bytes_peak = select_stats.index_bytes as u64;
     if crate::obs::trace::enabled() {
         report.trace = Some(crate::obs::trace::collect_all());
     }
@@ -172,10 +185,34 @@ pub(crate) fn run_imm_compact(
     }
 }
 
+/// Seed-set sizes from which [`immopt_sequential`] hands selection to the
+/// cost-model dispatch ([`SelectEngine::Auto`]): with `k` this large, an
+/// index-driven engine can repay its build cost, because each greedy round
+/// after the first touches far fewer than θ samples. Below it, the single
+/// sequential scan is already near-optimal and allocates nothing.
+const SEQ_FUSED_K_THRESHOLD: u32 = 16;
+
 /// The paper's optimized serial implementation (IMMOPT): compact sorted
-/// one-direction storage + sequential Algorithm 4.
+/// one-direction storage + sequential Algorithm 4, auto-switching to the
+/// cost-model selection dispatch for large `k` (see
+/// [`SEQ_FUSED_K_THRESHOLD`]). The seed set is identical either way.
 #[must_use]
 pub fn immopt_sequential(graph: &Graph, params: &ImmParams) -> ImmResult {
+    let engine = if params.effective_k(graph.num_vertices()) >= SEQ_FUSED_K_THRESHOLD {
+        SelectEngine::Auto
+    } else {
+        SelectEngine::Sequential
+    };
+    immopt_sequential_with_select(graph, params, engine)
+}
+
+/// [`immopt_sequential`] with an explicit selection engine (CLI `--select`).
+#[must_use]
+pub fn immopt_sequential_with_select(
+    graph: &Graph,
+    params: &ImmParams,
+    select: SelectEngine,
+) -> ImmResult {
     let factory = StreamFactory::new(params.seed);
     let model = params.model;
     run_imm_compact(
@@ -183,7 +220,7 @@ pub fn immopt_sequential(graph: &Graph, params: &ImmParams) -> ImmResult {
         graph,
         params,
         |first, count, out| sample_batch_sequential(graph, model, &factory, first, count, out),
-        select_seeds_sequential,
+        |collection, n, k| select_with_engine(select, collection, n, k, 1),
     )
 }
 

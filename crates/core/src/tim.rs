@@ -25,7 +25,7 @@ use crate::memory::MemoryStats;
 use crate::obs::RunReport;
 use crate::params::ImmParams;
 use crate::result::ImmResult;
-use crate::select::select_seeds_sequential;
+use crate::select::{select_seeds_fused_with_stats, select_seeds_sequential};
 use crate::theta::log_binomial;
 use ripples_diffusion::{sample_batch_sequential, RrrCollection};
 use ripples_graph::Graph;
@@ -146,14 +146,20 @@ pub fn tim_plus(graph: &Graph, params: &ImmParams) -> ImmResult {
     }
     memory.observe_rrr(collection.resident_bytes());
 
-    let final_sel = report.span("SelectSeeds", |_| {
-        select_seeds_sequential(&collection, n, k)
+    // TIM's θ is the largest of any engine here, so its one final greedy
+    // pass is exactly where the fused index pays for itself.
+    let (final_sel, select_stats) = report.span("SelectSeeds", |_| {
+        select_seeds_fused_with_stats(&collection, n, k, 1)
     });
     report.counters.select_iterations += final_sel.seeds.len() as u64;
+    memory.observe_index(select_stats.index_bytes);
     report.counters.rrr_entries = collection.total_entries() as u64;
     report.counters.rrr_bytes_peak = memory.peak_rrr_bytes as u64;
     report.counters.theta_final = collection.len() as u64;
     report.counters.unsorted_pushes = collection.unsorted_pushes();
+    report.counters.select_entries_touched = select_stats.entries_touched;
+    report.counters.index_build_nanos = select_stats.index_build_nanos;
+    report.counters.index_bytes_peak = select_stats.index_bytes as u64;
     if crate::obs::trace::enabled() {
         report.trace = Some(crate::obs::trace::collect_all());
     }

@@ -2,7 +2,8 @@
 
 use proptest::prelude::*;
 use ripples_core::select::{
-    select_seeds_hypergraph, select_seeds_lazy, select_seeds_partitioned, select_seeds_sequential,
+    select_seeds_fused_with_stats, select_seeds_hypergraph, select_seeds_lazy,
+    select_seeds_partitioned, select_seeds_sequential,
 };
 use ripples_core::theta::{log_binomial, ThetaSchedule};
 use ripples_diffusion::{HyperGraph, RrrCollection};
@@ -37,6 +38,15 @@ proptest! {
         let hyper = HyperGraph::build(c.clone(), n);
         let hg = select_seeds_hypergraph(&hyper, n, k);
         prop_assert_eq!(&hg, &seq, "hypergraph engine diverged");
+        for p in [1usize, 2, 3, 5, 64] {
+            let (fused, stats) = select_seeds_fused_with_stats(&c, n, k, p);
+            prop_assert_eq!(&fused, &seq, "fused({}) diverged", p);
+            prop_assert_eq!(
+                stats.index_bytes,
+                select_seeds_fused_with_stats(&c, n, k, 1).1.index_bytes,
+                "index size must not depend on the partition count"
+            );
+        }
         let lazy = select_seeds_lazy(&c, n, k);
         prop_assert_eq!(lazy.covered, seq.covered, "lazy engine lost coverage");
         prop_assert_eq!(lazy.marginal_gains, seq.marginal_gains);

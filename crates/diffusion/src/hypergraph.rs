@@ -101,13 +101,175 @@ impl HyperGraph {
     }
 
     /// Resident bytes of *both* directions — the "IMM" memory columns of
-    /// Table 2.
+    /// Table 2. Reports reserved capacity (real allocated memory), matching
+    /// [`RrrCollection::resident_bytes`].
     #[must_use]
     pub fn resident_bytes(&self) -> usize {
         use std::mem::size_of;
         self.sets.resident_bytes()
-            + self.index_offsets.len() * size_of::<usize>()
-            + self.vertex_to_sets.len() * size_of::<u32>()
+            + self.index_offsets.capacity() * size_of::<usize>()
+            + self.vertex_to_sets.capacity() * size_of::<u32>()
+    }
+}
+
+/// Compact one-direction-plus-index storage for the fused selection engine:
+/// a u32-offset CSR inverted index (vertex → containing samples) built
+/// *over* an existing [`RrrCollection`] without copying the samples.
+///
+/// Compared with [`HyperGraph`] — which owns a second full copy of every
+/// association plus `usize` offsets — this index borrows the collection and
+/// stores each association once as a `u32` sample id with `u32` offsets:
+/// ~⅓ of the hypergraph's index bytes on 64-bit targets, which is what
+/// makes "fast selection" affordable within the paper's compact-layout
+/// memory budget (§3.1's 2×-memory caveat).
+///
+/// The build is a parallel counting sort with the same vertex-interval
+/// ownership as Algorithm 4's partitioned counters: each of `p` owners
+/// counts and then fills only its interval's rows, navigating each sorted
+/// sample by binary search — disjoint writes, no atomics.
+#[derive(Clone, Debug)]
+pub struct SampleIndex {
+    /// CSR offsets into `samples`, one slot per vertex plus a sentinel.
+    offsets: Vec<u32>,
+    /// Sample ids, grouped by vertex, ascending within each vertex.
+    samples: Vec<u32>,
+}
+
+impl SampleIndex {
+    /// Builds the index with `partitions` parallel interval owners
+    /// (clamped to `[1, num_vertices]`; 1 runs serially with no task
+    /// spawns, which the per-rank distributed selection path relies on).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a sample references a vertex ≥ `num_vertices`, or if the
+    /// sample count or total entry count overflows `u32`.
+    #[must_use]
+    pub fn build(sets: &RrrCollection, num_vertices: u32, partitions: usize) -> Self {
+        let n = num_vertices as usize;
+        assert!(
+            sets.len() < u32::MAX as usize,
+            "too many samples for u32 ids"
+        );
+        assert!(
+            sets.total_entries() < u32::MAX as usize,
+            "too many associations for u32 offsets"
+        );
+        let p = partitions.clamp(1, n.max(1));
+        let bounds: Vec<(Vertex, Vertex)> = (0..p)
+            .map(|t| (((n * t) / p) as Vertex, ((n * (t + 1)) / p) as Vertex))
+            .collect();
+
+        // Counting pass: occurrences per vertex, each interval owner
+        // writing only its disjoint slice.
+        let mut counts = vec![0u32; n];
+        if p == 1 {
+            for set in sets.iter() {
+                for &v in set {
+                    assert!((v as usize) < n, "sample vertex {v} out of range");
+                    counts[v as usize] += 1;
+                }
+            }
+        } else {
+            let mut rest: &mut [u32] = &mut counts;
+            rayon::scope(|s| {
+                for &(vl, vh) in &bounds {
+                    let (slice, tail) = rest.split_at_mut((vh - vl) as usize);
+                    rest = tail;
+                    s.spawn(move |_| {
+                        for j in 0..sets.len() {
+                            for &u in sets.partition_slice(j, vl, vh) {
+                                slice[(u - vl) as usize] += 1;
+                            }
+                        }
+                    });
+                }
+            });
+        }
+
+        let mut offsets = Vec::with_capacity(n + 1);
+        let mut acc = 0u32;
+        offsets.push(0);
+        for &c in &counts {
+            acc += c;
+            offsets.push(acc);
+        }
+        // In the parallel pass an out-of-range vertex lands in no interval
+        // and is silently skipped; the totals check catches it here.
+        assert_eq!(
+            acc as usize,
+            sets.total_entries(),
+            "sample vertex out of range"
+        );
+
+        // Fill pass: vertex `v`'s row occupies `offsets[v]..offsets[v+1]`,
+        // so an owner's rows form one contiguous region — again disjoint.
+        // Iterating samples in ascending id keeps every row sorted.
+        let mut samples = vec![0u32; sets.total_entries()];
+        if p == 1 {
+            let mut cursor: Vec<u32> = offsets[..n].to_vec();
+            for (j, set) in sets.iter().enumerate() {
+                for &v in set {
+                    let c = &mut cursor[v as usize];
+                    samples[*c as usize] = j as u32;
+                    *c += 1;
+                }
+            }
+        } else {
+            let offsets_ref = &offsets;
+            let mut rest: &mut [u32] = &mut samples;
+            rayon::scope(|s| {
+                for &(vl, vh) in &bounds {
+                    let base = offsets_ref[vl as usize];
+                    let len = (offsets_ref[vh as usize] - base) as usize;
+                    let (region, tail) = rest.split_at_mut(len);
+                    rest = tail;
+                    s.spawn(move |_| {
+                        let mut cursor: Vec<u32> = offsets_ref[vl as usize..vh as usize]
+                            .iter()
+                            .map(|&o| o - base)
+                            .collect();
+                        for j in 0..sets.len() {
+                            for &u in sets.partition_slice(j, vl, vh) {
+                                let c = &mut cursor[(u - vl) as usize];
+                                region[*c as usize] = j as u32;
+                                *c += 1;
+                            }
+                        }
+                    });
+                }
+            });
+        }
+        Self { offsets, samples }
+    }
+
+    /// Sample ids containing `v`, ascending.
+    #[inline]
+    #[must_use]
+    pub fn samples_containing(&self, v: Vertex) -> &[u32] {
+        let v = v as usize;
+        &self.samples[self.offsets[v] as usize..self.offsets[v + 1] as usize]
+    }
+
+    /// Occurrence count of `v` across samples — the initial greedy counter.
+    #[inline]
+    #[must_use]
+    pub fn degree(&self, v: Vertex) -> u64 {
+        u64::from(self.offsets[v as usize + 1] - self.offsets[v as usize])
+    }
+
+    /// Total associations stored (equals the collection's entry count).
+    #[must_use]
+    pub fn total_entries(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Reserved bytes of the index alone (the collection is borrowed, not
+    /// copied — add [`RrrCollection::resident_bytes`] for the full pair).
+    #[must_use]
+    pub fn resident_bytes(&self) -> usize {
+        use std::mem::size_of;
+        (self.offsets.capacity() + self.samples.capacity()) * size_of::<u32>()
     }
 }
 
@@ -166,5 +328,81 @@ mod tests {
         let h = HyperGraph::build(RrrCollection::new(), 4);
         assert!(h.is_empty());
         assert_eq!(h.degree(0), 0);
+    }
+
+    #[test]
+    fn sample_index_matches_hypergraph_at_any_partition_count() {
+        let sets = sample_sets();
+        let h = HyperGraph::build(sets.clone(), 5);
+        for p in [1, 2, 3, 5, 16] {
+            let idx = SampleIndex::build(&sets, 5, p);
+            assert_eq!(idx.total_entries(), sets.total_entries());
+            for v in 0..5 {
+                assert_eq!(
+                    idx.samples_containing(v),
+                    h.samples_containing(v),
+                    "vertex {v} at p={p}"
+                );
+                assert_eq!(idx.degree(v), h.degree(v) as u64);
+            }
+        }
+    }
+
+    #[test]
+    fn sample_index_rows_are_sorted() {
+        let mut c = RrrCollection::new();
+        for j in 0..20u32 {
+            // Vertex 0 appears in every sample, vertex 1 in every other.
+            if j % 2 == 0 {
+                c.push(&[0, 1]);
+            } else {
+                c.push(&[0]);
+            }
+        }
+        let idx = SampleIndex::build(&c, 2, 3);
+        let row: Vec<u32> = idx.samples_containing(0).to_vec();
+        assert_eq!(row, (0..20).collect::<Vec<u32>>());
+        assert!(idx.samples_containing(1).windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn sample_index_is_leaner_than_hypergraph_index() {
+        let mut c = RrrCollection::new();
+        for j in 0..200u32 {
+            c.push(&[j % 50, 50 + j % 50, 100 + j % 7]);
+        }
+        let compact = c.resident_bytes();
+        let idx = SampleIndex::build(&c, 107, 4);
+        let h = HyperGraph::build(c, 107);
+        assert!(
+            compact + idx.resident_bytes() < h.resident_bytes(),
+            "u32 CSR index ({}) must undercut the two-direction layout ({})",
+            compact + idx.resident_bytes(),
+            h.resident_bytes()
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn sample_index_rejects_out_of_range_vertex_serial() {
+        let mut c = RrrCollection::new();
+        c.push(&[7]);
+        let _ = SampleIndex::build(&c, 3, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn sample_index_rejects_out_of_range_vertex_parallel() {
+        let mut c = RrrCollection::new();
+        c.push(&[7]);
+        let _ = SampleIndex::build(&c, 3, 2);
+    }
+
+    #[test]
+    fn sample_index_empty_collection() {
+        let idx = SampleIndex::build(&RrrCollection::new(), 4, 2);
+        assert_eq!(idx.total_entries(), 0);
+        assert_eq!(idx.degree(0), 0);
+        assert!(idx.samples_containing(3).is_empty());
     }
 }

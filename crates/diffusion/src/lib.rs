@@ -31,9 +31,9 @@ pub mod sketches;
 
 pub use compressed::CompressedRrrCollection;
 pub use forward::{estimate_spread, simulate_cascade, CascadeOutcome};
-pub use hypergraph::HyperGraph;
+pub use hypergraph::{HyperGraph, SampleIndex};
 pub use model::DiffusionModel;
 pub use partitioned::GraphPartition;
-pub use rrr::{generate_rrr, RrrCollection, RrrScratch};
+pub use rrr::{generate_rrr, generate_rrr_into, RrrCollection, RrrScratch, SampleArena};
 pub use sampler::{sample_batch, sample_batch_sequential, BatchOutcome};
 pub use sketches::ReachabilitySketches;

@@ -81,6 +81,27 @@ pub fn generate_rrr<R: RandomSource>(
     rng: &mut R,
     scratch: &mut RrrScratch,
 ) -> RrrSample {
+    let mut vertices = Vec::new();
+    let edges_examined = generate_rrr_into(graph, model, root, rng, scratch, &mut vertices);
+    RrrSample {
+        vertices,
+        edges_examined,
+    }
+}
+
+/// Allocation-free variant of [`generate_rrr`]: appends the sorted RRR set
+/// to the tail of `out` (an arena shared across many samples) instead of
+/// allocating a per-sample `Vec`. Returns the edges examined. The appended
+/// range is sorted in place; the BFS never enqueues a vertex twice, so the
+/// result is identical to [`generate_rrr`]'s sorted, deduplicated output.
+pub fn generate_rrr_into<R: RandomSource>(
+    graph: &Graph,
+    model: DiffusionModel,
+    root: Vertex,
+    rng: &mut R,
+    scratch: &mut RrrScratch,
+    out: &mut Vec<Vertex>,
+) -> u64 {
     debug_assert!(root < graph.num_vertices(), "root out of range");
     scratch.begin();
     scratch.visit(root);
@@ -121,11 +142,95 @@ pub fn generate_rrr<R: RandomSource>(
             }
         }
     }
-    let mut vertices = scratch.queue.clone();
-    vertices.sort_unstable();
-    RrrSample {
-        vertices,
-        edges_examined,
+    let start = out.len();
+    out.extend_from_slice(&scratch.queue);
+    out[start..].sort_unstable();
+    edges_examined
+}
+
+/// A worker-local flat `(data, offsets)` sample arena filled during one
+/// parallel sampling chunk and merged into an [`RrrCollection`] afterwards
+/// by [`RrrCollection::append_arenas`]. Appending a sample costs amortized
+/// O(len) with zero per-sample heap allocations.
+#[derive(Clone, Debug)]
+pub struct SampleArena {
+    data: Vec<Vertex>,
+    /// Per-sample end offsets into `data` (`offsets[0] == 0`).
+    offsets: Vec<usize>,
+    unsorted: u64,
+}
+
+impl Default for SampleArena {
+    fn default() -> Self {
+        Self::with_capacity(0)
+    }
+}
+
+impl SampleArena {
+    /// Creates an empty arena with room for `samples` offset slots.
+    #[must_use]
+    pub fn with_capacity(samples: usize) -> Self {
+        let mut offsets = Vec::with_capacity(samples + 1);
+        offsets.push(0);
+        Self {
+            data: Vec::new(),
+            offsets,
+            unsorted: 0,
+        }
+    }
+
+    /// Appends one sample produced by `fill`, which writes the sample's
+    /// vertices onto the arena tail (e.g. [`generate_rrr_into`]) and returns
+    /// its work count. Enforces the same sorted/deduped contract as
+    /// [`RrrCollection::push`]: the appended range is validated, repaired if
+    /// violating, and counted.
+    pub fn append_with<F>(&mut self, fill: F) -> u64
+    where
+        F: FnOnce(&mut Vec<Vertex>) -> u64,
+    {
+        let start = self.data.len();
+        let work = fill(&mut self.data);
+        let tail = &mut self.data[start..];
+        if !tail.windows(2).all(|w| w[0] < w[1]) {
+            self.unsorted += 1;
+            tail.sort_unstable();
+            let mut repaired = self.data.split_off(start);
+            repaired.dedup();
+            self.data.append(&mut repaired);
+        }
+        self.offsets.push(self.data.len());
+        work
+    }
+
+    /// Number of samples in the arena.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// True when no samples are stored.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Total vertex entries across all samples.
+    #[must_use]
+    pub fn total_entries(&self) -> usize {
+        self.data.len()
+    }
+
+    /// The `i`-th sample's sorted vertex list.
+    #[must_use]
+    pub fn get(&self, i: usize) -> &[Vertex] {
+        &self.data[self.offsets[i]..self.offsets[i + 1]]
+    }
+
+    /// Reserved bytes of the arena's backing buffers.
+    #[must_use]
+    pub fn reserved_bytes(&self) -> usize {
+        use std::mem::size_of;
+        self.offsets.capacity() * size_of::<usize>() + self.data.capacity() * size_of::<Vertex>()
     }
 }
 
@@ -225,11 +330,58 @@ impl RrrCollection {
     }
 
     /// Resident bytes of the sample storage — the quantity Table 2's memory
-    /// columns compare between layouts.
+    /// columns compare between layouts. Reports *reserved capacity*, not
+    /// just initialized length: a `Vec`'s growth slack is real allocated
+    /// memory, and peak tracking that ignored it under-reported footprint.
     #[must_use]
     pub fn resident_bytes(&self) -> usize {
         use std::mem::size_of;
-        self.offsets.len() * size_of::<usize>() + self.data.len() * size_of::<Vertex>()
+        self.offsets.capacity() * size_of::<usize>() + self.data.capacity() * size_of::<Vertex>()
+    }
+
+    /// Appends the samples of `arenas`, in arena order, by parallel bulk
+    /// copy at precomputed offsets — the merge step of arena-backed
+    /// [`crate::sampler::sample_batch`]. Produces the exact layout that
+    /// [`RrrCollection::push`]ing every sample in the same order would:
+    /// callers partition a batch into per-worker arenas in index order, so
+    /// the merged collection stays bitwise identical to sequential
+    /// generation.
+    pub fn append_arenas(&mut self, arenas: &[SampleArena]) {
+        let base_data = self.data.len();
+        let base_offset_slots = self.offsets.len();
+        let new_entries: usize = arenas.iter().map(SampleArena::total_entries).sum();
+        let new_samples: usize = arenas.iter().map(SampleArena::len).sum();
+        // Destination start of each arena's data block.
+        let data_starts: Vec<usize> = arenas
+            .iter()
+            .scan(base_data, |acc, a| {
+                let start = *acc;
+                *acc += a.total_entries();
+                Some(start)
+            })
+            .collect();
+        self.data.resize(base_data + new_entries, 0);
+        self.offsets.resize(base_offset_slots + new_samples, 0);
+        // Carve disjoint destination windows (one per arena) and fill them
+        // concurrently; the vendored rayon has no mutable parallel
+        // iterators, so ownership is handed out via split_at_mut.
+        let mut data_rest = &mut self.data[base_data..];
+        let mut offsets_rest = &mut self.offsets[base_offset_slots..];
+        rayon::scope(|s| {
+            for (arena, &data_start) in arenas.iter().zip(&data_starts) {
+                let (data_dst, dr) = data_rest.split_at_mut(arena.total_entries());
+                data_rest = dr;
+                let (offsets_dst, or) = offsets_rest.split_at_mut(arena.len());
+                offsets_rest = or;
+                s.spawn(move |_| {
+                    data_dst.copy_from_slice(&arena.data);
+                    for (slot, &end) in offsets_dst.iter_mut().zip(&arena.offsets[1..]) {
+                        *slot = data_start + end;
+                    }
+                });
+            }
+        });
+        self.unsorted_pushes += arenas.iter().map(|a| a.unsorted).sum::<u64>();
     }
 
     /// The slice of sample `i` restricted to the vertex interval
@@ -496,6 +648,82 @@ mod tests {
         // Equality compares content only — the diagnostic counter is not
         // part of the value.
         assert_eq!(c, clean);
+    }
+
+    #[test]
+    fn generate_rrr_into_appends_to_arena_tail() {
+        let g = path(4, 1.0);
+        let mut scratch = RrrScratch::new(4);
+        let mut arena = Vec::from([99u32]);
+        let mut rng = SplitMix64::new(1);
+        let work = generate_rrr_into(
+            &g,
+            DiffusionModel::IndependentCascade,
+            3,
+            &mut rng,
+            &mut scratch,
+            &mut arena,
+        );
+        // Prefix untouched, appended range sorted.
+        assert_eq!(arena, vec![99, 0, 1, 2, 3]);
+        let mut rng2 = SplitMix64::new(1);
+        let s = generate_rrr(
+            &g,
+            DiffusionModel::IndependentCascade,
+            3,
+            &mut rng2,
+            &mut scratch,
+        );
+        assert_eq!(s.vertices, &arena[1..]);
+        assert_eq!(s.edges_examined, work);
+    }
+
+    #[test]
+    fn arena_merge_matches_pushes() {
+        let mut a0 = SampleArena::with_capacity(2);
+        a0.append_with(|buf| {
+            buf.extend_from_slice(&[1, 3, 5]);
+            7
+        });
+        a0.append_with(|buf| {
+            buf.extend_from_slice(&[2]);
+            1
+        });
+        let mut a1 = SampleArena::default();
+        a1.append_with(|_| 0); // empty sample
+        a1.append_with(|buf| {
+            buf.extend_from_slice(&[0, 4]);
+            2
+        });
+        assert_eq!(a0.len(), 2);
+        assert_eq!(a0.total_entries(), 4);
+        assert_eq!(a0.get(0), &[1, 3, 5]);
+        assert!(a1.get(0).is_empty());
+        assert!(a0.reserved_bytes() > 0);
+
+        let mut merged = RrrCollection::new();
+        merged.push(&[9]); // pre-existing content must survive the merge
+        merged.append_arenas(&[a0, a1]);
+        let mut reference = RrrCollection::new();
+        for s in [&[9][..], &[1, 3, 5], &[2], &[], &[0, 4]] {
+            reference.push(s);
+        }
+        assert_eq!(merged, reference);
+        assert_eq!(merged.unsorted_pushes(), 0);
+    }
+
+    #[test]
+    fn arena_repairs_and_counts_unsorted_samples() {
+        let mut a = SampleArena::default();
+        a.append_with(|buf| {
+            buf.extend_from_slice(&[5, 1, 3, 3]);
+            0
+        });
+        assert_eq!(a.get(0), &[1, 3, 5]);
+        let mut c = RrrCollection::new();
+        c.append_arenas(&[a]);
+        assert_eq!(c.unsorted_pushes(), 1);
+        assert_eq!(c.get(0), &[1, 3, 5]);
     }
 
     #[test]

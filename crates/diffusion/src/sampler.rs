@@ -7,7 +7,7 @@
 //! what lets the test suite assert sequential ≡ multithreaded ≡ distributed.
 
 use crate::model::DiffusionModel;
-use crate::rrr::{generate_rrr, RrrCollection, RrrScratch};
+use crate::rrr::{generate_rrr, generate_rrr_into, RrrCollection, RrrScratch, SampleArena};
 use rayon::prelude::*;
 use ripples_graph::{Graph, Vertex};
 use ripples_rng::StreamFactory;
@@ -22,6 +22,10 @@ pub struct BatchOutcome {
     /// for generation (one entry per worker that received at least one
     /// sample). Sequential paths report the whole batch as one worker.
     pub per_worker_samples: Vec<u64>,
+    /// Reserved bytes summed over the worker-local sample arenas of this
+    /// batch — transient sampling memory beyond the merged collection.
+    /// Sequential paths, which push straight into the collection, report 0.
+    pub arena_bytes: usize,
 }
 
 impl BatchOutcome {
@@ -66,15 +70,16 @@ pub fn sample_batch(
         "cannot sample from an empty graph"
     );
     // Parallel generation over the contiguous block partition of
-    // `worker_sample_counts`, one block per worker; blocks are re-appended
-    // in index order so the collection layout is deterministic, and each
-    // sample's content depends only on its global index, so the result is
-    // identical for any worker count. Each non-empty block emits one
-    // `sample-chunk` trace span, giving the timeline a per-worker view of
-    // batch load imbalance.
+    // `worker_sample_counts`, one block per worker. Each worker appends its
+    // samples into a local flat arena (no per-sample Vec), and the arenas
+    // are merged into `out` by parallel bulk copy in index order, so the
+    // collection layout is deterministic; each sample's content depends
+    // only on its global index, so the result is identical for any worker
+    // count. Each non-empty block emits one `sample-chunk` trace span,
+    // giving the timeline a per-worker view of batch load imbalance.
     let workers = rayon::current_num_threads().max(1);
     let nchunks = workers.min(count.max(1));
-    let chunks: Vec<Vec<(Vec<Vertex>, u64)>> = (0..nchunks as u64)
+    let chunks: Vec<(SampleArena, Vec<u64>)> = (0..nchunks as u64)
         .into_par_iter()
         .map_init(
             || RrrScratch::new(graph.num_vertices()),
@@ -83,12 +88,15 @@ pub fn sample_batch(
                 let lo = count * chunk / nchunks;
                 let hi = count * (chunk + 1) / nchunks;
                 let t0 = (hi > lo && ripples_trace::enabled()).then(std::time::Instant::now);
-                let mut block = Vec::with_capacity(hi - lo);
+                let mut arena = SampleArena::with_capacity(hi - lo);
+                let mut works = Vec::with_capacity(hi - lo);
                 for offset in lo..hi {
                     let index = first_index + offset as u64;
                     let (root, mut rng) = sample_root(graph, factory, index);
-                    let s = generate_rrr(graph, model, root, &mut rng, scratch);
-                    block.push((s.vertices, s.edges_examined));
+                    let work = arena.append_with(|buf| {
+                        generate_rrr_into(graph, model, root, &mut rng, scratch, buf)
+                    });
+                    works.push(work);
                 }
                 if let Some(t0) = t0 {
                     ripples_trace::complete(
@@ -98,20 +106,27 @@ pub fn sample_batch(
                         (hi - lo) as u64,
                     );
                 }
-                block
+                (arena, works)
             },
         )
         .collect();
+    let arena_bytes: usize = chunks.iter().map(|(a, _)| a.reserved_bytes()).sum();
+    if ripples_trace::enabled() {
+        ripples_trace::counter(ripples_trace::TraceName::ArenaBytes, arena_bytes as u64);
+    }
     let mut outcome = BatchOutcome {
         work_per_sample: Vec::with_capacity(count),
         per_worker_samples: worker_sample_counts(count, workers),
+        arena_bytes,
     };
-    for block in chunks {
-        for (vertices, work) in block {
-            out.push(&vertices);
-            outcome.work_per_sample.push(work);
-        }
-    }
+    let arenas: Vec<SampleArena> = chunks
+        .into_iter()
+        .map(|(arena, works)| {
+            outcome.work_per_sample.extend_from_slice(&works);
+            arena
+        })
+        .collect();
+    out.append_arenas(&arenas);
     outcome
 }
 
@@ -148,6 +163,7 @@ pub fn sample_batch_sequential(
         } else {
             Vec::new()
         },
+        arena_bytes: 0,
     };
     for offset in 0..count as u64 {
         let index = first_index + offset;
@@ -183,6 +199,32 @@ mod tests {
             let so = sample_batch_sequential(&g, model, &f, 0, 500, &mut seq);
             assert_eq!(par, seq, "collections differ under {model}");
             assert_eq!(po.work_per_sample, so.work_per_sample);
+        }
+    }
+
+    #[test]
+    fn arena_merge_bitwise_equal_across_thread_counts() {
+        // The arena path must reproduce sample_batch_sequential's layout
+        // bit for bit at every worker count (acceptance criterion of the
+        // arena rewrite).
+        let g = graph();
+        let f = StreamFactory::new(2024);
+        let model = DiffusionModel::IndependentCascade;
+        let mut seq = RrrCollection::new();
+        let so = sample_batch_sequential(&g, model, &f, 0, 700, &mut seq);
+        for threads in [1usize, 2, 3, 8] {
+            let pool = rayon::ThreadPoolBuilder::new()
+                .num_threads(threads)
+                .build()
+                .expect("pool");
+            let (par, po) = pool.install(|| {
+                let mut par = RrrCollection::new();
+                let po = sample_batch(&g, model, &f, 0, 700, &mut par);
+                (par, po)
+            });
+            assert_eq!(par, seq, "collections differ at {threads} threads");
+            assert_eq!(po.work_per_sample, so.work_per_sample);
+            assert!(po.arena_bytes > 0, "worker arenas unreported");
         }
     }
 

@@ -108,6 +108,14 @@ pub enum TraceName {
     RrrBytes = 11,
     /// A span whose label is outside the fixed catalog.
     Generic = 12,
+    /// Building the vertex→samples inverted index for fused selection;
+    /// `arg0` = index entries.
+    IndexBuild = 13,
+    /// Index entries touched while covering one seed's samples;
+    /// `arg0` = entries, `arg1` = chosen vertex.
+    SelectTouched = 14,
+    /// Worker-arena reserved bytes for one sampling batch; `arg0` = bytes.
+    ArenaBytes = 15,
 }
 
 impl TraceName {
@@ -128,6 +136,9 @@ impl TraceName {
             TraceName::CommBarrier => "barrier",
             TraceName::RrrBytes => "rrr-bytes",
             TraceName::Generic => "span",
+            TraceName::IndexBuild => "index-build",
+            TraceName::SelectTouched => "select-touched",
+            TraceName::ArenaBytes => "arena-bytes",
         }
     }
 
@@ -140,7 +151,9 @@ impl TraceName {
             TraceName::CommAllReduce | TraceName::CommAllGather | TraceName::CommBroadcast => {
                 (Some("bytes"), None)
             }
-            TraceName::RrrBytes => (Some("bytes"), None),
+            TraceName::RrrBytes | TraceName::ArenaBytes => (Some("bytes"), None),
+            TraceName::IndexBuild => (Some("entries"), None),
+            TraceName::SelectTouched => (Some("entries"), Some("vertex")),
             _ => (None, None),
         }
     }
@@ -161,6 +174,9 @@ impl TraceName {
             10 => Some(CommBarrier),
             11 => Some(RrrBytes),
             12 => Some(Generic),
+            13 => Some(IndexBuild),
+            14 => Some(SelectTouched),
+            15 => Some(ArenaBytes),
             _ => None,
         }
     }
@@ -775,12 +791,12 @@ mod tests {
 
     #[test]
     fn name_catalog_round_trips() {
-        for x in 0..=12u8 {
+        for x in 0..=15u8 {
             let name = TraceName::from_u8(x).expect("catalog entry");
             assert_eq!(name as u8, x);
             assert!(!name.label().is_empty());
         }
-        assert!(TraceName::from_u8(13).is_none());
+        assert!(TraceName::from_u8(16).is_none());
         assert!(EventKind::from_u8(3).is_none());
     }
 }
