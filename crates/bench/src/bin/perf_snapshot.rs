@@ -17,12 +17,15 @@
 //!   `mt` cells (e.g. `partitioned` to record a before-run against the
 //!   default `auto` dispatch); distributed cells are unaffected.
 //!
-//! The schema (`ripples-perf-snapshot-v2`) is documented in
+//! The schema (`ripples-perf-snapshot-v3`) is documented in
 //! `EXPERIMENTS.md`; every record carries the wall time, the per-phase
 //! sampling/selection wall-time split (summed from the span tree), the peak
 //! RRR/index/arena byte counts, and the key
 //! [`RunReport`](ripples_core::obs::RunReport) counters so a snapshot is
-//! interpretable on its own, without re-running anything.
+//! interpretable on its own, without re-running anything. v3 adds the
+//! comm-health counters (`retries`, `dropped_ops`, `degraded_ranks`) — all
+//! zero on the reliable in-process backend, nonzero only under injected
+//! chaos — as purely additive fields.
 
 use ripples_bench::{measure, Args};
 use ripples_comm::ThreadWorld;
@@ -199,7 +202,7 @@ fn main() {
         let selection_wall_s = phase_wall_s(result.report.spans(), &["select", "SelectSeeds"]);
         write!(
             records,
-            "\n    {{\"engine\":\"{}\",\"graph\":\"{}\",\"vertices\":{},\"edges\":{},\"k\":{},\"epsilon\":{},\"wall_s\":{:.6},\"sampling_wall_s\":{:.6},\"selection_wall_s\":{:.6},\"theta\":{},\"theta_rounds\":{},\"samples_generated\":{},\"edges_examined\":{},\"rrr_entries\":{},\"rrr_bytes_peak\":{},\"index_bytes_peak\":{},\"arena_bytes_peak\":{},\"select_entries_touched\":{},\"index_build_nanos\":{},\"select_iterations\":{},\"comm\":{}}}",
+            "\n    {{\"engine\":\"{}\",\"graph\":\"{}\",\"vertices\":{},\"edges\":{},\"k\":{},\"epsilon\":{},\"wall_s\":{:.6},\"sampling_wall_s\":{:.6},\"selection_wall_s\":{:.6},\"theta\":{},\"theta_rounds\":{},\"samples_generated\":{},\"edges_examined\":{},\"rrr_entries\":{},\"rrr_bytes_peak\":{},\"index_bytes_peak\":{},\"arena_bytes_peak\":{},\"select_entries_touched\":{},\"index_build_nanos\":{},\"select_iterations\":{},\"retries\":{},\"dropped_ops\":{},\"degraded_ranks\":{},\"comm\":{}}}",
             config.engine,
             config.graph_name,
             graph.num_vertices(),
@@ -220,6 +223,9 @@ fn main() {
             c.select_entries_touched,
             c.index_build_nanos,
             c.select_iterations,
+            c.retries,
+            c.dropped_ops,
+            c.degraded_ranks,
             comm,
         )
         .expect("writing to String cannot fail");
@@ -227,7 +233,7 @@ fn main() {
 
     let threads = std::thread::available_parallelism().map_or(1, |p| p.get());
     let json = format!(
-        "{{\n  \"schema\": \"ripples-perf-snapshot-v2\",\n  \"date\": \"{date}\",\n  \"quick\": {quick},\n  \"host\": {{\"threads\": {threads}}},\n  \"configs\": [{records}\n  ]\n}}\n",
+        "{{\n  \"schema\": \"ripples-perf-snapshot-v3\",\n  \"date\": \"{date}\",\n  \"quick\": {quick},\n  \"host\": {{\"threads\": {threads}}},\n  \"configs\": [{records}\n  ]\n}}\n",
     );
     ripples_trace::validate_json(&json).expect("snapshot must be valid JSON");
 

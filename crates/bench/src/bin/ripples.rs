@@ -11,6 +11,7 @@
 //!         [--select auto|sequential|partitioned|lazy|hypergraph|fused]
 //!         [--report pretty|json] [--report-out FILE]
 //!         [--trace FILE] [--trace-buffer EVENTS]
+//!         [--chaos-seed S] [--chaos-rate R]
 //! ripples --standin com-Orkut --scale-div 64 ...
 //! ```
 //!
@@ -32,9 +33,17 @@
 //! `--trace-buffer` caps the per-worker ring size in events (default
 //! 16384, env `RIPPLES_TRACE_BUFFER`); overflowing events are dropped and
 //! counted, never blocking the run.
+//!
+//! `--chaos-seed S` injects a deterministic fault schedule (dropped, delayed
+//! and truncated collectives) into the `dist`/`partitioned` engines'
+//! communicator; `--chaos-rate R` sets the per-op fault probability (default
+//! 0.02). The run completes through the retry/degradation layer and prints a
+//! robustness summary (retries, dropped ops, degraded ranks); the same seed
+//! always reproduces the same faults. Other engines ignore the flags with a
+//! warning.
 
 use ripples_bench::Args;
-use ripples_comm::ThreadWorld;
+use ripples_comm::{FaultComm, FaultPlan, ThreadWorld};
 use ripples_core::obs::trace;
 use ripples_core::{
     celf::celf_greedy,
@@ -126,6 +135,15 @@ fn main() {
         })
     });
 
+    let chaos: Option<FaultPlan> = args.get("chaos-seed").map(|s| {
+        let chaos_seed: u64 = s.parse().expect("--chaos-seed takes a u64");
+        let rate: f64 = args.parse_or("chaos-rate", 0.02);
+        FaultPlan::chaos(chaos_seed, rate)
+    });
+    if chaos.is_some() && !matches!(engine.as_str(), "dist" | "partitioned") {
+        eprintln!("warning: --chaos-seed only affects the dist/partitioned engines; ignoring");
+    }
+
     let trace_path = args.get("trace").map(str::to_string);
     if trace_path.is_some() {
         let capacity = args
@@ -152,7 +170,13 @@ fn main() {
         "dist" => {
             let ranks: u32 = args.parse_or("ranks", 2);
             let world = ThreadWorld::new(ranks);
-            let mut results = world.run(|comm| imm_distributed(comm, &graph, &params));
+            let mut results = match &chaos {
+                Some(plan) => world.run(|comm| {
+                    let faulty = FaultComm::new(comm, plan.clone());
+                    imm_distributed(&faulty, &graph, &params)
+                }),
+                None => world.run(|comm| imm_distributed(comm, &graph, &params)),
+            };
             let r = results.pop().expect("at least one rank");
             let detail = format!("ranks={ranks} theta={} phases=[{}]", r.theta, r.timers);
             (r.seeds, detail, Some(r.report))
@@ -171,7 +195,13 @@ fn main() {
         "partitioned" => {
             let ranks: u32 = args.parse_or("ranks", 2);
             let world = ThreadWorld::new(ranks);
-            let mut results = world.run(|comm| imm_partitioned(comm, &graph, &params));
+            let mut results = match &chaos {
+                Some(plan) => world.run(|comm| {
+                    let faulty = FaultComm::new(comm, plan.clone());
+                    imm_partitioned(&faulty, &graph, &params)
+                }),
+                None => world.run(|comm| imm_partitioned(comm, &graph, &params)),
+            };
             let r = results.pop().expect("at least one rank");
             let detail = format!(
                 "ranks={ranks} theta={} per-rank-graph={}B phases=[{}]",
@@ -213,6 +243,15 @@ fn main() {
     let elapsed = start.elapsed();
     eprintln!("engine={engine} model={model} k={k} epsilon={epsilon}: {detail}");
     eprintln!("time: {:.3}s", elapsed.as_secs_f64());
+    if let (Some(plan), Some(rep)) = (&chaos, &report) {
+        eprintln!(
+            "chaos: seed={} retries={} dropped_ops={} degraded_ranks={}",
+            plan.seed(),
+            rep.counters.retries,
+            rep.counters.dropped_ops,
+            rep.counters.degraded_ranks
+        );
+    }
 
     if let Some(path) = &trace_path {
         trace::stop();

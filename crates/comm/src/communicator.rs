@@ -1,6 +1,8 @@
-//! The communicator trait and its call/byte accounting.
+//! The communicator trait, its call/byte accounting, and the fault surface
+//! ([`CommError`] + the fallible `try_*` collective variants).
 
 use std::cell::Cell;
+use std::fmt;
 
 /// Counters describing the communication a rank has performed.
 ///
@@ -71,6 +73,192 @@ pub(crate) fn traced<T>(
     }
 }
 
+/// Which collective operation an error refers to.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CollectiveOp {
+    /// `barrier`.
+    Barrier,
+    /// `all_reduce_sum_u64` / `all_reduce_sum_f64` / `all_reduce_max_f64`.
+    AllReduce,
+    /// `broadcast_u64`.
+    Broadcast,
+    /// `all_gather_u64` / `all_gather_u64_list`.
+    AllGather,
+}
+
+impl fmt::Display for CollectiveOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            CollectiveOp::Barrier => "barrier",
+            CollectiveOp::AllReduce => "allreduce",
+            CollectiveOp::Broadcast => "broadcast",
+            CollectiveOp::AllGather => "allgather",
+        })
+    }
+}
+
+/// A failed collective attempt, as surfaced by a fault-injecting (or, one
+/// day, a real network) backend. Every variant names the op, the rank at
+/// fault, and the decorator's op index so failures are attributable and —
+/// with a seeded [`crate::FaultPlan`] — exactly reproducible.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CommError {
+    /// The attempt was dropped by `rank` before completing.
+    Dropped {
+        /// The collective that failed.
+        op: CollectiveOp,
+        /// The rank whose message was lost.
+        rank: u32,
+        /// The fault decorator's op index for this attempt.
+        op_index: u64,
+    },
+    /// `rank`'s payload arrived short; the collective result is unusable.
+    Truncated {
+        /// The collective that failed.
+        op: CollectiveOp,
+        /// The rank whose payload was cut short.
+        rank: u32,
+        /// The fault decorator's op index for this attempt.
+        op_index: u64,
+        /// Payload bytes the op required.
+        expected_bytes: u64,
+        /// Payload bytes that actually arrived.
+        got_bytes: u64,
+    },
+    /// `rank` answered, but slower than the per-op tick budget.
+    TimedOut {
+        /// The collective that failed.
+        op: CollectiveOp,
+        /// The slowest rank.
+        rank: u32,
+        /// The fault decorator's op index for this attempt.
+        op_index: u64,
+        /// Virtual ticks the attempt took.
+        delay_ticks: u64,
+        /// The budget it exceeded.
+        budget_ticks: u64,
+    },
+    /// `rank` is unresponsive (and will stay so until declared dead).
+    Stalled {
+        /// The collective that failed.
+        op: CollectiveOp,
+        /// The unresponsive rank.
+        rank: u32,
+        /// The fault decorator's op index for this attempt.
+        op_index: u64,
+    },
+    /// A broadcast was requested from a root that is already dead. Not
+    /// retryable: no retry schedule can resurrect the only data source.
+    DeadRoot {
+        /// The collective that failed.
+        op: CollectiveOp,
+        /// The dead root rank.
+        rank: u32,
+        /// The fault decorator's op index for this attempt.
+        op_index: u64,
+    },
+}
+
+impl CommError {
+    /// The failed collective.
+    #[must_use]
+    pub fn op(&self) -> CollectiveOp {
+        match self {
+            CommError::Dropped { op, .. }
+            | CommError::Truncated { op, .. }
+            | CommError::TimedOut { op, .. }
+            | CommError::Stalled { op, .. }
+            | CommError::DeadRoot { op, .. } => *op,
+        }
+    }
+
+    /// The rank at fault.
+    #[must_use]
+    pub fn rank(&self) -> u32 {
+        match self {
+            CommError::Dropped { rank, .. }
+            | CommError::Truncated { rank, .. }
+            | CommError::TimedOut { rank, .. }
+            | CommError::Stalled { rank, .. }
+            | CommError::DeadRoot { rank, .. } => *rank,
+        }
+    }
+
+    /// The fault decorator's op index of the failed attempt.
+    #[must_use]
+    pub fn op_index(&self) -> u64 {
+        match self {
+            CommError::Dropped { op_index, .. }
+            | CommError::Truncated { op_index, .. }
+            | CommError::TimedOut { op_index, .. }
+            | CommError::Stalled { op_index, .. }
+            | CommError::DeadRoot { op_index, .. } => *op_index,
+        }
+    }
+
+    /// Whether retrying the attempt can ever succeed.
+    #[must_use]
+    pub fn is_retryable(&self) -> bool {
+        !matches!(self, CommError::DeadRoot { .. })
+    }
+}
+
+impl fmt::Display for CommError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CommError::Dropped { op, rank, op_index } => {
+                write!(f, "{op} dropped by rank {rank} at op {op_index}")
+            }
+            CommError::Truncated {
+                op,
+                rank,
+                op_index,
+                expected_bytes,
+                got_bytes,
+            } => write!(
+                f,
+                "{op} payload truncated by rank {rank} at op {op_index} \
+                 ({got_bytes} of {expected_bytes} bytes arrived)"
+            ),
+            CommError::TimedOut {
+                op,
+                rank,
+                op_index,
+                delay_ticks,
+                budget_ticks,
+            } => write!(
+                f,
+                "{op} timed out waiting for rank {rank} at op {op_index} \
+                 ({delay_ticks} ticks > budget {budget_ticks})"
+            ),
+            CommError::Stalled { op, rank, op_index } => {
+                write!(f, "{op} stalled: rank {rank} unresponsive at op {op_index}")
+            }
+            CommError::DeadRoot { op, rank, op_index } => {
+                write!(f, "{op} root rank {rank} is dead at op {op_index}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CommError {}
+
+/// Robustness bookkeeping a communicator stack has accumulated: retry and
+/// drop counters plus the set of ranks declared dead. Backends without a
+/// fault surface report the all-zero default.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct CommHealth {
+    /// Collective attempts that were retried after a fault.
+    pub retries: u64,
+    /// Collective attempts that failed (dropped, truncated, timed out, or
+    /// stalled) before eventually succeeding or escalating.
+    pub dropped_ops: u64,
+    /// Deterministic virtual clock ticks consumed, delays included.
+    pub ticks: u64,
+    /// Ranks declared dead, ascending.
+    pub dead_ranks: Vec<u32>,
+}
+
 /// The message-passing interface the distributed IMM algorithm requires.
 ///
 /// Implementations must guarantee MPI collective semantics: every rank of
@@ -109,4 +297,199 @@ pub trait Communicator {
 
     /// Communication counters recorded so far on this rank.
     fn stats(&self) -> CommStats;
+
+    // --- Fallible variants -------------------------------------------------
+    //
+    // Reliable backends (SelfComm, ThreadWorld) keep the default
+    // implementations, which simply cannot fail; fault-injecting decorators
+    // override these, and the infallible methods above stay as wrappers so
+    // existing call sites don't churn.
+
+    /// Fallible [`Communicator::barrier`].
+    ///
+    /// # Errors
+    ///
+    /// Returns the injected [`CommError`] on a fault-injecting backend; the
+    /// default implementation never fails.
+    fn try_barrier(&self) -> Result<(), CommError> {
+        self.barrier();
+        Ok(())
+    }
+
+    /// Fallible [`Communicator::all_reduce_sum_u64`]. On `Err`, `buf` is
+    /// untouched and the attempt performed no communication.
+    ///
+    /// # Errors
+    ///
+    /// Returns the injected [`CommError`] on a fault-injecting backend.
+    fn try_all_reduce_sum_u64(&self, buf: &mut [u64]) -> Result<(), CommError> {
+        self.all_reduce_sum_u64(buf);
+        Ok(())
+    }
+
+    /// Fallible [`Communicator::all_reduce_sum_f64`].
+    ///
+    /// # Errors
+    ///
+    /// Returns the injected [`CommError`] on a fault-injecting backend.
+    fn try_all_reduce_sum_f64(&self, value: f64) -> Result<f64, CommError> {
+        Ok(self.all_reduce_sum_f64(value))
+    }
+
+    /// Fallible [`Communicator::all_reduce_max_f64`].
+    ///
+    /// # Errors
+    ///
+    /// Returns the injected [`CommError`] on a fault-injecting backend.
+    fn try_all_reduce_max_f64(&self, value: f64) -> Result<f64, CommError> {
+        Ok(self.all_reduce_max_f64(value))
+    }
+
+    /// Fallible [`Communicator::broadcast_u64`].
+    ///
+    /// # Errors
+    ///
+    /// Returns the injected [`CommError`] on a fault-injecting backend;
+    /// notably [`CommError::DeadRoot`] (non-retryable) when `root` has been
+    /// declared dead.
+    fn try_broadcast_u64(&self, root: u32, value: u64) -> Result<u64, CommError> {
+        Ok(self.broadcast_u64(root, value))
+    }
+
+    /// Fallible [`Communicator::all_gather_u64`].
+    ///
+    /// # Errors
+    ///
+    /// Returns the injected [`CommError`] on a fault-injecting backend.
+    fn try_all_gather_u64(&self, value: u64) -> Result<Vec<u64>, CommError> {
+        Ok(self.all_gather_u64(value))
+    }
+
+    /// Fallible [`Communicator::all_gather_u64_list`].
+    ///
+    /// # Errors
+    ///
+    /// Returns the injected [`CommError`] on a fault-injecting backend.
+    fn try_all_gather_u64_list(&self, items: &[u64]) -> Result<Vec<Vec<u64>>, CommError> {
+        Ok(self.all_gather_u64_list(items))
+    }
+
+    // --- Degradation hooks -------------------------------------------------
+
+    /// Ranks declared dead so far, ascending; empty on reliable backends.
+    fn dead_ranks(&self) -> Vec<u32> {
+        Vec::new()
+    }
+
+    /// Declares `rank` dead: its future payload contributions are
+    /// neutralized and it no longer generates faults. A no-op on reliable
+    /// backends.
+    fn declare_dead(&self, _rank: u32) {}
+
+    /// The deterministic virtual clock (ticks consumed by ops, injected
+    /// delays, and retry backoff). Always 0 on reliable backends.
+    fn clock_ticks(&self) -> u64 {
+        0
+    }
+
+    /// Advances the virtual clock (retry layers charge their backoff here).
+    /// A no-op on reliable backends.
+    fn advance_clock(&self, _ticks: u64) {}
+
+    /// Robustness counters accumulated by this communicator stack.
+    fn health(&self) -> CommHealth {
+        CommHealth::default()
+    }
+}
+
+/// Forwarding impl so decorators can wrap borrowed backends (e.g.
+/// `FaultComm<&ThreadComm>` inside a `ThreadWorld::run` closure).
+impl<C: Communicator + ?Sized> Communicator for &C {
+    fn rank(&self) -> u32 {
+        (**self).rank()
+    }
+
+    fn size(&self) -> u32 {
+        (**self).size()
+    }
+
+    fn barrier(&self) {
+        (**self).barrier();
+    }
+
+    fn all_reduce_sum_u64(&self, buf: &mut [u64]) {
+        (**self).all_reduce_sum_u64(buf);
+    }
+
+    fn all_reduce_sum_f64(&self, value: f64) -> f64 {
+        (**self).all_reduce_sum_f64(value)
+    }
+
+    fn all_reduce_max_f64(&self, value: f64) -> f64 {
+        (**self).all_reduce_max_f64(value)
+    }
+
+    fn broadcast_u64(&self, root: u32, value: u64) -> u64 {
+        (**self).broadcast_u64(root, value)
+    }
+
+    fn all_gather_u64(&self, value: u64) -> Vec<u64> {
+        (**self).all_gather_u64(value)
+    }
+
+    fn all_gather_u64_list(&self, items: &[u64]) -> Vec<Vec<u64>> {
+        (**self).all_gather_u64_list(items)
+    }
+
+    fn stats(&self) -> CommStats {
+        (**self).stats()
+    }
+
+    fn try_barrier(&self) -> Result<(), CommError> {
+        (**self).try_barrier()
+    }
+
+    fn try_all_reduce_sum_u64(&self, buf: &mut [u64]) -> Result<(), CommError> {
+        (**self).try_all_reduce_sum_u64(buf)
+    }
+
+    fn try_all_reduce_sum_f64(&self, value: f64) -> Result<f64, CommError> {
+        (**self).try_all_reduce_sum_f64(value)
+    }
+
+    fn try_all_reduce_max_f64(&self, value: f64) -> Result<f64, CommError> {
+        (**self).try_all_reduce_max_f64(value)
+    }
+
+    fn try_broadcast_u64(&self, root: u32, value: u64) -> Result<u64, CommError> {
+        (**self).try_broadcast_u64(root, value)
+    }
+
+    fn try_all_gather_u64(&self, value: u64) -> Result<Vec<u64>, CommError> {
+        (**self).try_all_gather_u64(value)
+    }
+
+    fn try_all_gather_u64_list(&self, items: &[u64]) -> Result<Vec<Vec<u64>>, CommError> {
+        (**self).try_all_gather_u64_list(items)
+    }
+
+    fn dead_ranks(&self) -> Vec<u32> {
+        (**self).dead_ranks()
+    }
+
+    fn declare_dead(&self, rank: u32) {
+        (**self).declare_dead(rank);
+    }
+
+    fn clock_ticks(&self) -> u64 {
+        (**self).clock_ticks()
+    }
+
+    fn advance_clock(&self, ticks: u64) {
+        (**self).advance_clock(ticks);
+    }
+
+    fn health(&self) -> CommHealth {
+        (**self).health()
+    }
 }

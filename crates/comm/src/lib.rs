@@ -17,6 +17,11 @@
 //!   with presets for the paper's two clusters, used by the strong-scaling
 //!   replay harness to *predict* wall-clock at rank counts this host cannot
 //!   physically run (documented substitution; see DESIGN.md §1).
+//! * [`fault`] / [`retry`] — a deterministic, seeded fault-injection
+//!   decorator ([`FaultComm`] driven by a [`FaultPlan`]) and the
+//!   lockstep retry/rank-death layer ([`RetryComm`]) the distributed
+//!   engines wrap their communicator in, so a lossy fabric degrades runs
+//!   instead of crashing them.
 //!
 //! Every communicator records how many collective calls and payload bytes it
 //! has moved ([`CommStats`]), which both the experiments and the cost model
@@ -26,10 +31,14 @@
 
 pub mod communicator;
 pub mod costmodel;
+pub mod fault;
+pub mod retry;
 pub mod selfcomm;
 pub mod thread;
 
-pub use communicator::{CommStats, Communicator};
+pub use communicator::{CollectiveOp, CommError, CommHealth, CommStats, Communicator};
 pub use costmodel::{AlphaBetaModel, ClusterSpec};
+pub use fault::{FaultComm, FaultKind, FaultPlan};
+pub use retry::{RetryComm, RetryPolicy};
 pub use selfcomm::SelfComm;
 pub use thread::{ThreadComm, ThreadWorld};

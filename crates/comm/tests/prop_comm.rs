@@ -1,8 +1,10 @@
 //! Property-based tests for the shared-memory collectives: every collective
-//! must equal its serial reduction for arbitrary payloads and world sizes.
+//! must equal its serial reduction for arbitrary payloads and world sizes,
+//! and an empty-plan [`FaultComm`] must be indistinguishable from the bare
+//! backend — results *and* accounting — for arbitrary plan seeds.
 
 use proptest::prelude::*;
-use ripples_comm::{Communicator, ThreadWorld};
+use ripples_comm::{Communicator, FaultComm, FaultPlan, ThreadWorld};
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(24))]
@@ -86,6 +88,59 @@ proptest! {
             prop_assert_eq!(mx, expect_max);
             prop_assert!((sum - expect_sum).abs() < 1e-6 * expect_sum.abs().max(1.0));
             prop_assert_eq!(bc, values[root as usize].to_bits());
+        }
+    }
+
+    /// A [`FaultComm`] with an all-rates-zero plan is bitwise transparent at
+    /// every world size, whatever seed the plan carries: identical collective
+    /// results and identical backend `CommStats`.
+    #[test]
+    fn empty_fault_plan_is_transparent(
+        size_pick in 0usize..3,
+        plan_seed in any::<u64>(),
+        payload in prop::collection::vec(0u64..1 << 40, 1..32),
+    ) {
+        let size = [1u32, 2, 4][size_pick];
+        let payload_ref = &payload;
+
+        let run = |wrap: bool| {
+            let world = ThreadWorld::new(size);
+            world.run(|comm| {
+                let exercise = |c: &dyn Communicator| {
+                    let mut buf: Vec<u64> = payload_ref
+                        .iter()
+                        .map(|&x| x ^ u64::from(c.rank()))
+                        .collect();
+                    c.all_reduce_sum_u64(&mut buf);
+                    let mx = c.all_reduce_max_f64(f64::from(c.rank()));
+                    let bc = c.broadcast_u64(0, 99);
+                    let gathered = c.all_gather_u64(u64::from(c.rank()) + 7);
+                    let lists = c.all_gather_u64_list(&buf[..buf.len().min(3)]);
+                    c.barrier();
+                    (buf, mx, bc, gathered, lists, c.stats())
+                };
+                if wrap {
+                    let faulty = FaultComm::new(comm, FaultPlan::new(plan_seed));
+                    let out = exercise(&faulty);
+                    // Transparency extends to the health surface.
+                    assert_eq!(faulty.health().dropped_ops, 0);
+                    assert!(faulty.dead_ranks().is_empty());
+                    out
+                } else {
+                    exercise(comm)
+                }
+            })
+        };
+
+        let bare = run(false);
+        let wrapped = run(true);
+        for (b, w) in bare.iter().zip(&wrapped) {
+            prop_assert_eq!(&b.0, &w.0, "all_reduce_sum_u64 diverged");
+            prop_assert_eq!(b.1, w.1, "all_reduce_max_f64 diverged");
+            prop_assert_eq!(b.2, w.2, "broadcast_u64 diverged");
+            prop_assert_eq!(&b.3, &w.3, "all_gather_u64 diverged");
+            prop_assert_eq!(&b.4, &w.4, "all_gather_u64_list diverged");
+            prop_assert_eq!(&b.5, &w.5, "backend CommStats diverged");
         }
     }
 }

@@ -22,7 +22,7 @@ use crate::params::ImmParams;
 use crate::result::ImmResult;
 use crate::select::{fused_is_profitable, SelectStats};
 use crate::theta::ThetaSchedule;
-use ripples_comm::Communicator;
+use ripples_comm::{Communicator, RetryComm};
 use ripples_diffusion::rrr::{generate_rrr, RrrScratch};
 use ripples_diffusion::{DiffusionModel, RrrCollection, SampleIndex};
 use ripples_graph::{Graph, Vertex};
@@ -208,10 +208,20 @@ pub(crate) fn select_seeds_distributed<C: Communicator>(
         }
     }
     let covered_global = comm.all_reduce_sum_u64_scalar(covered_local as u64) as usize;
-    let fraction = if theta_global == 0 {
+    // Degraded runs: dead ranks' samples are gone from every collective, so
+    // coverage must be judged against the samples the surviving ranks
+    // actually hold, not the nominal θ. The dead-rank set is identical on
+    // every rank (lockstep fault decisions), so this extra collective is
+    // taken — or skipped — uniformly; the fault-free path is unchanged.
+    let theta_eff = if comm.dead_ranks().is_empty() {
+        theta_global
+    } else {
+        comm.all_reduce_sum_u64_scalar(local.len() as u64) as usize
+    };
+    let fraction = if theta_eff == 0 {
         0.0
     } else {
-        covered_global as f64 / theta_global as f64
+        covered_global as f64 / theta_eff as f64
     };
     (seeds, covered_global, fraction, stats)
 }
@@ -264,6 +274,22 @@ pub(crate) fn globalize_counters<C: Communicator>(comm: &C, report: &mut RunRepo
     report.counters.unsorted_pushes = buf[3];
     report.counters.select_entries_touched = buf[4];
     globalize_histogram(comm, &mut report.rrr_sizes);
+}
+
+/// Publishes the comm stack's fault/retry health into the report's global
+/// counters. Lockstep retries mean every live rank holds identical health
+/// values, so a max-reduce both agrees across ranks and neutralizes zombie
+/// (dead-rank) contributions, which arrive as `NEG_INFINITY`. Must be called
+/// collectively — including on reliable fabrics, where it reduces zeros —
+/// so every engine issues the same collective sequence at every fault rate.
+pub(crate) fn globalize_health<C: Communicator>(comm: &C, report: &mut RunReport) {
+    let health = comm.health();
+    report.counters.retries = comm.all_reduce_max_f64(health.retries as f64).max(0.0) as u64;
+    report.counters.dropped_ops =
+        comm.all_reduce_max_f64(health.dropped_ops as f64).max(0.0) as u64;
+    report.counters.degraded_ranks = comm
+        .all_reduce_max_f64(health.dead_ranks.len() as f64)
+        .max(0.0) as u64;
 }
 
 /// Scalar convenience over the slice All-Reduce.
@@ -334,6 +360,11 @@ pub fn imm_distributed_full<C: Communicator>(
     rng_mode: DistRngMode,
     select_mode: DistSelectMode,
 ) -> ImmResult {
+    // All collectives below run through the retry/rank-death layer: on a
+    // reliable backend every attempt succeeds first try and the wrapper is
+    // free; on a fault-injecting stack transient faults are retried in
+    // lockstep and persistent ones degrade the run instead of crashing it.
+    let comm = &RetryComm::with_defaults(comm);
     let n = graph.num_vertices();
     if n < 2 {
         // Degenerate inputs take the sequential path; keep ranks aligned.
@@ -477,6 +508,7 @@ pub fn imm_distributed_full<C: Communicator>(
     report.counters.index_build_nanos = select_stats.index_build_nanos;
     report.counters.index_bytes_peak = select_stats.index_bytes as u64;
     globalize_counters(comm, &mut report);
+    globalize_health(comm, &mut report);
     report.comm = Some(CommCounters::delta(&comm_before, &comm.stats()));
     if crate::obs::trace::enabled() {
         // Collective: every rank contributes its timeline and every rank

@@ -29,7 +29,7 @@ use crate::obs::{CommCounters, RunReport};
 use crate::params::ImmParams;
 use crate::result::ImmResult;
 use crate::theta::ThetaSchedule;
-use ripples_comm::Communicator;
+use ripples_comm::{Communicator, RetryComm};
 use ripples_diffusion::partitioned::{sample_root, sample_stream_seed};
 use ripples_diffusion::{DiffusionModel, GraphPartition, RrrCollection};
 use ripples_graph::{Graph, Vertex};
@@ -152,6 +152,9 @@ pub fn sample_batch_cooperative<C: Communicator>(
 /// shards).
 #[must_use]
 pub fn imm_partitioned<C: Communicator>(comm: &C, graph: &Graph, params: &ImmParams) -> ImmResult {
+    // Same retry/rank-death shield as `imm_distributed_full`; free on a
+    // reliable backend.
+    let comm = &RetryComm::with_defaults(comm);
     let n = graph.num_vertices();
     if n < 2 {
         comm.barrier();
@@ -287,6 +290,7 @@ pub fn imm_partitioned<C: Communicator>(comm: &C, graph: &Graph, params: &ImmPar
     report.counters.index_build_nanos = select_stats.index_build_nanos;
     report.counters.index_bytes_peak = select_stats.index_bytes as u64;
     crate::dist::globalize_counters(comm, &mut report);
+    crate::dist::globalize_health(comm, &mut report);
     report.comm = Some(CommCounters::delta(&comm_before, &comm.stats()));
     if crate::obs::trace::enabled() {
         // Collective: every rank contributes its timeline and every rank

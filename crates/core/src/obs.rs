@@ -80,6 +80,15 @@ pub struct Counters {
     pub round_budgets: Vec<u64>,
     /// Per-round coverage fraction achieved by the greedy selection.
     pub round_coverage: Vec<f64>,
+    /// Collective attempts retried by the comm retry layer (globally, for
+    /// the distributed engines); 0 on a reliable fabric.
+    pub retries: u64,
+    /// Collective attempts the fault layer failed before they reached the
+    /// backend (globally, for the distributed engines).
+    pub dropped_ops: u64,
+    /// Ranks declared dead and excluded from the run's collectives
+    /// (globally, for the distributed engines).
+    pub degraded_ranks: u64,
 }
 
 /// A fixed-size power-of-two histogram of `u64` observations.
@@ -404,7 +413,13 @@ impl RunReport {
             }
             let _ = write!(out, "{}", json_f64(*f));
         }
-        out.push_str("]}");
+        out.push(']');
+        let _ = write!(
+            out,
+            ",\"retries\":{},\"dropped_ops\":{},\"degraded_ranks\":{}",
+            c.retries, c.dropped_ops, c.degraded_ranks
+        );
+        out.push('}');
         out.push_str(",\"rrr_sizes\":");
         json_histogram(&mut out, &self.rrr_sizes);
         out.push_str(",\"thread_samples\":");
@@ -461,6 +476,9 @@ impl RunReport {
         let _ = writeln!(out, "  index build (ns)    {}", c.index_build_nanos);
         let _ = writeln!(out, "  index bytes (peak)  {}", c.index_bytes_peak);
         let _ = writeln!(out, "  arena bytes (peak)  {}", c.arena_bytes_peak);
+        let _ = writeln!(out, "  comm retries        {}", c.retries);
+        let _ = writeln!(out, "  comm dropped ops    {}", c.dropped_ops);
+        let _ = writeln!(out, "  degraded ranks      {}", c.degraded_ranks);
         for (i, (b, f)) in c.round_budgets.iter().zip(&c.round_coverage).enumerate() {
             let _ = writeln!(
                 out,

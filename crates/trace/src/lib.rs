@@ -116,6 +116,12 @@ pub enum TraceName {
     SelectTouched = 14,
     /// Worker-arena reserved bytes for one sampling batch; `arg0` = bytes.
     ArenaBytes = 15,
+    /// A collective attempt failed and is being retried;
+    /// `arg0` = op index, `arg1` = attempt number (0-based).
+    CommRetry = 16,
+    /// A rank was declared dead after exhausted retries;
+    /// `arg0` = rank, `arg1` = op index.
+    RankDead = 17,
 }
 
 impl TraceName {
@@ -139,6 +145,8 @@ impl TraceName {
             TraceName::IndexBuild => "index-build",
             TraceName::SelectTouched => "select-touched",
             TraceName::ArenaBytes => "arena-bytes",
+            TraceName::CommRetry => "comm-retry",
+            TraceName::RankDead => "rank-dead",
         }
     }
 
@@ -154,6 +162,8 @@ impl TraceName {
             TraceName::RrrBytes | TraceName::ArenaBytes => (Some("bytes"), None),
             TraceName::IndexBuild => (Some("entries"), None),
             TraceName::SelectTouched => (Some("entries"), Some("vertex")),
+            TraceName::CommRetry => (Some("op"), Some("attempt")),
+            TraceName::RankDead => (Some("rank"), Some("op")),
             _ => (None, None),
         }
     }
@@ -177,6 +187,8 @@ impl TraceName {
             13 => Some(IndexBuild),
             14 => Some(SelectTouched),
             15 => Some(ArenaBytes),
+            16 => Some(CommRetry),
+            17 => Some(RankDead),
             _ => None,
         }
     }
@@ -791,12 +803,12 @@ mod tests {
 
     #[test]
     fn name_catalog_round_trips() {
-        for x in 0..=15u8 {
+        for x in 0..=17u8 {
             let name = TraceName::from_u8(x).expect("catalog entry");
             assert_eq!(name as u8, x);
             assert!(!name.label().is_empty());
         }
-        assert!(TraceName::from_u8(16).is_none());
+        assert!(TraceName::from_u8(18).is_none());
         assert!(EventKind::from_u8(3).is_none());
     }
 }

@@ -1,5 +1,6 @@
 //! Failure injection and degenerate inputs across the public API surface.
 
+use ripples_comm::{CommError, Communicator, FaultComm, FaultPlan, SelfComm, ThreadWorld};
 use ripples_core::mt::imm_multithreaded;
 use ripples_core::seq::immopt_sequential;
 use ripples_core::ImmParams;
@@ -121,6 +122,59 @@ fn spread_estimation_handles_empty_inputs() {
         estimate_spread(&empty, DiffusionModel::IndependentCascade, &[], 100, &f),
         0.0
     );
+}
+
+#[test]
+fn truncated_payloads_surface_as_comm_errors_not_panics() {
+    // A guaranteed-truncation schedule: the fallible surface reports the
+    // fault, the backend is never touched, and the local buffer survives
+    // intact for the retry.
+    let comm = FaultComm::new(SelfComm::new(), FaultPlan::new(77).with_truncate_rate(1.0));
+    let mut buf = vec![3u64, 5, 8];
+    let err = comm
+        .try_all_reduce_sum_u64(&mut buf)
+        .expect_err("truncation must surface as an error");
+    assert!(matches!(err, CommError::Truncated { .. }));
+    assert!(err.is_retryable());
+    assert_eq!(
+        buf,
+        vec![3, 5, 8],
+        "failed attempt must not mutate the buffer"
+    );
+    assert_eq!(comm.inner().stats().allreduce_calls, 0);
+
+    // The Display message names the op, the blamed rank, and the op index
+    // — enough to find the attempt in a trace.
+    let msg = err.to_string();
+    assert!(msg.contains("allreduce"), "got: {msg}");
+    assert!(msg.contains("rank 0"), "got: {msg}");
+    assert!(msg.contains("at op 0"), "got: {msg}");
+    assert!(
+        msg.contains("12 of 24 bytes"),
+        "truncation message should carry the byte counts, got: {msg}"
+    );
+}
+
+#[test]
+fn dead_root_broadcast_is_an_error_not_a_panic() {
+    let world = ThreadWorld::new(2);
+    let errs = world.run(|c| {
+        let comm = FaultComm::new(c, FaultPlan::none());
+        comm.declare_dead(1);
+        comm.try_broadcast_u64(1, 42)
+            .expect_err("broadcast from a dead root cannot succeed")
+    });
+    for err in errs {
+        assert!(matches!(err, CommError::DeadRoot { rank: 1, .. }));
+        assert!(
+            !err.is_retryable(),
+            "no retry schedule recovers a dead data source"
+        );
+        let msg = err.to_string();
+        assert!(msg.contains("broadcast"), "got: {msg}");
+        assert!(msg.contains("root rank 1 is dead"), "got: {msg}");
+        assert!(msg.contains("at op 0"), "got: {msg}");
+    }
 }
 
 #[test]
