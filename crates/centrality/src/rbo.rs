@@ -19,10 +19,17 @@ use std::collections::HashSet;
 /// `p` close to 1 weighs deep ranks more; 0.9 (the authors' default) puts
 /// ~86% of the weight on the top 10. Returns a value in `[0, 1]`.
 ///
+/// Rankings are rankings **of sets**: each id may appear at most once. A
+/// duplicate id trips a `debug_assert`; in builds without debug assertions
+/// the ranking is first reduced to the first occurrence of each id (the RBO
+/// of the deduplicated rankings is returned). An earlier revision fed
+/// duplicates straight into the overlap bookkeeping, which credited a second
+/// overlap for an id that had already been matched and inflated the score.
+///
 /// ```
 /// use ripples_centrality::rank_biased_overlap;
 ///
-/// let a = [3, 1, 4, 1, 5];
+/// let a = [3, 1, 4, 5];
 /// assert!((rank_biased_overlap(&a, &a, 0.9) - 1.0).abs() < 1e-9);
 /// assert!(rank_biased_overlap(&[1, 2], &[3, 4], 0.9) < 1e-9);
 /// ```
@@ -33,6 +40,8 @@ use std::collections::HashSet;
 #[must_use]
 pub fn rank_biased_overlap(a: &[u32], b: &[u32], p: f64) -> f64 {
     assert!(p > 0.0 && p < 1.0, "persistence must be in (0, 1)");
+    let a = first_occurrences(a);
+    let b = first_occurrences(b);
     if a.is_empty() && b.is_empty() {
         return 1.0;
     }
@@ -70,6 +79,19 @@ pub fn rank_biased_overlap(a: &[u32], b: &[u32], p: f64) -> f64 {
     // Extrapolate: assume agreement stays at its depth-k value beyond the
     // evaluated prefix. Σ_{d>k} p^{d-1} = p^k / (1-p).
     (1.0 - p) * sum + agreement_at_k * p.powi(k as i32)
+}
+
+/// Reduces a ranking to the first occurrence of each id, debug-asserting
+/// that there was nothing to reduce (rankings are rankings of sets).
+fn first_occurrences(r: &[u32]) -> Vec<u32> {
+    let mut seen: HashSet<u32> = HashSet::with_capacity(r.len());
+    let deduped: Vec<u32> = r.iter().copied().filter(|&v| seen.insert(v)).collect();
+    debug_assert_eq!(
+        deduped.len(),
+        r.len(),
+        "ranking contains duplicate ids: {r:?}"
+    );
+    deduped
 }
 
 #[cfg(test)]
@@ -122,6 +144,43 @@ mod tests {
     #[should_panic(expected = "persistence")]
     fn invalid_p_panics() {
         let _ = rank_biased_overlap(&[1], &[1], 1.0);
+    }
+
+    /// Regression (ISSUE 5): the old doc example `[3, 1, 4, 1, 5]` carried a
+    /// duplicate `1`. Self-comparison must still be exactly 1 under the set
+    /// semantics (in builds where the duplicate isn't rejected outright).
+    #[test]
+    #[cfg(not(debug_assertions))]
+    fn doc_example_with_duplicate_still_self_identical() {
+        let a = [3u32, 1, 4, 1, 5];
+        let v = rank_biased_overlap(&a, &a, 0.9);
+        assert!((v - 1.0).abs() < 1e-9, "{v}");
+    }
+
+    /// Regression (ISSUE 5): duplicates must not be credited as extra
+    /// overlap. Pre-fix, `a = [1, 3, 1]` vs `b = [2, 1, 1]` matched the id 1
+    /// twice (once via the seen-set, once via the positional `x == y` at
+    /// depth 3) and returned ≈0.585 at p = 0.9; the set semantics
+    /// (`a → [1, 3]`, `b → [2, 1]`) give exactly
+    /// `(1-p)·(0 + p/2) + p²/2 = 0.45`.
+    #[test]
+    #[cfg(not(debug_assertions))]
+    fn duplicates_not_double_counted() {
+        let v = rank_biased_overlap(&[1, 3, 1], &[2, 1, 1], 0.9);
+        assert!((v - 0.45).abs() < 1e-12, "{v}");
+        // Identical to comparing the deduplicated rankings directly.
+        let deduped = rank_biased_overlap(&[1, 3], &[2, 1], 0.9);
+        assert!((v - deduped).abs() < 1e-15);
+    }
+
+    /// Regression (ISSUE 5): with debug assertions on, duplicate ids are a
+    /// contract violation and must be rejected loudly (pre-fix they were
+    /// silently — and wrongly — scored).
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "duplicate ids")]
+    fn duplicates_rejected_in_debug() {
+        let _ = rank_biased_overlap(&[1, 3, 1], &[2, 1, 1], 0.9);
     }
 
     #[test]

@@ -64,4 +64,4 @@ pub use obs::RunReport;
 pub use params::ImmParams;
 pub use phases::{Phase, PhaseTimers};
 pub use result::ImmResult;
-pub use select::{fused_is_profitable, SelectEngine, SelectStats};
+pub use select::{coverage_of, fused_is_profitable, SelectEngine, SelectStats};

@@ -555,6 +555,18 @@ pub fn select_seeds_fused_with_stats(
     )
 }
 
+/// Number of RRR sets in `collection` covered by `seeds` (sets containing at
+/// least one seed). Engine-independent by construction, so the correctness
+/// oracle uses it to score any engine's seed set on any (possibly relabeled)
+/// collection without trusting that engine's own bookkeeping.
+#[must_use]
+pub fn coverage_of(collection: &RrrCollection, seeds: &[Vertex]) -> usize {
+    collection
+        .iter()
+        .filter(|set| seeds.iter().any(|s| set.binary_search(s).is_ok()))
+        .count()
+}
+
 /// Cost-model check for the fused engine: building and walking the u32-CSR
 /// index costs O(E) (E = total RRR entries), while the partitioned engine's
 /// per-seed purge scans cost O(k·θ·(log₂s̄+1)) binary-search steps
@@ -828,6 +840,15 @@ mod tests {
         assert_eq!(a.index_build_nanos, 8);
         assert_eq!(a.index_bytes, 100);
         assert_eq!(a.entries_touched, 9);
+    }
+
+    #[test]
+    fn coverage_of_matches_selection_bookkeeping() {
+        let c = collection(&[&[0, 1, 2], &[1, 2, 3], &[2, 3, 4], &[4, 5], &[0, 5]]);
+        let sel = select_seeds_sequential(&c, 6, 3);
+        assert_eq!(coverage_of(&c, &sel.seeds), sel.covered);
+        assert_eq!(coverage_of(&c, &[]), 0);
+        assert_eq!(coverage_of(&RrrCollection::new(), &[1, 2]), 0);
     }
 
     #[test]

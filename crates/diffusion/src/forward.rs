@@ -158,14 +158,38 @@ pub fn estimate_spread(
     if trials == 0 || graph.num_vertices() == 0 {
         return 0.0;
     }
-    let total: u64 = (0..trials)
+    let total: u64 = spread_samples(graph, model, seeds, trials, factory)
+        .into_iter()
+        .sum();
+    total as f64 / f64::from(trials)
+}
+
+/// The per-trial cascade sizes behind [`estimate_spread`]: trial `t` of
+/// `trials` is one cascade driven by `factory.trial_stream(t)`, so
+/// `estimate_spread` is exactly the mean of this vector.
+///
+/// The correctness oracle consumes the individual samples to compute the
+/// estimator's empirical variance, which turns "forward Monte-Carlo agrees
+/// with the RRR coverage estimate" into a CLT-calibrated check instead of a
+/// hand-tuned tolerance.
+#[must_use]
+pub fn spread_samples(
+    graph: &Graph,
+    model: DiffusionModel,
+    seeds: &[Vertex],
+    trials: u32,
+    factory: &StreamFactory,
+) -> Vec<u64> {
+    if graph.num_vertices() == 0 {
+        return vec![0; trials as usize];
+    }
+    (0..trials)
         .into_par_iter()
         .map(|t| {
             let mut rng = factory.trial_stream(u64::from(t));
             simulate_cascade(graph, model, seeds, &mut rng).size() as u64
         })
-        .sum();
-    total as f64 / f64::from(trials)
+        .collect()
 }
 
 #[cfg(test)]
@@ -277,6 +301,19 @@ mod tests {
             two >= one,
             "adding a seed cannot reduce spread: {one} vs {two}"
         );
+    }
+
+    #[test]
+    fn spread_samples_mean_is_estimate() {
+        let g = path(8, 0.4);
+        let f = StreamFactory::new(13);
+        let samples = spread_samples(&g, DiffusionModel::IndependentCascade, &[0], 300, &f);
+        assert_eq!(samples.len(), 300);
+        let mean = samples.iter().sum::<u64>() as f64 / 300.0;
+        let est = estimate_spread(&g, DiffusionModel::IndependentCascade, &[0], 300, &f);
+        assert!((mean - est).abs() < 1e-12);
+        // Every sample includes at least the seed.
+        assert!(samples.iter().all(|&s| s >= 1));
     }
 
     #[test]

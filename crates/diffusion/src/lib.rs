@@ -30,7 +30,7 @@ pub mod sampler;
 pub mod sketches;
 
 pub use compressed::CompressedRrrCollection;
-pub use forward::{estimate_spread, simulate_cascade, CascadeOutcome};
+pub use forward::{estimate_spread, simulate_cascade, spread_samples, CascadeOutcome};
 pub use hypergraph::{HyperGraph, SampleIndex};
 pub use model::DiffusionModel;
 pub use partitioned::GraphPartition;

@@ -29,6 +29,7 @@ pub mod clustering;
 pub mod csr;
 pub mod generators;
 pub mod io;
+pub mod permute;
 pub mod stats;
 pub mod subgraph;
 pub mod traversal;
@@ -38,6 +39,7 @@ pub mod weights;
 pub use builder::GraphBuilder;
 pub use clustering::{global_clustering_coefficient, triangle_count};
 pub use csr::Graph;
+pub use permute::{permute_graph, Permutation};
 pub use stats::GraphStats;
 pub use subgraph::{induced_subgraph, split_by_labels, InducedSubgraph};
 pub use types::{GraphError, Vertex};

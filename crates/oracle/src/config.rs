@@ -1,0 +1,73 @@
+//! Tunables for one oracle pass.
+
+/// How hard [`crate::check_all_with`] works and how strict it is.
+///
+/// The defaults are sized for CI stand-in graphs (a few hundred vertices):
+/// every differential layer runs, and the statistical tolerances sit at 5σ
+/// so a correct implementation fails with probability < 1e-6 per check
+/// while real regressions (which shift estimates by many σ) still trip.
+#[derive(Clone, Debug)]
+pub struct OracleConfig {
+    /// Partition counts fed to the partitioned/fused engines. The first
+    /// entry is also used by the metamorphic selection checks.
+    pub partitions: Vec<usize>,
+    /// Thread counts for the IMMmt pipeline runs.
+    pub mt_threads: Vec<usize>,
+    /// In-process world sizes for the distributed pipeline runs.
+    pub world_sizes: Vec<u32>,
+    /// Monte-Carlo trials per forward spread estimate.
+    pub mc_trials: u32,
+    /// Width of every statistical tolerance, in standard deviations.
+    pub sigmas: f64,
+    /// IC probability boost `p ← p + boost·(1−p)` for the monotonicity
+    /// check. Must be in `[0, 1]`.
+    pub boost: f64,
+    /// Seed for the relabeling permutation (XORed with the run's master
+    /// seed so every oracle invocation uses a distinct permutation).
+    pub permutation_seed: u64,
+}
+
+impl Default for OracleConfig {
+    fn default() -> Self {
+        OracleConfig {
+            partitions: vec![1, 2, 5],
+            mt_threads: vec![2, 4],
+            world_sizes: vec![1, 2, 4],
+            mc_trials: 1500,
+            sigmas: 5.0,
+            boost: 0.3,
+            permutation_seed: 0x5045_524D_5554_4531,
+        }
+    }
+}
+
+impl OracleConfig {
+    /// A cheaper profile for debug builds and property tests: fewer engine
+    /// grid points and Monte-Carlo trials, same invariants.
+    #[must_use]
+    pub fn quick() -> Self {
+        OracleConfig {
+            partitions: vec![1, 3],
+            mt_threads: vec![2],
+            world_sizes: vec![1, 2],
+            mc_trials: 400,
+            ..OracleConfig::default()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_sane() {
+        let c = OracleConfig::default();
+        assert!(!c.partitions.is_empty());
+        assert!(c.mc_trials >= 2, "variance needs at least two samples");
+        assert!(c.sigmas > 0.0);
+        assert!((0.0..=1.0).contains(&c.boost));
+        let q = OracleConfig::quick();
+        assert!(q.mc_trials <= c.mc_trials);
+    }
+}

@@ -1,0 +1,232 @@
+//! Differential checks: independent implementations of the same function
+//! must produce the same answer.
+//!
+//! Three layers, matching the repo's redundancy:
+//!
+//! 1. **Select engines** — every [`SelectEngine`] on the same
+//!    [`RrrCollection`] returns the identical [`Selection`] (the lazy
+//!    engine may reorder tied seeds, so it is held to identical coverage
+//!    and marginal gains instead, with its bookkeeping re-scored from
+//!    scratch by [`coverage_of`]).
+//! 2. **Pipelines** — the paper's four implementations (IMMOPT, the Tang
+//!    baseline, IMMmt across thread counts, IMMdist across world sizes)
+//!    return the identical seed set, θ, and coverage at a fixed master
+//!    seed; the partitioned-graph engine (vertex-keyed sampling, a
+//!    deliberately different but partition-invariant scheme) must match
+//!    its own single-rank run at every world size.
+//! 3. **Estimators** — the forward Monte-Carlo influence estimate and the
+//!    RRR coverage estimate of the same seed set are independent unbiased
+//!    estimators of `E[|I(S)|]`; they must agree within a CLT-derived
+//!    tolerance computed from their empirical/binomial variances.
+
+use crate::config::OracleConfig;
+use crate::reference::greedy_with_tie_order;
+use crate::report::{CheckKind, OracleReport};
+use ripples_centrality::rank_biased_overlap;
+use ripples_comm::{SelfComm, ThreadWorld};
+use ripples_core::dist::imm_distributed;
+use ripples_core::dist_partitioned::imm_partitioned;
+use ripples_core::mt::imm_multithreaded;
+use ripples_core::select::{select_with_engine, Selection};
+use ripples_core::seq::{imm_baseline, immopt_sequential};
+use ripples_core::{coverage_of, ImmParams, ImmResult, SelectEngine};
+use ripples_diffusion::{sample_batch_sequential, spread_samples, RrrCollection};
+use ripples_graph::Graph;
+use ripples_rng::StreamFactory;
+
+/// The engines that promise bitwise-identical [`Selection`]s.
+pub(crate) const EAGER_ENGINES: [SelectEngine; 5] = [
+    SelectEngine::Auto,
+    SelectEngine::Sequential,
+    SelectEngine::Partitioned,
+    SelectEngine::Hypergraph,
+    SelectEngine::Fused,
+];
+
+/// Layer 1: every engine against the reference greedy on `collection`.
+pub(crate) fn check_select_engines(
+    report: &mut OracleReport,
+    collection: &RrrCollection,
+    n: u32,
+    k: u32,
+    cfg: &OracleConfig,
+) {
+    let kind = CheckKind::SelectEngineAgreement;
+    let reference = greedy_with_tie_order(collection, n, k, u64::from);
+    for engine in EAGER_ENGINES {
+        for &parts in &cfg.partitions {
+            let (sel, _) = select_with_engine(engine, collection, n, k, parts);
+            let subject = format!("{}(p={parts})", engine.tag());
+            report.check(kind, &subject, sel == reference, || {
+                format!(
+                    "selection diverged from reference greedy: {:?} vs {:?}",
+                    brief(&sel),
+                    brief(&reference)
+                )
+            });
+            // The serial engines ignore `parts`; one pass is enough.
+            if !matches!(
+                engine,
+                SelectEngine::Auto | SelectEngine::Partitioned | SelectEngine::Fused
+            ) {
+                break;
+            }
+        }
+    }
+    let (lazy, _) = select_with_engine(SelectEngine::Lazy, collection, n, k, 1);
+    report.check(
+        kind,
+        "lazy",
+        lazy.covered == reference.covered && lazy.marginal_gains == reference.marginal_gains,
+        || {
+            format!(
+                "lazy coverage/gains diverged: {:?} vs {:?}",
+                brief(&lazy),
+                brief(&reference)
+            )
+        },
+    );
+    report.check(
+        kind,
+        "lazy",
+        coverage_of(collection, &lazy.seeds) == lazy.covered,
+        || {
+            format!(
+                "lazy bookkeeping lies: claims {} covered, rescore says {}",
+                lazy.covered,
+                coverage_of(collection, &lazy.seeds)
+            )
+        },
+    );
+}
+
+fn brief(sel: &Selection) -> (Vec<u32>, usize, Vec<u64>) {
+    (sel.seeds.clone(), sel.covered, sel.marginal_gains.clone())
+}
+
+/// Layer 2: the pipeline grid. Returns the reference (IMMOPT) result for
+/// downstream checks.
+pub(crate) fn check_engine_grid(
+    report: &mut OracleReport,
+    graph: &Graph,
+    params: &ImmParams,
+    cfg: &OracleConfig,
+) -> ImmResult {
+    let reference = immopt_sequential(graph, params);
+
+    let baseline = imm_baseline(graph, params);
+    compare_runs(report, "baseline", &baseline, &reference);
+    for &threads in &cfg.mt_threads {
+        let mt = imm_multithreaded(graph, params, threads);
+        compare_runs(report, &format!("mt({threads})"), &mt, &reference);
+    }
+    // The partitioned-graph engine samples with vertex-keyed coin flips (so
+    // its output is independent of the partitioning but deliberately *not*
+    // bitwise-equal to the replicated sampler); its differential anchor is
+    // its own single-rank run, not IMMOPT.
+    let part_reference = imm_partitioned(&SelfComm::new(), graph, params);
+    for &world in &cfg.world_sizes {
+        let results = ThreadWorld::new(world).run(|comm| imm_distributed(comm, graph, params));
+        for (rank, r) in results.iter().enumerate() {
+            compare_runs(
+                report,
+                &format!("dist(world={world},rank={rank})"),
+                r,
+                &reference,
+            );
+        }
+        let results = ThreadWorld::new(world).run(|comm| imm_partitioned(comm, graph, params));
+        for (rank, r) in results.iter().enumerate() {
+            compare_runs(
+                report,
+                &format!("dist_partitioned(world={world},rank={rank})"),
+                r,
+                &part_reference,
+            );
+        }
+    }
+    reference
+}
+
+/// One pipeline run against its anchor: identical seeds, θ, and coverage.
+fn compare_runs(report: &mut OracleReport, subject: &str, r: &ImmResult, reference: &ImmResult) {
+    let kind = CheckKind::EngineGridAgreement;
+    report.check(kind, subject, r.seeds == reference.seeds, || {
+        format!("seed sets differ: {:?} vs {:?}", r.seeds, reference.seeds)
+    });
+    report.check(kind, subject, r.theta == reference.theta, || {
+        format!("theta differs: {} vs {}", r.theta, reference.theta)
+    });
+    report.check(
+        kind,
+        subject,
+        (r.coverage_fraction - reference.coverage_fraction).abs() < 1e-12,
+        || {
+            format!(
+                "coverage differs: {} vs {}",
+                r.coverage_fraction, reference.coverage_fraction
+            )
+        },
+    );
+    // Identical rankings have rank-biased overlap exactly 1 — exercises
+    // the centrality cross-check the CLI reports use.
+    if r.seeds == reference.seeds && !r.seeds.is_empty() {
+        let rbo = rank_biased_overlap(&r.seeds, &reference.seeds, 0.9);
+        report.check(kind, subject, (rbo - 1.0).abs() < 1e-12, || {
+            format!("RBO of identical seed rankings is {rbo}, expected 1")
+        });
+    }
+}
+
+/// Layer 3: forward Monte-Carlo vs RRR coverage estimate of `E[|I(S)|]`.
+///
+/// Fresh RRR samples (an independent stream, not the selection's own
+/// collection) make the coverage estimate unbiased for the *fixed* seed set
+/// `S`; reusing the selection samples would overestimate, because greedy
+/// selection maximizes coverage on exactly those samples.
+pub(crate) fn check_influence_agreement(
+    report: &mut OracleReport,
+    graph: &Graph,
+    params: &ImmParams,
+    seeds: &[u32],
+    theta: usize,
+    cfg: &OracleConfig,
+) {
+    let kind = CheckKind::InfluenceAgreement;
+    let n = graph.num_vertices();
+    if n == 0 || seeds.is_empty() || theta == 0 {
+        return;
+    }
+    let est_samples = theta.max(1000);
+    let factory = StreamFactory::new(params.seed).child(0x0E57_1A7E);
+    let mut fresh = RrrCollection::new();
+    sample_batch_sequential(graph, params.model, &factory, 0, est_samples, &mut fresh);
+    let frac = coverage_of(&fresh, seeds) as f64 / est_samples as f64;
+    let rrr_est = frac * f64::from(n);
+    // Coverage is Binomial(θ', F)/θ' scaled by n.
+    let rrr_var = f64::from(n) * f64::from(n) * frac * (1.0 - frac) / est_samples as f64;
+
+    let mc_factory = StreamFactory::new(params.seed).child(0x4D43_7261);
+    let samples = spread_samples(graph, params.model, seeds, cfg.mc_trials, &mc_factory);
+    let trials = samples.len() as f64;
+    let mc_est = samples.iter().sum::<u64>() as f64 / trials;
+    let mc_var = samples
+        .iter()
+        .map(|&s| (s as f64 - mc_est).powi(2))
+        .sum::<f64>()
+        / (trials * (trials - 1.0));
+
+    let tolerance = cfg.sigmas * (rrr_var + mc_var).sqrt() + 1e-9;
+    report.check(
+        kind,
+        "mc-vs-rrr",
+        (mc_est - rrr_est).abs() <= tolerance,
+        || {
+            format!(
+                "forward MC estimate {mc_est:.3} vs RRR coverage estimate {rrr_est:.3} \
+                 exceeds {:.1}σ tolerance {tolerance:.3} (θ'={est_samples}, trials={})",
+                cfg.sigmas, cfg.mc_trials
+            )
+        },
+    );
+}

@@ -1,0 +1,135 @@
+//! A trust-nothing reference implementation of greedy max-cover, written
+//! for clarity over speed, with a *parameterized tie order*.
+//!
+//! The production engines break count ties toward the lowest vertex id.
+//! That rule is label-dependent, so greedy selection does **not** commute
+//! with vertex relabeling in general: on a relabeled collection a tied
+//! round may legitimately pick a different vertex. The exact equivariance
+//! statement is conjugated through the permutation π:
+//!
+//! > `engine(π(R)).seeds == π(greedy(R, tie order: v ≺ u iff π(v) < π(u)))`
+//!
+//! i.e. running any engine on the relabeled collection must equal running
+//! the reference greedy on the *original* collection while breaking ties
+//! the way the labels will look *after* relabeling. With π = identity this
+//! degenerates to plain lowest-id greedy, which doubles as an independent
+//! differential check of [`ripples_core::select::select_seeds_sequential`].
+
+use ripples_core::select::Selection;
+use ripples_diffusion::RrrCollection;
+use ripples_graph::Vertex;
+
+/// Greedy max-cover over `collection` choosing up to `k` of `n` vertices,
+/// breaking count ties toward the vertex with the smallest `tie_rank`.
+///
+/// Mirrors the production contract: zero-gain vertices are still selected
+/// (lowest tie-rank first) until `k` seeds are chosen or the vertex space
+/// is exhausted.
+#[must_use]
+pub fn greedy_with_tie_order(
+    collection: &RrrCollection,
+    n: u32,
+    k: u32,
+    tie_rank: impl Fn(Vertex) -> u64,
+) -> Selection {
+    let n_us = n as usize;
+    let k = k.min(n) as usize;
+    let mut counters = vec![0u64; n_us];
+    for set in collection.iter() {
+        for &v in set {
+            counters[v as usize] += 1;
+        }
+    }
+    let mut covered = vec![false; collection.len()];
+    let mut selected = vec![false; n_us];
+    let mut seeds: Vec<Vertex> = Vec::with_capacity(k);
+    let mut gains: Vec<u64> = Vec::with_capacity(k);
+    let mut covered_count = 0usize;
+    while seeds.len() < k {
+        let mut best: Option<(u64, u64, Vertex)> = None;
+        for v in 0..n {
+            if selected[v as usize] {
+                continue;
+            }
+            let key = (counters[v as usize], tie_rank(v));
+            let better = match best {
+                None => true,
+                Some((bc, br, _)) => key.0 > bc || (key.0 == bc && key.1 < br),
+            };
+            if better {
+                best = Some((key.0, key.1, v));
+            }
+        }
+        let Some((gain, _, v)) = best else { break };
+        selected[v as usize] = true;
+        seeds.push(v);
+        gains.push(gain);
+        for (j, cov) in covered.iter_mut().enumerate() {
+            if *cov {
+                continue;
+            }
+            let set = collection.get(j);
+            if set.binary_search(&v).is_ok() {
+                *cov = true;
+                covered_count += 1;
+                for &u in set {
+                    counters[u as usize] -= 1;
+                }
+            }
+        }
+    }
+    let total = collection.len();
+    Selection {
+        seeds,
+        covered: covered_count,
+        fraction: if total == 0 {
+            0.0
+        } else {
+            covered_count as f64 / total as f64
+        },
+        marginal_gains: gains,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ripples_core::select::select_seeds_sequential;
+
+    fn collection(sets: &[&[Vertex]]) -> RrrCollection {
+        let mut c = RrrCollection::new();
+        for s in sets {
+            c.push(s);
+        }
+        c
+    }
+
+    #[test]
+    fn identity_tie_order_matches_production_sequential() {
+        let c = collection(&[&[0, 2], &[2, 5], &[2], &[7], &[1, 7]]);
+        let reference = greedy_with_tie_order(&c, 8, 3, u64::from);
+        let production = select_seeds_sequential(&c, 8, 3);
+        assert_eq!(reference, production);
+    }
+
+    #[test]
+    fn tie_order_decides_tied_rounds() {
+        // Vertices 1 and 2 each cover exactly one (distinct) set.
+        let c = collection(&[&[1], &[2]]);
+        let low_first = greedy_with_tie_order(&c, 3, 1, u64::from);
+        assert_eq!(low_first.seeds, vec![1]);
+        // Reversed tie order prefers the *highest* id among ties.
+        let high_first = greedy_with_tie_order(&c, 3, 1, |v| u64::from(u32::MAX - v));
+        assert_eq!(high_first.seeds, vec![2]);
+        assert_eq!(low_first.marginal_gains, high_first.marginal_gains);
+    }
+
+    #[test]
+    fn zero_gain_rounds_still_fill_k() {
+        let c = collection(&[&[1]]);
+        let sel = greedy_with_tie_order(&c, 3, 3, u64::from);
+        assert_eq!(sel.seeds, vec![1, 0, 2]);
+        assert_eq!(sel.marginal_gains, vec![1, 0, 0]);
+        assert_eq!(sel.covered, 1);
+    }
+}

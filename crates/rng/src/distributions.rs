@@ -21,14 +21,17 @@ pub fn u64_to_unit_f64(bits: u64) -> f64 {
 /// Draws a uniform integer in `[0, bound)` without modulo bias using Lemire's
 /// multiply-shift rejection method.
 ///
-/// `bound` must be nonzero; a zero bound panics in debug builds and returns 0
-/// in release builds (callers in this workspace always pass `n ≥ 1`).
+/// # Panics
+///
+/// Panics if `bound == 0` — in **every** build profile. An earlier revision
+/// `debug_assert!`ed and silently returned 0 in release, which meant the
+/// same program could panic or not depending on compiler flags; a
+/// release-with-debug-assertions CI leg (the oracle job) would then disagree
+/// with a plain release build. The empty range `[0, 0)` has no uniform
+/// value, so the only profile-independent contract is to reject it.
 #[inline]
 pub fn bounded_u64(rng: &mut SplitMix64, bound: u64) -> u64 {
-    debug_assert!(bound > 0, "bounded_u64 requires bound > 0");
-    if bound == 0 {
-        return 0;
-    }
+    assert!(bound > 0, "bounded_u64 requires bound > 0");
     // Lemire 2019: x*bound / 2^64 is uniform once low-product rejection
     // removes the bias region of size (2^64 mod bound).
     let mut x = rng.next_u64();
@@ -140,6 +143,16 @@ mod tests {
         for _ in 0..100 {
             assert_eq!(bounded_u64(&mut rng, 1), 0);
         }
+    }
+
+    /// Regression (ISSUE 5): a zero bound must panic in *both* profiles.
+    /// The pre-fix code panicked in debug but silently returned 0 in
+    /// release, so this test fails under `cargo test --release` against it.
+    #[test]
+    #[should_panic(expected = "bound > 0")]
+    fn bounded_u64_zero_bound_panics_in_every_profile() {
+        let mut rng = SplitMix64::new(1);
+        let _ = bounded_u64(&mut rng, 0);
     }
 
     #[test]

@@ -1,0 +1,74 @@
+//! The correctness-oracle grid: every differential and metamorphic
+//! invariant, on two Table 2 stand-in graphs, under both diffusion models,
+//! at three fixed master seeds.
+//!
+//! This is the suite to run after refactoring sampling, selection, or
+//! communication code (EXPERIMENTS.md § "Verifying a refactor"):
+//!
+//! ```text
+//! RUSTFLAGS="-C debug-assertions -C overflow-checks" \
+//!     cargo test -p ripples-oracle --release
+//! ```
+//!
+//! CI runs it in release with debug assertions and overflow checks forced
+//! on, so release-profile arithmetic bugs cannot hide behind wrapping.
+
+use ripples_core::ImmParams;
+use ripples_diffusion::DiffusionModel;
+use ripples_graph::generators::standin;
+use ripples_graph::WeightModel;
+use ripples_oracle::{check_all_with, OracleConfig};
+
+/// One grid cell: a stand-in graph scaled to a few hundred vertices, a
+/// model, and a fixed master seed.
+fn run_cell(name: &str, divisor: u32, model: DiffusionModel, seed: u64) {
+    let spec = standin(name).unwrap_or_else(|| panic!("unknown stand-in {name}"));
+    let lt_normalize = model == DiffusionModel::LinearThreshold;
+    let graph = spec.build(
+        divisor,
+        WeightModel::UniformRandom { seed: 7 },
+        lt_normalize,
+    );
+    assert!(graph.num_vertices() > 50, "stand-in scaled too far down");
+    let params = ImmParams::new(4, 0.5, model, seed);
+    let cfg = if cfg!(debug_assertions) {
+        // Debug binaries are ~10× slower; keep the same invariants but
+        // fewer grid points so plain `cargo test` stays fast.
+        OracleConfig::quick()
+    } else {
+        OracleConfig::default()
+    };
+    let report = check_all_with(&graph, &params, &cfg);
+    report.assert_ok();
+    assert!(
+        report.checks_passed > 40,
+        "grid cell ran suspiciously few checks:\n{report}"
+    );
+    assert_eq!(report.seeds.len(), 4, "{report}");
+}
+
+macro_rules! grid {
+    ($($test:ident: ($graph:literal, $div:literal, $model:ident, $seed:literal),)*) => {
+        $(
+            #[test]
+            fn $test() {
+                run_cell($graph, $div, DiffusionModel::$model, $seed);
+            }
+        )*
+    };
+}
+
+grid! {
+    cit_hepth_ic_seed1: ("cit-HepTh", 96, IndependentCascade, 1),
+    cit_hepth_ic_seed2: ("cit-HepTh", 96, IndependentCascade, 2),
+    cit_hepth_ic_seed3: ("cit-HepTh", 96, IndependentCascade, 3),
+    cit_hepth_lt_seed1: ("cit-HepTh", 96, LinearThreshold, 1),
+    cit_hepth_lt_seed2: ("cit-HepTh", 96, LinearThreshold, 2),
+    cit_hepth_lt_seed3: ("cit-HepTh", 96, LinearThreshold, 3),
+    epinions_ic_seed1: ("soc-Epinions1", 256, IndependentCascade, 1),
+    epinions_ic_seed2: ("soc-Epinions1", 256, IndependentCascade, 2),
+    epinions_ic_seed3: ("soc-Epinions1", 256, IndependentCascade, 3),
+    epinions_lt_seed1: ("soc-Epinions1", 256, LinearThreshold, 1),
+    epinions_lt_seed2: ("soc-Epinions1", 256, LinearThreshold, 2),
+    epinions_lt_seed3: ("soc-Epinions1", 256, LinearThreshold, 3),
+}

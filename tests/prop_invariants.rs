@@ -166,3 +166,116 @@ proptest! {
         }
     }
 }
+
+// ---------------------------------------------------------------------------
+// Degenerate selection inputs: θ = 0, all-empty RRR sets, k ≥ n. Every
+// engine must handle them and agree with the sequential reference, and the
+// fused-engine cost model must be total (defined for every input).
+// ---------------------------------------------------------------------------
+
+use ripples_core::select::{select_seeds_sequential, select_with_engine};
+use ripples_core::{fused_is_profitable, SelectEngine};
+use ripples_diffusion::RrrCollection;
+
+const EAGER_ENGINES: [SelectEngine; 5] = [
+    SelectEngine::Auto,
+    SelectEngine::Sequential,
+    SelectEngine::Partitioned,
+    SelectEngine::Hypergraph,
+    SelectEngine::Fused,
+];
+
+/// Collections biased toward the degenerate corners: empty collections,
+/// empty member sets, and tiny vertex spaces so `k ≥ n` is common.
+fn degenerate_collection_strategy() -> impl Strategy<Value = (RrrCollection, u32)> {
+    (
+        1u32..10,
+        proptest::collection::vec(proptest::collection::btree_set(0u32..10, 0..5), 0..8),
+    )
+        .prop_map(|(n, sets)| {
+            let mut c = RrrCollection::new();
+            for s in sets {
+                let members: Vec<u32> = s.into_iter().filter(|&v| v < n).collect();
+                c.push(&members);
+            }
+            (c, n)
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// All engines agree with the sequential reference on degenerate
+    /// collections for any k, including k far beyond n.
+    #[test]
+    fn degenerate_collections_all_engines_agree(
+        (collection, n) in degenerate_collection_strategy(),
+        k in 0u32..20,
+        partitions in 1usize..5,
+    ) {
+        // The cost model is total: any collection, any k, no panic.
+        let _ = fused_is_profitable(&collection, k);
+        let reference = select_seeds_sequential(&collection, n, k);
+        prop_assert!(reference.seeds.len() as u32 <= n.min(k));
+        for engine in EAGER_ENGINES {
+            let (sel, _) = select_with_engine(engine, &collection, n, k, partitions);
+            prop_assert_eq!(
+                &sel, &reference,
+                "{} disagrees with sequential on θ={} n={} k={}",
+                engine.tag(), collection.len(), n, k
+            );
+        }
+        let (lazy, _) = select_with_engine(SelectEngine::Lazy, &collection, n, k, partitions);
+        prop_assert_eq!(lazy.covered, reference.covered);
+        prop_assert_eq!(&lazy.marginal_gains, &reference.marginal_gains);
+        prop_assert_eq!(lazy.seeds.len(), reference.seeds.len());
+    }
+}
+
+#[test]
+fn theta_zero_collection_selects_zero_gain_seeds() {
+    let empty = RrrCollection::new();
+    assert!(!fused_is_profitable(&empty, 3));
+    for engine in EAGER_ENGINES {
+        let (sel, _) = select_with_engine(engine, &empty, 5, 3, 2);
+        assert_eq!(sel.seeds, vec![0, 1, 2], "{}", engine.tag());
+        assert_eq!(sel.marginal_gains, vec![0, 0, 0], "{}", engine.tag());
+        assert_eq!(sel.covered, 0);
+        assert_eq!(sel.fraction, 0.0);
+    }
+}
+
+#[test]
+fn all_empty_rrr_sets_cover_nothing() {
+    let mut c = RrrCollection::new();
+    for _ in 0..6 {
+        c.push(&[]);
+    }
+    let _ = fused_is_profitable(&c, 4);
+    let reference = select_seeds_sequential(&c, 4, 2);
+    assert_eq!(reference.covered, 0);
+    assert_eq!(reference.fraction, 0.0);
+    for engine in EAGER_ENGINES {
+        let (sel, _) = select_with_engine(engine, &c, 4, 2, 3);
+        assert_eq!(sel, reference, "{}", engine.tag());
+    }
+}
+
+#[test]
+fn k_at_least_n_selects_every_vertex() {
+    let mut c = RrrCollection::new();
+    c.push(&[1, 2]);
+    c.push(&[2]);
+    for k in [3u32, 4, 50] {
+        let reference = select_seeds_sequential(&c, 3, k);
+        assert_eq!(reference.seeds.len(), 3, "k={k} must clamp to n");
+        let mut sorted = reference.seeds.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, vec![0, 1, 2]);
+        assert_eq!(reference.covered, 2);
+        for engine in EAGER_ENGINES {
+            let (sel, _) = select_with_engine(engine, &c, 3, k, 2);
+            assert_eq!(sel, reference, "{} at k={k}", engine.tag());
+        }
+    }
+}
