@@ -17,21 +17,23 @@
 //!   `mt` cells (e.g. `partitioned` to record a before-run against the
 //!   default `auto` dispatch); distributed cells are unaffected.
 //!
-//! The schema (`ripples-perf-snapshot-v3`) is documented in
+//! The schema (`ripples-perf-snapshot-v4`) is documented in
 //! `EXPERIMENTS.md`; every record carries the wall time, the per-phase
 //! sampling/selection wall-time split (summed from the span tree), the peak
 //! RRR/index/arena byte counts, and the key
 //! [`RunReport`](ripples_core::obs::RunReport) counters so a snapshot is
-//! interpretable on its own, without re-running anything. v3 adds the
+//! interpretable on its own, without re-running anything. v3 added the
 //! comm-health counters (`retries`, `dropped_ops`, `degraded_ranks`) — all
 //! zero on the reliable in-process backend, nonzero only under injected
-//! chaos — as purely additive fields.
+//! chaos. v4 adds the sampling-engine fields (`sample_engine`,
+//! `fused_passes`, `mask_bytes_peak`) — again purely additive, and the two
+//! fused counters are zero on every reference-sampler row.
 
 use ripples_bench::{measure, Args};
 use ripples_comm::ThreadWorld;
 use ripples_core::{
-    dist::imm_distributed, dist_partitioned::imm_partitioned, mt::imm_multithreaded_with_select,
-    seq::immopt_sequential_with_select, ImmParams, ImmResult, SelectEngine,
+    dist::imm_distributed, dist_partitioned::imm_partitioned, mt::imm_multithreaded_with_engines,
+    seq::immopt_sequential_with_engines, ImmParams, ImmResult, SampleEngine, SelectEngine,
 };
 use ripples_diffusion::DiffusionModel;
 use ripples_graph::generators::{barabasi_albert, erdos_renyi};
@@ -65,6 +67,9 @@ fn today_utc() -> String {
 struct Config {
     graph_name: &'static str,
     engine: &'static str,
+    /// Sampling kernel for the `opt` / `mt` cells (`reference` / `fused` /
+    /// `auto`); the distributed cells always run the reference sampler.
+    sample: SampleEngine,
 }
 
 /// Sums the wall time of every span (at any depth) whose name is in
@@ -103,10 +108,16 @@ fn build_graph(name: &str, quick: bool) -> Graph {
     }
 }
 
-fn run_engine(engine: &str, graph: &Graph, params: &ImmParams, select: SelectEngine) -> ImmResult {
+fn run_engine(
+    engine: &str,
+    graph: &Graph,
+    params: &ImmParams,
+    select: SelectEngine,
+    sample: SampleEngine,
+) -> ImmResult {
     match engine {
-        "opt" => immopt_sequential_with_select(graph, params, select),
-        "mt" => imm_multithreaded_with_select(graph, params, 0, select),
+        "opt" => immopt_sequential_with_engines(graph, params, select, sample),
+        "mt" => imm_multithreaded_with_engines(graph, params, 0, select, sample),
         "dist" => {
             let world = ThreadWorld::new(2);
             world
@@ -145,30 +156,54 @@ fn main() {
         Config {
             graph_name: "er-sparse",
             engine: "opt",
+            sample: SampleEngine::Reference,
         },
         Config {
             graph_name: "er-sparse",
             engine: "mt",
+            sample: SampleEngine::Reference,
+        },
+        // Same cell with the fused multi-cascade kernel: er-sparse's
+        // uniform-random weights grow wide cascades, the regime where 64
+        // lanes per CSR pass pay off — this row vs the one above is the
+        // committed evidence for the fused sampler's wall-time win.
+        Config {
+            graph_name: "er-sparse",
+            engine: "mt",
+            sample: SampleEngine::Fused,
         },
         Config {
             graph_name: "er-sparse",
             engine: "dist",
+            sample: SampleEngine::Reference,
         },
         Config {
             graph_name: "ba-hubs",
             engine: "mt",
+            sample: SampleEngine::Reference,
         },
         Config {
             graph_name: "ba-hubs",
             engine: "partitioned",
+            sample: SampleEngine::Reference,
         },
         Config {
             graph_name: "er-wc",
             engine: "opt",
+            sample: SampleEngine::Reference,
         },
         Config {
             graph_name: "er-wc",
             engine: "mt",
+            sample: SampleEngine::Reference,
+        },
+        // Auto on weighted-cascade: short RRR sets should make the probe
+        // keep the reference kernel — committed so the dispatch decision
+        // itself is part of the trajectory.
+        Config {
+            graph_name: "er-wc",
+            engine: "mt",
+            sample: SampleEngine::Auto,
         },
     ];
 
@@ -176,15 +211,17 @@ fn main() {
     let mut records = String::new();
     for (i, config) in matrix.iter().enumerate() {
         let graph = build_graph(config.graph_name, quick);
-        let (result, wall) = measure(|| run_engine(config.engine, &graph, &params, select));
+        let (result, wall) =
+            measure(|| run_engine(config.engine, &graph, &params, select, config.sample));
         let c = &result.report.counters;
         eprintln!(
-            "{}/{}: {} on {} ({} vertices): {:.3}s theta={}",
+            "{}/{}: {} on {} ({} vertices, sample={}): {:.3}s theta={}",
             i + 1,
             matrix.len(),
             config.engine,
             config.graph_name,
             graph.num_vertices(),
+            config.sample.tag(),
             wall.as_secs_f64(),
             result.theta
         );
@@ -202,8 +239,9 @@ fn main() {
         let selection_wall_s = phase_wall_s(result.report.spans(), &["select", "SelectSeeds"]);
         write!(
             records,
-            "\n    {{\"engine\":\"{}\",\"graph\":\"{}\",\"vertices\":{},\"edges\":{},\"k\":{},\"epsilon\":{},\"wall_s\":{:.6},\"sampling_wall_s\":{:.6},\"selection_wall_s\":{:.6},\"theta\":{},\"theta_rounds\":{},\"samples_generated\":{},\"edges_examined\":{},\"rrr_entries\":{},\"rrr_bytes_peak\":{},\"index_bytes_peak\":{},\"arena_bytes_peak\":{},\"select_entries_touched\":{},\"index_build_nanos\":{},\"select_iterations\":{},\"retries\":{},\"dropped_ops\":{},\"degraded_ranks\":{},\"comm\":{}}}",
+            "\n    {{\"engine\":\"{}\",\"sample_engine\":\"{}\",\"graph\":\"{}\",\"vertices\":{},\"edges\":{},\"k\":{},\"epsilon\":{},\"wall_s\":{:.6},\"sampling_wall_s\":{:.6},\"selection_wall_s\":{:.6},\"theta\":{},\"theta_rounds\":{},\"samples_generated\":{},\"edges_examined\":{},\"rrr_entries\":{},\"rrr_bytes_peak\":{},\"index_bytes_peak\":{},\"arena_bytes_peak\":{},\"fused_passes\":{},\"mask_bytes_peak\":{},\"select_entries_touched\":{},\"index_build_nanos\":{},\"select_iterations\":{},\"retries\":{},\"dropped_ops\":{},\"degraded_ranks\":{},\"comm\":{}}}",
             config.engine,
+            config.sample.tag(),
             config.graph_name,
             graph.num_vertices(),
             graph.num_edges(),
@@ -220,6 +258,8 @@ fn main() {
             c.rrr_bytes_peak,
             c.index_bytes_peak,
             c.arena_bytes_peak,
+            c.fused_passes,
+            c.mask_bytes_peak,
             c.select_entries_touched,
             c.index_build_nanos,
             c.select_iterations,
@@ -233,7 +273,7 @@ fn main() {
 
     let threads = std::thread::available_parallelism().map_or(1, |p| p.get());
     let json = format!(
-        "{{\n  \"schema\": \"ripples-perf-snapshot-v3\",\n  \"date\": \"{date}\",\n  \"quick\": {quick},\n  \"host\": {{\"threads\": {threads}}},\n  \"configs\": [{records}\n  ]\n}}\n",
+        "{{\n  \"schema\": \"ripples-perf-snapshot-v4\",\n  \"date\": \"{date}\",\n  \"quick\": {quick},\n  \"host\": {{\"threads\": {threads}}},\n  \"configs\": [{records}\n  ]\n}}\n",
     );
     ripples_trace::validate_json(&json).expect("snapshot must be valid JSON");
 

@@ -9,16 +9,26 @@
 //!         [--model ic|lt] [--k K] [--epsilon E] [--seed S]
 //!         [--threads T | --ranks R] [--simulate TRIALS]
 //!         [--select auto|sequential|partitioned|lazy|hypergraph|fused]
+//!         [--sample auto|reference|fused]
 //!         [--report pretty|json] [--report-out FILE]
 //!         [--trace FILE] [--trace-buffer EVENTS]
 //!         [--chaos-seed S] [--chaos-rate R]
 //! ripples --standin com-Orkut --scale-div 64 ...
+//! ripples --gen ba:2000:8 [--gen-seed S] ...   # synthetic BA / ER graphs
 //! ```
 //!
 //! `--select` picks the greedy max-cover engine for the `opt` and `mt`
 //! engines (default `auto`, a cost-model dispatch between `fused` and
 //! `partitioned`; every choice returns the same seed set — see
 //! EXPERIMENTS.md for the memory/speed trade-offs).
+//!
+//! `--sample` picks the RRR sampling kernel for the `opt`, `mt`, and `tim`
+//! engines (default `reference`). `fused` advances 64 cascades per frontier
+//! pass with bitmask state; `auto` probes the first batch and switches to
+//! the fused kernel only when mean cascade size repays the fusing overhead.
+//! The fused kernel draws a different RNG schedule, so its seed sets are
+//! statistically (not bitwise) equivalent to the reference — see
+//! EXPERIMENTS.md § "Choosing a sampling engine".
 //!
 //! `--report` prints the engine's full [`RunReport`] (phase span tree, work
 //! counters, RRR size histogram, communication accounting) to stderr —
@@ -51,13 +61,13 @@ use ripples_core::{
     dist::imm_distributed,
     dist_partitioned::imm_partitioned,
     heuristics::degree_discount_ic,
-    mt::imm_multithreaded_with_select,
-    seq::{imm_baseline, immopt_sequential, immopt_sequential_with_select},
-    tim::tim_plus,
-    ImmParams, SelectEngine,
+    mt::imm_multithreaded_with_engines,
+    seq::{imm_baseline, immopt_sequential, immopt_sequential_with_engines},
+    tim::tim_plus_with_sample,
+    ImmParams, SampleEngine, SelectEngine,
 };
 use ripples_diffusion::{estimate_spread, DiffusionModel};
-use ripples_graph::generators::standin;
+use ripples_graph::generators::{barabasi_albert, erdos_renyi, standin};
 use ripples_graph::io::{read_edge_list_file, EdgeListOptions, VertexIds};
 use ripples_graph::{Graph, GraphStats, WeightModel};
 use ripples_rng::StreamFactory;
@@ -103,8 +113,43 @@ fn load_graph(args: &Args, model: DiffusionModel) -> Graph {
         });
         let divisor = args.parse_or("scale-div", spec.default_divisor);
         spec.build(divisor, weights, lt_normalize)
+    } else if let Some(spec) = args.get("gen") {
+        // Synthetic graphs straight from the generators, for smoke tests
+        // that want a known topology: `ba:N:M` (Barabási–Albert, M edges
+        // per new vertex) or `er:N:M` (G(n, m) Erdős–Rényi).
+        let seed: u64 = args.parse_or("gen-seed", 42);
+        let parts: Vec<&str> = spec.split(':').collect();
+        let parse = |s: &str| -> u64 {
+            s.parse().unwrap_or_else(|e| {
+                eprintln!("error: bad --gen number `{s}`: {e}");
+                std::process::exit(1);
+            })
+        };
+        match parts.as_slice() {
+            ["ba", n, m] => barabasi_albert(
+                parse(n) as u32,
+                parse(m) as u32,
+                weights,
+                lt_normalize,
+                seed,
+            ),
+            ["er", n, m] => erdos_renyi(
+                parse(n) as u32,
+                parse(m) as usize,
+                weights,
+                lt_normalize,
+                seed,
+            ),
+            _ => {
+                eprintln!("error: --gen takes `ba:N:M` or `er:N:M`, got `{spec}`");
+                std::process::exit(1);
+            }
+        }
     } else {
-        eprintln!("error: pass --input FILE or --standin NAME (e.g. --standin cit-HepTh)");
+        eprintln!(
+            "error: pass --input FILE, --standin NAME (e.g. --standin cit-HepTh), \
+             or --gen ba:N:M|er:N:M"
+        );
         std::process::exit(1);
     }
 }
@@ -134,6 +179,18 @@ fn main() {
             std::process::exit(1);
         })
     });
+    let sample = args
+        .get("sample")
+        .map(|tag| {
+            SampleEngine::from_tag(tag).unwrap_or_else(|| {
+                eprintln!("error: unknown --sample `{tag}` (try auto|reference|fused)");
+                std::process::exit(1);
+            })
+        })
+        .unwrap_or(SampleEngine::Reference);
+    if args.get("sample").is_some() && !matches!(engine.as_str(), "opt" | "mt" | "tim") {
+        eprintln!("warning: --sample only affects the opt/mt/tim engines; ignoring");
+    }
 
     let chaos: Option<FaultPlan> = args.get("chaos-seed").map(|s| {
         let chaos_seed: u64 = s.parse().expect("--chaos-seed takes a u64");
@@ -155,9 +212,14 @@ fn main() {
     let start = std::time::Instant::now();
     let (seeds, detail, report) = match engine.as_str() {
         "opt" => {
-            let r = match select {
-                Some(engine) => immopt_sequential_with_select(&graph, &params, engine),
-                None => immopt_sequential(&graph, &params),
+            let r = match (select, sample) {
+                (None, SampleEngine::Reference) => immopt_sequential(&graph, &params),
+                (sel, sam) => immopt_sequential_with_engines(
+                    &graph,
+                    &params,
+                    sel.unwrap_or(SelectEngine::Auto),
+                    sam,
+                ),
             };
             let detail = format!("theta={} phases=[{}]", r.theta, r.timers);
             (r.seeds, detail, Some(r.report))
@@ -210,7 +272,7 @@ fn main() {
             (r.seeds, detail, Some(r.report))
         }
         "tim" => {
-            let r = tim_plus(&graph, &params);
+            let r = tim_plus_with_sample(&graph, &params, sample);
             let detail = format!("theta={} phases=[{}]", r.theta, r.timers);
             (r.seeds, detail, Some(r.report))
         }
@@ -230,11 +292,12 @@ fn main() {
         }
         _ => {
             let threads: usize = args.parse_or("threads", 0);
-            let r = imm_multithreaded_with_select(
+            let r = imm_multithreaded_with_engines(
                 &graph,
                 &params,
                 threads,
                 select.unwrap_or(SelectEngine::Auto),
+                sample,
             );
             let detail = format!("theta={} phases=[{}]", r.theta, r.timers);
             (r.seeds, detail, Some(r.report))

@@ -23,7 +23,9 @@ pub fn maximize_influence(graph: &Graph, params: &ImmParams) -> ImmResult {
 /// use ripples_diffusion::DiffusionModel;
 /// use ripples_graph::{generators::erdos_renyi, WeightModel};
 ///
-/// let graph = erdos_renyi(100, 500, WeightModel::Constant(0.1), false, 1);
+/// // LT runs require in-weights summing to ≤ 1 per vertex — build the
+/// // graph with the normalization pass (the `true` flag).
+/// let graph = erdos_renyi(100, 500, WeightModel::Constant(0.1), true, 1);
 /// let result = ImmRunner::new(&graph)
 ///     .seeds(5)
 ///     .epsilon(0.5)

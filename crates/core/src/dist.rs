@@ -375,6 +375,12 @@ pub fn imm_distributed_full<C: Communicator>(
     let schedule = ThetaSchedule::new(u64::from(n), u64::from(k), params.epsilon, params.ell);
     let factory = StreamFactory::new(params.seed);
     let model: DiffusionModel = params.model;
+    // This engine samples through `generate_rrr` directly, bypassing the
+    // batch samplers' entry validation — re-assert the LT normalization
+    // contract here so un-normalized input fails fast in every profile.
+    if model == DiffusionModel::LinearThreshold {
+        ripples_diffusion::ensure_lt_normalized(graph);
+    }
     let rank = comm.rank();
     let size = comm.size();
     // Tag this rank thread's event ring so the merged trace shows one
@@ -584,11 +590,14 @@ mod tests {
 
     #[test]
     fn multi_rank_matches_sequential_and_each_other() {
-        let g = test_graph();
         for model in [
             DiffusionModel::IndependentCascade,
             DiffusionModel::LinearThreshold,
         ] {
+            // LT runs require the normalized in-weight contract the
+            // engines now enforce.
+            let lt = model == DiffusionModel::LinearThreshold;
+            let g = erdos_renyi(250, 2000, WeightModel::UniformRandom { seed: 14 }, lt, 77);
             let p = ImmParams::new(5, 0.5, model, 13);
             let seq = immopt_sequential(&g, &p);
             for world_size in [2u32, 3, 5] {

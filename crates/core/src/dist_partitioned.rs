@@ -164,6 +164,13 @@ pub fn imm_partitioned<C: Communicator>(comm: &C, graph: &Graph, params: &ImmPar
     let schedule = ThetaSchedule::new(u64::from(n), u64::from(k), params.epsilon, params.ell);
     let factory = StreamFactory::new(params.seed);
     let model = params.model;
+    // The cooperative sampler expands through partition-local edge lists,
+    // bypassing the batch samplers' entry validation — re-assert the LT
+    // normalization contract on the full graph (every rank holds it here)
+    // so un-normalized input fails fast in every profile.
+    if model == DiffusionModel::LinearThreshold {
+        ripples_diffusion::ensure_lt_normalized(graph);
+    }
     let partition = GraphPartition::extract(graph, comm.rank(), comm.size());
     // Tag this rank thread's event ring so the merged trace shows one
     // process track per rank.

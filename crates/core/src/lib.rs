@@ -52,6 +52,7 @@ pub mod obs;
 pub mod params;
 pub mod phases;
 pub mod result;
+pub mod sample;
 pub mod scaling;
 pub mod select;
 pub mod seq;
@@ -64,4 +65,5 @@ pub use obs::RunReport;
 pub use params::ImmParams;
 pub use phases::{Phase, PhaseTimers};
 pub use result::ImmResult;
+pub use sample::{fused_sampling_is_profitable, SampleEngine, SamplerDispatch};
 pub use select::{coverage_of, fused_is_profitable, SelectEngine, SelectStats};

@@ -16,9 +16,9 @@
 
 use crate::params::ImmParams;
 use crate::result::ImmResult;
+use crate::sample::{SampleEngine, SamplerDispatch};
 use crate::select::{select_with_engine, SelectEngine};
 use crate::seq::run_imm_compact;
-use ripples_diffusion::sample_batch;
 use ripples_graph::Graph;
 use ripples_rng::StreamFactory;
 
@@ -46,15 +46,32 @@ pub fn imm_multithreaded_with_select(
     threads: usize,
     select: SelectEngine,
 ) -> ImmResult {
+    imm_multithreaded_with_engines(graph, params, threads, select, SampleEngine::Reference)
+}
+
+/// [`imm_multithreaded`] with explicit selection *and* sampling engines
+/// (CLI `--select` / `--sample`). With [`SampleEngine::Reference`] this is
+/// bitwise [`imm_multithreaded_with_select`]; the fused sampler draws a
+/// different RNG schedule, so its output is statistically (not bitwise)
+/// equivalent — see the `sampler-equivalence` oracle check. Every sampling
+/// kernel's layout stays deterministic across thread counts.
+#[must_use]
+pub fn imm_multithreaded_with_engines(
+    graph: &Graph,
+    params: &ImmParams,
+    threads: usize,
+    select: SelectEngine,
+    sample: SampleEngine,
+) -> ImmResult {
     let factory = StreamFactory::new(params.seed);
-    let model = params.model;
     let run = || {
         let effective_threads = rayon::current_num_threads();
+        let mut dispatch = SamplerDispatch::new(graph, params.model, &factory, sample, true);
         run_imm_compact(
             "mt",
             graph,
             params,
-            |first, count, out| sample_batch(graph, model, &factory, first, count, out),
+            |first, count, out| dispatch.sample_batch(first, count, out),
             |collection, n, k| select_with_engine(select, collection, n, k, effective_threads),
         )
     };
@@ -81,13 +98,20 @@ mod tests {
         erdos_renyi(300, 2400, WeightModel::UniformRandom { seed: 8 }, false, 21)
     }
 
+    /// Per-model variant of [`test_graph`]: LT runs require the normalized
+    /// in-weight contract the engines now enforce.
+    fn graph_for(model: DiffusionModel) -> Graph {
+        let lt = model == DiffusionModel::LinearThreshold;
+        erdos_renyi(300, 2400, WeightModel::UniformRandom { seed: 8 }, lt, 21)
+    }
+
     #[test]
     fn matches_sequential_at_any_thread_count() {
-        let g = test_graph();
         for model in [
             DiffusionModel::IndependentCascade,
             DiffusionModel::LinearThreshold,
         ] {
+            let g = graph_for(model);
             let p = ImmParams::new(6, 0.5, model, 5);
             let seq = immopt_sequential(&g, &p);
             for threads in [1, 2, 4] {

@@ -76,6 +76,12 @@ pub struct Counters {
     /// Peak transient bytes of the sampler's worker-local arenas on this
     /// process (0 for the sequential sampler, which has no arenas).
     pub arena_bytes_peak: u64,
+    /// Frontier passes executed by the fused multi-cascade sampler (0 for
+    /// the reference sampler, which walks one cascade at a time).
+    pub fused_passes: u64,
+    /// Peak transient bytes of the fused sampler's per-vertex activation
+    /// masks on this process (0 for the reference sampler).
+    pub mask_bytes_peak: u64,
     /// Per-round sample budgets `θ_x` requested by the schedule.
     pub round_budgets: Vec<u64>,
     /// Per-round coverage fraction achieved by the greedy selection.
@@ -139,6 +145,20 @@ impl Histogram {
         self.buckets[Self::bucket_of(value)] += 1;
         self.count += 1;
         self.sum += value;
+        self.max = self.max.max(value);
+    }
+
+    /// Records `times` observations of the same `value` at once — the bulk
+    /// form used to fold pre-aggregated counts (e.g. the fused sampler's
+    /// lane-width tallies) into a histogram.
+    #[inline]
+    pub fn record_n(&mut self, value: u64, times: u64) {
+        if times == 0 {
+            return;
+        }
+        self.buckets[Self::bucket_of(value)] += times;
+        self.count += times;
+        self.sum += value * times;
         self.max = self.max.max(value);
     }
 
@@ -282,6 +302,10 @@ pub struct RunReport {
     /// shared-memory engines and this rank's batches for the distributed
     /// ones.
     pub thread_samples: Histogram,
+    /// Distribution of active lanes per fused frontier expansion — how full
+    /// the fused sampler's cascade word stays as cascades die out. Empty
+    /// for the reference sampler.
+    pub lanes_active: Histogram,
     /// Communication accounting; `None` for the shared-memory engines.
     pub comm: Option<CommCounters>,
     /// The merged event timeline, when the run executed with tracing
@@ -302,6 +326,7 @@ impl RunReport {
             counters: Counters::default(),
             rrr_sizes: Histogram::new(),
             thread_samples: Histogram::new(),
+            lanes_active: Histogram::new(),
             comm: None,
             trace: None,
             spans: Vec::new(),
@@ -385,7 +410,8 @@ impl RunReport {
              \"rrr_bytes_peak\":{},\"theta_rounds\":{},\"theta_final\":{},\
              \"select_iterations\":{},\"unsorted_pushes\":{},\
              \"select_entries_touched\":{},\"index_build_nanos\":{},\
-             \"index_bytes_peak\":{},\"arena_bytes_peak\":{}",
+             \"index_bytes_peak\":{},\"arena_bytes_peak\":{},\
+             \"fused_passes\":{},\"mask_bytes_peak\":{}",
             c.samples_generated,
             c.edges_examined,
             c.rrr_entries,
@@ -397,7 +423,9 @@ impl RunReport {
             c.select_entries_touched,
             c.index_build_nanos,
             c.index_bytes_peak,
-            c.arena_bytes_peak
+            c.arena_bytes_peak,
+            c.fused_passes,
+            c.mask_bytes_peak
         );
         out.push_str(",\"round_budgets\":[");
         for (i, b) in c.round_budgets.iter().enumerate() {
@@ -424,6 +452,8 @@ impl RunReport {
         json_histogram(&mut out, &self.rrr_sizes);
         out.push_str(",\"thread_samples\":");
         json_histogram(&mut out, &self.thread_samples);
+        out.push_str(",\"lanes_active\":");
+        json_histogram(&mut out, &self.lanes_active);
         out.push_str(",\"comm\":");
         match &self.comm {
             None => out.push_str("null"),
@@ -476,6 +506,8 @@ impl RunReport {
         let _ = writeln!(out, "  index build (ns)    {}", c.index_build_nanos);
         let _ = writeln!(out, "  index bytes (peak)  {}", c.index_bytes_peak);
         let _ = writeln!(out, "  arena bytes (peak)  {}", c.arena_bytes_peak);
+        let _ = writeln!(out, "  fused passes        {}", c.fused_passes);
+        let _ = writeln!(out, "  mask bytes (peak)   {}", c.mask_bytes_peak);
         let _ = writeln!(out, "  comm retries        {}", c.retries);
         let _ = writeln!(out, "  comm dropped ops    {}", c.dropped_ops);
         let _ = writeln!(out, "  degraded ranks      {}", c.degraded_ranks);
@@ -492,6 +524,10 @@ impl RunReport {
         pretty_histogram(&mut out, &self.rrr_sizes);
         out.push_str("per-worker samples:\n");
         pretty_histogram(&mut out, &self.thread_samples);
+        if self.lanes_active.count() > 0 {
+            out.push_str("fused lanes active:\n");
+            pretty_histogram(&mut out, &self.lanes_active);
+        }
         if let Some(cc) = &self.comm {
             out.push_str("comm:\n");
             let _ = writeln!(

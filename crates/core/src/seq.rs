@@ -16,10 +16,11 @@ use crate::memory::MemoryStats;
 use crate::obs::RunReport;
 use crate::params::ImmParams;
 use crate::result::ImmResult;
+use crate::sample::{SampleEngine, SamplerDispatch};
 use crate::select::{select_with_engine, SelectEngine, SelectStats, Selection};
 use crate::theta::ThetaSchedule;
 use ripples_diffusion::rrr::{generate_rrr, RrrScratch};
-use ripples_diffusion::{sample_batch_sequential, BatchOutcome, RrrCollection};
+use ripples_diffusion::{BatchOutcome, RrrCollection};
 use ripples_graph::{Graph, Vertex};
 use ripples_rng::StreamFactory;
 
@@ -64,6 +65,29 @@ pub(crate) fn record_batch(
         .counters
         .arena_bytes_peak
         .max(outcome.arena_bytes as u64);
+    report.counters.fused_passes += outcome.fused_passes;
+    report.counters.mask_bytes_peak = report
+        .counters
+        .mask_bytes_peak
+        .max(outcome.mask_bytes as u64);
+    for (lanes, &times) in outcome.lane_width_counts.iter().enumerate() {
+        report.lanes_active.record_n(lanes as u64, times);
+    }
+    // The trace stream mirrors the *running peak*, not the last batch's
+    // reservation, so a trace reader sees the same high-water mark the
+    // counters report.
+    if crate::obs::trace::enabled() {
+        crate::obs::trace::counter(
+            crate::obs::trace::TraceName::ArenaBytes,
+            report.counters.arena_bytes_peak,
+        );
+        if report.counters.mask_bytes_peak > 0 {
+            crate::obs::trace::counter(
+                crate::obs::trace::TraceName::MaskBytes,
+                report.counters.mask_bytes_peak,
+            );
+        }
+    }
 }
 
 /// Shared Algorithm 1 skeleton over the compact one-direction storage.
@@ -213,13 +237,28 @@ pub fn immopt_sequential_with_select(
     params: &ImmParams,
     select: SelectEngine,
 ) -> ImmResult {
+    immopt_sequential_with_engines(graph, params, select, SampleEngine::Reference)
+}
+
+/// [`immopt_sequential`] with explicit selection *and* sampling engines
+/// (CLI `--select` / `--sample`). With [`SampleEngine::Reference`] this is
+/// bitwise [`immopt_sequential_with_select`]; the fused sampler draws a
+/// different RNG schedule, so its seed sets are statistically (not bitwise)
+/// equivalent — see the `sampler-equivalence` oracle check.
+#[must_use]
+pub fn immopt_sequential_with_engines(
+    graph: &Graph,
+    params: &ImmParams,
+    select: SelectEngine,
+    sample: SampleEngine,
+) -> ImmResult {
     let factory = StreamFactory::new(params.seed);
-    let model = params.model;
+    let mut dispatch = SamplerDispatch::new(graph, params.model, &factory, sample, false);
     run_imm_compact(
         "immopt",
         graph,
         params,
-        |first, count, out| sample_batch_sequential(graph, model, &factory, first, count, out),
+        |first, count, out| dispatch.sample_batch(first, count, out),
         |collection, n, k| select_with_engine(select, collection, n, k, 1),
     )
 }
@@ -365,6 +404,12 @@ pub fn imm_baseline_with_options(
     let schedule = ThetaSchedule::new(u64::from(n), u64::from(k), params.epsilon, params.ell);
     let factory = StreamFactory::new(params.seed);
     let model = params.model;
+    // This engine samples through `generate_rrr` directly, bypassing the
+    // batch samplers' entry validation — re-assert the LT normalization
+    // contract here so un-normalized input fails fast in every profile.
+    if model == ripples_diffusion::DiffusionModel::LinearThreshold {
+        ripples_diffusion::ensure_lt_normalized(graph);
+    }
 
     let mut report = RunReport::new("baseline");
     let mut memory = MemoryStats {
@@ -498,6 +543,13 @@ mod tests {
         erdos_renyi(400, 3000, WeightModel::UniformRandom { seed: 2 }, false, 11)
     }
 
+    /// Per-model variant of [`test_graph`]: LT runs require the normalized
+    /// in-weight contract the engines now enforce.
+    fn graph_for(model: DiffusionModel) -> Graph {
+        let lt = model == DiffusionModel::LinearThreshold;
+        erdos_renyi(400, 3000, WeightModel::UniformRandom { seed: 2 }, lt, 11)
+    }
+
     #[test]
     fn immopt_returns_k_seeds() {
         let g = test_graph();
@@ -515,11 +567,11 @@ mod tests {
 
     #[test]
     fn baseline_and_immopt_agree_on_seeds() {
-        let g = test_graph();
         for model in [
             DiffusionModel::IndependentCascade,
             DiffusionModel::LinearThreshold,
         ] {
+            let g = graph_for(model);
             let p = ImmParams::new(5, 0.5, model, 33);
             let a = imm_baseline(&g, &p);
             let b = immopt_sequential(&g, &p);
@@ -626,5 +678,41 @@ mod tests {
         let r = immopt_sequential(&g, &p);
         assert_eq!(r.sample_work.len(), r.theta);
         assert!(r.total_sample_work() > 0);
+    }
+
+    /// Regression: `arena_bytes_peak` (and the fused `mask_bytes_peak`)
+    /// must track the *maximum* across batches, not the last batch's
+    /// reservation — a big batch followed by a small top-up must not lower
+    /// the reported peak.
+    #[test]
+    fn byte_peaks_track_max_across_batches() {
+        let mut report = RunReport::new("test");
+        let mut collection = RrrCollection::new();
+        collection.push(&[0]);
+        let big = BatchOutcome {
+            arena_bytes: 4096,
+            mask_bytes: 1024,
+            fused_passes: 3,
+            lane_width_counts: vec![0, 2, 5],
+            ..BatchOutcome::default()
+        };
+        record_batch(&mut report, &collection, 0, &big);
+        collection.push(&[1]);
+        let small = BatchOutcome {
+            arena_bytes: 128,
+            mask_bytes: 64,
+            fused_passes: 2,
+            lane_width_counts: vec![0, 1],
+            ..BatchOutcome::default()
+        };
+        record_batch(&mut report, &collection, 1, &small);
+        assert_eq!(report.counters.arena_bytes_peak, 4096);
+        assert_eq!(report.counters.mask_bytes_peak, 1024);
+        assert_eq!(report.counters.fused_passes, 5);
+        // Lane-width tallies fold into the histogram: 3 expansions with one
+        // lane active, 5 with two.
+        assert_eq!(report.lanes_active.count(), 8);
+        assert_eq!(report.lanes_active.sum(), 3 + 2 * 5);
+        assert_eq!(report.lanes_active.max(), 2);
     }
 }

@@ -25,9 +25,10 @@ use crate::memory::MemoryStats;
 use crate::obs::RunReport;
 use crate::params::ImmParams;
 use crate::result::ImmResult;
+use crate::sample::{SampleEngine, SamplerDispatch};
 use crate::select::{select_seeds_fused_with_stats, select_seeds_sequential};
 use crate::theta::log_binomial;
-use ripples_diffusion::{sample_batch_sequential, RrrCollection};
+use ripples_diffusion::RrrCollection;
 use ripples_graph::Graph;
 use ripples_rng::StreamFactory;
 
@@ -41,6 +42,15 @@ fn width(graph: &Graph, set: &[u32]) -> u64 {
 /// [`ImmResult`] is directly comparable with the IMM engines' output.
 #[must_use]
 pub fn tim_plus(graph: &Graph, params: &ImmParams) -> ImmResult {
+    tim_plus_with_sample(graph, params, SampleEngine::Reference)
+}
+
+/// [`tim_plus`] with an explicit sampling engine (CLI `--sample`). With
+/// [`SampleEngine::Reference`] this is bitwise [`tim_plus`]; the fused
+/// sampler draws a different RNG schedule, so its output is statistically
+/// (not bitwise) equivalent.
+#[must_use]
+pub fn tim_plus_with_sample(graph: &Graph, params: &ImmParams, sample: SampleEngine) -> ImmResult {
     let n = graph.num_vertices();
     if n < 2 {
         return crate::seq::immopt_sequential(graph, params);
@@ -53,7 +63,7 @@ pub fn tim_plus(graph: &Graph, params: &ImmParams) -> ImmResult {
     let ell = params.ell * (1.0 + std::f64::consts::LN_2 / ln_n);
     let epsilon = params.epsilon;
     let factory = StreamFactory::new(params.seed);
-    let model = params.model;
+    let mut sampler = SamplerDispatch::new(graph, params.model, &factory, sample, false);
 
     let mut report = RunReport::new("tim");
     let mut memory = MemoryStats {
@@ -73,6 +83,7 @@ pub fn tim_plus(graph: &Graph, params: &ImmParams) -> ImmResult {
         let next_index = &mut next_index;
         let memory = &mut memory;
         let kpt = &mut kpt;
+        let sampler = &mut sampler;
         report.span("EstimateTheta", |report| {
             let c_base = 6.0 * ell * ln_n + 6.0 * log2_n.ln().max(0.0);
             let max_i = (log2_n.floor() as u32).saturating_sub(1).max(1);
@@ -83,14 +94,7 @@ pub fn tim_plus(graph: &Graph, params: &ImmParams) -> ImmResult {
                         let need = budget - collection.len();
                         let old_len = collection.len();
                         let outcome = report.span("sample", |_| {
-                            sample_batch_sequential(
-                                graph,
-                                model,
-                                &factory,
-                                *next_index,
-                                need,
-                                collection,
-                            )
+                            sampler.sample_batch(*next_index, need, collection)
                         });
                         *next_index += need as u64;
                         sample_work.extend_from_slice(&outcome.work_per_sample);
@@ -139,7 +143,7 @@ pub fn tim_plus(graph: &Graph, params: &ImmParams) -> ImmResult {
         let old_len = collection.len();
         let collection_ref = &mut collection;
         let outcome = report.span("Sample", |_| {
-            sample_batch_sequential(graph, model, &factory, next_index, need, collection_ref)
+            sampler.sample_batch(next_index, need, collection_ref)
         });
         sample_work.extend_from_slice(&outcome.work_per_sample);
         crate::seq::record_batch(&mut report, &collection, old_len, &outcome);

@@ -22,6 +22,7 @@
 
 pub mod compressed;
 pub mod forward;
+pub mod fused;
 pub mod hypergraph;
 pub mod model;
 pub mod partitioned;
@@ -31,9 +32,12 @@ pub mod sketches;
 
 pub use compressed::CompressedRrrCollection;
 pub use forward::{estimate_spread, simulate_cascade, spread_samples, CascadeOutcome};
+pub use fused::{sample_batch_fused, FUSED_LANES};
 pub use hypergraph::{HyperGraph, SampleIndex};
 pub use model::DiffusionModel;
 pub use partitioned::GraphPartition;
 pub use rrr::{generate_rrr, generate_rrr_into, RrrCollection, RrrScratch, SampleArena};
-pub use sampler::{sample_batch, sample_batch_sequential, BatchOutcome};
+pub use sampler::{
+    ensure_lt_normalized, sample_batch, sample_batch_sequential, sample_root_of, BatchOutcome,
+};
 pub use sketches::ReachabilitySketches;

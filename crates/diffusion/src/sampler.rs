@@ -26,6 +26,16 @@ pub struct BatchOutcome {
     /// batch — transient sampling memory beyond the merged collection.
     /// Sequential paths, which push straight into the collection, report 0.
     pub arena_bytes: usize,
+    /// Frontier passes executed by the fused multi-cascade kernel (0 for
+    /// the reference sampler; see [`crate::fused::sample_batch_fused`]).
+    pub fused_passes: u64,
+    /// Bytes of per-vertex activation-mask scratch summed over workers
+    /// (0 for the reference sampler).
+    pub mask_bytes: usize,
+    /// Histogram of active lanes per expanded frontier vertex: slot `w`
+    /// counts expansions whose mask had `w` set bits (length
+    /// `FUSED_LANES + 1`; empty for the reference sampler).
+    pub lane_width_counts: Vec<u64>,
 }
 
 impl BatchOutcome {
@@ -33,6 +43,66 @@ impl BatchOutcome {
     #[must_use]
     pub fn total_work(&self) -> u64 {
         self.work_per_sample.iter().sum()
+    }
+
+    /// Folds a follow-up sub-batch into `self` (used when one logical batch
+    /// is generated in two pieces, e.g. the probe + remainder split of the
+    /// auto sampling dispatch). Per-sample vectors concatenate; transient
+    /// memory figures take the max since the pieces' scratch never coexists.
+    pub fn absorb(&mut self, other: BatchOutcome) {
+        self.work_per_sample
+            .extend_from_slice(&other.work_per_sample);
+        self.per_worker_samples
+            .extend_from_slice(&other.per_worker_samples);
+        self.arena_bytes = self.arena_bytes.max(other.arena_bytes);
+        self.fused_passes += other.fused_passes;
+        self.mask_bytes = self.mask_bytes.max(other.mask_bytes);
+        if self.lane_width_counts.len() < other.lane_width_counts.len() {
+            self.lane_width_counts
+                .resize(other.lane_width_counts.len(), 0);
+        }
+        for (slot, c) in self
+            .lane_width_counts
+            .iter_mut()
+            .zip(&other.lane_width_counts)
+        {
+            *slot += c;
+        }
+    }
+}
+
+/// Verifies the Linear Threshold precondition before any LT sampling runs:
+/// every vertex's in-weights must sum to ≤ 1 (Kempe et al.'s model
+/// definition — the remainder is the "no incoming live edge" mass).
+/// Sampling from un-normalized weights is *silently biased* — `generate_rrr`
+/// would treat any `Σw > 1` tail as extra activation mass — so this check
+/// runs in every build profile and fails fast instead.
+///
+/// The tolerance absorbs f32 rounding of weights that were normalized in
+/// f64 by [`ripples_graph::GraphBuilder::normalize_for_lt`].
+///
+/// # Panics
+///
+/// Panics naming the first offending vertex when some in-weight sum
+/// exceeds 1.
+pub fn ensure_lt_normalized(graph: &Graph) {
+    for v in 0..graph.num_vertices() {
+        let sum = graph.in_weight_sum(v);
+        assert!(
+            sum <= 1.0 + 1e-4,
+            "Linear Threshold sampling requires in-weights summing to <= 1, \
+             but vertex {v} has in-weight sum {sum:.6}; build the graph with \
+             GraphBuilder::normalize_for_lt() (CLI graph builders pass \
+             lt_normalize=true for --model lt)"
+        );
+    }
+}
+
+/// Runs [`ensure_lt_normalized`] when `model` is Linear Threshold.
+#[inline]
+pub(crate) fn validate_model_weights(graph: &Graph, model: DiffusionModel) {
+    if model == DiffusionModel::LinearThreshold {
+        ensure_lt_normalized(graph);
     }
 }
 
@@ -49,6 +119,15 @@ fn sample_root(
     let mut rng = factory.sample_stream(index);
     let root = rng.bounded_u64(u64::from(graph.num_vertices())) as Vertex;
     (root, rng)
+}
+
+/// The root vertex global sample `index` draws, without the rest of the
+/// stream — shared by every sampler (the fused kernel reproduces exactly
+/// these roots), and used by the oracle's root-distribution checks.
+#[inline]
+#[must_use]
+pub fn sample_root_of(graph: &Graph, factory: &StreamFactory, index: u64) -> Vertex {
+    sample_root(graph, factory, index).0
 }
 
 /// Generates samples `first_index .. first_index + count` in parallel and
@@ -69,14 +148,15 @@ pub fn sample_batch(
         count == 0 || graph.num_vertices() > 0,
         "cannot sample from an empty graph"
     );
-    // Parallel generation over the contiguous block partition of
-    // `worker_sample_counts`, one block per worker. Each worker appends its
-    // samples into a local flat arena (no per-sample Vec), and the arenas
-    // are merged into `out` by parallel bulk copy in index order, so the
-    // collection layout is deterministic; each sample's content depends
-    // only on its global index, so the result is identical for any worker
-    // count. Each non-empty block emits one `sample-chunk` trace span,
-    // giving the timeline a per-worker view of batch load imbalance.
+    validate_model_weights(graph, model);
+    // Parallel generation over a contiguous block partition, one block per
+    // worker. Each worker appends its samples into a local flat arena (no
+    // per-sample Vec), and the arenas are merged into `out` by parallel
+    // bulk copy in index order, so the collection layout is deterministic;
+    // each sample's content depends only on its global index, so the
+    // result is identical for any worker count. Each non-empty block emits
+    // one `sample-chunk` trace span, giving the timeline a per-worker view
+    // of batch load imbalance.
     let workers = rayon::current_num_threads().max(1);
     let nchunks = workers.min(count.max(1));
     let chunks: Vec<(SampleArena, Vec<u64>)> = (0..nchunks as u64)
@@ -111,13 +191,20 @@ pub fn sample_batch(
         )
         .collect();
     let arena_bytes: usize = chunks.iter().map(|(a, _)| a.reserved_bytes()).sum();
-    if ripples_trace::enabled() {
-        ripples_trace::counter(ripples_trace::TraceName::ArenaBytes, arena_bytes as u64);
-    }
+    // The per-worker load partition is derived from the chunks actually
+    // generated, not re-computed from a formula: the generation loop
+    // partitions over `nchunks` (≤ workers), and an independent formula
+    // over `workers` can disagree with the real chunk bounds — the
+    // strong-scaling replay model must see the true partition.
     let mut outcome = BatchOutcome {
         work_per_sample: Vec::with_capacity(count),
-        per_worker_samples: worker_sample_counts(count, workers),
+        per_worker_samples: chunks
+            .iter()
+            .map(|(a, _)| a.len() as u64)
+            .filter(|&c| c > 0)
+            .collect(),
         arena_bytes,
+        ..BatchOutcome::default()
     };
     let arenas: Vec<SampleArena> = chunks
         .into_iter()
@@ -128,17 +215,6 @@ pub fn sample_batch(
         .collect();
     out.append_arenas(&arenas);
     outcome
-}
-
-/// The contiguous block partition of `count` samples over `workers`
-/// threads (how the parallel batch is load-balanced): worker `t` handles
-/// `count·(t+1)/workers − count·t/workers` samples. Zero-sample workers
-/// are omitted.
-fn worker_sample_counts(count: usize, workers: usize) -> Vec<u64> {
-    (0..workers)
-        .map(|t| (count * (t + 1) / workers - count * t / workers) as u64)
-        .filter(|&c| c > 0)
-        .collect()
 }
 
 /// Sequential reference version of [`sample_batch`]; produces bitwise
@@ -155,6 +231,7 @@ pub fn sample_batch_sequential(
         count == 0 || graph.num_vertices() > 0,
         "cannot sample from an empty graph"
     );
+    validate_model_weights(graph, model);
     let mut scratch = RrrScratch::new(graph.num_vertices());
     let mut outcome = BatchOutcome {
         work_per_sample: Vec::with_capacity(count),
@@ -163,7 +240,7 @@ pub fn sample_batch_sequential(
         } else {
             Vec::new()
         },
-        arena_bytes: 0,
+        ..BatchOutcome::default()
     };
     for offset in 0..count as u64 {
         let index = first_index + offset;
@@ -185,14 +262,26 @@ mod tests {
         erdos_renyi(300, 2000, WeightModel::UniformRandom { seed: 3 }, false, 99)
     }
 
+    /// LT sampling requires normalized in-weights ([`ensure_lt_normalized`]).
+    fn lt_graph() -> Graph {
+        erdos_renyi(300, 2000, WeightModel::UniformRandom { seed: 3 }, true, 99)
+    }
+
+    fn graph_for(model: DiffusionModel) -> Graph {
+        match model {
+            DiffusionModel::IndependentCascade => graph(),
+            DiffusionModel::LinearThreshold => lt_graph(),
+        }
+    }
+
     #[test]
     fn parallel_equals_sequential() {
-        let g = graph();
         let f = StreamFactory::new(1234);
         for model in [
             DiffusionModel::IndependentCascade,
             DiffusionModel::LinearThreshold,
         ] {
+            let g = graph_for(model);
             let mut par = RrrCollection::new();
             let mut seq = RrrCollection::new();
             let po = sample_batch(&g, model, &f, 0, 500, &mut par);
@@ -200,6 +289,63 @@ mod tests {
             assert_eq!(par, seq, "collections differ under {model}");
             assert_eq!(po.work_per_sample, so.work_per_sample);
         }
+    }
+
+    #[test]
+    fn per_worker_samples_match_real_chunk_partition() {
+        // Regression: with fewer samples than pool threads, generation
+        // partitions over `nchunks = min(workers, count)` chunks; the
+        // reported per-worker counts must come from those real chunks, not
+        // from a formula over all `workers` threads.
+        let g = graph();
+        let f = StreamFactory::new(9);
+        let pool = rayon::ThreadPoolBuilder::new()
+            .num_threads(8)
+            .build()
+            .expect("pool");
+        for count in [1usize, 3, 7] {
+            let o = pool.install(|| {
+                let mut c = RrrCollection::new();
+                sample_batch(&g, DiffusionModel::IndependentCascade, &f, 0, count, &mut c)
+            });
+            assert_eq!(
+                o.per_worker_samples,
+                vec![1u64; count],
+                "count {count} under 8 workers must map one sample per chunk"
+            );
+            assert_eq!(o.per_worker_samples.iter().sum::<u64>(), count as u64);
+        }
+        // And at count ≥ workers the partition still accounts for every
+        // sample across exactly `workers` chunks.
+        let o = pool.install(|| {
+            let mut c = RrrCollection::new();
+            sample_batch(&g, DiffusionModel::IndependentCascade, &f, 0, 100, &mut c)
+        });
+        assert_eq!(o.per_worker_samples.len(), 8);
+        assert_eq!(o.per_worker_samples.iter().sum::<u64>(), 100);
+    }
+
+    #[test]
+    #[should_panic(expected = "in-weight sum")]
+    fn lt_unnormalized_rejected_parallel() {
+        let g = graph(); // un-normalized uniform weights: in-sums ≫ 1
+        let f = StreamFactory::new(1);
+        let mut c = RrrCollection::new();
+        sample_batch(&g, DiffusionModel::LinearThreshold, &f, 0, 4, &mut c);
+    }
+
+    #[test]
+    #[should_panic(expected = "in-weight sum")]
+    fn lt_unnormalized_rejected_sequential() {
+        let g = graph();
+        let f = StreamFactory::new(1);
+        let mut c = RrrCollection::new();
+        sample_batch_sequential(&g, DiffusionModel::LinearThreshold, &f, 0, 4, &mut c);
+    }
+
+    #[test]
+    fn lt_normalized_graphs_accepted() {
+        ensure_lt_normalized(&lt_graph());
     }
 
     #[test]
@@ -265,7 +411,7 @@ mod tests {
 
     #[test]
     fn roots_cover_vertex_space() {
-        let g = graph();
+        let g = lt_graph();
         let f = StreamFactory::new(31);
         let mut c = RrrCollection::new();
         sample_batch(&g, DiffusionModel::LinearThreshold, &f, 0, 2000, &mut c);

@@ -30,7 +30,9 @@ use ripples_core::mt::imm_multithreaded;
 use ripples_core::select::{select_with_engine, Selection};
 use ripples_core::seq::{imm_baseline, immopt_sequential};
 use ripples_core::{coverage_of, ImmParams, ImmResult, SelectEngine};
-use ripples_diffusion::{sample_batch_sequential, spread_samples, RrrCollection};
+use ripples_diffusion::{
+    sample_batch_fused, sample_batch_sequential, sample_root_of, spread_samples, RrrCollection,
+};
 use ripples_graph::Graph;
 use ripples_rng::StreamFactory;
 
@@ -229,4 +231,127 @@ pub(crate) fn check_influence_agreement(
             )
         },
     );
+}
+
+/// Layer 3b: the fused multi-cascade sampler against the reference sampler.
+///
+/// The fused kernel draws a *different RNG schedule* (full-width 64-lane
+/// draws per edge), so its output cannot be compared bitwise — the contract
+/// is distributional equality. Four assertions over two fresh collections
+/// drawn from disjoint index ranges of the same child factory:
+///
+/// * **Influence**: the coverage estimates of the reference run's seed set
+///   on the two collections are independent Binomial estimates of the same
+///   influence; they must agree within the `cfg.sigmas`-σ CLT bound.
+/// * **Mean set size**: sample means of `|RRR|` agree within the CLT bound
+///   computed from the empirical variances.
+/// * **Root containment**: every fused sample contains the root recomputed
+///   from its index-keyed stream (exact — catches lane misassignment).
+/// * **Root distribution**: binned root histograms of the two ranges pass a
+///   two-sample chi-square at `df + sigmas·√(2·df)` (the normal
+///   approximation of the χ² tail).
+pub(crate) fn check_sampler_equivalence(
+    report: &mut OracleReport,
+    graph: &Graph,
+    params: &ImmParams,
+    seeds: &[u32],
+    theta: usize,
+    cfg: &OracleConfig,
+) {
+    let kind = CheckKind::SamplerEquivalence;
+    let n = graph.num_vertices();
+    if n == 0 || seeds.is_empty() || theta == 0 {
+        return;
+    }
+    let s = theta.max(1000);
+    let factory = StreamFactory::new(params.seed).child(0x5A4D_504C);
+    let mut reference = RrrCollection::new();
+    sample_batch_sequential(graph, params.model, &factory, 0, s, &mut reference);
+    let mut fused = RrrCollection::new();
+    sample_batch_fused(graph, params.model, &factory, s as u64, s, &mut fused);
+
+    // Influence agreement on the anchor seed set.
+    let fa = coverage_of(&reference, seeds) as f64 / s as f64;
+    let fb = coverage_of(&fused, seeds) as f64 / s as f64;
+    let var = (fa * (1.0 - fa) + fb * (1.0 - fb)) / s as f64;
+    let tolerance = f64::from(n) * cfg.sigmas * var.sqrt() + 1e-9;
+    let (est_a, est_b) = (fa * f64::from(n), fb * f64::from(n));
+    report.check(
+        kind,
+        "influence",
+        (est_a - est_b).abs() <= tolerance,
+        || {
+            format!(
+                "reference influence {est_a:.3} vs fused {est_b:.3} exceeds \
+                 {:.1}σ tolerance {tolerance:.3} (θ'={s})",
+                cfg.sigmas
+            )
+        },
+    );
+
+    // Mean set size agreement (empirical-variance CLT).
+    let mean_var = |c: &RrrCollection| {
+        let mean = c.total_entries() as f64 / s as f64;
+        let var = (0..s)
+            .map(|j| (c.get(j).len() as f64 - mean).powi(2))
+            .sum::<f64>()
+            / (s as f64 * (s as f64 - 1.0));
+        (mean, var)
+    };
+    let (mean_a, var_a) = mean_var(&reference);
+    let (mean_b, var_b) = mean_var(&fused);
+    let size_tol = cfg.sigmas * (var_a + var_b).sqrt() + 1e-9;
+    report.check(
+        kind,
+        "mean-set-size",
+        (mean_a - mean_b).abs() <= size_tol,
+        || {
+            format!(
+                "reference mean |RRR| {mean_a:.3} vs fused {mean_b:.3} exceeds \
+                 {:.1}σ tolerance {size_tol:.3} (θ'={s})",
+                cfg.sigmas
+            )
+        },
+    );
+
+    // Root containment + binned root histograms of the two index ranges.
+    let bins = (n as usize).min(32);
+    let mut hist_a = vec![0u64; bins];
+    let mut hist_b = vec![0u64; bins];
+    let mut missing = 0u64;
+    let mut first_missing = 0u64;
+    for j in 0..s {
+        let ra = sample_root_of(graph, &factory, j as u64);
+        hist_a[ra as usize * bins / n as usize] += 1;
+        let rb = sample_root_of(graph, &factory, (s + j) as u64);
+        hist_b[rb as usize * bins / n as usize] += 1;
+        if fused.get(j).binary_search(&rb).is_err() {
+            if missing == 0 {
+                first_missing = (s + j) as u64;
+            }
+            missing += 1;
+        }
+    }
+    report.check(kind, "fused-root-containment", missing == 0, || {
+        format!("{missing} fused samples lack their root (first: index {first_missing})")
+    });
+    let mut chi2 = 0.0f64;
+    let mut occupied = 0.0f64;
+    for j in 0..bins {
+        let total = (hist_a[j] + hist_b[j]) as f64;
+        if total > 0.0 {
+            let d = hist_a[j] as f64 - hist_b[j] as f64;
+            chi2 += d * d / total;
+            occupied += 1.0;
+        }
+    }
+    let df = (occupied - 1.0).max(1.0);
+    let chi_bound = df + cfg.sigmas * (2.0 * df).sqrt();
+    report.check(kind, "root-chi-square", chi2 <= chi_bound, || {
+        format!(
+            "two-sample root χ² {chi2:.2} exceeds bound {chi_bound:.2} \
+             (df {df}, {:.1}σ, θ'={s})",
+            cfg.sigmas
+        )
+    });
 }

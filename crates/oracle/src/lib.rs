@@ -110,6 +110,14 @@ pub fn check_all_with(graph: &Graph, params: &ImmParams, cfg: &OracleConfig) -> 
         reference.theta,
         cfg,
     );
+    differential::check_sampler_equivalence(
+        &mut report,
+        graph,
+        params,
+        &reference.seeds,
+        reference.theta,
+        cfg,
+    );
 
     metamorphic::check_relabeling_selection(&mut report, &collection, n, k, cfg);
     metamorphic::check_relabeling_spread(&mut report, graph, params, &reference.seeds, cfg);
@@ -170,6 +178,7 @@ mod tests {
             CheckKind::EngineGridAgreement,
             CheckKind::SelectEngineAgreement,
             CheckKind::InfluenceAgreement,
+            CheckKind::SamplerEquivalence,
             CheckKind::RelabelingEquivariance,
             CheckKind::KPrefixMonotonicity,
             CheckKind::Submodularity,

@@ -15,6 +15,11 @@ pub enum CheckKind {
     EngineGridAgreement,
     /// Forward Monte-Carlo influence ≈ RRR coverage influence (CLT bound).
     InfluenceAgreement,
+    /// The fused multi-cascade sampler and the reference sampler draw from
+    /// the same distribution: equal influence estimates (CLT bound), equal
+    /// mean set sizes (CLT bound), matching root distributions
+    /// (chi-square), and fused sets containing their recomputed roots.
+    SamplerEquivalence,
     /// Selection commutes with vertex relabeling (exact, tie-conjugated)
     /// and spread is invariant under relabeling (CLT bound).
     RelabelingEquivariance,
@@ -34,6 +39,7 @@ impl CheckKind {
             CheckKind::SelectEngineAgreement => "select-engine-agreement",
             CheckKind::EngineGridAgreement => "engine-grid-agreement",
             CheckKind::InfluenceAgreement => "influence-agreement",
+            CheckKind::SamplerEquivalence => "sampler-equivalence",
             CheckKind::RelabelingEquivariance => "relabeling-equivariance",
             CheckKind::ProbabilityMonotonicity => "probability-monotonicity",
             CheckKind::KPrefixMonotonicity => "k-prefix-monotonicity",

@@ -122,6 +122,12 @@ pub enum TraceName {
     /// A rank was declared dead after exhausted retries;
     /// `arg0` = rank, `arg1` = op index.
     RankDead = 17,
+    /// One worker's contiguous chunk of a fused multi-cascade sampling
+    /// batch; `arg0` = first global sample index, `arg1` = sample count.
+    FusedChunk = 18,
+    /// Peak per-vertex activation-mask scratch bytes of the fused sampler;
+    /// `arg0` = bytes.
+    MaskBytes = 19,
 }
 
 impl TraceName {
@@ -147,6 +153,8 @@ impl TraceName {
             TraceName::ArenaBytes => "arena-bytes",
             TraceName::CommRetry => "comm-retry",
             TraceName::RankDead => "rank-dead",
+            TraceName::FusedChunk => "fused-chunk",
+            TraceName::MaskBytes => "mask-bytes",
         }
     }
 
@@ -154,12 +162,14 @@ impl TraceName {
     const fn arg_keys(self) -> (Option<&'static str>, Option<&'static str>) {
         match self {
             TraceName::Round => (Some("round"), None),
-            TraceName::SampleChunk => (Some("first"), Some("count")),
+            TraceName::SampleChunk | TraceName::FusedChunk => (Some("first"), Some("count")),
             TraceName::SelectStep => (Some("vertex"), Some("gain")),
             TraceName::CommAllReduce | TraceName::CommAllGather | TraceName::CommBroadcast => {
                 (Some("bytes"), None)
             }
-            TraceName::RrrBytes | TraceName::ArenaBytes => (Some("bytes"), None),
+            TraceName::RrrBytes | TraceName::ArenaBytes | TraceName::MaskBytes => {
+                (Some("bytes"), None)
+            }
             TraceName::IndexBuild => (Some("entries"), None),
             TraceName::SelectTouched => (Some("entries"), Some("vertex")),
             TraceName::CommRetry => (Some("op"), Some("attempt")),
@@ -189,6 +199,8 @@ impl TraceName {
             15 => Some(ArenaBytes),
             16 => Some(CommRetry),
             17 => Some(RankDead),
+            18 => Some(FusedChunk),
+            19 => Some(MaskBytes),
             _ => None,
         }
     }
@@ -803,12 +815,12 @@ mod tests {
 
     #[test]
     fn name_catalog_round_trips() {
-        for x in 0..=17u8 {
+        for x in 0..=19u8 {
             let name = TraceName::from_u8(x).expect("catalog entry");
             assert_eq!(name as u8, x);
             assert!(!name.label().is_empty());
         }
-        assert!(TraceName::from_u8(18).is_none());
+        assert!(TraceName::from_u8(20).is_none());
         assert!(EventKind::from_u8(3).is_none());
     }
 }

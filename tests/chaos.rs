@@ -28,14 +28,11 @@ use ripples_graph::generators::erdos_renyi;
 use ripples_graph::{Graph, WeightModel};
 use ripples_rng::StreamFactory;
 
-fn graph() -> Graph {
-    erdos_renyi(
-        250,
-        2000,
-        WeightModel::UniformRandom { seed: 23 },
-        false,
-        77,
-    )
+fn graph(model: DiffusionModel) -> Graph {
+    // LT runs need the in-weight normalization pass (the samplers reject
+    // un-normalized LT input).
+    let lt = model == DiffusionModel::LinearThreshold;
+    erdos_renyi(250, 2000, WeightModel::UniformRandom { seed: 23 }, lt, 77)
 }
 
 fn params(model: DiffusionModel) -> ImmParams {
@@ -50,7 +47,7 @@ fn run_engine(
     plan: Option<&FaultPlan>,
     model: DiffusionModel,
 ) -> ripples_core::ImmResult {
-    let g = graph();
+    let g = graph(model);
     let p = params(model);
     let world = ThreadWorld::new(world_size);
     let mut results = world.run(|comm| match plan {
@@ -168,8 +165,8 @@ fn partitioned_engine_absorbs_transient_faults_too() {
 
 #[test]
 fn rank_kill_degrades_gracefully_and_keeps_quality() {
-    let g = graph();
     let model = DiffusionModel::IndependentCascade;
+    let g = graph(model);
     let clean = run_engine("dist", 3, None, model);
 
     // Rank 2 stalls permanently from op 10 on: the retry layer must

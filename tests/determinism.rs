@@ -23,13 +23,14 @@ fn lock() -> MutexGuard<'static, ()> {
 }
 
 fn graph() -> Graph {
-    erdos_renyi(
-        500,
-        4000,
-        WeightModel::UniformRandom { seed: 10 },
-        false,
-        50,
-    )
+    graph_for(DiffusionModel::IndependentCascade)
+}
+
+/// LT runs need the in-weight normalization pass (the samplers reject
+/// un-normalized LT input).
+fn graph_for(model: DiffusionModel) -> Graph {
+    let lt = model == DiffusionModel::LinearThreshold;
+    erdos_renyi(500, 4000, WeightModel::UniformRandom { seed: 10 }, lt, 50)
 }
 
 #[test]
@@ -48,11 +49,11 @@ fn repeat_runs_are_bitwise_identical() {
 #[test]
 fn all_engines_agree_on_seeds() {
     let _g = lock();
-    let g = graph();
     for model in [
         DiffusionModel::IndependentCascade,
         DiffusionModel::LinearThreshold,
     ] {
+        let g = graph_for(model);
         let p = ImmParams::new(5, 0.5, model, 9);
         let baseline = imm_baseline(&g, &p);
         let opt = immopt_sequential(&g, &p);
