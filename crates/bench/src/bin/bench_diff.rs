@@ -1,0 +1,345 @@
+//! `bench_diff` — noise-aware perf-regression gate over committed
+//! `BENCH_*.json` snapshots.
+//!
+//! ```text
+//! bench_diff BASELINE.json CANDIDATE.json [--floor PCT] [--allow-host-mismatch]
+//! bench_diff --self-test SNAPSHOT.json
+//! ```
+//!
+//! Compares the per-config wall times of two `perf_snapshot` files (any
+//! schema version ≥ v1) and exits nonzero when a config regressed by more
+//! than the noise threshold, printing a table of every compared cell so
+//! the verdict is auditable. The threshold per metric is
+//! `max(floor, 3 × spread)` where `spread` is the repeated-trial relative
+//! spread recorded by v5 snapshots (`(max − min) / median`); older
+//! snapshots carry no spread, so they get the floor alone (default 10%).
+//! Sub-5 ms phases are never flagged — at that scale scheduler jitter
+//! dominates any real change.
+//!
+//! Two snapshots are only comparable if they came from the same kind of
+//! host: the tool refuses (exit 2) when the recorded `host.threads` or
+//! `host.rustc` provenance disagrees, unless `--allow-host-mismatch` is
+//! given. The `git_sha` provenance is *expected* to differ — that is the
+//! comparison being made — so it is reported but never refused on.
+//!
+//! `--self-test` exercises the gate against a single snapshot so CI can
+//! prove the gate itself works: identical inputs must pass, a synthetic
+//! 2× sampling-wall perturbation must trip, and a host-provenance
+//! mismatch must be refused.
+//!
+//! Exit codes: 0 clean, 1 significant regression (or self-test failure),
+//! 2 refusal / usage error.
+
+use ripples_bench::json::{self, Value};
+use ripples_bench::{Args, Table};
+
+/// Relative regression floor when no spread data is available (and the
+/// minimum threshold even when it is): 10%.
+const DEFAULT_FLOOR: f64 = 0.10;
+/// Absolute guard: ignore regressions where the change is below this many
+/// seconds — sub-5 ms deltas are scheduler noise at any relative size.
+const ABS_GUARD_S: f64 = 0.005;
+/// Spread-to-threshold multiplier: three spreads clears run-to-run noise
+/// the way three sigmas would for a normal spread estimate.
+const SPREAD_MULTIPLIER: f64 = 3.0;
+
+/// The wall metrics the gate compares, with the v5 field carrying their
+/// trial spread (absent in older schemas).
+const METRICS: [(&str, &str); 3] = [
+    ("wall_s", "wall_spread"),
+    ("sampling_wall_s", "sampling_wall_spread"),
+    ("selection_wall_s", "selection_wall_spread"),
+];
+
+/// One config row of a snapshot, reduced to what the gate needs.
+#[derive(Clone, Debug)]
+struct Rec {
+    key: String,
+    /// `(metric, seconds, spread)` for each present wall metric.
+    walls: Vec<(&'static str, f64, f64)>,
+}
+
+/// A whole snapshot, reduced to what the gate needs.
+#[derive(Clone, Debug)]
+struct Snapshot {
+    version: u32,
+    git_sha: Option<String>,
+    threads: Option<u64>,
+    rustc: Option<String>,
+    configs: Vec<Rec>,
+}
+
+fn load(path: &str) -> Result<Snapshot, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let doc = json::parse(&text).map_err(|e| format!("{path}: {e}"))?;
+    let schema = doc
+        .str("schema")
+        .ok_or_else(|| format!("{path}: missing \"schema\""))?;
+    let version: u32 = schema
+        .strip_prefix("ripples-perf-snapshot-v")
+        .and_then(|v| v.parse().ok())
+        .ok_or_else(|| format!("{path}: not a perf snapshot (schema `{schema}`)"))?;
+    let host = doc.get("host");
+    let configs = doc
+        .get("configs")
+        .and_then(Value::as_array)
+        .ok_or_else(|| format!("{path}: missing \"configs\" array"))?
+        .iter()
+        .map(|rec| {
+            let key = format!(
+                "{}/{}/{}",
+                rec.str("engine").unwrap_or("?"),
+                rec.str("sample_engine").unwrap_or("reference"),
+                rec.str("graph").unwrap_or("?"),
+            );
+            let walls = METRICS
+                .iter()
+                .filter_map(|&(metric, spread_field)| {
+                    rec.num(metric)
+                        .map(|secs| (metric, secs, rec.num(spread_field).unwrap_or(0.0)))
+                })
+                .collect();
+            Rec { key, walls }
+        })
+        .collect();
+    Ok(Snapshot {
+        version,
+        git_sha: host.and_then(|h| h.str("git_sha")).map(str::to_string),
+        threads: host.and_then(|h| h.num("threads")).map(|t| t as u64),
+        rustc: host.and_then(|h| h.str("rustc")).map(str::to_string),
+        configs,
+    })
+}
+
+/// A flagged regression: `key`/`metric` went from `base` to `cand`
+/// seconds, exceeding `threshold` (relative).
+struct Regression {
+    key: String,
+    metric: &'static str,
+    base: f64,
+    cand: f64,
+    threshold: f64,
+}
+
+/// Compares `cand` against `base`, printing the full comparison table.
+/// Returns the significant regressions, or `Err` when the snapshots are
+/// not comparable (mismatched host provenance).
+fn compare(
+    base: &Snapshot,
+    cand: &Snapshot,
+    floor: f64,
+    allow_host_mismatch: bool,
+    quiet: bool,
+) -> Result<Vec<Regression>, String> {
+    if !allow_host_mismatch {
+        if let (Some(a), Some(b)) = (base.threads, cand.threads) {
+            if a != b {
+                return Err(format!(
+                    "host provenance mismatch: baseline ran with {a} threads, candidate with {b} \
+                     (pass --allow-host-mismatch to compare anyway)"
+                ));
+            }
+        }
+        if let (Some(a), Some(b)) = (&base.rustc, &cand.rustc) {
+            if a != b && a != "unknown" && b != "unknown" {
+                return Err(format!(
+                    "host provenance mismatch: baseline built by `{a}`, candidate by `{b}` \
+                     (pass --allow-host-mismatch to compare anyway)"
+                ));
+            }
+        }
+    }
+
+    let mut table = Table::new(vec![
+        "config", "metric", "base_s", "cand_s", "delta", "limit", "verdict",
+    ]);
+    let mut regressions = Vec::new();
+    let mut compared = 0usize;
+    for b in &base.configs {
+        let Some(c) = cand.configs.iter().find(|c| c.key == b.key) else {
+            if !quiet {
+                eprintln!("note: config {} only in baseline — skipped", b.key);
+            }
+            continue;
+        };
+        for &(metric, base_s, base_spread) in &b.walls {
+            let Some(&(_, cand_s, cand_spread)) = c.walls.iter().find(|(m, _, _)| *m == metric)
+            else {
+                continue;
+            };
+            compared += 1;
+            let threshold = floor.max(SPREAD_MULTIPLIER * base_spread.max(cand_spread));
+            let delta = if base_s > 0.0 {
+                (cand_s - base_s) / base_s
+            } else {
+                0.0
+            };
+            let regressed = delta > threshold && (cand_s - base_s) > ABS_GUARD_S;
+            table.row(vec![
+                b.key.clone(),
+                metric.to_string(),
+                format!("{base_s:.4}"),
+                format!("{cand_s:.4}"),
+                format!("{:+.1}%", delta * 100.0),
+                format!("+{:.1}%", threshold * 100.0),
+                if regressed {
+                    "REGRESSED".to_string()
+                } else {
+                    "ok".to_string()
+                },
+            ]);
+            if regressed {
+                regressions.push(Regression {
+                    key: b.key.clone(),
+                    metric,
+                    base: base_s,
+                    cand: cand_s,
+                    threshold,
+                });
+            }
+        }
+    }
+    for c in &cand.configs {
+        if !base.configs.iter().any(|b| b.key == c.key) && !quiet {
+            eprintln!("note: config {} only in candidate — skipped", c.key);
+        }
+    }
+    if compared == 0 {
+        return Err("no overlapping configs to compare".into());
+    }
+    if !quiet {
+        let sha = |s: &Option<String>| s.clone().unwrap_or_else(|| "?".into());
+        eprintln!(
+            "baseline v{} ({}) vs candidate v{} ({}): {compared} cells compared",
+            base.version,
+            sha(&base.git_sha),
+            cand.version,
+            sha(&cand.git_sha),
+        );
+        print!("{}", table.render());
+    }
+    Ok(regressions)
+}
+
+fn report_and_exit(regressions: &[Regression]) -> ! {
+    if regressions.is_empty() {
+        eprintln!("bench_diff: no significant regressions");
+        std::process::exit(0);
+    }
+    for r in regressions {
+        eprintln!(
+            "REGRESSION: {} {}: {:.4}s -> {:.4}s ({:+.1}%, limit +{:.1}%)",
+            r.key,
+            r.metric,
+            r.base,
+            r.cand,
+            (r.cand - r.base) / r.base * 100.0,
+            r.threshold * 100.0,
+        );
+    }
+    std::process::exit(1);
+}
+
+/// Proves the gate works using one real snapshot: self-compare must be
+/// clean, a 2× sampling-wall perturbation must trip naming the config,
+/// and a host mismatch must be refused.
+fn self_test(path: &str, floor: f64) -> ! {
+    let snap = load(path).unwrap_or_else(|e| {
+        eprintln!("error: {e}");
+        std::process::exit(2);
+    });
+
+    let clean =
+        compare(&snap, &snap, floor, false, true).expect("self-comparison must be comparable");
+    if !clean.is_empty() {
+        eprintln!(
+            "self-test FAILED: identical snapshots flagged {} regressions",
+            clean.len()
+        );
+        std::process::exit(1);
+    }
+    eprintln!("self-test 1/3 ok: identical snapshots compare clean");
+
+    let mut perturbed = snap.clone();
+    let victim = perturbed
+        .configs
+        .iter_mut()
+        .find(|rec| {
+            rec.walls
+                .iter()
+                .any(|&(m, secs, _)| m == "sampling_wall_s" && secs > ABS_GUARD_S)
+        })
+        .unwrap_or_else(|| {
+            eprintln!("self-test FAILED: no config with a sampling phase above the noise guard");
+            std::process::exit(1);
+        });
+    let victim_key = victim.key.clone();
+    for wall in &mut victim.walls {
+        if wall.0 == "sampling_wall_s" || wall.0 == "wall_s" {
+            wall.1 *= 2.0;
+        }
+    }
+    let tripped = compare(&snap, &perturbed, floor, false, true)
+        .expect("perturbed self-comparison must be comparable");
+    let caught = tripped
+        .iter()
+        .any(|r| r.key == victim_key && r.metric == "sampling_wall_s");
+    if !caught {
+        eprintln!(
+            "self-test FAILED: 2x sampling-wall perturbation of {victim_key} was not flagged"
+        );
+        std::process::exit(1);
+    }
+    eprintln!("self-test 2/3 ok: 2x sampling-wall perturbation of {victim_key} tripped the gate");
+
+    let mut alien = snap.clone();
+    alien.threads = Some(snap.threads.unwrap_or(1) + 1);
+    match compare(&snap, &alien, floor, false, true) {
+        Err(reason) => {
+            eprintln!("self-test 3/3 ok: host mismatch refused ({reason})");
+        }
+        Ok(_) => {
+            eprintln!("self-test FAILED: mismatched host provenance was not refused");
+            std::process::exit(1);
+        }
+    }
+    eprintln!("bench_diff self-test passed");
+    std::process::exit(0);
+}
+
+fn main() {
+    let args = Args::from_env();
+    let floor = args.parse_or("floor", DEFAULT_FLOOR * 100.0) / 100.0;
+    if floor < 0.0 {
+        eprintln!("error: --floor must be non-negative");
+        std::process::exit(2);
+    }
+
+    if let Some(path) = args.get("self-test") {
+        self_test(path, floor);
+    }
+
+    let positional = args.positional();
+    let [base_path, cand_path] = positional.as_slice() else {
+        eprintln!(
+            "usage: bench_diff BASELINE.json CANDIDATE.json [--floor PCT] [--allow-host-mismatch]\n       bench_diff --self-test SNAPSHOT.json"
+        );
+        std::process::exit(2);
+    };
+
+    let base = load(base_path).unwrap_or_else(|e| {
+        eprintln!("error: {e}");
+        std::process::exit(2);
+    });
+    let cand = load(cand_path).unwrap_or_else(|e| {
+        eprintln!("error: {e}");
+        std::process::exit(2);
+    });
+    match compare(&base, &cand, floor, args.flag("allow-host-mismatch"), false) {
+        Ok(regressions) => report_and_exit(&regressions),
+        Err(reason) => {
+            eprintln!("error: {reason}");
+            std::process::exit(2);
+        }
+    }
+}

@@ -8,6 +8,7 @@
 //!
 //! ```text
 //! perf_snapshot [--out DIR] [--date YYYY-MM-DD] [--quick] [--select ENGINE]
+//!               [--trials N]
 //! ```
 //!
 //! - `--out DIR`       — output directory (default `results/`).
@@ -16,8 +17,11 @@
 //! - `--select ENGINE` — override the selection engine for the `opt` and
 //!   `mt` cells (e.g. `partitioned` to record a before-run against the
 //!   default `auto` dispatch); distributed cells are unaffected.
+//! - `--trials N`      — timed repetitions per config (default 3); wall
+//!   times report the median, and the min/spread ride along so `bench_diff`
+//!   can tell regression from run-to-run noise.
 //!
-//! The schema (`ripples-perf-snapshot-v4`) is documented in
+//! The schema (`ripples-perf-snapshot-v5`) is documented in
 //! `EXPERIMENTS.md`; every record carries the wall time, the per-phase
 //! sampling/selection wall-time split (summed from the span tree), the peak
 //! RRR/index/arena byte counts, and the key
@@ -27,7 +31,13 @@
 //! zero on the reliable in-process backend, nonzero only under injected
 //! chaos. v4 adds the sampling-engine fields (`sample_engine`,
 //! `fused_passes`, `mask_bytes_peak`) — again purely additive, and the two
-//! fused counters are zero on every reference-sampler row.
+//! fused counters are zero on every reference-sampler row. v5 adds host
+//! provenance (`git_sha`, `rustc`, alongside the existing `threads`) and
+//! per-config repeated-trial statistics: `trials`, and for each of
+//! `wall_s`/`sampling_wall_s`/`selection_wall_s` a `*_min_s` and a
+//! relative `*_spread` = (max − min) / median. The headline `wall_s`
+//! fields become the median across trials (a v4 snapshot is the
+//! degenerate `trials = 1` case, so consumers can treat v4/v5 uniformly).
 
 use ripples_bench::{measure, Args};
 use ripples_comm::ThreadWorld;
@@ -136,9 +146,43 @@ fn run_engine(
     }
 }
 
+/// min / median / relative-spread of a set of timings. Spread is
+/// `(max − min) / median` — a dimensionless noise estimate `bench_diff`
+/// scales into its regression threshold.
+fn stats(samples: &mut [f64]) -> (f64, f64, f64) {
+    samples.sort_by(|a, b| a.partial_cmp(b).expect("timings are finite"));
+    let min = samples[0];
+    let max = samples[samples.len() - 1];
+    let median = samples[samples.len() / 2];
+    let spread = if median > 0.0 {
+        (max - min) / median
+    } else {
+        0.0
+    };
+    (min, median, spread)
+}
+
+/// First output line of `cmd args…`, or `fallback` when the command is
+/// unavailable or fails (sandboxed CI, tarball checkouts without git).
+fn probe(cmd: &str, args: &[&str], fallback: &str) -> String {
+    std::process::Command::new(cmd)
+        .args(args)
+        .output()
+        .ok()
+        .filter(|out| out.status.success())
+        .and_then(|out| {
+            String::from_utf8(out.stdout)
+                .ok()
+                .and_then(|s| s.lines().next().map(|l| l.trim().to_string()))
+        })
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| fallback.to_string())
+}
+
 fn main() {
     let args = Args::from_env();
     let quick = args.flag("quick");
+    let trials: usize = args.parse_or("trials", 3).max(1);
     let out_dir = args.get("out").unwrap_or("results").to_string();
     let date = args
         .get("date")
@@ -211,18 +255,45 @@ fn main() {
     let mut records = String::new();
     for (i, config) in matrix.iter().enumerate() {
         let graph = build_graph(config.graph_name, quick);
-        let (result, wall) =
-            measure(|| run_engine(config.engine, &graph, &params, select, config.sample));
+        // Repeated trials: identical seeds make every trial compute the
+        // same answer, so only the timings vary — keep the median-wall
+        // trial's result for the counters and fold the rest into stats.
+        let mut runs: Vec<(ImmResult, f64)> = (0..trials)
+            .map(|_| {
+                let (result, wall) =
+                    measure(|| run_engine(config.engine, &graph, &params, select, config.sample));
+                (result, wall.as_secs_f64())
+            })
+            .collect();
+        let mut walls: Vec<f64> = runs.iter().map(|(_, w)| *w).collect();
+        let mut sampling: Vec<f64> = runs
+            .iter()
+            .map(|(r, _)| phase_wall_s(r.report.spans(), &["sample", "Sample"]))
+            .collect();
+        let mut selection: Vec<f64> = runs
+            .iter()
+            .map(|(r, _)| phase_wall_s(r.report.spans(), &["select", "SelectSeeds"]))
+            .collect();
+        let (wall_min, wall_median, wall_spread) = stats(&mut walls);
+        let (samp_min, samp_median, samp_spread) = stats(&mut sampling);
+        let (sel_min, sel_median, sel_spread) = stats(&mut selection);
+        let median_idx = runs
+            .iter()
+            .position(|(_, w)| *w == wall_median)
+            .unwrap_or(0);
+        let (result, _) = runs.swap_remove(median_idx);
         let c = &result.report.counters;
         eprintln!(
-            "{}/{}: {} on {} ({} vertices, sample={}): {:.3}s theta={}",
+            "{}/{}: {} on {} ({} vertices, sample={}): {:.3}s median of {} (spread {:.1}%) theta={}",
             i + 1,
             matrix.len(),
             config.engine,
             config.graph_name,
             graph.num_vertices(),
             config.sample.tag(),
-            wall.as_secs_f64(),
+            wall_median,
+            trials,
+            wall_spread * 100.0,
             result.theta
         );
         if i > 0 {
@@ -235,11 +306,9 @@ fn main() {
             ),
             None => "null".to_string(),
         };
-        let sampling_wall_s = phase_wall_s(result.report.spans(), &["sample", "Sample"]);
-        let selection_wall_s = phase_wall_s(result.report.spans(), &["select", "SelectSeeds"]);
         write!(
             records,
-            "\n    {{\"engine\":\"{}\",\"sample_engine\":\"{}\",\"graph\":\"{}\",\"vertices\":{},\"edges\":{},\"k\":{},\"epsilon\":{},\"wall_s\":{:.6},\"sampling_wall_s\":{:.6},\"selection_wall_s\":{:.6},\"theta\":{},\"theta_rounds\":{},\"samples_generated\":{},\"edges_examined\":{},\"rrr_entries\":{},\"rrr_bytes_peak\":{},\"index_bytes_peak\":{},\"arena_bytes_peak\":{},\"fused_passes\":{},\"mask_bytes_peak\":{},\"select_entries_touched\":{},\"index_build_nanos\":{},\"select_iterations\":{},\"retries\":{},\"dropped_ops\":{},\"degraded_ranks\":{},\"comm\":{}}}",
+            "\n    {{\"engine\":\"{}\",\"sample_engine\":\"{}\",\"graph\":\"{}\",\"vertices\":{},\"edges\":{},\"k\":{},\"epsilon\":{},\"trials\":{trials},\"wall_s\":{:.6},\"wall_min_s\":{:.6},\"wall_spread\":{:.4},\"sampling_wall_s\":{:.6},\"sampling_wall_min_s\":{:.6},\"sampling_wall_spread\":{:.4},\"selection_wall_s\":{:.6},\"selection_wall_min_s\":{:.6},\"selection_wall_spread\":{:.4},\"theta\":{},\"theta_rounds\":{},\"samples_generated\":{},\"edges_examined\":{},\"rrr_entries\":{},\"rrr_bytes_peak\":{},\"index_bytes_peak\":{},\"arena_bytes_peak\":{},\"fused_passes\":{},\"mask_bytes_peak\":{},\"select_entries_touched\":{},\"index_build_nanos\":{},\"select_iterations\":{},\"retries\":{},\"dropped_ops\":{},\"degraded_ranks\":{},\"comm\":{}}}",
             config.engine,
             config.sample.tag(),
             config.graph_name,
@@ -247,9 +316,15 @@ fn main() {
             graph.num_edges(),
             params.k,
             params.epsilon,
-            wall.as_secs_f64(),
-            sampling_wall_s,
-            selection_wall_s,
+            wall_median,
+            wall_min,
+            wall_spread,
+            samp_median,
+            samp_min,
+            samp_spread,
+            sel_median,
+            sel_min,
+            sel_spread,
             result.theta,
             c.theta_rounds,
             c.samples_generated,
@@ -272,8 +347,10 @@ fn main() {
     }
 
     let threads = std::thread::available_parallelism().map_or(1, |p| p.get());
+    let git_sha = probe("git", &["rev-parse", "HEAD"], "unknown");
+    let rustc = probe("rustc", &["-V"], "unknown");
     let json = format!(
-        "{{\n  \"schema\": \"ripples-perf-snapshot-v4\",\n  \"date\": \"{date}\",\n  \"quick\": {quick},\n  \"host\": {{\"threads\": {threads}}},\n  \"configs\": [{records}\n  ]\n}}\n",
+        "{{\n  \"schema\": \"ripples-perf-snapshot-v5\",\n  \"date\": \"{date}\",\n  \"quick\": {quick},\n  \"host\": {{\"threads\": {threads}, \"git_sha\": \"{git_sha}\", \"rustc\": \"{rustc}\"}},\n  \"configs\": [{records}\n  ]\n}}\n",
     );
     ripples_trace::validate_json(&json).expect("snapshot must be valid JSON");
 

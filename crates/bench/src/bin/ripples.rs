@@ -12,6 +12,8 @@
 //!         [--sample auto|reference|fused]
 //!         [--report pretty|json] [--report-out FILE]
 //!         [--trace FILE] [--trace-buffer EVENTS]
+//!         [--metrics FILE] [--metrics-interval DUR] [--metrics-prom FILE]
+//!         [--progress]
 //!         [--chaos-seed S] [--chaos-rate R]
 //! ripples --standin com-Orkut --scale-div 64 ...
 //! ripples --gen ba:2000:8 [--gen-seed S] ...   # synthetic BA / ER graphs
@@ -43,6 +45,17 @@
 //! `--trace-buffer` caps the per-worker ring size in events (default
 //! 16384, env `RIPPLES_TRACE_BUFFER`); overflowing events are dropped and
 //! counted, never blocking the run.
+//!
+//! `--metrics FILE` enables the live metrics registry for the run and
+//! writes a schema-versioned JSON time series (`ripples-metrics-v1`) of
+//! every counter and gauge, sampled on a background thread every
+//! `--metrics-interval` (default 250ms; accepts `50ms`, `1s`, or a plain
+//! millisecond count). `--metrics-prom FILE` writes the final registry
+//! state as Prometheus text exposition. `--progress` prints a live
+//! heartbeat to stderr each tick (phase, θ progress, sampling rate, ETA,
+//! live MB) and can run without either output file. Each exporter needs
+//! its own path — colliding output files are rejected up front. See
+//! EXPERIMENTS.md § "Live-monitoring a run".
 //!
 //! `--chaos-seed S` injects a deterministic fault schedule (dropped, delayed
 //! and truncated collectives) into the `dist`/`partitioned` engines'
@@ -154,6 +167,85 @@ fn load_graph(args: &Args, model: DiffusionModel) -> Graph {
     }
 }
 
+/// Parses a `--metrics-interval` value: `50ms`, `2s`, or a plain
+/// millisecond count. Floored at 1ms.
+fn parse_interval(s: &str) -> std::time::Duration {
+    let (num, to_ms) = match s.strip_suffix("ms") {
+        Some(n) => (n, 1.0),
+        None => match s.strip_suffix('s') {
+            Some(n) => (n, 1000.0),
+            None => (s, 1.0),
+        },
+    };
+    let v: f64 = num.trim().parse().unwrap_or_else(|_| {
+        eprintln!("error: --metrics-interval takes e.g. 50ms or 1s, got `{s}`");
+        std::process::exit(1);
+    });
+    std::time::Duration::from_micros(((v * to_ms * 1000.0) as u64).max(1000))
+}
+
+/// Builds the `--progress` heartbeat: one stderr line per sampler tick
+/// with the phase, θ progress, sampling rate, an ETA, and the live
+/// memory footprint — all read straight off the metrics registry.
+fn progress_observer() -> ripples_metrics::ProgressFn {
+    use ripples_metrics::{phase, Metric, Sample};
+    use std::fmt::Write as _;
+    let mut last: Option<(u64, u64)> = None;
+    Box::new(move |s: &Sample| {
+        let samples = s.value(Metric::SamplesGenerated);
+        let target = s.value(Metric::ThetaTarget);
+        let rate = match last {
+            Some((t0, s0)) if s.t_ms > t0 => {
+                (samples.saturating_sub(s0)) as f64 * 1000.0 / (s.t_ms - t0) as f64
+            }
+            _ => 0.0,
+        };
+        last = Some((s.t_ms, samples));
+        let phase_v = s.value(Metric::Phase);
+        let live_mb = (s.value(Metric::RrrBytes)
+            + s.value(Metric::IndexBytes)
+            + s.value(Metric::ArenaBytes)
+            + s.value(Metric::MaskBytes)) as f64
+            / (1024.0 * 1024.0);
+        let mut line = format!(
+            "[metrics] {:6.2}s {}",
+            s.t_ms as f64 / 1000.0,
+            phase::name(phase_v)
+        );
+        let round = s.value(Metric::Round);
+        if round > 0 {
+            let _ = write!(line, " round {round}");
+        }
+        match phase_v {
+            phase::ESTIMATE_THETA | phase::SAMPLE => {
+                if target > 0 {
+                    let pct = 100.0 * samples.min(target) as f64 / target as f64;
+                    let _ = write!(line, ": {samples}/{target} samples ({pct:.0}%)");
+                    if rate > 0.0 && samples < target {
+                        let _ = write!(line, ", eta {:.1}s", (target - samples) as f64 / rate);
+                    }
+                } else {
+                    let _ = write!(line, ": {samples} samples");
+                }
+                if rate > 0.0 {
+                    let _ = write!(line, ", {rate:.0} samples/s");
+                }
+            }
+            phase::SELECT => {
+                let _ = write!(
+                    line,
+                    ": {} select steps, {} entries touched",
+                    s.value(Metric::SelectSteps),
+                    s.value(Metric::SelectEntriesTouched)
+                );
+            }
+            _ => {}
+        }
+        let _ = write!(line, ", {live_mb:.1} MB live");
+        eprintln!("{line}");
+    })
+}
+
 fn main() {
     let args = Args::from_env();
     let model = DiffusionModel::from_tag(args.get("model").unwrap_or("ic"))
@@ -202,12 +294,49 @@ fn main() {
     }
 
     let trace_path = args.get("trace").map(str::to_string);
+    let metrics_path = args.get("metrics").map(str::to_string);
+    let metrics_prom_path = args.get("metrics-prom").map(str::to_string);
+    let progress = args.flag("progress");
+
+    // Every exporter writes its own file; catching collisions up front
+    // beats silently interleaving two exporters into one path at the end
+    // of a long run.
+    let outputs: Vec<(&str, &str)> = [
+        ("--trace", trace_path.as_deref()),
+        ("--report-out", args.get("report-out")),
+        ("--metrics", metrics_path.as_deref()),
+        ("--metrics-prom", metrics_prom_path.as_deref()),
+    ]
+    .into_iter()
+    .filter_map(|(flag, path)| path.map(|p| (flag, p)))
+    .collect();
+    for (i, (flag_a, path_a)) in outputs.iter().enumerate() {
+        for (flag_b, path_b) in &outputs[i + 1..] {
+            if path_a == path_b {
+                eprintln!(
+                    "error: {flag_a} and {flag_b} both write to `{path_a}`; \
+                     give each exporter its own file"
+                );
+                std::process::exit(1);
+            }
+        }
+    }
+
     if trace_path.is_some() {
         let capacity = args
             .get("trace-buffer")
             .map(|s| s.parse().expect("--trace-buffer takes an event count"));
         trace::start(capacity);
     }
+
+    let sampler = if metrics_path.is_some() || metrics_prom_path.is_some() || progress {
+        ripples_metrics::enable();
+        let interval = parse_interval(args.get("metrics-interval").unwrap_or("250ms"));
+        let observer = progress.then(progress_observer);
+        Some(ripples_metrics::start_sampler(interval, observer))
+    } else {
+        None
+    };
 
     let start = std::time::Instant::now();
     let (seeds, detail, report) = match engine.as_str() {
@@ -304,6 +433,46 @@ fn main() {
         }
     };
     let elapsed = start.elapsed();
+    if let Some(handle) = sampler {
+        let series = handle.finalize();
+        ripples_metrics::disable();
+        if let Some(path) = &metrics_path {
+            let json = series.to_json();
+            if let Err(e) = trace::validate_json(&json) {
+                eprintln!("error: metrics series is not valid JSON: {e}");
+                std::process::exit(1);
+            }
+            match std::fs::write(path, &json) {
+                Ok(()) => {
+                    let down = if series.downsample_halvings > 0 {
+                        format!(
+                            ", downsampled to {}ms",
+                            series.interval_ms << series.downsample_halvings
+                        )
+                    } else {
+                        String::new()
+                    };
+                    eprintln!(
+                        "metrics: {} samples at {}ms cadence{down} written to {path}",
+                        series.samples.len(),
+                        series.interval_ms
+                    );
+                }
+                Err(e) => {
+                    eprintln!("error: cannot write metrics {path}: {e}");
+                    std::process::exit(1);
+                }
+            }
+        }
+        if let Some(path) = &metrics_prom_path {
+            let last = series.samples.last().expect("series is never empty");
+            if let Err(e) = std::fs::write(path, ripples_metrics::prometheus_text(last)) {
+                eprintln!("error: cannot write metrics exposition {path}: {e}");
+                std::process::exit(1);
+            }
+            eprintln!("metrics: Prometheus exposition written to {path}");
+        }
+    }
     eprintln!("engine={engine} model={model} k={k} epsilon={epsilon}: {detail}");
     eprintln!("time: {:.3}s", elapsed.as_secs_f64());
     if let (Some(plan), Some(rep)) = (&chaos, &report) {

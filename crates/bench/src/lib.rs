@@ -9,6 +9,8 @@
 
 #![warn(missing_docs)]
 
+pub mod json;
+
 use ripples_diffusion::DiffusionModel;
 use ripples_graph::generators::{standin_catalog, StandinSpec};
 use ripples_graph::{Graph, WeightModel};
@@ -103,6 +105,17 @@ impl Args {
     #[must_use]
     pub fn flag(&self, name: &str) -> bool {
         self.pairs.iter().any(|(n, _)| n == name)
+    }
+
+    /// Bare (non-`--flag`) tokens, in order. A token following a `--flag`
+    /// is that flag's value, not a positional.
+    #[must_use]
+    pub fn positional(&self) -> Vec<&str> {
+        self.pairs
+            .iter()
+            .filter(|(n, _)| n.is_empty())
+            .filter_map(|(_, v)| v.as_deref())
+            .collect()
     }
 
     /// Parses `--name` as `T`, falling back to `default`.

@@ -63,6 +63,12 @@ pub(crate) fn traced<T>(
     payload_bytes: u64,
     f: impl FnOnce() -> T,
 ) -> T {
+    // Every backend funnels every collective through here, so this is
+    // also the single live-telemetry point for comm op/byte rates.
+    if ripples_metrics::enabled() {
+        ripples_metrics::add(ripples_metrics::Metric::CommOps, 1);
+        ripples_metrics::add(ripples_metrics::Metric::CommBytes, payload_bytes);
+    }
     if ripples_trace::enabled() {
         let t0 = std::time::Instant::now();
         let out = f();

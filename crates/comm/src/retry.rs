@@ -140,6 +140,7 @@ impl<C: Communicator> RetryComm<C> {
                 }
                 Err(e) => {
                     self.retries.set(self.retries.get() + 1);
+                    ripples_metrics::add(ripples_metrics::Metric::CommRetries, 1);
                     ripples_trace::mark(TraceName::CommRetry, e.op_index(), u64::from(attempt));
                     self.inner.advance_clock(self.policy.backoff_ticks(attempt));
                     attempt += 1;
@@ -148,6 +149,13 @@ impl<C: Communicator> RetryComm<C> {
                     {
                         let rank = e.rank();
                         self.inner.declare_dead(rank);
+                        // Every rank declares the same deaths in lockstep,
+                        // so the gauge is a cross-rank max of each stack's
+                        // dead-set size, not a sum of declarations.
+                        ripples_metrics::set_max(
+                            ripples_metrics::Metric::DegradedRanks,
+                            self.inner.dead_ranks().len() as u64,
+                        );
                         ripples_trace::mark(TraceName::RankDead, u64::from(rank), e.op_index());
                         attempt = 0;
                         op_start = self.inner.clock_ticks();

@@ -451,6 +451,12 @@ pub fn imm_distributed_full<C: Communicator>(
         report.span("EstimateTheta", |report| {
             for x in 1..=schedule.max_rounds() {
                 let budget = schedule.round_budget(x);
+                if crate::obs::metrics::enabled() {
+                    crate::obs::metrics::set(
+                        crate::obs::metrics::Metric::ThetaTarget,
+                        budget as u64,
+                    );
+                }
                 let stop = report.span(&format!("round-{x}"), |report| {
                     if budget > *theta_ref {
                         report.span("sample", |report| {
@@ -484,6 +490,9 @@ pub fn imm_distributed_full<C: Communicator>(
         Some(bound) => schedule.final_theta(bound),
         None => schedule.fallback_theta(u64::from(k)),
     };
+    if crate::obs::metrics::enabled() {
+        crate::obs::metrics::set(crate::obs::metrics::Metric::ThetaTarget, theta as u64);
+    }
 
     // --- Sample top-up -------------------------------------------------
     if theta > theta_global {

@@ -138,7 +138,17 @@ pub fn sample_batch_cooperative<C: Communicator>(
         }
         sample.sort_unstable();
         sample.dedup();
+        if crate::obs::metrics::enabled() {
+            // Home ranks count their samples once each, so the shared
+            // registry sums to the world-total batch size; edge work is
+            // charged where it was examined (below).
+            crate::obs::metrics::add(crate::obs::metrics::Metric::SamplesGenerated, 1);
+            crate::obs::metrics::observe_rrr_size(sample.len() as u64);
+        }
         out.push(&sample);
+    }
+    if crate::obs::metrics::enabled() {
+        crate::obs::metrics::add(crate::obs::metrics::Metric::EdgesExamined, local_work);
     }
     local_work
 }
@@ -214,6 +224,12 @@ pub fn imm_partitioned<C: Communicator>(comm: &C, graph: &Graph, params: &ImmPar
         report.span("EstimateTheta", |report| {
             for x in 1..=schedule.max_rounds() {
                 let budget = schedule.round_budget(x);
+                if crate::obs::metrics::enabled() {
+                    crate::obs::metrics::set(
+                        crate::obs::metrics::Metric::ThetaTarget,
+                        budget as u64,
+                    );
+                }
                 let stop = report.span(&format!("round-{x}"), |report| {
                     if budget > *theta_ref {
                         let old_len = local_ref.len();
@@ -260,6 +276,9 @@ pub fn imm_partitioned<C: Communicator>(comm: &C, graph: &Graph, params: &ImmPar
         Some(bound) => schedule.final_theta(bound),
         None => schedule.fallback_theta(u64::from(k)),
     };
+    if crate::obs::metrics::enabled() {
+        crate::obs::metrics::set(crate::obs::metrics::Metric::ThetaTarget, theta as u64);
+    }
     if theta > theta_global {
         let local_ref = &mut local;
         let work_ref = &mut sample_work;

@@ -37,11 +37,17 @@ impl MemoryStats {
         if crate::obs::trace::enabled() {
             crate::obs::trace::counter(crate::obs::trace::TraceName::RrrBytes, bytes as u64);
         }
+        if crate::obs::metrics::enabled() {
+            crate::obs::metrics::set_max(crate::obs::metrics::Metric::RrrBytes, bytes as u64);
+        }
     }
 
     /// Records a selection-index observation, keeping the peak.
     pub fn observe_index(&mut self, bytes: usize) {
         self.peak_index_bytes = self.peak_index_bytes.max(bytes);
+        if crate::obs::metrics::enabled() {
+            crate::obs::metrics::set_max(crate::obs::metrics::Metric::IndexBytes, bytes as u64);
+        }
     }
 
     /// Formats a byte count as mebibytes (the paper's Table 2 unit).

@@ -23,6 +23,7 @@
 //! sampler chunk, selection step, and collective also lands on a per-worker
 //! event timeline attached to the report as [`RunReport::trace`].
 
+pub mod metrics;
 pub mod trace;
 
 use crate::phases::{Phase, PhaseTimers};
@@ -337,6 +338,9 @@ impl RunReport {
     /// Opens a span named `name`; pair with [`RunReport::exit`]. Prefer
     /// [`RunReport::span`], which cannot be left unbalanced.
     pub fn enter(&mut self, name: &str) {
+        if metrics::enabled() {
+            metrics::on_enter(name);
+        }
         self.open.push(OpenSpan {
             name: name.to_string(),
             start: Instant::now(),
@@ -351,6 +355,9 @@ impl RunReport {
         if trace::enabled() {
             let (name, arg0) = trace::span_trace_name(&open.name);
             trace::complete(name, open.start, arg0, 0);
+        }
+        if metrics::enabled() {
+            metrics::on_exit(self.open.iter().rev().map(|o| o.name.as_str()));
         }
         let node = SpanNode {
             name: open.name,
@@ -474,7 +481,23 @@ impl RunReport {
         match &self.trace {
             None => out.push_str("null"),
             Some(t) => {
-                let _ = write!(out, "{{\"events\":{},\"dropped\":{}}}", t.len(), t.dropped);
+                let _ = write!(
+                    out,
+                    "{{\"events\":{},\"dropped\":{},\"dropped_by_worker\":[",
+                    t.len(),
+                    t.dropped
+                );
+                for (i, d) in t.dropped_by_worker.iter().enumerate() {
+                    let _ = write!(
+                        out,
+                        "{}{{\"rank\":{},\"tid\":{},\"dropped\":{}}}",
+                        if i == 0 { "" } else { "," },
+                        d.rank,
+                        d.tid,
+                        d.dropped
+                    );
+                }
+                out.push_str("]}");
             }
         }
         out.push_str(",\"spans\":");
@@ -542,6 +565,13 @@ impl RunReport {
         }
         if let Some(t) = &self.trace {
             let _ = writeln!(out, "trace:\n  events {}  dropped {}", t.len(), t.dropped);
+            for d in &t.dropped_by_worker {
+                let _ = writeln!(
+                    out,
+                    "    rank {} worker {} dropped {}",
+                    d.rank, d.tid, d.dropped
+                );
+            }
         }
         out
     }

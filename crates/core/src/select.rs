@@ -99,6 +99,10 @@ pub fn select_seeds_sequential(collection: &RrrCollection, n: u32, k: u32) -> Se
                 counters[v as usize],
             );
         }
+        if crate::obs::metrics::enabled() {
+            crate::obs::metrics::add(crate::obs::metrics::Metric::SelectSteps, 1);
+            crate::obs::metrics::add(crate::obs::metrics::Metric::SeedsSelected, 1);
+        }
         gains.push(counters[v as usize]);
         seeds.push(v);
         for (j, cov) in covered.iter_mut().enumerate() {
@@ -187,6 +191,10 @@ pub fn select_seeds_partitioned(
                 u64::from(v),
                 counters[v as usize],
             );
+        }
+        if crate::obs::metrics::enabled() {
+            crate::obs::metrics::add(crate::obs::metrics::Metric::SelectSteps, 1);
+            crate::obs::metrics::add(crate::obs::metrics::Metric::SeedsSelected, 1);
         }
         gains.push(counters[v as usize]);
         seeds.push(v);
@@ -295,6 +303,10 @@ pub fn select_seeds_lazy(collection: &RrrCollection, n: u32, k: u32) -> Selectio
                 count,
             );
         }
+        if crate::obs::metrics::enabled() {
+            crate::obs::metrics::add(crate::obs::metrics::Metric::SelectSteps, 1);
+            crate::obs::metrics::add(crate::obs::metrics::Metric::SeedsSelected, 1);
+        }
         seeds.push(v);
         gains.push(count);
         round += 1;
@@ -333,6 +345,10 @@ pub fn select_seeds_hypergraph(hyper: &HyperGraph, n: u32, k: u32) -> Selection 
                 u64::from(v),
                 counters[v as usize],
             );
+        }
+        if crate::obs::metrics::enabled() {
+            crate::obs::metrics::add(crate::obs::metrics::Metric::SelectSteps, 1);
+            crate::obs::metrics::add(crate::obs::metrics::Metric::SeedsSelected, 1);
         }
         gains.push(counters[v as usize]);
         seeds.push(v);
@@ -489,6 +505,10 @@ pub fn select_seeds_fused_with_stats(
         if crate::obs::trace::enabled() {
             crate::obs::trace::mark(crate::obs::trace::TraceName::SelectStep, u64::from(v), gain);
         }
+        if crate::obs::metrics::enabled() {
+            crate::obs::metrics::add(crate::obs::metrics::Metric::SelectSteps, 1);
+            crate::obs::metrics::add(crate::obs::metrics::Metric::SeedsSelected, 1);
+        }
         seeds.push(v);
         gains.push(gain);
 
@@ -507,6 +527,9 @@ pub fn select_seeds_fused_with_stats(
         debug_assert_eq!(gain as usize, newly.len(), "stale champion count");
         covered_count += newly.len();
         stats.entries_touched += touched;
+        if crate::obs::metrics::enabled() {
+            crate::obs::metrics::add(crate::obs::metrics::Metric::SelectEntriesTouched, touched);
+        }
         if crate::obs::trace::enabled() {
             crate::obs::trace::mark(
                 crate::obs::trace::TraceName::SelectTouched,

@@ -134,6 +134,12 @@ pub(crate) fn run_imm_compact(
         report.span("EstimateTheta", |report| {
             for x in 1..=schedule.max_rounds() {
                 let budget = schedule.round_budget(x);
+                if crate::obs::metrics::enabled() {
+                    crate::obs::metrics::set(
+                        crate::obs::metrics::Metric::ThetaTarget,
+                        budget as u64,
+                    );
+                }
                 let stop = report.span(&format!("round-{x}"), |report| {
                     if budget > collection.len() {
                         let need = budget - collection.len();
@@ -168,6 +174,9 @@ pub(crate) fn run_imm_compact(
         Some(bound) => schedule.final_theta(bound),
         None => schedule.fallback_theta(u64::from(k)),
     };
+    if crate::obs::metrics::enabled() {
+        crate::obs::metrics::set(crate::obs::metrics::Metric::ThetaTarget, theta as u64);
+    }
 
     // --- Sample top-up (Algorithm 3 from the skeleton) ------------------
     if theta > collection.len() {
@@ -455,6 +464,12 @@ pub fn imm_baseline_with_options(
         report.span("EstimateTheta", |report| {
             for x in 1..=schedule.max_rounds() {
                 let budget = schedule.round_budget(x);
+                if crate::obs::metrics::enabled() {
+                    crate::obs::metrics::set(
+                        crate::obs::metrics::Metric::ThetaTarget,
+                        budget as u64,
+                    );
+                }
                 let stop = report.span(&format!("round-{x}"), |report| {
                     if budget > storage.len() {
                         let need = budget - storage.len();
@@ -486,6 +501,9 @@ pub fn imm_baseline_with_options(
         Some(bound) => schedule.final_theta(bound),
         None => schedule.fallback_theta(u64::from(k)),
     };
+    if crate::obs::metrics::enabled() {
+        crate::obs::metrics::set(crate::obs::metrics::Metric::ThetaTarget, theta as u64);
+    }
 
     // Top-up — or, in Tang-faithful mode, full regeneration.
     if resample_final {

@@ -191,6 +191,9 @@ pub fn sample_batch(
         )
         .collect();
     let arena_bytes: usize = chunks.iter().map(|(a, _)| a.reserved_bytes()).sum();
+    if ripples_metrics::enabled() {
+        ripples_metrics::set_max(ripples_metrics::Metric::ArenaBytes, arena_bytes as u64);
+    }
     // The per-worker load partition is derived from the chunks actually
     // generated, not re-computed from a formula: the generation loop
     // partitions over `nchunks` (≤ workers), and an independent formula

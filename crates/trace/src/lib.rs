@@ -434,6 +434,7 @@ pub fn collect_all() -> Trace {
     let session = SESSION.load(Ordering::Relaxed);
     let mut events = Vec::new();
     let mut dropped = 0u64;
+    let mut dropped_by_worker = Vec::new();
     {
         let registry = registry().lock().unwrap_or_else(PoisonError::into_inner);
         for ring in registry.iter() {
@@ -442,6 +443,13 @@ pub fn collect_all() -> Trace {
             }
             let (tid, rank, evs, drops) = ring.drain();
             dropped += drops;
+            if drops > 0 {
+                dropped_by_worker.push(DroppedCount {
+                    rank,
+                    tid,
+                    dropped: drops,
+                });
+            }
             events.extend(
                 evs.into_iter()
                     .map(|event| TraceRecord { rank, tid, event }),
@@ -449,13 +457,20 @@ pub fn collect_all() -> Trace {
         }
     }
     events.sort_by_key(|r| (r.rank, r.tid, r.event.ts_ns));
-    Trace { events, dropped }
+    dropped_by_worker.sort_by_key(|d| (d.rank, d.tid));
+    Trace {
+        events,
+        dropped,
+        dropped_by_worker,
+    }
 }
 
 /// Drains *this thread's* ring and encodes it as a flat `u64` buffer
-/// suitable for `all_gather_u64_list`: `[dropped, n, n × 5 event words]`.
-/// The distributed engines call this on every rank, gather, and rebuild the
-/// merged timeline with [`Trace::from_rank_buffers`].
+/// suitable for `all_gather_u64_list`: `[dropped, tid, n, n × 5 event
+/// words]`. The distributed engines call this on every rank, gather, and
+/// rebuild the merged timeline with [`Trace::from_rank_buffers`]. The
+/// header carries the worker id explicitly so drops stay attributable
+/// even when every event of that worker was lost.
 #[must_use]
 pub fn encode_thread_events() -> Vec<u64> {
     let session = SESSION.load(Ordering::Relaxed);
@@ -463,8 +478,9 @@ pub fn encode_thread_events() -> Vec<u64> {
         Some(h) if h.0.session() == session => h.0.drain(),
         _ => (0, 0, Vec::new(), 0),
     });
-    let mut out = Vec::with_capacity(2 + events.len() * 5);
+    let mut out = Vec::with_capacity(3 + events.len() * 5);
     out.push(dropped);
+    out.push(u64::from(tid));
     out.push(events.len() as u64);
     for e in &events {
         out.push(pack_meta(e.kind, e.name, tid));
@@ -489,6 +505,17 @@ fn unpack_meta(meta: u64) -> Option<(EventKind, TraceName, u32)> {
 // ---------------------------------------------------------------------------
 // The merged trace.
 
+/// Events lost by one worker's ring buffer.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct DroppedCount {
+    /// Originating rank (0 for shared-memory runs).
+    pub rank: u32,
+    /// Originating worker thread id.
+    pub tid: u32,
+    /// Events that worker's full ring rejected.
+    pub dropped: u64,
+}
+
 /// A merged timeline: every recorded event, tagged with rank and worker.
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct Trace {
@@ -496,6 +523,10 @@ pub struct Trace {
     pub events: Vec<TraceRecord>,
     /// Events lost to full ring buffers, summed over all workers and ranks.
     pub dropped: u64,
+    /// Per-worker attribution of `dropped` (only workers that lost
+    /// events appear), so an overflowing ring can be traced to the
+    /// thread that needs a bigger buffer.
+    pub dropped_by_worker: Vec<DroppedCount>,
 }
 
 impl Trace {
@@ -519,13 +550,21 @@ impl Trace {
     pub fn from_rank_buffers(buffers: &[Vec<u64>]) -> Trace {
         let mut events = Vec::new();
         let mut dropped = 0u64;
+        let mut dropped_by_worker = Vec::new();
         for (rank, buf) in buffers.iter().enumerate() {
-            if buf.len() < 2 {
+            if buf.len() < 3 {
                 continue;
             }
             dropped += buf[0];
-            let n = usize::try_from(buf[1]).unwrap_or(0);
-            let words = &buf[2..];
+            if buf[0] > 0 {
+                dropped_by_worker.push(DroppedCount {
+                    rank: rank as u32,
+                    tid: (buf[1] & 0xFFFF_FFFF) as u32,
+                    dropped: buf[0],
+                });
+            }
+            let n = usize::try_from(buf[2]).unwrap_or(0);
+            let words = &buf[3..];
             for i in 0..n.min(words.len() / 5) {
                 let w = &words[i * 5..i * 5 + 5];
                 let Some((kind, name, tid)) = unpack_meta(w[0]) else {
@@ -546,7 +585,11 @@ impl Trace {
             }
         }
         events.sort_by_key(|r| (r.rank, r.tid, r.event.ts_ns));
-        Trace { events, dropped }
+        Trace {
+            events,
+            dropped,
+            dropped_by_worker,
+        }
     }
 
     /// Serializes the trace as Chrome Trace Event Format JSON: an object
@@ -639,9 +682,20 @@ impl Trace {
         }
         let _ = write!(
             out,
-            "],\"displayTimeUnit\":\"ms\",\"otherData\":{{\"dropped\":{}}}}}",
+            "],\"displayTimeUnit\":\"ms\",\"otherData\":{{\"dropped\":{},\"dropped_by_worker\":[",
             self.dropped
         );
+        for (i, d) in self.dropped_by_worker.iter().enumerate() {
+            let _ = write!(
+                out,
+                "{}{{\"rank\":{},\"tid\":{},\"dropped\":{}}}",
+                if i == 0 { "" } else { "," },
+                d.rank,
+                d.tid,
+                d.dropped
+            );
+        }
+        out.push_str("]}}");
         out
     }
 }
@@ -712,6 +766,10 @@ mod tests {
         let t = collect_all();
         assert_eq!(t.len(), 2);
         assert_eq!(t.dropped, 8);
+        // The loss is attributed to the worker that overflowed.
+        assert_eq!(t.dropped_by_worker.len(), 1);
+        assert_eq!(t.dropped_by_worker[0].dropped, 8);
+        assert_eq!(t.dropped_by_worker[0].rank, 0);
         stop();
     }
 
@@ -735,15 +793,20 @@ mod tests {
         assert_eq!(chunk.event.arg0, 64);
         assert_eq!(chunk.event.arg1, 32);
         // Encoding drained the ring.
-        assert!(encode_thread_events()[1] == 0);
+        assert!(encode_thread_events()[2] == 0);
         stop();
     }
 
     #[test]
     fn malformed_rank_buffers_are_skipped() {
-        let t = Trace::from_rank_buffers(&[vec![], vec![3], vec![1, 2, u64::MAX, 0, 0]]);
+        let t = Trace::from_rank_buffers(&[vec![], vec![3, 1], vec![1, 7, 2, u64::MAX, 0, 0]]);
         assert!(t.events.is_empty());
         assert_eq!(t.dropped, 1);
+        // The short `[3, 1]` buffer has no event-count word and is
+        // skipped whole; the valid header attributes its drop to tid 7.
+        assert_eq!(t.dropped_by_worker.len(), 1);
+        assert_eq!(t.dropped_by_worker[0].tid, 7);
+        assert_eq!(t.dropped_by_worker[0].rank, 2);
     }
 
     #[test]
@@ -781,6 +844,11 @@ mod tests {
                 },
             ],
             dropped: 4,
+            dropped_by_worker: vec![DroppedCount {
+                rank: 1,
+                tid: 2,
+                dropped: 4,
+            }],
         };
         let j = t.to_chrome_json();
         validate_json(&j).expect("chrome export must be valid JSON");
@@ -794,6 +862,7 @@ mod tests {
             "\"name\":\"worker 2\"",
             "\"vertex\":7",
             "\"dropped\":4",
+            "\"dropped_by_worker\":[{\"rank\":1,\"tid\":2,\"dropped\":4}]",
         ] {
             assert!(j.contains(needle), "missing {needle} in {j}");
         }

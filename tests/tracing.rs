@@ -114,9 +114,19 @@ fn tiny_ring_drops_events_but_still_exports() {
     assert!(t.dropped > 0, "a 4-event ring must overflow on a full run");
     assert!(!t.is_empty(), "drops must not wipe the events that did fit");
 
+    // Every lost event is attributed to a specific worker, and the
+    // attribution sums back to the total.
+    assert!(!t.dropped_by_worker.is_empty());
+    let attributed: u64 = t.dropped_by_worker.iter().map(|d| d.dropped).sum();
+    assert_eq!(attributed, t.dropped, "per-worker drops must sum to total");
+
     let json = t.to_chrome_json();
     trace::validate_json(&json).expect("overflowed trace still exports valid JSON");
     assert!(json.contains(&format!("\"dropped\":{}", t.dropped)));
+    assert!(
+        json.contains("\"dropped_by_worker\":[{\"rank\":"),
+        "chrome export must carry per-worker drop metadata"
+    );
 
     // The drop counter is never silent: it surfaces in both report formats.
     assert!(r
