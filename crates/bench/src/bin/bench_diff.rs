@@ -87,10 +87,14 @@ fn load(path: &str) -> Result<Snapshot, String> {
         .iter()
         .map(|rec| {
             let key = format!(
-                "{}/{}/{}",
+                "{}/{}/{}/{}",
                 rec.str("engine").unwrap_or("?"),
                 rec.str("sample_engine").unwrap_or("reference"),
                 rec.str("graph").unwrap_or("?"),
+                // Pre-v6 snapshots carry no storage field; every row of
+                // theirs ran flat, so the keys stay comparable across
+                // schema versions.
+                rec.str("rrr_store").unwrap_or("flat"),
             );
             let walls = METRICS
                 .iter()

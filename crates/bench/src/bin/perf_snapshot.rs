@@ -21,7 +21,7 @@
 //!   times report the median, and the min/spread ride along so `bench_diff`
 //!   can tell regression from run-to-run noise.
 //!
-//! The schema (`ripples-perf-snapshot-v5`) is documented in
+//! The schema (`ripples-perf-snapshot-v6`) is documented in
 //! `EXPERIMENTS.md`; every record carries the wall time, the per-phase
 //! sampling/selection wall-time split (summed from the span tree), the peak
 //! RRR/index/arena byte counts, and the key
@@ -38,14 +38,23 @@
 //! relative `*_spread` = (max − min) / median. The headline `wall_s`
 //! fields become the median across trials (a v4 snapshot is the
 //! degenerate `trials = 1` case, so consumers can treat v4/v5 uniformly).
+//! v6 adds the RRR storage-backend fields: `rrr_store` (the `--rrr-store`
+//! tag, `flat` on every pre-v6 row), `compressed_ratio` (flat-equivalent
+//! payload bytes, 4 per entry, over `rrr_bytes_peak` — > 1 means the
+//! backend shrank the working set), `spill_bytes_written`, and
+//! `decode_nanos` — plus flat-vs-varint er-wc rows so the compression
+//! trade-off is part of the committed trajectory.
 
 use ripples_bench::{measure, Args};
 use ripples_comm::ThreadWorld;
 use ripples_core::{
-    dist::imm_distributed, dist_partitioned::imm_partitioned, mt::imm_multithreaded_with_engines,
-    seq::immopt_sequential_with_engines, ImmParams, ImmResult, SampleEngine, SelectEngine,
+    dist::{imm_distributed_with_storage, DistRngMode, DistSelectMode},
+    dist_partitioned::imm_partitioned_with_storage,
+    mt::imm_multithreaded_with_storage,
+    seq::immopt_sequential_with_storage,
+    ImmParams, ImmResult, SampleEngine, SelectEngine,
 };
-use ripples_diffusion::DiffusionModel;
+use ripples_diffusion::{DiffusionModel, RrrStoreKind, StorageConfig};
 use ripples_graph::generators::{barabasi_albert, erdos_renyi};
 use ripples_graph::{Graph, WeightModel};
 use std::fmt::Write as _;
@@ -80,7 +89,26 @@ struct Config {
     /// Sampling kernel for the `opt` / `mt` cells (`reference` / `fused` /
     /// `auto`); the distributed cells always run the reference sampler.
     sample: SampleEngine,
+    /// RRR storage backend (CLI `--rrr-store`); `flat` rows take exactly
+    /// the pre-v6 code paths.
+    store: StorageConfig,
 }
+
+const FLAT: StorageConfig = StorageConfig {
+    kind: RrrStoreKind::Flat,
+    budget: None,
+};
+const VARINT: StorageConfig = StorageConfig {
+    kind: RrrStoreKind::Varint,
+    budget: None,
+};
+/// Spill with a budget small enough to actually spill on the snapshot
+/// graphs, so the row measures the chunk-seal + re-read path, not a
+/// never-triggered cap.
+const SPILL_TIGHT: StorageConfig = StorageConfig {
+    kind: RrrStoreKind::Spill,
+    budget: Some(256 << 10),
+};
 
 /// Sums the wall time of every span (at any depth) whose name is in
 /// `names`, without double-counting nested matches: once a span matches,
@@ -124,21 +152,31 @@ fn run_engine(
     params: &ImmParams,
     select: SelectEngine,
     sample: SampleEngine,
+    store: StorageConfig,
 ) -> ImmResult {
     match engine {
-        "opt" => immopt_sequential_with_engines(graph, params, select, sample),
-        "mt" => imm_multithreaded_with_engines(graph, params, 0, select, sample),
+        "opt" => immopt_sequential_with_storage(graph, params, select, sample, store),
+        "mt" => imm_multithreaded_with_storage(graph, params, 0, select, sample, store),
         "dist" => {
             let world = ThreadWorld::new(2);
             world
-                .run(|comm| imm_distributed(comm, graph, params))
+                .run(|comm| {
+                    imm_distributed_with_storage(
+                        comm,
+                        graph,
+                        params,
+                        DistRngMode::IndexedStreams,
+                        DistSelectMode::DenseAllReduce,
+                        store,
+                    )
+                })
                 .pop()
                 .expect("at least one rank")
         }
         "partitioned" => {
             let world = ThreadWorld::new(2);
             world
-                .run(|comm| imm_partitioned(comm, graph, params))
+                .run(|comm| imm_partitioned_with_storage(comm, graph, params, store))
                 .pop()
                 .expect("at least one rank")
         }
@@ -201,11 +239,13 @@ fn main() {
             graph_name: "er-sparse",
             engine: "opt",
             sample: SampleEngine::Reference,
+            store: FLAT,
         },
         Config {
             graph_name: "er-sparse",
             engine: "mt",
             sample: SampleEngine::Reference,
+            store: FLAT,
         },
         // Same cell with the fused multi-cascade kernel: er-sparse's
         // uniform-random weights grow wide cascades, the regime where 64
@@ -215,31 +255,37 @@ fn main() {
             graph_name: "er-sparse",
             engine: "mt",
             sample: SampleEngine::Fused,
+            store: FLAT,
         },
         Config {
             graph_name: "er-sparse",
             engine: "dist",
             sample: SampleEngine::Reference,
+            store: FLAT,
         },
         Config {
             graph_name: "ba-hubs",
             engine: "mt",
             sample: SampleEngine::Reference,
+            store: FLAT,
         },
         Config {
             graph_name: "ba-hubs",
             engine: "partitioned",
             sample: SampleEngine::Reference,
+            store: FLAT,
         },
         Config {
             graph_name: "er-wc",
             engine: "opt",
             sample: SampleEngine::Reference,
+            store: FLAT,
         },
         Config {
             graph_name: "er-wc",
             engine: "mt",
             sample: SampleEngine::Reference,
+            store: FLAT,
         },
         // Auto on weighted-cascade: short RRR sets should make the probe
         // keep the reference kernel — committed so the dispatch decision
@@ -248,6 +294,30 @@ fn main() {
             graph_name: "er-wc",
             engine: "mt",
             sample: SampleEngine::Auto,
+            store: FLAT,
+        },
+        // Flat-vs-varint on the weighted-cascade graph: the committed
+        // evidence for the compressed backends' memory claim (the er-wc
+        // flat rows above are the baselines these compress against).
+        Config {
+            graph_name: "er-wc",
+            engine: "opt",
+            sample: SampleEngine::Reference,
+            store: VARINT,
+        },
+        Config {
+            graph_name: "er-wc",
+            engine: "mt",
+            sample: SampleEngine::Reference,
+            store: VARINT,
+        },
+        // Spill under a deliberately tight budget: peak must land below
+        // the flat row's while the seed set stays identical.
+        Config {
+            graph_name: "er-wc",
+            engine: "mt",
+            sample: SampleEngine::Reference,
+            store: SPILL_TIGHT,
         },
     ];
 
@@ -260,8 +330,16 @@ fn main() {
         // trial's result for the counters and fold the rest into stats.
         let mut runs: Vec<(ImmResult, f64)> = (0..trials)
             .map(|_| {
-                let (result, wall) =
-                    measure(|| run_engine(config.engine, &graph, &params, select, config.sample));
+                let (result, wall) = measure(|| {
+                    run_engine(
+                        config.engine,
+                        &graph,
+                        &params,
+                        select,
+                        config.sample,
+                        config.store,
+                    )
+                });
                 (result, wall.as_secs_f64())
             })
             .collect();
@@ -284,13 +362,14 @@ fn main() {
         let (result, _) = runs.swap_remove(median_idx);
         let c = &result.report.counters;
         eprintln!(
-            "{}/{}: {} on {} ({} vertices, sample={}): {:.3}s median of {} (spread {:.1}%) theta={}",
+            "{}/{}: {} on {} ({} vertices, sample={}, store={}): {:.3}s median of {} (spread {:.1}%) theta={}",
             i + 1,
             matrix.len(),
             config.engine,
             config.graph_name,
             graph.num_vertices(),
             config.sample.tag(),
+            config.store.kind.tag(),
             wall_median,
             trials,
             wall_spread * 100.0,
@@ -306,11 +385,19 @@ fn main() {
             ),
             None => "null".to_string(),
         };
+        // Flat-equivalent payload is 4 bytes per stored entry (one u32);
+        // the ratio over the live peak is the headline compression number.
+        let compressed_ratio = if c.rrr_bytes_peak > 0 {
+            (4.0 * c.rrr_entries as f64) / c.rrr_bytes_peak as f64
+        } else {
+            0.0
+        };
         write!(
             records,
-            "\n    {{\"engine\":\"{}\",\"sample_engine\":\"{}\",\"graph\":\"{}\",\"vertices\":{},\"edges\":{},\"k\":{},\"epsilon\":{},\"trials\":{trials},\"wall_s\":{:.6},\"wall_min_s\":{:.6},\"wall_spread\":{:.4},\"sampling_wall_s\":{:.6},\"sampling_wall_min_s\":{:.6},\"sampling_wall_spread\":{:.4},\"selection_wall_s\":{:.6},\"selection_wall_min_s\":{:.6},\"selection_wall_spread\":{:.4},\"theta\":{},\"theta_rounds\":{},\"samples_generated\":{},\"edges_examined\":{},\"rrr_entries\":{},\"rrr_bytes_peak\":{},\"index_bytes_peak\":{},\"arena_bytes_peak\":{},\"fused_passes\":{},\"mask_bytes_peak\":{},\"select_entries_touched\":{},\"index_build_nanos\":{},\"select_iterations\":{},\"retries\":{},\"dropped_ops\":{},\"degraded_ranks\":{},\"comm\":{}}}",
+            "\n    {{\"engine\":\"{}\",\"sample_engine\":\"{}\",\"rrr_store\":\"{}\",\"graph\":\"{}\",\"vertices\":{},\"edges\":{},\"k\":{},\"epsilon\":{},\"trials\":{trials},\"wall_s\":{:.6},\"wall_min_s\":{:.6},\"wall_spread\":{:.4},\"sampling_wall_s\":{:.6},\"sampling_wall_min_s\":{:.6},\"sampling_wall_spread\":{:.4},\"selection_wall_s\":{:.6},\"selection_wall_min_s\":{:.6},\"selection_wall_spread\":{:.4},\"theta\":{},\"theta_rounds\":{},\"samples_generated\":{},\"edges_examined\":{},\"rrr_entries\":{},\"rrr_bytes_peak\":{},\"compressed_ratio\":{:.4},\"spill_bytes_written\":{},\"decode_nanos\":{},\"index_bytes_peak\":{},\"arena_bytes_peak\":{},\"fused_passes\":{},\"mask_bytes_peak\":{},\"select_entries_touched\":{},\"index_build_nanos\":{},\"select_iterations\":{},\"retries\":{},\"dropped_ops\":{},\"degraded_ranks\":{},\"comm\":{}}}",
             config.engine,
             config.sample.tag(),
+            config.store.kind.tag(),
             config.graph_name,
             graph.num_vertices(),
             graph.num_edges(),
@@ -331,6 +418,9 @@ fn main() {
             c.edges_examined,
             c.rrr_entries,
             c.rrr_bytes_peak,
+            compressed_ratio,
+            c.spill_bytes_written,
+            c.decode_nanos,
             c.index_bytes_peak,
             c.arena_bytes_peak,
             c.fused_passes,
@@ -350,7 +440,7 @@ fn main() {
     let git_sha = probe("git", &["rev-parse", "HEAD"], "unknown");
     let rustc = probe("rustc", &["-V"], "unknown");
     let json = format!(
-        "{{\n  \"schema\": \"ripples-perf-snapshot-v5\",\n  \"date\": \"{date}\",\n  \"quick\": {quick},\n  \"host\": {{\"threads\": {threads}, \"git_sha\": \"{git_sha}\", \"rustc\": \"{rustc}\"}},\n  \"configs\": [{records}\n  ]\n}}\n",
+        "{{\n  \"schema\": \"ripples-perf-snapshot-v6\",\n  \"date\": \"{date}\",\n  \"quick\": {quick},\n  \"host\": {{\"threads\": {threads}, \"git_sha\": \"{git_sha}\", \"rustc\": \"{rustc}\"}},\n  \"configs\": [{records}\n  ]\n}}\n",
     );
     ripples_trace::validate_json(&json).expect("snapshot must be valid JSON");
 

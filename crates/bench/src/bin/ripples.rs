@@ -10,6 +10,7 @@
 //!         [--threads T | --ranks R] [--simulate TRIALS]
 //!         [--select auto|sequential|partitioned|lazy|hypergraph|fused]
 //!         [--sample auto|reference|fused]
+//!         [--rrr-store flat|varint|bitpack|spill] [--rrr-budget BYTES]
 //!         [--report pretty|json] [--report-out FILE]
 //!         [--trace FILE] [--trace-buffer EVENTS]
 //!         [--metrics FILE] [--metrics-interval DUR] [--metrics-prom FILE]
@@ -31,6 +32,15 @@
 //! The fused kernel draws a different RNG schedule, so its seed sets are
 //! statistically (not bitwise) equivalent to the reference — see
 //! EXPERIMENTS.md § "Choosing a sampling engine".
+//!
+//! `--rrr-store` picks the RRR storage backend for the `opt`, `mt`, `dist`,
+//! `partitioned`, and `tim` engines (default `flat`). `varint` gap-encodes
+//! each sorted set with LEB128 varints, `bitpack` stores ids at
+//! `⌈log₂ n⌉` bits, and `spill` seals varint blocks and writes them to a
+//! temporary file once resident bytes exceed `--rrr-budget` (default 1 GiB),
+//! streaming them back per selection round. Every backend returns the same
+//! seed set as `flat` at the same `--seed` — see EXPERIMENTS.md
+//! § "Choosing an RRR storage backend".
 //!
 //! `--report` prints the engine's full [`RunReport`] (phase span tree, work
 //! counters, RRR size histogram, communication accounting) to stderr —
@@ -71,15 +81,15 @@ use ripples_core::obs::trace;
 use ripples_core::{
     celf::celf_greedy,
     community::community_imm,
-    dist::imm_distributed,
-    dist_partitioned::imm_partitioned,
+    dist::{imm_distributed, imm_distributed_with_storage, DistRngMode, DistSelectMode},
+    dist_partitioned::{imm_partitioned, imm_partitioned_with_storage},
     heuristics::degree_discount_ic,
-    mt::imm_multithreaded_with_engines,
-    seq::{imm_baseline, immopt_sequential, immopt_sequential_with_engines},
-    tim::tim_plus_with_sample,
+    mt::imm_multithreaded_with_storage,
+    seq::{imm_baseline, immopt_sequential, immopt_sequential_with_storage},
+    tim::tim_plus_with_storage,
     ImmParams, SampleEngine, SelectEngine,
 };
-use ripples_diffusion::{estimate_spread, DiffusionModel};
+use ripples_diffusion::{estimate_spread, DiffusionModel, RrrStoreKind, StorageConfig};
 use ripples_graph::generators::{barabasi_albert, erdos_renyi, standin};
 use ripples_graph::io::{read_edge_list_file, EdgeListOptions, VertexIds};
 use ripples_graph::{Graph, GraphStats, WeightModel};
@@ -283,6 +293,37 @@ fn main() {
     if args.get("sample").is_some() && !matches!(engine.as_str(), "opt" | "mt" | "tim") {
         eprintln!("warning: --sample only affects the opt/mt/tim engines; ignoring");
     }
+    let storage = {
+        let kind = args
+            .get("rrr-store")
+            .map(|tag| {
+                RrrStoreKind::from_tag(tag).unwrap_or_else(|| {
+                    eprintln!("error: unknown --rrr-store `{tag}` (try flat|varint|bitpack|spill)");
+                    std::process::exit(1);
+                })
+            })
+            .unwrap_or(RrrStoreKind::Flat);
+        let budget = args.get("rrr-budget").map(|s| {
+            s.parse::<usize>().unwrap_or_else(|_| {
+                eprintln!("error: --rrr-budget takes a byte count, got `{s}`");
+                std::process::exit(1);
+            })
+        });
+        if budget.is_some() && kind != RrrStoreKind::Spill {
+            eprintln!("warning: --rrr-budget only affects --rrr-store spill; ignoring");
+        }
+        StorageConfig { kind, budget }
+    };
+    if storage.kind != RrrStoreKind::Flat
+        && !matches!(
+            engine.as_str(),
+            "opt" | "mt" | "dist" | "partitioned" | "tim"
+        )
+    {
+        eprintln!(
+            "warning: --rrr-store only affects the opt/mt/dist/partitioned/tim engines; ignoring"
+        );
+    }
 
     let chaos: Option<FaultPlan> = args.get("chaos-seed").map(|s| {
         let chaos_seed: u64 = s.parse().expect("--chaos-seed takes a u64");
@@ -341,13 +382,16 @@ fn main() {
     let start = std::time::Instant::now();
     let (seeds, detail, report) = match engine.as_str() {
         "opt" => {
-            let r = match (select, sample) {
-                (None, SampleEngine::Reference) => immopt_sequential(&graph, &params),
-                (sel, sam) => immopt_sequential_with_engines(
+            let r = match (select, sample, storage.kind) {
+                (None, SampleEngine::Reference, RrrStoreKind::Flat) => {
+                    immopt_sequential(&graph, &params)
+                }
+                (sel, sam, _) => immopt_sequential_with_storage(
                     &graph,
                     &params,
                     sel.unwrap_or(SelectEngine::Auto),
                     sam,
+                    storage,
                 ),
             };
             let detail = format!("theta={} phases=[{}]", r.theta, r.timers);
@@ -364,9 +408,28 @@ fn main() {
             let mut results = match &chaos {
                 Some(plan) => world.run(|comm| {
                     let faulty = FaultComm::new(comm, plan.clone());
-                    imm_distributed(&faulty, &graph, &params)
+                    imm_distributed_with_storage(
+                        &faulty,
+                        &graph,
+                        &params,
+                        DistRngMode::IndexedStreams,
+                        DistSelectMode::DenseAllReduce,
+                        storage,
+                    )
                 }),
-                None => world.run(|comm| imm_distributed(comm, &graph, &params)),
+                None if storage.kind == RrrStoreKind::Flat => {
+                    world.run(|comm| imm_distributed(comm, &graph, &params))
+                }
+                None => world.run(|comm| {
+                    imm_distributed_with_storage(
+                        comm,
+                        &graph,
+                        &params,
+                        DistRngMode::IndexedStreams,
+                        DistSelectMode::DenseAllReduce,
+                        storage,
+                    )
+                }),
             };
             let r = results.pop().expect("at least one rank");
             let detail = format!("ranks={ranks} theta={} phases=[{}]", r.theta, r.timers);
@@ -389,9 +452,14 @@ fn main() {
             let mut results = match &chaos {
                 Some(plan) => world.run(|comm| {
                     let faulty = FaultComm::new(comm, plan.clone());
-                    imm_partitioned(&faulty, &graph, &params)
+                    imm_partitioned_with_storage(&faulty, &graph, &params, storage)
                 }),
-                None => world.run(|comm| imm_partitioned(comm, &graph, &params)),
+                None if storage.kind == RrrStoreKind::Flat => {
+                    world.run(|comm| imm_partitioned(comm, &graph, &params))
+                }
+                None => {
+                    world.run(|comm| imm_partitioned_with_storage(comm, &graph, &params, storage))
+                }
             };
             let r = results.pop().expect("at least one rank");
             let detail = format!(
@@ -401,7 +469,7 @@ fn main() {
             (r.seeds, detail, Some(r.report))
         }
         "tim" => {
-            let r = tim_plus_with_sample(&graph, &params, sample);
+            let r = tim_plus_with_storage(&graph, &params, sample, storage);
             let detail = format!("theta={} phases=[{}]", r.theta, r.timers);
             (r.seeds, detail, Some(r.report))
         }
@@ -421,12 +489,13 @@ fn main() {
         }
         _ => {
             let threads: usize = args.parse_or("threads", 0);
-            let r = imm_multithreaded_with_engines(
+            let r = imm_multithreaded_with_storage(
                 &graph,
                 &params,
                 threads,
                 select.unwrap_or(SelectEngine::Auto),
                 sample,
+                storage,
             );
             let detail = format!("theta={} phases=[{}]", r.theta, r.timers);
             (r.seeds, detail, Some(r.report))

@@ -20,11 +20,14 @@ use crate::memory::MemoryStats;
 use crate::obs::{CommCounters, Histogram, RunReport};
 use crate::params::ImmParams;
 use crate::result::ImmResult;
-use crate::select::{fused_is_profitable, SelectStats};
+use crate::select::{fused_is_profitable, fused_is_profitable_store, SelectStats};
 use crate::theta::ThetaSchedule;
 use ripples_comm::{Communicator, RetryComm};
 use ripples_diffusion::rrr::{generate_rrr, RrrScratch};
-use ripples_diffusion::{DiffusionModel, RrrCollection, SampleIndex};
+use ripples_diffusion::{
+    DiffusionModel, DynRrrStore, IncrementalSampleIndex, RrrCollection, RrrStore, SampleIndex,
+    StorageConfig,
+};
 use ripples_graph::{Graph, Vertex};
 use ripples_rng::{RankStream, StreamFactory};
 
@@ -62,7 +65,25 @@ pub enum DistSelectMode {
 ///
 /// Returns `(seeds, covered_global, fraction, stats)`; everything but the
 /// per-rank `stats` is identical on every rank.
-pub(crate) fn select_seeds_distributed<C: Communicator>(
+pub(crate) fn select_seeds_distributed<C: Communicator, S: RrrStore>(
+    comm: &C,
+    local: &S,
+    theta_global: usize,
+    n: u32,
+    k: u32,
+    select_mode: DistSelectMode,
+) -> (Vec<Vertex>, usize, f64, SelectStats) {
+    if let Some(flat) = local.as_flat() {
+        select_seeds_distributed_flat(comm, flat, theta_global, n, k, select_mode)
+    } else {
+        select_seeds_distributed_store(comm, local, theta_global, n, k, select_mode)
+    }
+}
+
+/// The flat-storage distributed selection: binary-searched slices, serial
+/// [`SampleIndex`] when profitable. Bitwise the pre-storage-backend code
+/// path.
+fn select_seeds_distributed_flat<C: Communicator>(
     comm: &C,
     local: &RrrCollection,
     theta_global: usize,
@@ -98,7 +119,7 @@ pub(crate) fn select_seeds_distributed<C: Communicator>(
         Some((index, build)) => SelectStats {
             index_build_nanos: u64::try_from(build.as_nanos()).unwrap_or(u64::MAX),
             index_bytes: index.resident_bytes(),
-            entries_touched: 0,
+            ..SelectStats::default()
         },
         None => SelectStats::default(),
     };
@@ -226,11 +247,191 @@ pub(crate) fn select_seeds_distributed<C: Communicator>(
     (seeds, covered_global, fraction, stats)
 }
 
+/// Distributed selection over a compressed local [`RrrStore`]: the same
+/// greedy protocol (local counting → All-Reduce → local argmax → purge →
+/// decrement aggregation) with decode-on-touch access — a per-rank
+/// inverted index ([`RrrStore::with_sample_index`], cached across θ rounds
+/// by `DynRrrStore`) when the cost model says it amortizes, direct
+/// `contains`/`for_each_vertex` sweeps otherwise. Decrement sums are
+/// identical to the flat path's, so the aggregated counters — and the
+/// seeds — match the flat run bit for bit.
+fn select_seeds_distributed_store<C: Communicator, S: RrrStore>(
+    comm: &C,
+    local: &S,
+    theta_global: usize,
+    n: u32,
+    k: u32,
+    select_mode: DistSelectMode,
+) -> (Vec<Vertex>, usize, f64, SelectStats) {
+    let k = k.min(n);
+    let mut stats = SelectStats::default();
+    let (seeds, covered_global, fraction) = if fused_is_profitable_store(local, k) {
+        let t0 = std::time::Instant::now();
+        local.with_sample_index(n, |index| {
+            stats.index_build_nanos = u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX);
+            stats.index_bytes = index.resident_bytes();
+            if crate::obs::trace::enabled() {
+                crate::obs::trace::complete(
+                    crate::obs::trace::TraceName::IndexBuild,
+                    t0,
+                    local.total_entries(),
+                    1,
+                );
+            }
+            distributed_store_rounds(
+                comm,
+                local,
+                theta_global,
+                n,
+                k,
+                select_mode,
+                Some(index),
+                &mut stats,
+            )
+        })
+    } else {
+        distributed_store_rounds(
+            comm,
+            local,
+            theta_global,
+            n,
+            k,
+            select_mode,
+            None,
+            &mut stats,
+        )
+    };
+    (seeds, covered_global, fraction, stats)
+}
+
+/// The collective greedy rounds of [`select_seeds_distributed_store`],
+/// shared by the indexed and direct access strategies. Must be called
+/// collectively with the same `index`-present/absent decision on every
+/// rank (the cost model inputs are collective-identical, so it is).
+#[allow(clippy::too_many_arguments)]
+fn distributed_store_rounds<C: Communicator, S: RrrStore>(
+    comm: &C,
+    local: &S,
+    theta_global: usize,
+    n: u32,
+    k: u32,
+    select_mode: DistSelectMode,
+    index: Option<&IncrementalSampleIndex>,
+    stats: &mut SelectStats,
+) -> (Vec<Vertex>, usize, f64) {
+    let n_us = n as usize;
+
+    let mut counters: Vec<u64> = match &index {
+        Some(index) => (0..n).map(|v| u64::from(index.degree(v))).collect(),
+        None => {
+            let t0 = std::time::Instant::now();
+            let mut counts = vec![0u64; n_us];
+            for j in 0..local.len() {
+                local.for_each_vertex(j, |u| counts[u as usize] += 1);
+            }
+            stats.decode_nanos += u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX);
+            counts
+        }
+    };
+    comm.all_reduce_sum_u64(&mut counters);
+
+    let mut covered = vec![false; local.len()];
+    let mut selected = vec![false; n_us];
+    let mut seeds = Vec::with_capacity(k as usize);
+    let mut covered_local = 0usize;
+    let mut decrements = vec![0u64; n_us];
+    for _ in 0..k {
+        let mut best: Option<(u64, Vertex)> = None;
+        for (v, (&c, &s)) in counters.iter().zip(&selected).enumerate() {
+            if s {
+                continue;
+            }
+            match best {
+                Some((bc, _)) if bc >= c => {}
+                _ => best = Some((c, v as Vertex)),
+            }
+        }
+        let Some((gain, v)) = best else { break };
+        selected[v as usize] = true;
+        if crate::obs::trace::enabled() {
+            crate::obs::trace::mark(crate::obs::trace::TraceName::SelectStep, u64::from(v), gain);
+        }
+        seeds.push(v);
+
+        decrements.fill(0);
+        let t0 = std::time::Instant::now();
+        match &index {
+            Some(index) => {
+                index.for_each_sample(v, |j| {
+                    if covered[j] {
+                        return;
+                    }
+                    covered[j] = true;
+                    covered_local += 1;
+                    stats.entries_touched += local.sample_len(j) as u64;
+                    local.for_each_vertex(j, |u| decrements[u as usize] += 1);
+                });
+            }
+            None => {
+                for (j, cov) in covered.iter_mut().enumerate() {
+                    if *cov {
+                        continue;
+                    }
+                    if local.contains(j, v) {
+                        *cov = true;
+                        covered_local += 1;
+                        local.for_each_vertex(j, |u| decrements[u as usize] += 1);
+                    }
+                }
+            }
+        }
+        stats.decode_nanos += u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        match select_mode {
+            DistSelectMode::DenseAllReduce => {
+                comm.all_reduce_sum_u64(&mut decrements);
+                for (c, &d) in counters.iter_mut().zip(&decrements) {
+                    *c -= d;
+                }
+            }
+            DistSelectMode::SparseAllGather => {
+                let sparse: Vec<u64> = decrements
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, &d)| d > 0)
+                    .map(|(u, &d)| {
+                        debug_assert!(d < (1 << 32), "decrement overflow");
+                        ((u as u64) << 32) | d
+                    })
+                    .collect();
+                for rank_list in comm.all_gather_u64_list(&sparse) {
+                    for enc in rank_list {
+                        let u = (enc >> 32) as usize;
+                        let d = enc & 0xFFFF_FFFF;
+                        counters[u] -= d;
+                    }
+                }
+            }
+        }
+    }
+    let covered_global = comm.all_reduce_sum_u64_scalar(covered_local as u64) as usize;
+    let theta_eff = if comm.dead_ranks().is_empty() {
+        theta_global
+    } else {
+        comm.all_reduce_sum_u64_scalar(local.len() as u64) as usize
+    };
+    let fraction = if theta_eff == 0 {
+        0.0
+    } else {
+        covered_global as f64 / theta_eff as f64
+    };
+    (seeds, covered_global, fraction)
+}
+
 /// Crate-internal entry used by the partitioned engine: the paper's dense
 /// All-Reduce selection.
-pub(crate) fn select_seeds_distributed_public<C: Communicator>(
+pub(crate) fn select_seeds_distributed_public<C: Communicator, S: RrrStore>(
     comm: &C,
-    local: &RrrCollection,
+    local: &S,
     theta_global: usize,
     n: u32,
     k: u32,
@@ -360,6 +561,46 @@ pub fn imm_distributed_full<C: Communicator>(
     rng_mode: DistRngMode,
     select_mode: DistSelectMode,
 ) -> ImmResult {
+    imm_distributed_impl(
+        comm,
+        graph,
+        params,
+        rng_mode,
+        select_mode,
+        RrrCollection::new(),
+    )
+}
+
+/// [`imm_distributed_full`] with an explicit per-rank RRR storage backend
+/// (CLI `--rrr-store` / `--rrr-budget`). Each rank holds its local sample
+/// stride in the chosen backend; the selection protocol's decrement sums
+/// are storage-independent, so seeds match the flat run at every world
+/// size. The flat backend takes exactly the [`imm_distributed_full`] code
+/// paths.
+#[must_use]
+pub fn imm_distributed_with_storage<C: Communicator>(
+    comm: &C,
+    graph: &Graph,
+    params: &ImmParams,
+    rng_mode: DistRngMode,
+    select_mode: DistSelectMode,
+    storage: StorageConfig,
+) -> ImmResult {
+    if storage.kind == ripples_diffusion::RrrStoreKind::Flat {
+        return imm_distributed_full(comm, graph, params, rng_mode, select_mode);
+    }
+    let store = DynRrrStore::new(storage, graph.num_vertices());
+    imm_distributed_impl(comm, graph, params, rng_mode, select_mode, store)
+}
+
+fn imm_distributed_impl<C: Communicator, S: RrrStore>(
+    comm: &C,
+    graph: &Graph,
+    params: &ImmParams,
+    rng_mode: DistRngMode,
+    select_mode: DistSelectMode,
+    store: S,
+) -> ImmResult {
     // All collectives below run through the retry/rank-death layer: on a
     // reliable backend every attempt succeeds first try and the wrapper is
     // free; on a fault-injecting stack transient faults are retried in
@@ -394,7 +635,7 @@ pub fn imm_distributed_full<C: Communicator>(
         graph_bytes: graph.resident_bytes(),
         ..MemoryStats::default()
     };
-    let mut local = RrrCollection::new();
+    let mut local = store;
     let mut scratch = RrrScratch::new(n);
     let mut sample_work: Vec<u64> = Vec::new();
     let mut theta_global: usize = 0;
@@ -406,7 +647,7 @@ pub fn imm_distributed_full<C: Communicator>(
     // [current_total, new_total). Counters record *local* work here; they
     // are globalized once at the end of the run.
     let mut grow_to = |new_total: usize,
-                       local: &mut RrrCollection,
+                       local: &mut S,
                        scratch: &mut RrrScratch,
                        sample_work: &mut Vec<u64>,
                        report: &mut RunReport,
@@ -515,13 +756,15 @@ pub fn imm_distributed_full<C: Communicator>(
     report.counters.select_iterations += seeds.len() as u64;
 
     memory.observe_index(select_stats.index_bytes);
-    report.counters.rrr_entries = local.total_entries() as u64;
+    report.counters.rrr_entries = local.total_entries();
     report.counters.rrr_bytes_peak = memory.peak_rrr_bytes as u64;
     report.counters.theta_final = theta_global as u64;
     report.counters.unsorted_pushes = local.unsorted_pushes();
     report.counters.select_entries_touched = select_stats.entries_touched;
     report.counters.index_build_nanos = select_stats.index_build_nanos;
     report.counters.index_bytes_peak = select_stats.index_bytes as u64;
+    report.counters.decode_nanos = select_stats.decode_nanos;
+    report.counters.spill_bytes_written = local.spill_bytes_written();
     globalize_counters(comm, &mut report);
     globalize_health(comm, &mut report);
     report.comm = Some(CommCounters::delta(&comm_before, &comm.stats()));

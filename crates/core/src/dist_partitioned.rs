@@ -31,7 +31,10 @@ use crate::result::ImmResult;
 use crate::theta::ThetaSchedule;
 use ripples_comm::{Communicator, RetryComm};
 use ripples_diffusion::partitioned::{sample_root, sample_stream_seed};
-use ripples_diffusion::{DiffusionModel, GraphPartition, RrrCollection};
+use ripples_diffusion::{
+    DiffusionModel, DynRrrStore, GraphPartition, RrrCollection, RrrStore, RrrStoreKind,
+    StorageConfig,
+};
 use ripples_graph::{Graph, Vertex};
 use ripples_rng::StreamFactory;
 use std::collections::HashSet;
@@ -50,14 +53,14 @@ fn decode(x: u64) -> (usize, Vertex) {
 /// Cooperatively generates samples `first .. first+count`, returning this
 /// rank's *home* samples (those with `index % size == rank`) in index
 /// order, plus the edges examined locally.
-pub fn sample_batch_cooperative<C: Communicator>(
+pub fn sample_batch_cooperative<C: Communicator, S: RrrStore>(
     comm: &C,
     partition: &GraphPartition,
     model: DiffusionModel,
     factory: &StreamFactory,
     first: u64,
     count: usize,
-    out: &mut RrrCollection,
+    out: &mut S,
 ) -> u64 {
     let size = comm.size();
     let rank = comm.rank();
@@ -162,6 +165,39 @@ pub fn sample_batch_cooperative<C: Communicator>(
 /// shards).
 #[must_use]
 pub fn imm_partitioned<C: Communicator>(comm: &C, graph: &Graph, params: &ImmParams) -> ImmResult {
+    imm_partitioned_impl(comm, graph, params, RrrCollection::new())
+}
+
+/// [`imm_partitioned`] over an explicit RRR storage backend (CLI
+/// `--rrr-store` / `--rrr-budget`). The flat backend takes exactly the
+/// [`imm_partitioned`] code paths; compressed backends store each rank's
+/// home samples gap-encoded (or spilled) and select through the
+/// decode-on-touch distributed path, so the seed set is identical at every
+/// rank count and for every backend.
+#[must_use]
+pub fn imm_partitioned_with_storage<C: Communicator>(
+    comm: &C,
+    graph: &Graph,
+    params: &ImmParams,
+    storage: StorageConfig,
+) -> ImmResult {
+    if storage.kind == RrrStoreKind::Flat {
+        return imm_partitioned(comm, graph, params);
+    }
+    imm_partitioned_impl(
+        comm,
+        graph,
+        params,
+        DynRrrStore::new(storage, graph.num_vertices()),
+    )
+}
+
+fn imm_partitioned_impl<C: Communicator, S: RrrStore>(
+    comm: &C,
+    graph: &Graph,
+    params: &ImmParams,
+    store: S,
+) -> ImmResult {
     // Same retry/rank-death shield as `imm_distributed_full`; free on a
     // reliable backend.
     let comm = &RetryComm::with_defaults(comm);
@@ -194,7 +230,7 @@ pub fn imm_partitioned<C: Communicator>(comm: &C, graph: &Graph, params: &ImmPar
         graph_bytes: partition.resident_bytes(),
         ..MemoryStats::default()
     };
-    let mut local = RrrCollection::new();
+    let mut local = store;
     let mut sample_work: Vec<u64> = Vec::new();
     let mut theta_global: usize = 0;
     let mut select_stats = crate::select::SelectStats::default();
@@ -202,16 +238,15 @@ pub fn imm_partitioned<C: Communicator>(comm: &C, graph: &Graph, params: &ImmPar
     // Records local counters for one cooperative batch: the home samples
     // this rank kept plus the expansion work it performed. Globalized once
     // at the end of the run.
-    let record_batch =
-        |report: &mut RunReport, local: &RrrCollection, old_len: usize, local_work: u64| {
-            let new_samples = (local.len() - old_len) as u64;
-            report.counters.samples_generated += new_samples;
-            report.counters.edges_examined += local_work;
-            for slot in old_len..local.len() {
-                report.rrr_sizes.record(local.get(slot).len() as u64);
-            }
-            report.thread_samples.record(new_samples);
-        };
+    let record_batch = |report: &mut RunReport, local: &S, old_len: usize, local_work: u64| {
+        let new_samples = (local.len() - old_len) as u64;
+        report.counters.samples_generated += new_samples;
+        report.counters.edges_examined += local_work;
+        for slot in old_len..local.len() {
+            report.rrr_sizes.record(local.sample_len(slot) as u64);
+        }
+        report.thread_samples.record(new_samples);
+    };
 
     let mut lb: Option<f64> = None;
     {
@@ -308,13 +343,15 @@ pub fn imm_partitioned<C: Communicator>(comm: &C, graph: &Graph, params: &ImmPar
     report.counters.select_iterations += seeds.len() as u64;
 
     memory.observe_index(select_stats.index_bytes);
-    report.counters.rrr_entries = local.total_entries() as u64;
+    report.counters.rrr_entries = local.total_entries();
     report.counters.rrr_bytes_peak = memory.peak_rrr_bytes as u64;
     report.counters.theta_final = theta_global as u64;
     report.counters.unsorted_pushes = local.unsorted_pushes();
     report.counters.select_entries_touched = select_stats.entries_touched;
     report.counters.index_build_nanos = select_stats.index_build_nanos;
     report.counters.index_bytes_peak = select_stats.index_bytes as u64;
+    report.counters.decode_nanos = select_stats.decode_nanos;
+    report.counters.spill_bytes_written = local.spill_bytes_written();
     crate::dist::globalize_counters(comm, &mut report);
     crate::dist::globalize_health(comm, &mut report);
     report.comm = Some(CommCounters::delta(&comm_before, &comm.stats()));
@@ -402,6 +439,30 @@ mod tests {
             for r in &results {
                 assert_eq!(r.seeds, single.seeds, "world {size}");
                 assert_eq!(r.theta, single.theta);
+            }
+        }
+    }
+
+    #[test]
+    fn storage_backends_match_flat_at_any_rank_count() {
+        let g = graph();
+        let p = ImmParams::new(5, 0.5, DiffusionModel::IndependentCascade, 23);
+        let flat = imm_partitioned(&SelfComm::new(), &g, &p);
+        for kind in [
+            RrrStoreKind::Varint,
+            RrrStoreKind::Bitpack,
+            RrrStoreKind::Spill,
+        ] {
+            let budget = (kind == RrrStoreKind::Spill).then_some(4096);
+            let storage = StorageConfig { kind, budget };
+            let single = imm_partitioned_with_storage(&SelfComm::new(), &g, &p, storage);
+            assert_eq!(single.seeds, flat.seeds, "{kind:?} single rank");
+            assert_eq!(single.theta, flat.theta, "{kind:?} single rank");
+            let world = ThreadWorld::new(2);
+            let results = world.run(|comm| imm_partitioned_with_storage(comm, &g, &p, storage));
+            for r in &results {
+                assert_eq!(r.seeds, flat.seeds, "{kind:?} world 2");
+                assert_eq!(r.theta, flat.theta, "{kind:?} world 2");
             }
         }
     }

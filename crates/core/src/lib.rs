@@ -66,4 +66,7 @@ pub use params::ImmParams;
 pub use phases::{Phase, PhaseTimers};
 pub use result::ImmResult;
 pub use sample::{fused_sampling_is_profitable, SampleEngine, SamplerDispatch};
-pub use select::{coverage_of, fused_is_profitable, SelectEngine, SelectStats};
+pub use select::{
+    coverage_of, fused_is_profitable, fused_is_profitable_store, select_with_engine_store,
+    SelectEngine, SelectStats,
+};

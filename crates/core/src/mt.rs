@@ -86,6 +86,51 @@ pub fn imm_multithreaded_with_engines(
     }
 }
 
+/// [`imm_multithreaded_with_engines`] over an explicit RRR storage backend
+/// (CLI `--rrr-store` / `--rrr-budget`). The flat backend takes exactly the
+/// [`imm_multithreaded_with_engines`] code paths; compressed backends fill
+/// through the same arena-merge samplers and select through the
+/// decode-on-touch engines, so the seed set is identical at every thread
+/// count and for every backend.
+#[must_use]
+pub fn imm_multithreaded_with_storage(
+    graph: &Graph,
+    params: &ImmParams,
+    threads: usize,
+    select: SelectEngine,
+    sample: SampleEngine,
+    storage: ripples_diffusion::StorageConfig,
+) -> ImmResult {
+    if storage.kind == ripples_diffusion::RrrStoreKind::Flat {
+        return imm_multithreaded_with_engines(graph, params, threads, select, sample);
+    }
+    let factory = StreamFactory::new(params.seed);
+    let run = || {
+        let effective_threads = rayon::current_num_threads();
+        let mut dispatch = SamplerDispatch::new(graph, params.model, &factory, sample, true);
+        let store = ripples_diffusion::DynRrrStore::new(storage, graph.num_vertices());
+        crate::seq::run_imm_compact_store(
+            "mt",
+            graph,
+            params,
+            store,
+            |first, count, out| dispatch.sample_batch(first, count, out),
+            |collection, n, k| {
+                crate::select::select_with_engine_store(select, collection, n, k, effective_threads)
+            },
+        )
+    };
+    if threads == 0 {
+        run()
+    } else {
+        let pool = rayon::ThreadPoolBuilder::new()
+            .num_threads(threads)
+            .build()
+            .expect("failed to build rayon pool");
+        pool.install(run)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -156,6 +201,54 @@ mod tests {
             let r = imm_multithreaded_with_select(&g, &p, 2, engine);
             assert_eq!(r.seeds, default.seeds, "{engine:?}");
             assert_eq!(r.theta, default.theta, "{engine:?}");
+        }
+    }
+
+    #[test]
+    fn storage_backends_match_flat_seeds() {
+        use ripples_diffusion::{RrrStoreKind, StorageConfig};
+        let g = test_graph();
+        let p = ImmParams::new(5, 0.5, DiffusionModel::IndependentCascade, 7);
+        let flat = imm_multithreaded(&g, &p, 2);
+        for kind in [
+            RrrStoreKind::Varint,
+            RrrStoreKind::Bitpack,
+            RrrStoreKind::Spill,
+        ] {
+            let budget = (kind == RrrStoreKind::Spill).then_some(4096);
+            let r = imm_multithreaded_with_storage(
+                &g,
+                &p,
+                2,
+                SelectEngine::Auto,
+                SampleEngine::Reference,
+                StorageConfig { kind, budget },
+            );
+            assert_eq!(r.seeds, flat.seeds, "{kind:?}");
+            assert_eq!(r.theta, flat.theta, "{kind:?}");
+            assert!(
+                (r.coverage_fraction - flat.coverage_fraction).abs() < 1e-12,
+                "{kind:?}"
+            );
+            if kind == RrrStoreKind::Spill {
+                assert!(
+                    r.report.counters.spill_bytes_written > 0,
+                    "tiny budget must spill"
+                );
+                assert!(
+                    r.report.counters.rrr_bytes_peak < flat.report.counters.rrr_bytes_peak,
+                    "spill peak {} not below flat peak {}",
+                    r.report.counters.rrr_bytes_peak,
+                    flat.report.counters.rrr_bytes_peak
+                );
+            } else {
+                assert!(
+                    r.report.counters.rrr_bytes_peak < flat.report.counters.rrr_bytes_peak,
+                    "{kind:?} peak {} not below flat peak {}",
+                    r.report.counters.rrr_bytes_peak,
+                    flat.report.counters.rrr_bytes_peak
+                );
+            }
         }
     }
 

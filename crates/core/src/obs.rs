@@ -83,6 +83,13 @@ pub struct Counters {
     /// Peak transient bytes of the fused sampler's per-vertex activation
     /// masks on this process (0 for the reference sampler).
     pub mask_bytes_peak: u64,
+    /// Wall time spent decoding compressed RRR blocks during selection,
+    /// nanoseconds, summed over every selection pass on this process (0 for
+    /// the flat store, whose slices need no decoding).
+    pub decode_nanos: u64,
+    /// Bytes written to the RRR spill file over the run on this process
+    /// (0 for RAM-only storage backends).
+    pub spill_bytes_written: u64,
     /// Per-round sample budgets `θ_x` requested by the schedule.
     pub round_budgets: Vec<u64>,
     /// Per-round coverage fraction achieved by the greedy selection.
@@ -418,7 +425,8 @@ impl RunReport {
              \"select_iterations\":{},\"unsorted_pushes\":{},\
              \"select_entries_touched\":{},\"index_build_nanos\":{},\
              \"index_bytes_peak\":{},\"arena_bytes_peak\":{},\
-             \"fused_passes\":{},\"mask_bytes_peak\":{}",
+             \"fused_passes\":{},\"mask_bytes_peak\":{},\
+             \"decode_nanos\":{},\"spill_bytes_written\":{}",
             c.samples_generated,
             c.edges_examined,
             c.rrr_entries,
@@ -432,7 +440,9 @@ impl RunReport {
             c.index_bytes_peak,
             c.arena_bytes_peak,
             c.fused_passes,
-            c.mask_bytes_peak
+            c.mask_bytes_peak,
+            c.decode_nanos,
+            c.spill_bytes_written
         );
         out.push_str(",\"round_budgets\":[");
         for (i, b) in c.round_budgets.iter().enumerate() {
@@ -531,6 +541,8 @@ impl RunReport {
         let _ = writeln!(out, "  arena bytes (peak)  {}", c.arena_bytes_peak);
         let _ = writeln!(out, "  fused passes        {}", c.fused_passes);
         let _ = writeln!(out, "  mask bytes (peak)   {}", c.mask_bytes_peak);
+        let _ = writeln!(out, "  decode time (ns)    {}", c.decode_nanos);
+        let _ = writeln!(out, "  spill bytes written {}", c.spill_bytes_written);
         let _ = writeln!(out, "  comm retries        {}", c.retries);
         let _ = writeln!(out, "  comm dropped ops    {}", c.dropped_ops);
         let _ = writeln!(out, "  degraded ranks      {}", c.degraded_ranks);

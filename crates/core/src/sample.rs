@@ -22,7 +22,7 @@
 
 use ripples_diffusion::{
     sample_batch, sample_batch_fused, sample_batch_sequential, BatchOutcome, DiffusionModel,
-    RrrCollection, FUSED_LANES,
+    RrrStore, FUSED_LANES,
 };
 use ripples_graph::Graph;
 use ripples_rng::StreamFactory;
@@ -143,7 +143,7 @@ impl<'a> SamplerDispatch<'a> {
         self.fused
     }
 
-    fn reference(&self, first: u64, count: usize, out: &mut RrrCollection) -> BatchOutcome {
+    fn reference<S: RrrStore>(&self, first: u64, count: usize, out: &mut S) -> BatchOutcome {
         if self.parallel {
             sample_batch(self.graph, self.model, self.factory, first, count, out)
         } else {
@@ -155,11 +155,11 @@ impl<'a> SamplerDispatch<'a> {
     /// kernel; on the first non-empty `Auto` batch, draws up to
     /// [`AUTO_PROBE_SAMPLES`] reference samples first and commits to a
     /// kernel based on their mean size.
-    pub fn sample_batch(
+    pub fn sample_batch<S: RrrStore>(
         &mut self,
         first: u64,
         count: usize,
-        out: &mut RrrCollection,
+        out: &mut S,
     ) -> BatchOutcome {
         let fused = match self.fused {
             Some(f) => f,
@@ -170,7 +170,7 @@ impl<'a> SamplerDispatch<'a> {
                 let probe = count.min(AUTO_PROBE_SAMPLES);
                 let old_len = out.len();
                 let mut outcome = self.reference(first, probe, out);
-                let entries: usize = (old_len..out.len()).map(|j| out.get(j).len()).sum();
+                let entries: usize = (old_len..out.len()).map(|j| out.sample_len(j)).sum();
                 let mean = entries as f64 / probe as f64;
                 let fused = fused_sampling_is_profitable(self.graph.num_vertices(), mean);
                 self.fused = Some(fused);
@@ -192,6 +192,7 @@ impl<'a> SamplerDispatch<'a> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use ripples_diffusion::RrrCollection;
     use ripples_graph::generators::erdos_renyi;
     use ripples_graph::WeightModel;
 

@@ -22,7 +22,7 @@
 //! identical collections — a property the cross-implementation tests rely
 //! on.
 
-use ripples_diffusion::{HyperGraph, RrrCollection, SampleIndex};
+use ripples_diffusion::{HyperGraph, RrrCollection, RrrStore, SampleIndex};
 use ripples_graph::Vertex;
 
 /// Result of a seed-selection pass.
@@ -378,6 +378,9 @@ pub struct SelectStats {
     pub index_bytes: usize,
     /// Index/collection entries touched across all cover+decrement steps.
     pub entries_touched: u64,
+    /// Wall time spent decoding compressed RRR blocks during selection,
+    /// nanoseconds (0 on the flat store, whose slices need no decoding).
+    pub decode_nanos: u64,
 }
 
 impl SelectStats {
@@ -387,6 +390,7 @@ impl SelectStats {
         self.index_build_nanos += other.index_build_nanos;
         self.index_bytes = self.index_bytes.max(other.index_bytes);
         self.entries_touched += other.entries_touched;
+        self.decode_nanos += other.decode_nanos;
     }
 }
 
@@ -451,7 +455,7 @@ pub fn select_seeds_fused_with_stats(
     let mut stats = SelectStats {
         index_build_nanos: u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX),
         index_bytes: index.resident_bytes(),
-        entries_touched: 0,
+        ..SelectStats::default()
     };
     if crate::obs::trace::enabled() {
         crate::obs::trace::complete(
@@ -697,11 +701,225 @@ pub fn select_with_engine(
                 index_bytes: hyper
                     .resident_bytes()
                     .saturating_sub(collection.resident_bytes()),
-                entries_touched: 0,
+                ..SelectStats::default()
             };
             (select_seeds_hypergraph(&hyper, n, k), stats)
         }
         SelectEngine::Fused => select_seeds_fused_with_stats(collection, n, k, partitions),
+    }
+}
+
+/// Cost model of [`fused_is_profitable`] evaluated on any [`RrrStore`]
+/// (the store exposes `len` and `total_entries` without decoding).
+#[must_use]
+pub fn fused_is_profitable_store<S: RrrStore>(store: &S, k: u32) -> bool {
+    let theta = store.len() as u64;
+    if theta == 0 {
+        return false;
+    }
+    let sbar = (store.total_entries() / theta).max(1);
+    u64::from(k) * u64::from(sbar.ilog2() + 1) >= 2 * sbar
+}
+
+/// Greedy max-cover directly over a compressed [`RrrStore`]: a streaming
+/// counting pass, then per-seed sweeps that probe each alive sample with
+/// [`RrrStore::contains`] (early-exit on the sorted order) and decode only
+/// the samples the seed actually covers. The strategy of
+/// [`select_seeds_sequential`] with decode-on-touch instead of slices —
+/// the same counters and the same `(count, lowest id)` tie-break, so the
+/// returned [`Selection`] is bitwise identical to the flat reference.
+#[must_use]
+pub fn select_seeds_store_direct<S: RrrStore>(
+    store: &S,
+    n: u32,
+    k: u32,
+) -> (Selection, SelectStats) {
+    let n_us = n as usize;
+    let k = k.min(n);
+    let mut stats = SelectStats::default();
+    let mut counters = vec![0u64; n_us];
+    let t0 = std::time::Instant::now();
+    for j in 0..store.len() {
+        store.for_each_vertex(j, |v| counters[v as usize] += 1);
+    }
+    stats.decode_nanos += u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX);
+    let mut covered = vec![false; store.len()];
+    let mut selected = vec![false; n_us];
+    let mut seeds = Vec::with_capacity(k as usize);
+    let mut gains = Vec::with_capacity(k as usize);
+    let mut covered_count = 0usize;
+    for _ in 0..k {
+        let Some(v) = argmax(&counters, &selected) else {
+            break;
+        };
+        selected[v as usize] = true;
+        if crate::obs::trace::enabled() {
+            crate::obs::trace::mark(
+                crate::obs::trace::TraceName::SelectStep,
+                u64::from(v),
+                counters[v as usize],
+            );
+        }
+        if crate::obs::metrics::enabled() {
+            crate::obs::metrics::add(crate::obs::metrics::Metric::SelectSteps, 1);
+            crate::obs::metrics::add(crate::obs::metrics::Metric::SeedsSelected, 1);
+        }
+        gains.push(counters[v as usize]);
+        seeds.push(v);
+        let t0 = std::time::Instant::now();
+        let mut touched = 0u64;
+        for (j, cov) in covered.iter_mut().enumerate() {
+            if *cov {
+                continue;
+            }
+            if store.contains(j, v) {
+                *cov = true;
+                covered_count += 1;
+                touched += store.sample_len(j) as u64;
+                store.for_each_vertex(j, |u| counters[u as usize] -= 1);
+            }
+        }
+        stats.decode_nanos += u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        stats.entries_touched += touched;
+        if crate::obs::metrics::enabled() {
+            crate::obs::metrics::add(crate::obs::metrics::Metric::SelectEntriesTouched, touched);
+        }
+    }
+    (
+        Selection::finish(seeds, gains, covered_count, store.len()),
+        stats,
+    )
+}
+
+/// Index-driven greedy max-cover over a compressed [`RrrStore`]: streams
+/// the store through [`RrrStore::with_sample_index`] (a gap-varint
+/// inverted index; [`DynRrrStore`] caches it across rounds so only samples
+/// new since the last selection are absorbed), takes initial counters from
+/// its degrees, covers each seed's samples by streaming the index list,
+/// and decodes each newly covered sample exactly once for the counter
+/// decrements — the hypergraph/fused engines' O(touched entries) strategy
+/// without ever materializing the flat collection. Same tie-break,
+/// bitwise-identical [`Selection`].
+///
+/// [`DynRrrStore`]: ripples_diffusion::DynRrrStore
+#[must_use]
+pub fn select_seeds_store_indexed<S: RrrStore>(
+    store: &S,
+    n: u32,
+    k: u32,
+) -> (Selection, SelectStats) {
+    let n_us = n as usize;
+    let k = k.min(n);
+    let t0 = std::time::Instant::now();
+    store.with_sample_index(n, |index| {
+        let mut stats = SelectStats {
+            index_build_nanos: u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX),
+            index_bytes: index.resident_bytes(),
+            ..SelectStats::default()
+        };
+        if crate::obs::trace::enabled() {
+            crate::obs::trace::complete(
+                crate::obs::trace::TraceName::IndexBuild,
+                t0,
+                store.total_entries(),
+                1,
+            );
+        }
+        let mut counters: Vec<u64> = (0..n).map(|v| u64::from(index.degree(v))).collect();
+        let mut covered = vec![false; store.len()];
+        let mut selected = vec![false; n_us];
+        let mut seeds = Vec::with_capacity(k as usize);
+        let mut gains = Vec::with_capacity(k as usize);
+        let mut covered_count = 0usize;
+        for _ in 0..k {
+            let Some(v) = argmax(&counters, &selected) else {
+                break;
+            };
+            selected[v as usize] = true;
+            if crate::obs::trace::enabled() {
+                crate::obs::trace::mark(
+                    crate::obs::trace::TraceName::SelectStep,
+                    u64::from(v),
+                    counters[v as usize],
+                );
+            }
+            if crate::obs::metrics::enabled() {
+                crate::obs::metrics::add(crate::obs::metrics::Metric::SelectSteps, 1);
+                crate::obs::metrics::add(crate::obs::metrics::Metric::SeedsSelected, 1);
+            }
+            gains.push(counters[v as usize]);
+            seeds.push(v);
+            // Cover step over the seed's index list; decode-on-touch decrement.
+            let t0 = std::time::Instant::now();
+            let mut newly: Vec<usize> = Vec::new();
+            index.for_each_sample(v, |j| {
+                if !covered[j] {
+                    covered[j] = true;
+                    newly.push(j);
+                }
+            });
+            let mut touched = 0u64;
+            for &j in &newly {
+                touched += store.sample_len(j) as u64;
+                store.for_each_vertex(j, |u| counters[u as usize] -= 1);
+            }
+            stats.decode_nanos += u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX);
+            covered_count += newly.len();
+            stats.entries_touched += touched;
+            if crate::obs::metrics::enabled() {
+                crate::obs::metrics::add(
+                    crate::obs::metrics::Metric::SelectEntriesTouched,
+                    touched,
+                );
+            }
+            if crate::obs::trace::enabled() {
+                crate::obs::trace::mark(
+                    crate::obs::trace::TraceName::SelectTouched,
+                    touched,
+                    u64::from(v),
+                );
+            }
+        }
+        (
+            Selection::finish(seeds, gains, covered_count, store.len()),
+            stats,
+        )
+    })
+}
+
+/// Storage-aware engine dispatch. A flat store takes the exact
+/// [`select_with_engine`] path (same code, same bitwise guarantees); a
+/// compressed store maps each engine onto its decode-on-touch equivalent —
+/// index-driven for the index engines (`fused`/`hypergraph`, and `auto`
+/// when the [`fused_is_profitable_store`] cost model says the index pays
+/// for itself), direct sweeps otherwise. Every eager engine returns the
+/// same [`Selection`] for the same samples regardless of the backend; the
+/// lazy engine maps to the direct strategy on compressed stores (eager
+/// greedy — same seeds as the other eager engines, which on ties may
+/// differ from flat `lazy`'s reordering).
+#[must_use]
+pub fn select_with_engine_store<S: RrrStore>(
+    engine: SelectEngine,
+    store: &S,
+    n: u32,
+    k: u32,
+    partitions: usize,
+) -> (Selection, SelectStats) {
+    if let Some(flat) = store.as_flat() {
+        return select_with_engine(engine, flat, n, k, partitions);
+    }
+    match engine {
+        SelectEngine::Fused | SelectEngine::Hypergraph => select_seeds_store_indexed(store, n, k),
+        SelectEngine::Auto => {
+            if fused_is_profitable_store(store, k) {
+                select_seeds_store_indexed(store, n, k)
+            } else {
+                select_seeds_store_direct(store, n, k)
+            }
+        }
+        SelectEngine::Sequential | SelectEngine::Partitioned | SelectEngine::Lazy => {
+            select_seeds_store_direct(store, n, k)
+        }
     }
 }
 
@@ -854,15 +1072,18 @@ mod tests {
             index_build_nanos: 5,
             index_bytes: 100,
             entries_touched: 7,
+            decode_nanos: 11,
         };
         a.absorb(SelectStats {
             index_build_nanos: 3,
             index_bytes: 40,
             entries_touched: 2,
+            decode_nanos: 4,
         });
         assert_eq!(a.index_build_nanos, 8);
         assert_eq!(a.index_bytes, 100);
         assert_eq!(a.entries_touched, 9);
+        assert_eq!(a.decode_nanos, 15);
     }
 
     #[test]
@@ -923,6 +1144,75 @@ mod tests {
         let sel = select_seeds_partitioned(&c, 2, 2, 64);
         let seq = select_seeds_sequential(&c, 2, 2);
         assert_eq!(sel, seq);
+    }
+
+    #[test]
+    fn store_engines_match_flat_reference() {
+        use ripples_diffusion::{DynRrrStore, RrrStoreKind, StorageConfig};
+        let sets: Vec<Vec<Vertex>> = vec![
+            vec![0, 1, 2],
+            vec![1, 2, 3],
+            vec![2, 3, 4],
+            vec![4, 5],
+            vec![0, 5],
+            vec![6],
+            vec![1, 6],
+            vec![2],
+            vec![],
+            vec![7],
+        ];
+        let n = 8u32;
+        let k = 4u32;
+        let mut flat = RrrCollection::new();
+        for s in &sets {
+            flat.push(s);
+        }
+        let seq = select_seeds_sequential(&flat, n, k);
+        for kind in [
+            RrrStoreKind::Flat,
+            RrrStoreKind::Varint,
+            RrrStoreKind::Bitpack,
+            RrrStoreKind::Spill,
+        ] {
+            let mut store = DynRrrStore::new(
+                StorageConfig {
+                    kind,
+                    budget: Some(16),
+                },
+                n,
+            );
+            for s in &sets {
+                store.push(s);
+            }
+            for engine in [
+                SelectEngine::Auto,
+                SelectEngine::Sequential,
+                SelectEngine::Partitioned,
+                SelectEngine::Hypergraph,
+                SelectEngine::Fused,
+            ] {
+                let (sel, _) = select_with_engine_store(engine, &store, n, k, 3);
+                assert_eq!(sel, seq, "{:?}/{} diverged", kind, engine.tag());
+            }
+        }
+    }
+
+    #[test]
+    fn store_direct_and_indexed_agree_and_report_stats() {
+        use ripples_diffusion::CompressedRrrCollection;
+        let mut c = CompressedRrrCollection::new();
+        for base in 0..50u32 {
+            let mut s: Vec<Vertex> = (0..6).map(|i| (base * 13 + i * 7) % 40).collect();
+            s.sort_unstable();
+            s.dedup();
+            c.push(&s);
+        }
+        let (direct, dstats) = select_seeds_store_direct(&c, 40, 5);
+        let (indexed, istats) = select_seeds_store_indexed(&c, 40, 5);
+        assert_eq!(direct, indexed);
+        assert_eq!(dstats.index_bytes, 0);
+        assert!(istats.index_bytes > 0);
+        assert_eq!(dstats.entries_touched, istats.entries_touched);
     }
 
     #[test]

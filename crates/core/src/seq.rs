@@ -20,7 +20,7 @@ use crate::sample::{SampleEngine, SamplerDispatch};
 use crate::select::{select_with_engine, SelectEngine, SelectStats, Selection};
 use crate::theta::ThetaSchedule;
 use ripples_diffusion::rrr::{generate_rrr, RrrScratch};
-use ripples_diffusion::{BatchOutcome, RrrCollection};
+use ripples_diffusion::{BatchOutcome, RrrCollection, RrrStore};
 use ripples_graph::{Graph, Vertex};
 use ripples_rng::StreamFactory;
 
@@ -47,9 +47,9 @@ fn degenerate_result(engine: &str, graph: &Graph, params: &ImmParams) -> ImmResu
 /// Records one sampling batch's outcome into `report`: sample/edge counters,
 /// per-worker load-balance observations, and the sizes of the samples
 /// appended to `collection` since `old_len`.
-pub(crate) fn record_batch(
+pub(crate) fn record_batch<S: RrrStore>(
     report: &mut RunReport,
-    collection: &RrrCollection,
+    collection: &S,
     old_len: usize,
     outcome: &BatchOutcome,
 ) {
@@ -59,7 +59,7 @@ pub(crate) fn record_batch(
         report.thread_samples.record(w);
     }
     for j in old_len..collection.len() {
-        report.rrr_sizes.record(collection.get(j).len() as u64);
+        report.rrr_sizes.record(collection.sample_len(j) as u64);
     }
     report.counters.arena_bytes_peak = report
         .counters
@@ -101,8 +101,31 @@ pub(crate) fn run_imm_compact(
     engine: &str,
     graph: &Graph,
     params: &ImmParams,
-    mut sampler: impl FnMut(u64, usize, &mut RrrCollection) -> BatchOutcome,
-    mut selector: impl FnMut(&RrrCollection, u32, u32) -> (Selection, SelectStats),
+    sampler: impl FnMut(u64, usize, &mut RrrCollection) -> BatchOutcome,
+    selector: impl FnMut(&RrrCollection, u32, u32) -> (Selection, SelectStats),
+) -> ImmResult {
+    run_imm_compact_store(
+        engine,
+        graph,
+        params,
+        RrrCollection::new(),
+        sampler,
+        selector,
+    )
+}
+
+/// [`run_imm_compact`] generalized over the RRR storage backend: the caller
+/// supplies the (empty) store, and the sampler/selector hooks operate on it
+/// through the [`RrrStore`] trait. The flat store takes exactly the old
+/// code paths; compressed stores additionally report their decode time and
+/// spill traffic through the run counters.
+pub(crate) fn run_imm_compact_store<S: RrrStore>(
+    engine: &str,
+    graph: &Graph,
+    params: &ImmParams,
+    store: S,
+    mut sampler: impl FnMut(u64, usize, &mut S) -> BatchOutcome,
+    mut selector: impl FnMut(&S, u32, u32) -> (Selection, SelectStats),
 ) -> ImmResult {
     let n = graph.num_vertices();
     if n < 2 {
@@ -117,7 +140,7 @@ pub(crate) fn run_imm_compact(
         graph_bytes: graph.resident_bytes(),
         ..MemoryStats::default()
     };
-    let mut collection = RrrCollection::new();
+    let mut collection = store;
     let mut sample_work: Vec<u64> = Vec::new();
     let mut next_index: u64 = 0;
     let mut select_stats = SelectStats::default();
@@ -196,13 +219,15 @@ pub(crate) fn run_imm_compact(
     report.counters.select_iterations += final_sel.seeds.len() as u64;
 
     memory.observe_index(select_stats.index_bytes);
-    report.counters.rrr_entries = collection.total_entries() as u64;
+    report.counters.rrr_entries = collection.total_entries();
     report.counters.rrr_bytes_peak = memory.peak_rrr_bytes as u64;
     report.counters.theta_final = collection.len() as u64;
     report.counters.unsorted_pushes = collection.unsorted_pushes();
     report.counters.select_entries_touched = select_stats.entries_touched;
     report.counters.index_build_nanos = select_stats.index_build_nanos;
     report.counters.index_bytes_peak = select_stats.index_bytes as u64;
+    report.counters.decode_nanos = select_stats.decode_nanos;
+    report.counters.spill_bytes_written = collection.spill_bytes_written();
     if crate::obs::trace::enabled() {
         report.trace = Some(crate::obs::trace::collect_all());
     }
@@ -269,6 +294,35 @@ pub fn immopt_sequential_with_engines(
         params,
         |first, count, out| dispatch.sample_batch(first, count, out),
         |collection, n, k| select_with_engine(select, collection, n, k, 1),
+    )
+}
+
+/// [`immopt_sequential_with_engines`] over an explicit RRR storage backend
+/// (CLI `--rrr-store` / `--rrr-budget`). The flat backend takes exactly the
+/// [`immopt_sequential_with_engines`] code paths; compressed backends fill
+/// through the same samplers and select through the decode-on-touch
+/// engines, returning the same seeds for the same parameters.
+#[must_use]
+pub fn immopt_sequential_with_storage(
+    graph: &Graph,
+    params: &ImmParams,
+    select: SelectEngine,
+    sample: SampleEngine,
+    storage: ripples_diffusion::StorageConfig,
+) -> ImmResult {
+    if storage.kind == ripples_diffusion::RrrStoreKind::Flat {
+        return immopt_sequential_with_engines(graph, params, select, sample);
+    }
+    let factory = StreamFactory::new(params.seed);
+    let mut dispatch = SamplerDispatch::new(graph, params.model, &factory, sample, false);
+    let store = ripples_diffusion::DynRrrStore::new(storage, graph.num_vertices());
+    run_imm_compact_store(
+        "immopt",
+        graph,
+        params,
+        store,
+        |first, count, out| dispatch.sample_batch(first, count, out),
+        |collection, n, k| crate::select::select_with_engine_store(select, collection, n, k, 1),
     )
 }
 

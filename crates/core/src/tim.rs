@@ -26,16 +26,20 @@ use crate::obs::RunReport;
 use crate::params::ImmParams;
 use crate::result::ImmResult;
 use crate::sample::{SampleEngine, SamplerDispatch};
-use crate::select::{select_seeds_fused_with_stats, select_seeds_sequential};
+use crate::select::{select_with_engine_store, SelectEngine};
 use crate::theta::log_binomial;
-use ripples_diffusion::RrrCollection;
+use ripples_diffusion::{DynRrrStore, RrrCollection, RrrStore, RrrStoreKind, StorageConfig};
 use ripples_graph::Graph;
 use ripples_rng::StreamFactory;
 
-/// The width of an RRR set: the number of edges pointing into its vertices
-/// (TIM's proxy for the cost/influence of the set).
-fn width(graph: &Graph, set: &[u32]) -> u64 {
-    set.iter().map(|&v| graph.in_degree(v) as u64).sum()
+/// The width of RRR set `i` in a store: the number of edges pointing into
+/// its vertices (TIM's proxy for the cost/influence of the set). Computed
+/// through [`RrrStore::for_each_vertex`] so compressed backends stream
+/// gap-decoded ids without materializing the slice.
+fn width<S: RrrStore>(graph: &Graph, store: &S, i: usize) -> u64 {
+    let mut w = 0u64;
+    store.for_each_vertex(i, |v| w += graph.in_degree(v) as u64);
+    w
 }
 
 /// Runs TIM⁺. Parameter semantics match [`crate::ImmParams`]; the returned
@@ -51,6 +55,38 @@ pub fn tim_plus(graph: &Graph, params: &ImmParams) -> ImmResult {
 /// (not bitwise) equivalent.
 #[must_use]
 pub fn tim_plus_with_sample(graph: &Graph, params: &ImmParams, sample: SampleEngine) -> ImmResult {
+    tim_plus_impl(graph, params, sample, RrrCollection::new())
+}
+
+/// [`tim_plus_with_sample`] over an explicit RRR storage backend (CLI
+/// `--rrr-store` / `--rrr-budget`). The flat backend takes exactly the
+/// [`tim_plus_with_sample`] code paths; compressed backends stream widths
+/// and greedy cover through decode-on-touch, so the seed set and θ are
+/// identical for every backend.
+#[must_use]
+pub fn tim_plus_with_storage(
+    graph: &Graph,
+    params: &ImmParams,
+    sample: SampleEngine,
+    storage: StorageConfig,
+) -> ImmResult {
+    if storage.kind == RrrStoreKind::Flat {
+        return tim_plus_with_sample(graph, params, sample);
+    }
+    tim_plus_impl(
+        graph,
+        params,
+        sample,
+        DynRrrStore::new(storage, graph.num_vertices()),
+    )
+}
+
+fn tim_plus_impl<S: RrrStore>(
+    graph: &Graph,
+    params: &ImmParams,
+    sample: SampleEngine,
+    store: S,
+) -> ImmResult {
     let n = graph.num_vertices();
     if n < 2 {
         return crate::seq::immopt_sequential(graph, params);
@@ -71,7 +107,7 @@ pub fn tim_plus_with_sample(graph: &Graph, params: &ImmParams, sample: SampleEng
         graph_bytes: graph.resident_bytes(),
         ..MemoryStats::default()
     };
-    let mut collection = RrrCollection::new();
+    let mut collection = store;
     let mut sample_work: Vec<u64> = Vec::new();
     let mut next_index: u64 = 0;
 
@@ -102,10 +138,14 @@ pub fn tim_plus_with_sample(graph: &Graph, params: &ImmParams, sample: SampleEng
                     }
                     report.counters.theta_rounds += 1;
                     report.counters.round_budgets.push(budget as u64);
-                    let kappa_sum: f64 = collection
-                        .iter()
-                        .map(|set| 1.0 - (1.0 - width(graph, set) as f64 / m).powi(k as i32))
-                        .sum();
+                    let t_decode = std::time::Instant::now();
+                    let mut kappa_sum = 0.0f64;
+                    for j in 0..collection.len() {
+                        let w = width(graph, &*collection, j) as f64;
+                        kappa_sum += 1.0 - (1.0 - w / m).powi(k as i32);
+                    }
+                    report.counters.decode_nanos +=
+                        u64::try_from(t_decode.elapsed().as_nanos()).unwrap_or(u64::MAX);
                     let mean_kappa = kappa_sum / collection.len() as f64;
                     report.counters.round_coverage.push(mean_kappa);
                     if mean_kappa > 1.0 / 2f64.powi(i as i32) {
@@ -122,8 +162,11 @@ pub fn tim_plus_with_sample(graph: &Graph, params: &ImmParams, sample: SampleEng
             // TIM⁺ refinement: greedy coverage on the phase-1 samples gives
             // an alternative lower bound on OPT.
             if !collection.is_empty() {
-                let sel = report.span("refine", |_| select_seeds_sequential(collection, n, k));
+                let (sel, refine_stats) = report.span("refine", |_| {
+                    select_with_engine_store(SelectEngine::Sequential, &*collection, n, k, 1)
+                });
                 report.counters.select_iterations += sel.seeds.len() as u64;
+                report.counters.decode_nanos += refine_stats.decode_nanos;
                 let eps_prime = std::f64::consts::SQRT_2 * epsilon;
                 let refined = sel.fraction * nf / (1.0 + eps_prime);
                 *kpt = kpt.max(refined);
@@ -153,17 +196,19 @@ pub fn tim_plus_with_sample(graph: &Graph, params: &ImmParams, sample: SampleEng
     // TIM's θ is the largest of any engine here, so its one final greedy
     // pass is exactly where the fused index pays for itself.
     let (final_sel, select_stats) = report.span("SelectSeeds", |_| {
-        select_seeds_fused_with_stats(&collection, n, k, 1)
+        select_with_engine_store(SelectEngine::Fused, &collection, n, k, 1)
     });
     report.counters.select_iterations += final_sel.seeds.len() as u64;
     memory.observe_index(select_stats.index_bytes);
-    report.counters.rrr_entries = collection.total_entries() as u64;
+    report.counters.rrr_entries = collection.total_entries();
     report.counters.rrr_bytes_peak = memory.peak_rrr_bytes as u64;
     report.counters.theta_final = collection.len() as u64;
     report.counters.unsorted_pushes = collection.unsorted_pushes();
     report.counters.select_entries_touched = select_stats.entries_touched;
     report.counters.index_build_nanos = select_stats.index_build_nanos;
     report.counters.index_bytes_peak = select_stats.index_bytes as u64;
+    report.counters.decode_nanos += select_stats.decode_nanos;
+    report.counters.spill_bytes_written = collection.spill_bytes_written();
     if crate::obs::trace::enabled() {
         report.trace = Some(crate::obs::trace::collect_all());
     }
@@ -251,6 +296,34 @@ mod tests {
         let p = ImmParams::new(4, 0.5, DiffusionModel::LinearThreshold, 3);
         let r = tim_plus(&g, &p);
         assert_eq!(r.seeds.len(), 4);
+    }
+
+    #[test]
+    fn storage_backends_match_flat() {
+        let g = test_graph();
+        let p = ImmParams::new(5, 0.5, DiffusionModel::IndependentCascade, 4);
+        let flat = tim_plus(&g, &p);
+        for kind in [
+            RrrStoreKind::Varint,
+            RrrStoreKind::Bitpack,
+            RrrStoreKind::Spill,
+        ] {
+            let budget = (kind == RrrStoreKind::Spill).then_some(4096);
+            let r = tim_plus_with_storage(
+                &g,
+                &p,
+                SampleEngine::Reference,
+                StorageConfig { kind, budget },
+            );
+            assert_eq!(r.seeds, flat.seeds, "{kind:?}");
+            assert_eq!(r.theta, flat.theta, "{kind:?}");
+            assert!(
+                r.report.counters.rrr_bytes_peak < flat.report.counters.rrr_bytes_peak,
+                "{kind:?} peak {} not below flat {}",
+                r.report.counters.rrr_bytes_peak,
+                flat.report.counters.rrr_bytes_peak
+            );
+        }
     }
 
     #[test]

@@ -69,6 +69,37 @@ proptest! {
         prop_assert!(sel.covered <= c.len());
     }
 
+    /// Every RRR storage backend yields the bitwise-identical greedy
+    /// `Selection` as the flat reference, under every eager select engine
+    /// (`Lazy` is excluded: on compressed stores it maps to the eager
+    /// direct engine, which matches coverage but not CELF's skip order).
+    #[test]
+    fn storage_backends_select_identically((n, c) in collection_strategy(), k in 1u32..8) {
+        use ripples_core::{select_with_engine_store, SelectEngine};
+        use ripples_diffusion::{DynRrrStore, RrrStore, RrrStoreKind, StorageConfig};
+        let reference = select_seeds_sequential(&c, n, k);
+        for kind in [RrrStoreKind::Flat, RrrStoreKind::Varint, RrrStoreKind::Bitpack, RrrStoreKind::Spill] {
+            let budget = (kind == RrrStoreKind::Spill).then_some(2048);
+            let mut store = DynRrrStore::new(StorageConfig { kind, budget }, n);
+            for s in c.iter() {
+                RrrStore::push(&mut store, s);
+            }
+            for engine in [
+                SelectEngine::Auto,
+                SelectEngine::Sequential,
+                SelectEngine::Partitioned,
+                SelectEngine::Hypergraph,
+                SelectEngine::Fused,
+            ] {
+                let (sel, _) = select_with_engine_store(engine, &store, n, k, 3);
+                prop_assert_eq!(
+                    &sel, &reference,
+                    "store {:?} engine {:?} diverged", kind, engine
+                );
+            }
+        }
+    }
+
     /// Hypergraph degree equals the number of samples containing the vertex.
     #[test]
     fn hypergraph_index_consistent((n, c) in collection_strategy()) {

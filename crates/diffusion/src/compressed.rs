@@ -1,4 +1,4 @@
-//! Delta-varint compressed RRR storage.
+//! Delta-varint compressed RRR storage and its compressed inverted index.
 //!
 //! §3.1's storage discussion is all about the memory wall: θ grows
 //! super-linearly in accuracy, and the paper's Table 2 runs ran out of
@@ -9,22 +9,42 @@
 //! the price of sequential-only access (no binary search inside a sample).
 //! `benches/ablation_compression.rs` quantifies the trade against
 //! [`crate::RrrCollection`].
+//!
+//! [`CompressedRrrCollection`] is the `varint` backend of the
+//! [`crate::store::RrrStore`] family; [`CompressedSampleIndex`] is the
+//! matching gap-varint inverted index (vertex → ascending sample ids) that
+//! lets the fused selection engine and the distributed per-rank purge run
+//! decode-on-touch over compressed blocks without ever materializing the
+//! flat layout.
 
-use crate::rrr::RrrCollection;
+use crate::rrr::{RrrCollection, SampleArena};
+use crate::store::RrrStore;
 use ripples_graph::Vertex;
 
 /// A compressed, append-only collection of sorted RRR sets.
-#[derive(Clone, Debug, Default, PartialEq, Eq)]
+#[derive(Clone, Debug, Default)]
 pub struct CompressedRrrCollection {
     offsets: Vec<usize>,
     /// Per-sample vertex counts (decode hint; also enables `len` queries
     /// without decoding).
     counts: Vec<u32>,
     data: Vec<u8>,
+    /// Samples that arrived unsorted and were repaired on insert — same
+    /// contract as [`RrrCollection::push`]. Diagnostic only; excluded from
+    /// equality.
+    unsorted_pushes: u64,
 }
 
+impl PartialEq for CompressedRrrCollection {
+    fn eq(&self, other: &Self) -> bool {
+        self.offsets == other.offsets && self.counts == other.counts && self.data == other.data
+    }
+}
+
+impl Eq for CompressedRrrCollection {}
+
 #[inline]
-fn push_varint(data: &mut Vec<u8>, mut x: u32) {
+pub(crate) fn push_varint(data: &mut Vec<u8>, mut x: u32) {
     loop {
         let byte = (x & 0x7F) as u8;
         x >>= 7;
@@ -37,7 +57,7 @@ fn push_varint(data: &mut Vec<u8>, mut x: u32) {
 }
 
 #[inline]
-fn read_varint(data: &[u8], pos: &mut usize) -> u32 {
+pub(crate) fn read_varint(data: &[u8], pos: &mut usize) -> u32 {
     let mut x = 0u32;
     let mut shift = 0u32;
     loop {
@@ -51,6 +71,57 @@ fn read_varint(data: &[u8], pos: &mut usize) -> u32 {
     }
 }
 
+/// Encoded byte length of `x` under LEB128 (1–5 bytes for a `u32`).
+#[inline]
+pub(crate) fn varint_len(x: u32) -> usize {
+    if x == 0 {
+        1
+    } else {
+        (38 - x.leading_zeros() as usize) / 7
+    }
+}
+
+/// Exact encoded byte length of a sorted, deduplicated sample under the
+/// delta-varint block layout of [`encode_sample`].
+#[inline]
+pub(crate) fn encoded_len(vertices: &[Vertex]) -> usize {
+    let mut len = 0;
+    let mut prev: Vertex = 0;
+    for (idx, &v) in vertices.iter().enumerate() {
+        len += varint_len(if idx == 0 { v } else { v - prev - 1 });
+        prev = v;
+    }
+    len
+}
+
+/// Appends a sorted, deduplicated sample as one delta-varint block (first
+/// id absolute, then gap-1 deltas) — shared by every compressed backend.
+#[inline]
+pub(crate) fn encode_sample(data: &mut Vec<u8>, vertices: &[Vertex]) {
+    let mut prev: Vertex = 0;
+    for (idx, &v) in vertices.iter().enumerate() {
+        if idx == 0 {
+            push_varint(data, v);
+        } else {
+            push_varint(data, v - prev - 1);
+        }
+        prev = v;
+    }
+}
+
+/// Decodes one delta-varint block of `count` ids starting at `*pos`,
+/// streaming each vertex to `f`.
+#[inline]
+pub(crate) fn decode_sample(data: &[u8], pos: &mut usize, count: u32, mut f: impl FnMut(Vertex)) {
+    let mut prev: Vertex = 0;
+    for idx in 0..count {
+        let raw = read_varint(data, pos);
+        let v = if idx == 0 { raw } else { prev + raw + 1 };
+        f(v);
+        prev = v;
+    }
+}
+
 impl CompressedRrrCollection {
     /// Creates an empty collection.
     #[must_use]
@@ -59,6 +130,7 @@ impl CompressedRrrCollection {
             offsets: vec![0],
             counts: Vec::new(),
             data: Vec::new(),
+            unsorted_pushes: 0,
         }
     }
 
@@ -80,51 +152,81 @@ impl CompressedRrrCollection {
         self.counts[i] as usize
     }
 
-    /// Appends a sorted sample (first id absolute, then gap-1 deltas).
+    /// Total vertex entries across all samples.
+    #[must_use]
+    pub fn total_entries(&self) -> u64 {
+        self.counts.iter().map(|&c| u64::from(c)).sum()
+    }
+
+    /// Appends a sample. Enforces the same always-on sorted/deduped
+    /// contract as [`RrrCollection::push`]: a violating sample is repaired
+    /// (sorted + deduplicated) and counted in
+    /// [`CompressedRrrCollection::unsorted_pushes`], so the compressed
+    /// layout stays bitwise-convertible to the flat reference.
     pub fn push(&mut self, vertices: &[Vertex]) {
-        debug_assert!(
-            vertices.windows(2).all(|w| w[0] < w[1]),
-            "sample not sorted"
-        );
-        let mut prev: Vertex = 0;
-        for (idx, &v) in vertices.iter().enumerate() {
-            if idx == 0 {
-                push_varint(&mut self.data, v);
-            } else {
-                push_varint(&mut self.data, v - prev - 1);
-            }
-            prev = v;
+        if vertices.windows(2).all(|w| w[0] < w[1]) {
+            encode_sample(&mut self.data, vertices);
+            self.counts.push(vertices.len() as u32);
+        } else {
+            self.unsorted_pushes += 1;
+            let mut repaired = vertices.to_vec();
+            repaired.sort_unstable();
+            repaired.dedup();
+            encode_sample(&mut self.data, &repaired);
+            self.counts.push(repaired.len() as u32);
         }
         self.offsets.push(self.data.len());
-        self.counts.push(vertices.len() as u32);
+    }
+
+    /// Appends the samples of `arenas` in arena order — the same sample
+    /// order [`RrrCollection::append_arenas`] produces, so a compressed
+    /// store filled through the parallel sampling path decodes bitwise
+    /// identical to the flat reference. Arena content is already validated
+    /// sorted by [`SampleArena::append_with`]; repairs that happened inside
+    /// the arenas carry over into `unsorted_pushes`.
+    pub fn append_arenas(&mut self, arenas: &[SampleArena]) {
+        let new_samples: usize = arenas.iter().map(SampleArena::len).sum();
+        // A measuring pre-pass buys exact `reserve_exact` calls: amortized
+        // `reserve` doubles capacity, and `resident_bytes` (the peak-memory
+        // metric compression exists to shrink) reports capacity, so slack
+        // here would show up as phantom peak bytes.
+        let new_bytes: usize = arenas
+            .iter()
+            .flat_map(|a| (0..a.len()).map(|i| encoded_len(a.get(i))))
+            .sum();
+        self.counts.reserve_exact(new_samples);
+        self.offsets.reserve_exact(new_samples);
+        self.data.reserve_exact(new_bytes);
+        for arena in arenas {
+            for i in 0..arena.len() {
+                let set = arena.get(i);
+                encode_sample(&mut self.data, set);
+                self.counts.push(set.len() as u32);
+                self.offsets.push(self.data.len());
+            }
+            self.unsorted_pushes += arena.unsorted_repairs();
+        }
+    }
+
+    /// Number of pushed samples that violated the sorted/deduped contract
+    /// and were repaired on insert.
+    #[must_use]
+    pub fn unsorted_pushes(&self) -> u64 {
+        self.unsorted_pushes
     }
 
     /// Decodes sample `i` into `out` (cleared first).
     pub fn decode_into(&self, i: usize, out: &mut Vec<Vertex>) {
         out.clear();
         let mut pos = self.offsets[i];
-        let count = self.counts[i];
-        let mut prev: Vertex = 0;
-        for idx in 0..count {
-            let raw = read_varint(&self.data, &mut pos);
-            let v = if idx == 0 { raw } else { prev + raw + 1 };
-            out.push(v);
-            prev = v;
-        }
+        decode_sample(&self.data, &mut pos, self.counts[i], |v| out.push(v));
         debug_assert_eq!(pos, self.offsets[i + 1]);
     }
 
     /// Streams the vertices of sample `i` to `f` without allocating.
-    pub fn for_each_vertex(&self, i: usize, mut f: impl FnMut(Vertex)) {
+    pub fn for_each_vertex(&self, i: usize, f: impl FnMut(Vertex)) {
         let mut pos = self.offsets[i];
-        let count = self.counts[i];
-        let mut prev: Vertex = 0;
-        for idx in 0..count {
-            let raw = read_varint(&self.data, &mut pos);
-            let v = if idx == 0 { raw } else { prev + raw + 1 };
-            f(v);
-            prev = v;
-        }
+        decode_sample(&self.data, &mut pos, self.counts[i], f);
     }
 
     /// Membership test by sequential decode (terminates early thanks to the
@@ -149,13 +251,16 @@ impl CompressedRrrCollection {
     }
 
     /// Resident bytes of the compressed arena (the Table 2 comparison
-    /// quantity).
+    /// quantity). Reports *reserved capacity*, not just initialized length,
+    /// matching [`RrrCollection::resident_bytes`]: a `Vec`'s growth slack is
+    /// real allocated memory, and `rrr_bytes_peak` comparisons across
+    /// backends would be dishonest if the compressed store ignored it.
     #[must_use]
     pub fn resident_bytes(&self) -> usize {
         use std::mem::size_of;
-        self.offsets.len() * size_of::<usize>()
-            + self.counts.len() * size_of::<u32>()
-            + self.data.len()
+        self.offsets.capacity() * size_of::<usize>()
+            + self.counts.capacity() * size_of::<u32>()
+            + self.data.capacity()
     }
 
     /// Greedy max-cover seed selection over the compressed samples —
@@ -208,6 +313,256 @@ impl From<&RrrCollection> for CompressedRrrCollection {
     }
 }
 
+/// A compressed u32-CSR inverted index: vertex → the ascending sample ids
+/// containing it, gap-varint coded exactly like the sample payloads (first
+/// id absolute, then gap-1 deltas).
+///
+/// This is the compressed twin of [`crate::SampleIndex`]: per-vertex degrees
+/// initialize the greedy counters, and `for_each_sample` drives the
+/// cover/decrement steps of the fused selection engine and the per-rank
+/// distributed purge — streaming straight over compressed blocks, so
+/// neither the index nor the collection is ever materialized flat.
+#[derive(Clone, Debug)]
+pub struct CompressedSampleIndex {
+    /// Per-vertex end byte offsets into `data` (`offsets[0] == 0`,
+    /// length `n + 1`).
+    offsets: Vec<usize>,
+    /// Per-vertex sample counts.
+    degrees: Vec<u32>,
+    data: Vec<u8>,
+}
+
+impl CompressedSampleIndex {
+    /// Builds the index by streaming `store` twice: one pass to size each
+    /// vertex's byte run exactly, one pass to fill — no intermediate
+    /// per-vertex `Vec`s, so peak transient memory is the finished index
+    /// itself plus two small cursor arrays.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the store holds more than `u32::MAX` samples (the u32-CSR
+    /// contract shared with [`crate::SampleIndex`]).
+    #[must_use]
+    pub fn build<S: RrrStore + ?Sized>(store: &S, num_vertices: u32) -> Self {
+        let n = num_vertices as usize;
+        assert!(
+            u32::try_from(store.len()).is_ok(),
+            "sample count exceeds the u32 index contract"
+        );
+        // Pass 1: per-vertex degree and exact encoded byte length. Sample
+        // ids arrive in ascending order per vertex (samples are streamed in
+        // id order), so the gap coding matches the fill pass bit for bit.
+        let mut degrees = vec![0u32; n];
+        let mut byte_lens = vec![0usize; n];
+        let mut last = vec![0u32; n];
+        for i in 0..store.len() {
+            let id = i as u32;
+            store.for_each_vertex(i, |v| {
+                let v = v as usize;
+                byte_lens[v] += if degrees[v] == 0 {
+                    varint_len(id)
+                } else {
+                    varint_len(id - last[v] - 1)
+                };
+                degrees[v] += 1;
+                last[v] = id;
+            });
+        }
+        let mut offsets = Vec::with_capacity(n + 1);
+        offsets.push(0usize);
+        let mut acc = 0usize;
+        for &b in &byte_lens {
+            acc += b;
+            offsets.push(acc);
+        }
+        // Pass 2: fill each vertex's run through a moving cursor.
+        let mut data = vec![0u8; acc];
+        let mut cursors: Vec<usize> = offsets[..n].to_vec();
+        let mut seen = vec![0u32; n];
+        last.fill(0);
+        for i in 0..store.len() {
+            let id = i as u32;
+            store.for_each_vertex(i, |v| {
+                let v = v as usize;
+                let gap = if seen[v] == 0 { id } else { id - last[v] - 1 };
+                let mut x = gap;
+                loop {
+                    let byte = (x & 0x7F) as u8;
+                    x >>= 7;
+                    if x == 0 {
+                        data[cursors[v]] = byte;
+                        cursors[v] += 1;
+                        break;
+                    }
+                    data[cursors[v]] = byte | 0x80;
+                    cursors[v] += 1;
+                }
+                seen[v] += 1;
+                last[v] = id;
+            });
+        }
+        debug_assert!(cursors.iter().zip(&offsets[1..]).all(|(c, o)| c == o));
+        Self {
+            offsets,
+            degrees,
+            data,
+        }
+    }
+
+    /// Number of vertices the index covers.
+    #[must_use]
+    pub fn num_vertices(&self) -> usize {
+        self.degrees.len()
+    }
+
+    /// Number of samples containing vertex `v`.
+    #[must_use]
+    pub fn degree(&self, v: Vertex) -> u32 {
+        self.degrees[v as usize]
+    }
+
+    /// Streams the ascending sample ids containing `v` to `f`.
+    pub fn for_each_sample(&self, v: Vertex, mut f: impl FnMut(usize)) {
+        let v = v as usize;
+        let mut pos = self.offsets[v];
+        let mut prev = 0u32;
+        for idx in 0..self.degrees[v] {
+            let raw = read_varint(&self.data, &mut pos);
+            let id = if idx == 0 { raw } else { prev + raw + 1 };
+            f(id as usize);
+            prev = id;
+        }
+        debug_assert_eq!(pos, self.offsets[v + 1]);
+    }
+
+    /// Resident bytes of the index (capacity-based, like every storage
+    /// footprint in the pipeline).
+    #[must_use]
+    pub fn resident_bytes(&self) -> usize {
+        use std::mem::size_of;
+        self.offsets.capacity() * size_of::<usize>()
+            + self.degrees.capacity() * size_of::<u32>()
+            + self.data.capacity()
+    }
+}
+
+/// An *incremental* gap-varint inverted index (vertex → ascending sample
+/// ids), the append-friendly sibling of [`CompressedSampleIndex`].
+///
+/// IMM's θ-doubling loop selects over the same store every round while the
+/// store only ever grows at the tail. Rebuilding a CSR index per round
+/// costs two full-store streaming decodes each time — the dominant
+/// selection overhead of the compressed backends. This structure instead
+/// keeps one growable gap-varint run per vertex and [`absorb`]s only the
+/// samples appended since the last call, so the total index-build work
+/// across all rounds is a single pass over the final store.
+///
+/// Because sample ids arrive in ascending order, appending preserves the
+/// exact gap coding ([`CompressedSampleIndex`]'s layout per vertex), and
+/// `for_each_sample` streams identical id sequences — selection results
+/// stay bitwise identical regardless of which index form drives them.
+///
+/// [`absorb`]: IncrementalSampleIndex::absorb
+#[derive(Clone, Debug)]
+pub struct IncrementalSampleIndex {
+    /// Per-vertex gap-varint run of ascending sample ids.
+    bufs: Vec<Vec<u8>>,
+    /// Per-vertex sample counts.
+    degrees: Vec<u32>,
+    /// Per-vertex last absorbed sample id (gap-coding state).
+    last: Vec<u32>,
+    /// Samples consumed from the store so far; `absorb` resumes here.
+    absorbed: usize,
+}
+
+impl IncrementalSampleIndex {
+    /// Creates an empty index over `num_vertices` vertices.
+    #[must_use]
+    pub fn new(num_vertices: u32) -> Self {
+        let n = num_vertices as usize;
+        Self {
+            bufs: vec![Vec::new(); n],
+            degrees: vec![0; n],
+            last: vec![0; n],
+            absorbed: 0,
+        }
+    }
+
+    /// Appends every sample `store` gained since the previous `absorb` (all
+    /// of them on the first call). The store must be the same append-only
+    /// store across calls — samples already absorbed are never re-read.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the store holds more than `u32::MAX` samples (the u32
+    /// index contract shared with [`CompressedSampleIndex`]).
+    pub fn absorb<S: RrrStore + ?Sized>(&mut self, store: &S) {
+        assert!(
+            u32::try_from(store.len()).is_ok(),
+            "sample count exceeds the u32 index contract"
+        );
+        for i in self.absorbed..store.len() {
+            let id = i as u32;
+            store.for_each_vertex(i, |v| {
+                let v = v as usize;
+                let gap = if self.degrees[v] == 0 {
+                    id
+                } else {
+                    id - self.last[v] - 1
+                };
+                push_varint(&mut self.bufs[v], gap);
+                self.degrees[v] += 1;
+                self.last[v] = id;
+            });
+        }
+        self.absorbed = store.len();
+    }
+
+    /// Number of samples absorbed so far.
+    #[must_use]
+    pub fn absorbed_samples(&self) -> usize {
+        self.absorbed
+    }
+
+    /// Number of vertices the index covers.
+    #[must_use]
+    pub fn num_vertices(&self) -> usize {
+        self.degrees.len()
+    }
+
+    /// Number of absorbed samples containing vertex `v`.
+    #[must_use]
+    pub fn degree(&self, v: Vertex) -> u32 {
+        self.degrees[v as usize]
+    }
+
+    /// Streams the ascending sample ids containing `v` to `f`.
+    pub fn for_each_sample(&self, v: Vertex, mut f: impl FnMut(usize)) {
+        let v = v as usize;
+        let data = &self.bufs[v];
+        let mut pos = 0usize;
+        let mut prev = 0u32;
+        for idx in 0..self.degrees[v] {
+            let raw = read_varint(data, &mut pos);
+            let id = if idx == 0 { raw } else { prev + raw + 1 };
+            f(id as usize);
+            prev = id;
+        }
+        debug_assert_eq!(pos, data.len());
+    }
+
+    /// Resident bytes of the index (capacity-based): the per-vertex runs
+    /// plus the `Vec` headers and cursor arrays.
+    #[must_use]
+    pub fn resident_bytes(&self) -> usize {
+        use std::mem::size_of;
+        self.bufs.iter().map(Vec::capacity).sum::<usize>()
+            + self.bufs.capacity() * size_of::<Vec<u8>>()
+            + self.degrees.capacity() * size_of::<u32>()
+            + self.last.capacity() * size_of::<u32>()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -227,6 +582,15 @@ mod tests {
     }
 
     #[test]
+    fn varint_len_matches_encoding() {
+        for v in [0u32, 1, 127, 128, 16383, 16384, 1 << 21, u32::MAX] {
+            let mut data = Vec::new();
+            push_varint(&mut data, v);
+            assert_eq!(varint_len(v), data.len(), "value {v}");
+        }
+    }
+
+    #[test]
     fn push_decode_roundtrip() {
         let mut c = CompressedRrrCollection::new();
         let samples: Vec<Vec<Vertex>> = vec![
@@ -239,6 +603,7 @@ mod tests {
             c.push(s);
         }
         assert_eq!(c.len(), 4);
+        assert_eq!(c.total_entries(), 8);
         let mut out = Vec::new();
         for (i, s) in samples.iter().enumerate() {
             c.decode_into(i, &mut out);
@@ -255,6 +620,55 @@ mod tests {
             let expect = [2, 7, 9, 30].contains(&v);
             assert_eq!(c.contains(0, v), expect, "vertex {v}");
         }
+    }
+
+    #[test]
+    fn unsorted_push_is_repaired_and_counted() {
+        // Same always-on repair contract as the flat collection: an
+        // unsorted sample must never corrupt the delta coding (a negative
+        // gap would wrap) even in release builds.
+        let mut c = CompressedRrrCollection::new();
+        c.push(&[5, 1, 3, 3]);
+        assert_eq!(c.unsorted_pushes(), 1);
+        let mut out = Vec::new();
+        c.decode_into(0, &mut out);
+        assert_eq!(out, vec![1, 3, 5]);
+        let mut clean = CompressedRrrCollection::new();
+        clean.push(&[1, 3, 5]);
+        assert_eq!(clean.unsorted_pushes(), 0);
+        assert_eq!(c, clean, "repair must normalize to the sorted encoding");
+    }
+
+    #[test]
+    fn resident_bytes_reports_reserved_capacity() {
+        // Regression (ISSUE 8 satellite): resident_bytes used to sum
+        // `len()`s, under-reporting the growth slack a Vec actually holds.
+        // Capacity-based accounting must dominate the len-based figure and
+        // track reserve() even before any data lands.
+        let mut c = CompressedRrrCollection::new();
+        for base in 0..64u32 {
+            c.push(&[base, base + 2, base + 300]);
+        }
+        use std::mem::size_of;
+        let len_based =
+            c.offsets.len() * size_of::<usize>() + c.counts.len() * size_of::<u32>() + c.data.len();
+        assert!(
+            c.resident_bytes() >= len_based,
+            "capacity accounting {} must dominate len accounting {len_based}",
+            c.resident_bytes()
+        );
+        let before = c.resident_bytes();
+        c.data.reserve(1 << 16);
+        assert!(
+            c.resident_bytes() >= before + (1 << 16),
+            "reserved-but-unused capacity must be visible: {} vs {before}",
+            c.resident_bytes()
+        );
+        assert_eq!(
+            len_based,
+            c.offsets.len() * size_of::<usize>() + c.counts.len() * size_of::<u32>() + c.data.len(),
+            "reserve must not change the len-based figure"
+        );
     }
 
     #[test]
@@ -277,6 +691,34 @@ mod tests {
             compressed.decode_into(i, &mut out);
             assert_eq!(out.as_slice(), plain.get(i));
         }
+    }
+
+    #[test]
+    fn append_arenas_matches_pushes() {
+        let mut a0 = SampleArena::with_capacity(2);
+        a0.append_with(|buf| {
+            buf.extend_from_slice(&[1, 3, 5]);
+            0
+        });
+        a0.append_with(|buf| {
+            buf.extend_from_slice(&[2]);
+            0
+        });
+        let mut a1 = SampleArena::default();
+        a1.append_with(|_| 0);
+        a1.append_with(|buf| {
+            buf.extend_from_slice(&[0, 4]);
+            0
+        });
+        let mut merged = CompressedRrrCollection::new();
+        merged.push(&[9]);
+        merged.append_arenas(&[a0, a1]);
+        let mut reference = CompressedRrrCollection::new();
+        for s in [&[9][..], &[1, 3, 5], &[2], &[], &[0, 4]] {
+            reference.push(s);
+        }
+        assert_eq!(merged, reference);
+        assert_eq!(merged.unsorted_pushes(), 0);
     }
 
     #[test]
@@ -316,5 +758,78 @@ mod tests {
         let c = CompressedRrrCollection::new();
         assert!(c.is_empty());
         assert_eq!(c.select_greedy(10, 3).len(), 3);
+    }
+
+    #[test]
+    fn index_degrees_and_streams_match_flat_index() {
+        let mut c = CompressedRrrCollection::new();
+        c.push(&[0, 2, 4]);
+        c.push(&[1, 2]);
+        c.push(&[]);
+        c.push(&[2, 4]);
+        let idx = CompressedSampleIndex::build(&c, 5);
+        assert_eq!(idx.num_vertices(), 5);
+        assert_eq!(idx.degree(0), 1);
+        assert_eq!(idx.degree(2), 3);
+        assert_eq!(idx.degree(3), 0);
+        let mut got = Vec::new();
+        idx.for_each_sample(2, |i| got.push(i));
+        assert_eq!(got, vec![0, 1, 3], "sample ids must stream ascending");
+        got.clear();
+        idx.for_each_sample(3, |i| got.push(i));
+        assert!(got.is_empty());
+        assert!(idx.resident_bytes() > 0);
+    }
+
+    #[test]
+    fn index_handles_large_sparse_ids() {
+        let mut c = CompressedRrrCollection::new();
+        for i in 0..300usize {
+            // Vertex 7 appears in every 3rd sample; vertex 1000 in all.
+            if i % 3 == 0 {
+                c.push(&[7, 1000]);
+            } else {
+                c.push(&[1000]);
+            }
+        }
+        let idx = CompressedSampleIndex::build(&c, 1001);
+        assert_eq!(idx.degree(1000), 300);
+        assert_eq!(idx.degree(7), 100);
+        let mut ids = Vec::new();
+        idx.for_each_sample(7, |i| ids.push(i));
+        assert_eq!(ids, (0..300).step_by(3).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn incremental_index_matches_batch_build_across_absorbs() {
+        let mut c = CompressedRrrCollection::new();
+        let mut inc = IncrementalSampleIndex::new(6);
+        // Grow the store in three uneven rounds, absorbing between them —
+        // the θ-doubling access pattern the cache exists for.
+        let rounds: [&[&[Vertex]]; 3] = [
+            &[&[0, 2, 4], &[1, 2]],
+            &[&[], &[2, 4], &[5]],
+            &[&[0, 1, 2, 3, 4, 5], &[2]],
+        ];
+        for round in rounds {
+            for s in round {
+                c.push(s);
+            }
+            inc.absorb(&c);
+            assert_eq!(inc.absorbed_samples(), c.len());
+            let batch = CompressedSampleIndex::build(&c, 6);
+            for v in 0..6u32 {
+                assert_eq!(inc.degree(v), batch.degree(v), "vertex {v}");
+                let (mut a, mut b) = (Vec::new(), Vec::new());
+                inc.for_each_sample(v, |i| a.push(i));
+                batch.for_each_sample(v, |i| b.push(i));
+                assert_eq!(a, b, "vertex {v}");
+            }
+        }
+        // Absorbing with no new samples is a no-op.
+        let before = inc.resident_bytes();
+        inc.absorb(&c);
+        assert_eq!(inc.resident_bytes(), before);
+        assert!(inc.num_vertices() == 6);
     }
 }

@@ -29,8 +29,9 @@ pub mod partitioned;
 pub mod rrr;
 pub mod sampler;
 pub mod sketches;
+pub mod store;
 
-pub use compressed::CompressedRrrCollection;
+pub use compressed::{CompressedRrrCollection, CompressedSampleIndex, IncrementalSampleIndex};
 pub use forward::{estimate_spread, simulate_cascade, spread_samples, CascadeOutcome};
 pub use fused::{sample_batch_fused, FUSED_LANES};
 pub use hypergraph::{HyperGraph, SampleIndex};
@@ -41,3 +42,6 @@ pub use sampler::{
     ensure_lt_normalized, sample_batch, sample_batch_sequential, sample_root_of, BatchOutcome,
 };
 pub use sketches::ReachabilitySketches;
+pub use store::{
+    BitpackedRrrCollection, DynRrrStore, RrrStore, RrrStoreKind, SpillRrrStore, StorageConfig,
+};

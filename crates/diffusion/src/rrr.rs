@@ -240,6 +240,14 @@ impl SampleArena {
         use std::mem::size_of;
         self.offsets.capacity() * size_of::<usize>() + self.data.capacity() * size_of::<Vertex>()
     }
+
+    /// Samples that arrived unsorted and were repaired by
+    /// [`SampleArena::append_with`] — merged into the destination store's
+    /// `unsorted_pushes` diagnostic when arenas are appended.
+    #[must_use]
+    pub fn unsorted_repairs(&self) -> u64 {
+        self.unsorted
+    }
 }
 
 /// The compact one-direction RRR storage of the paper's optimized serial

@@ -7,7 +7,8 @@
 //! what lets the test suite assert sequential ≡ multithreaded ≡ distributed.
 
 use crate::model::DiffusionModel;
-use crate::rrr::{generate_rrr, generate_rrr_into, RrrCollection, RrrScratch, SampleArena};
+use crate::rrr::{generate_rrr, generate_rrr_into, RrrScratch, SampleArena};
+use crate::store::RrrStore;
 use rayon::prelude::*;
 use ripples_graph::{Graph, Vertex};
 use ripples_rng::StreamFactory;
@@ -136,13 +137,13 @@ pub fn sample_root_of(graph: &Graph, factory: &StreamFactory, index: u64) -> Ver
 /// # Panics
 ///
 /// Panics if the graph has no vertices and `count > 0`.
-pub fn sample_batch(
+pub fn sample_batch<S: RrrStore>(
     graph: &Graph,
     model: DiffusionModel,
     factory: &StreamFactory,
     first_index: u64,
     count: usize,
-    out: &mut RrrCollection,
+    out: &mut S,
 ) -> BatchOutcome {
     assert!(
         count == 0 || graph.num_vertices() > 0,
@@ -222,13 +223,13 @@ pub fn sample_batch(
 
 /// Sequential reference version of [`sample_batch`]; produces bitwise
 /// identical output (used by the serial baselines and by tests).
-pub fn sample_batch_sequential(
+pub fn sample_batch_sequential<S: RrrStore>(
     graph: &Graph,
     model: DiffusionModel,
     factory: &StreamFactory,
     first_index: u64,
     count: usize,
-    out: &mut RrrCollection,
+    out: &mut S,
 ) -> BatchOutcome {
     assert!(
         count == 0 || graph.num_vertices() > 0,
@@ -258,6 +259,7 @@ pub fn sample_batch_sequential(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::rrr::RrrCollection;
     use ripples_graph::generators::erdos_renyi;
     use ripples_graph::WeightModel;
 

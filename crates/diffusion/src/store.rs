@@ -1,0 +1,1286 @@
+//! Pluggable RRR-set storage backends behind one [`RrrStore`] trait.
+//!
+//! The paper's engines hold every sketch flat in RAM
+//! ([`RrrCollection`]); HBMax-style byte-level compression (see PAPERS.md)
+//! shows the same pipelines run several-fold larger θ when the resident
+//! sketches are delta-coded. This module makes the storage layout a
+//! first-class choice:
+//!
+//! * [`RrrCollection`] — the flat reference layout (`--rrr-store flat`).
+//!   Selection engines binary-search its slices directly; bitwise baseline
+//!   for every other backend.
+//! * [`CompressedRrrCollection`] — LEB128 delta-varint blocks
+//!   (`--rrr-store varint`), typically 2–4× smaller.
+//! * [`BitpackedRrrCollection`] — fixed-width bitpacking at
+//!   `⌈log₂ n⌉` bits per id (`--rrr-store bitpack`); wins when ids are
+//!   uniform over a small universe where varint's byte granularity wastes
+//!   bits.
+//! * [`SpillRrrStore`] — varint blocks sealed into chunks, with sealed
+//!   chunks beyond a `--rrr-budget` byte cap written to a temp spill file
+//!   and streamed back on touch (`--rrr-store spill`), so θ beyond RAM
+//!   completes instead of OOMing.
+//!
+//! All backends fill through the same two paths the flat collection uses —
+//! per-sample [`RrrStore::push`] and the [`SampleArena`] merge of the
+//! parallel samplers — in the same sample order, so every backend decodes
+//! bitwise identical to the flat reference and the cross-engine equality
+//! invariants (PR 3/5) extend across storage layouts. The differential
+//! oracle's `storage-equivalence` check enforces exactly that.
+
+use crate::compressed::{decode_sample, encode_sample, read_varint, IncrementalSampleIndex};
+use crate::rrr::{RrrCollection, SampleArena};
+use crate::CompressedRrrCollection;
+use ripples_graph::Vertex;
+use std::cell::RefCell;
+use std::fs::File;
+use std::io::{Read as _, Seek as _, SeekFrom, Write as _};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// One storage backend for a collection of sorted RRR sets.
+///
+/// The contract every backend upholds: samples are identified by their
+/// append index, each sample is a sorted, deduplicated vertex list, and a
+/// store fed the same samples in the same order as the flat reference
+/// decodes the exact same lists — selection over any backend is then
+/// bitwise identical given the shared greedy tie-break.
+pub trait RrrStore {
+    /// Appends one sample, repairing (sort + dedup) and counting violations
+    /// of the sorted contract exactly like [`RrrCollection::push`].
+    fn push(&mut self, vertices: &[Vertex]);
+
+    /// Appends the samples of `arenas` in arena order — the merge step of
+    /// the parallel samplers. Must produce the layout that pushing every
+    /// sample in the same order would.
+    fn append_arenas(&mut self, arenas: &[SampleArena]);
+
+    /// Number of samples stored.
+    fn len(&self) -> usize;
+
+    /// True when no samples are stored.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Total vertex entries across all samples.
+    fn total_entries(&self) -> u64;
+
+    /// Vertex count of sample `i` without decoding it.
+    fn sample_len(&self, i: usize) -> usize;
+
+    /// Decodes sample `i` into `out` (cleared first).
+    fn decode_into(&self, i: usize, out: &mut Vec<Vertex>);
+
+    /// Streams the vertices of sample `i` to `f` in ascending order.
+    fn for_each_vertex<F: FnMut(Vertex)>(&self, i: usize, f: F);
+
+    /// Membership test on sample `i` (early exit on the sorted order).
+    fn contains(&self, i: usize, v: Vertex) -> bool;
+
+    /// Resident bytes of the storage, capacity-based (growth slack is real
+    /// allocated memory). Spilled bytes are *not* resident.
+    fn resident_bytes(&self) -> usize;
+
+    /// Samples repaired on insert for violating the sorted contract.
+    fn unsorted_pushes(&self) -> u64;
+
+    /// The flat reference collection, when this store is one — selection
+    /// dispatch uses it to keep the slice-based engines (and their bitwise
+    /// guarantees) on the fast path.
+    fn as_flat(&self) -> Option<&RrrCollection> {
+        None
+    }
+
+    /// Total bytes written to a spill file over the store's lifetime
+    /// (0 for RAM-only backends).
+    fn spill_bytes_written(&self) -> u64 {
+        0
+    }
+
+    /// Runs `f` over an inverted sample index of the store's current
+    /// contents. The default builds a transient
+    /// [`IncrementalSampleIndex`] from scratch on every call; stores that
+    /// carry an index cache ([`DynRrrStore`] — the type every engine entry
+    /// point actually runs) override this to absorb only the samples
+    /// appended since the previous call, making the per-round index cost
+    /// of IMM's θ-doubling loop proportional to *new* samples instead of
+    /// the whole store.
+    fn with_sample_index<R>(
+        &self,
+        num_vertices: u32,
+        f: impl FnOnce(&IncrementalSampleIndex) -> R,
+    ) -> R
+    where
+        Self: Sized,
+    {
+        let mut index = IncrementalSampleIndex::new(num_vertices);
+        index.absorb(self);
+        f(&index)
+    }
+
+    /// The backend's kind tag.
+    fn kind(&self) -> RrrStoreKind;
+}
+
+/// The available storage backends (`--rrr-store`).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RrrStoreKind {
+    /// Flat reference layout ([`RrrCollection`]).
+    Flat,
+    /// Delta-varint blocks ([`CompressedRrrCollection`]).
+    Varint,
+    /// Fixed-width bitpacking ([`BitpackedRrrCollection`]).
+    Bitpack,
+    /// Varint chunks with spill-to-disk beyond a byte budget
+    /// ([`SpillRrrStore`]).
+    Spill,
+}
+
+impl RrrStoreKind {
+    /// Parses a CLI tag (`--rrr-store flat|varint|bitpack|spill`).
+    #[must_use]
+    pub fn from_tag(tag: &str) -> Option<Self> {
+        match tag {
+            "flat" => Some(Self::Flat),
+            "varint" => Some(Self::Varint),
+            "bitpack" => Some(Self::Bitpack),
+            "spill" => Some(Self::Spill),
+            _ => None,
+        }
+    }
+
+    /// The CLI tag of this kind.
+    #[must_use]
+    pub fn tag(self) -> &'static str {
+        match self {
+            Self::Flat => "flat",
+            Self::Varint => "varint",
+            Self::Bitpack => "bitpack",
+            Self::Spill => "spill",
+        }
+    }
+}
+
+/// How an IMM run should store its RRR sets.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct StorageConfig {
+    /// The backend kind.
+    pub kind: RrrStoreKind,
+    /// Resident-byte cap for the spill backend (`--rrr-budget`); ignored by
+    /// the RAM-only backends. `None` uses [`SpillRrrStore::DEFAULT_BUDGET`].
+    pub budget: Option<usize>,
+}
+
+impl Default for StorageConfig {
+    fn default() -> Self {
+        Self {
+            kind: RrrStoreKind::Flat,
+            budget: None,
+        }
+    }
+}
+
+impl StorageConfig {
+    /// Config for one backend kind with no budget override.
+    #[must_use]
+    pub fn of(kind: RrrStoreKind) -> Self {
+        Self { kind, budget: None }
+    }
+}
+
+impl RrrStore for RrrCollection {
+    fn push(&mut self, vertices: &[Vertex]) {
+        RrrCollection::push(self, vertices);
+    }
+
+    fn append_arenas(&mut self, arenas: &[SampleArena]) {
+        RrrCollection::append_arenas(self, arenas);
+    }
+
+    fn len(&self) -> usize {
+        RrrCollection::len(self)
+    }
+
+    fn total_entries(&self) -> u64 {
+        RrrCollection::total_entries(self) as u64
+    }
+
+    fn sample_len(&self, i: usize) -> usize {
+        self.get(i).len()
+    }
+
+    fn decode_into(&self, i: usize, out: &mut Vec<Vertex>) {
+        out.clear();
+        out.extend_from_slice(self.get(i));
+    }
+
+    fn for_each_vertex<F: FnMut(Vertex)>(&self, i: usize, mut f: F) {
+        for &v in self.get(i) {
+            f(v);
+        }
+    }
+
+    fn contains(&self, i: usize, v: Vertex) -> bool {
+        self.get(i).binary_search(&v).is_ok()
+    }
+
+    fn resident_bytes(&self) -> usize {
+        RrrCollection::resident_bytes(self)
+    }
+
+    fn unsorted_pushes(&self) -> u64 {
+        RrrCollection::unsorted_pushes(self)
+    }
+
+    fn as_flat(&self) -> Option<&RrrCollection> {
+        Some(self)
+    }
+
+    fn kind(&self) -> RrrStoreKind {
+        RrrStoreKind::Flat
+    }
+}
+
+impl RrrStore for CompressedRrrCollection {
+    fn push(&mut self, vertices: &[Vertex]) {
+        CompressedRrrCollection::push(self, vertices);
+    }
+
+    fn append_arenas(&mut self, arenas: &[SampleArena]) {
+        CompressedRrrCollection::append_arenas(self, arenas);
+    }
+
+    fn len(&self) -> usize {
+        CompressedRrrCollection::len(self)
+    }
+
+    fn total_entries(&self) -> u64 {
+        CompressedRrrCollection::total_entries(self)
+    }
+
+    fn sample_len(&self, i: usize) -> usize {
+        CompressedRrrCollection::sample_len(self, i)
+    }
+
+    fn decode_into(&self, i: usize, out: &mut Vec<Vertex>) {
+        CompressedRrrCollection::decode_into(self, i, out);
+    }
+
+    fn for_each_vertex<F: FnMut(Vertex)>(&self, i: usize, f: F) {
+        CompressedRrrCollection::for_each_vertex(self, i, f);
+    }
+
+    fn contains(&self, i: usize, v: Vertex) -> bool {
+        CompressedRrrCollection::contains(self, i, v)
+    }
+
+    fn resident_bytes(&self) -> usize {
+        CompressedRrrCollection::resident_bytes(self)
+    }
+
+    fn unsorted_pushes(&self) -> u64 {
+        CompressedRrrCollection::unsorted_pushes(self)
+    }
+
+    fn kind(&self) -> RrrStoreKind {
+        RrrStoreKind::Varint
+    }
+}
+
+/// Fixed-width bitpacked RRR storage: every vertex id occupies exactly
+/// `⌈log₂ n⌉` bits. Compared to varint's byte granularity this wins on
+/// small universes with near-uniform ids (where most gaps still need a
+/// whole byte) and loses on skewed, clustered sets (where gap-1 deltas fit
+/// a few bits' worth of byte). Random access per sample stays O(1) to the
+/// sample start; decoding is a linear bit-read.
+#[derive(Clone, Debug)]
+pub struct BitpackedRrrCollection {
+    /// Bits per stored id; `1..=32`.
+    width: u32,
+    /// Per-sample end offsets in *ids* (`offsets[0] == 0`).
+    offsets: Vec<u64>,
+    /// The packed bit buffer.
+    words: Vec<u64>,
+    unsorted_pushes: u64,
+}
+
+impl BitpackedRrrCollection {
+    /// Creates an empty collection for vertex ids `< num_vertices`.
+    #[must_use]
+    pub fn new(num_vertices: u32) -> Self {
+        let width = match num_vertices {
+            0 | 1 => 1,
+            n => 32 - (n - 1).leading_zeros(),
+        };
+        Self {
+            width,
+            offsets: vec![0],
+            words: Vec::new(),
+            unsorted_pushes: 0,
+        }
+    }
+
+    /// Bits per stored vertex id.
+    #[must_use]
+    pub fn width(&self) -> u32 {
+        self.width
+    }
+
+    #[inline]
+    fn mask(&self) -> u64 {
+        if self.width == 64 {
+            u64::MAX
+        } else {
+            (1u64 << self.width) - 1
+        }
+    }
+
+    #[inline]
+    fn write_id(&mut self, slot: u64, v: u32) {
+        let bit = slot * u64::from(self.width);
+        let word = (bit / 64) as usize;
+        let shift = bit % 64;
+        let need_words = (bit + u64::from(self.width)).div_ceil(64) as usize;
+        if self.words.len() < need_words {
+            self.words.resize(need_words, 0);
+        }
+        self.words[word] |= u64::from(v) << shift;
+        if shift + u64::from(self.width) > 64 {
+            self.words[word + 1] |= u64::from(v) >> (64 - shift);
+        }
+    }
+
+    #[inline]
+    fn read_id(&self, slot: u64) -> u32 {
+        let bit = slot * u64::from(self.width);
+        let word = (bit / 64) as usize;
+        let shift = bit % 64;
+        let mut v = self.words[word] >> shift;
+        if shift + u64::from(self.width) > 64 {
+            v |= self.words[word + 1] << (64 - shift);
+        }
+        (v & self.mask()) as u32
+    }
+
+    fn push_sorted(&mut self, vertices: &[Vertex]) {
+        let start = *self.offsets.last().expect("offsets never empty");
+        for (i, &v) in vertices.iter().enumerate() {
+            debug_assert!(
+                u64::from(v) <= self.mask(),
+                "vertex {v} exceeds the {}-bit universe",
+                self.width
+            );
+            self.write_id(start + i as u64, v);
+        }
+        self.offsets.push(start + vertices.len() as u64);
+    }
+
+    /// Appends a sample under the always-on sorted/repair contract.
+    pub fn push(&mut self, vertices: &[Vertex]) {
+        if vertices.windows(2).all(|w| w[0] < w[1]) {
+            self.push_sorted(vertices);
+        } else {
+            self.unsorted_pushes += 1;
+            let mut repaired = vertices.to_vec();
+            repaired.sort_unstable();
+            repaired.dedup();
+            self.push_sorted(&repaired);
+        }
+    }
+
+    /// Number of samples stored.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// True when empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Vertex count of sample `i`.
+    #[must_use]
+    pub fn sample_len(&self, i: usize) -> usize {
+        (self.offsets[i + 1] - self.offsets[i]) as usize
+    }
+}
+
+impl RrrStore for BitpackedRrrCollection {
+    fn push(&mut self, vertices: &[Vertex]) {
+        BitpackedRrrCollection::push(self, vertices);
+    }
+
+    fn append_arenas(&mut self, arenas: &[SampleArena]) {
+        let new_samples: usize = arenas.iter().map(SampleArena::len).sum();
+        let new_entries: usize = arenas.iter().map(SampleArena::total_entries).sum();
+        // `reserve_exact`: these sizes are exact, and `resident_bytes`
+        // reports capacity — amortized doubling would inflate the peak.
+        self.offsets.reserve_exact(new_samples);
+        let end_ids = *self.offsets.last().expect("offsets never empty") + new_entries as u64;
+        self.words.reserve_exact(
+            (end_ids * u64::from(self.width)).div_ceil(64) as usize - self.words.len(),
+        );
+        for arena in arenas {
+            for i in 0..arena.len() {
+                // Arena content is validated sorted by append_with.
+                self.push_sorted(arena.get(i));
+            }
+            self.unsorted_pushes += arena.unsorted_repairs();
+        }
+    }
+
+    fn len(&self) -> usize {
+        BitpackedRrrCollection::len(self)
+    }
+
+    fn total_entries(&self) -> u64 {
+        *self.offsets.last().expect("offsets never empty")
+    }
+
+    fn sample_len(&self, i: usize) -> usize {
+        BitpackedRrrCollection::sample_len(self, i)
+    }
+
+    fn decode_into(&self, i: usize, out: &mut Vec<Vertex>) {
+        out.clear();
+        for slot in self.offsets[i]..self.offsets[i + 1] {
+            out.push(self.read_id(slot));
+        }
+    }
+
+    fn for_each_vertex<F: FnMut(Vertex)>(&self, i: usize, mut f: F) {
+        for slot in self.offsets[i]..self.offsets[i + 1] {
+            f(self.read_id(slot));
+        }
+    }
+
+    fn contains(&self, i: usize, v: Vertex) -> bool {
+        // Ids are sorted, so binary search over the fixed-width slots.
+        let (mut lo, mut hi) = (self.offsets[i], self.offsets[i + 1]);
+        while lo < hi {
+            let mid = lo + (hi - lo) / 2;
+            match self.read_id(mid).cmp(&v) {
+                std::cmp::Ordering::Equal => return true,
+                std::cmp::Ordering::Less => lo = mid + 1,
+                std::cmp::Ordering::Greater => hi = mid,
+            }
+        }
+        false
+    }
+
+    fn resident_bytes(&self) -> usize {
+        use std::mem::size_of;
+        self.offsets.capacity() * size_of::<u64>() + self.words.capacity() * size_of::<u64>()
+    }
+
+    fn unsorted_pushes(&self) -> u64 {
+        self.unsorted_pushes
+    }
+
+    fn kind(&self) -> RrrStoreKind {
+        RrrStoreKind::Bitpack
+    }
+}
+
+/// Monotonic suffix for spill-file names, so concurrent stores in one
+/// process never collide.
+static SPILL_SEQ: AtomicU64 = AtomicU64::new(0);
+
+/// Where a sealed chunk's encoded payload lives.
+#[derive(Debug)]
+enum ChunkPayload {
+    /// Still resident.
+    Ram(Vec<u8>),
+    /// Written to the spill file at `offset`, `len` bytes.
+    Disk { offset: u64, len: usize },
+}
+
+/// One sealed run of consecutive samples, varint-encoded.
+#[derive(Debug)]
+struct Chunk {
+    /// Global index of the chunk's first sample.
+    first_sample: usize,
+    /// Per-sample vertex counts.
+    counts: Vec<u32>,
+    /// Per-sample end byte offsets within the payload.
+    ends: Vec<u32>,
+    payload: ChunkPayload,
+}
+
+impl Chunk {
+    fn samples(&self) -> usize {
+        self.counts.len()
+    }
+}
+
+/// Chunked spill-to-disk RRR storage: delta-varint blocks sealed into
+/// chunks; once resident bytes exceed the budget, sealed chunk payloads are
+/// appended to a temp spill file and read back on touch through a one-chunk
+/// cache. Per-sample counts and offsets stay resident (8 bytes per sample),
+/// so `sample_len`/`len` never touch the disk and access within a loaded
+/// chunk is O(1).
+///
+/// The access patterns of selection — a sequential counting sweep, then
+/// per-seed touches in ascending sample order — load each spilled chunk a
+/// bounded number of times per pass, so a budget-bound run completes with
+/// streaming reads instead of OOMing.
+#[derive(Debug)]
+pub struct SpillRrrStore {
+    budget: usize,
+    /// Seal the open chunk when its payload reaches this many bytes.
+    chunk_target: usize,
+    chunks: Vec<Chunk>,
+    /// The open chunk's state (same layout as a sealed RAM chunk).
+    open_first: usize,
+    open_counts: Vec<u32>,
+    open_ends: Vec<u32>,
+    open_data: Vec<u8>,
+    file: Option<File>,
+    path: PathBuf,
+    file_len: u64,
+    spill_bytes_written: u64,
+    total_entries: u64,
+    unsorted_pushes: u64,
+    /// `(chunk index, payload)` of the most recently loaded spilled chunk.
+    cache: RefCell<Option<(usize, Vec<u8>)>>,
+}
+
+impl SpillRrrStore {
+    /// Default resident budget when none is configured: 1 GiB.
+    pub const DEFAULT_BUDGET: usize = 1 << 30;
+
+    /// Creates a store with the given resident-byte budget.
+    #[must_use]
+    pub fn new(budget: usize) -> Self {
+        // Small budgets must still seal (and therefore spill) promptly; big
+        // budgets want fewer, larger chunks for sequential I/O.
+        let chunk_target = (budget / 4).clamp(1 << 10, 8 << 20);
+        let seq = SPILL_SEQ.fetch_add(1, Ordering::Relaxed);
+        let path =
+            std::env::temp_dir().join(format!("ripples-spill-{}-{seq}.rrr", std::process::id()));
+        Self {
+            budget,
+            chunk_target,
+            chunks: Vec::new(),
+            open_first: 0,
+            open_counts: Vec::new(),
+            open_ends: Vec::new(),
+            open_data: Vec::new(),
+            file: None,
+            path,
+            file_len: 0,
+            spill_bytes_written: 0,
+            total_entries: 0,
+            unsorted_pushes: 0,
+            cache: RefCell::new(None),
+        }
+    }
+
+    /// The configured resident budget in bytes.
+    #[must_use]
+    pub fn budget(&self) -> usize {
+        self.budget
+    }
+
+    /// Number of chunks currently on disk.
+    #[must_use]
+    pub fn spilled_chunks(&self) -> usize {
+        self.chunks
+            .iter()
+            .filter(|c| matches!(c.payload, ChunkPayload::Disk { .. }))
+            .count()
+    }
+
+    fn push_sorted(&mut self, vertices: &[Vertex]) {
+        encode_sample(&mut self.open_data, vertices);
+        self.open_counts.push(vertices.len() as u32);
+        self.open_ends.push(self.open_data.len() as u32);
+        self.total_entries += vertices.len() as u64;
+        if self.open_data.len() >= self.chunk_target {
+            self.seal_open();
+        }
+        self.enforce_budget();
+    }
+
+    fn seal_open(&mut self) {
+        if self.open_counts.is_empty() {
+            return;
+        }
+        let samples = self.open_counts.len();
+        self.chunks.push(Chunk {
+            first_sample: self.open_first,
+            counts: std::mem::take(&mut self.open_counts),
+            ends: std::mem::take(&mut self.open_ends),
+            payload: ChunkPayload::Ram(std::mem::take(&mut self.open_data)),
+        });
+        self.open_first += samples;
+    }
+
+    fn enforce_budget(&mut self) {
+        if RrrStore::resident_bytes(self) <= self.budget {
+            return;
+        }
+        // Oldest sealed RAM chunks spill first: selection touches samples
+        // in ascending order, so the freshest (still-filling) tail stays
+        // hot while the cold head streams from disk.
+        for idx in 0..self.chunks.len() {
+            if RrrStore::resident_bytes(self) <= self.budget {
+                break;
+            }
+            if !matches!(self.chunks[idx].payload, ChunkPayload::Ram(_)) {
+                continue;
+            }
+            let ChunkPayload::Ram(bytes) = std::mem::replace(
+                &mut self.chunks[idx].payload,
+                ChunkPayload::Disk { offset: 0, len: 0 },
+            ) else {
+                unreachable!()
+            };
+            let offset = self.file_len;
+            let file = self.file.get_or_insert_with(|| {
+                std::fs::OpenOptions::new()
+                    .create(true)
+                    .truncate(true)
+                    .read(true)
+                    .write(true)
+                    .open(&self.path)
+                    .unwrap_or_else(|e| panic!("cannot create spill file {:?}: {e}", self.path))
+            });
+            file.seek(SeekFrom::Start(offset))
+                .and_then(|_| file.write_all(&bytes))
+                .unwrap_or_else(|e| panic!("cannot write spill file {:?}: {e}", self.path));
+            self.file_len += bytes.len() as u64;
+            self.spill_bytes_written += bytes.len() as u64;
+            self.chunks[idx].payload = ChunkPayload::Disk {
+                offset,
+                len: bytes.len(),
+            };
+        }
+    }
+
+    /// Index of the chunk holding global sample `i`, or `None` when `i`
+    /// lives in the open chunk.
+    fn chunk_of(&self, i: usize) -> Option<usize> {
+        if i >= self.open_first {
+            return None;
+        }
+        let idx = self
+            .chunks
+            .partition_point(|c| c.first_sample + c.samples() <= i);
+        debug_assert!(idx < self.chunks.len());
+        Some(idx)
+    }
+
+    /// Runs `f` over the payload byte range of sample `i`, loading the
+    /// owning chunk from disk (into the one-chunk cache) when spilled.
+    fn with_sample_bytes<T>(&self, i: usize, f: impl FnOnce(&[u8], u32) -> T) -> T {
+        match self.chunk_of(i) {
+            None => {
+                let j = i - self.open_first;
+                let start = if j == 0 {
+                    0
+                } else {
+                    self.open_ends[j - 1] as usize
+                };
+                let end = self.open_ends[j] as usize;
+                f(&self.open_data[start..end], self.open_counts[j])
+            }
+            Some(idx) => {
+                let chunk = &self.chunks[idx];
+                let j = i - chunk.first_sample;
+                let start = if j == 0 {
+                    0
+                } else {
+                    chunk.ends[j - 1] as usize
+                };
+                let end = chunk.ends[j] as usize;
+                match &chunk.payload {
+                    ChunkPayload::Ram(bytes) => f(&bytes[start..end], chunk.counts[j]),
+                    ChunkPayload::Disk { offset, len } => {
+                        let mut cache = self.cache.borrow_mut();
+                        let hit = matches!(&*cache, Some((c, _)) if *c == idx);
+                        if !hit {
+                            let mut bytes = vec![0u8; *len];
+                            let mut file =
+                                self.file.as_ref().expect("spilled chunk without a file");
+                            file.seek(SeekFrom::Start(*offset))
+                                .and_then(|_| file.read_exact(&mut bytes))
+                                .unwrap_or_else(|e| {
+                                    panic!("cannot read spill file {:?}: {e}", self.path)
+                                });
+                            *cache = Some((idx, bytes));
+                        }
+                        let (_, bytes) = cache.as_ref().expect("cache just filled");
+                        f(&bytes[start..end], chunk.counts[j])
+                    }
+                }
+            }
+        }
+    }
+}
+
+impl Drop for SpillRrrStore {
+    fn drop(&mut self) {
+        if self.file.take().is_some() {
+            let _ = std::fs::remove_file(&self.path);
+        }
+    }
+}
+
+impl RrrStore for SpillRrrStore {
+    fn push(&mut self, vertices: &[Vertex]) {
+        if vertices.windows(2).all(|w| w[0] < w[1]) {
+            self.push_sorted(vertices);
+        } else {
+            self.unsorted_pushes += 1;
+            let mut repaired = vertices.to_vec();
+            repaired.sort_unstable();
+            repaired.dedup();
+            self.push_sorted(&repaired);
+        }
+    }
+
+    fn append_arenas(&mut self, arenas: &[SampleArena]) {
+        for arena in arenas {
+            for i in 0..arena.len() {
+                self.push_sorted(arena.get(i));
+            }
+            self.unsorted_pushes += arena.unsorted_repairs();
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.open_first + self.open_counts.len()
+    }
+
+    fn total_entries(&self) -> u64 {
+        self.total_entries
+    }
+
+    fn sample_len(&self, i: usize) -> usize {
+        match self.chunk_of(i) {
+            None => self.open_counts[i - self.open_first] as usize,
+            Some(idx) => {
+                let chunk = &self.chunks[idx];
+                chunk.counts[i - chunk.first_sample] as usize
+            }
+        }
+    }
+
+    fn decode_into(&self, i: usize, out: &mut Vec<Vertex>) {
+        out.clear();
+        self.with_sample_bytes(i, |bytes, count| {
+            let mut pos = 0usize;
+            decode_sample(bytes, &mut pos, count, |v| out.push(v));
+            debug_assert_eq!(pos, bytes.len());
+        });
+    }
+
+    fn for_each_vertex<F: FnMut(Vertex)>(&self, i: usize, f: F) {
+        self.with_sample_bytes(i, |bytes, count| {
+            let mut pos = 0usize;
+            decode_sample(bytes, &mut pos, count, f);
+        });
+    }
+
+    fn contains(&self, i: usize, target: Vertex) -> bool {
+        self.with_sample_bytes(i, |bytes, count| {
+            let mut pos = 0usize;
+            let mut prev: Vertex = 0;
+            for idx in 0..count {
+                let raw = read_varint(bytes, &mut pos);
+                let v = if idx == 0 { raw } else { prev + raw + 1 };
+                if v == target {
+                    return true;
+                }
+                if v > target {
+                    return false;
+                }
+                prev = v;
+            }
+            false
+        })
+    }
+
+    fn resident_bytes(&self) -> usize {
+        use std::mem::size_of;
+        let meta: usize = self
+            .chunks
+            .iter()
+            .map(|c| {
+                c.counts.capacity() * size_of::<u32>()
+                    + c.ends.capacity() * size_of::<u32>()
+                    + match &c.payload {
+                        ChunkPayload::Ram(bytes) => bytes.capacity(),
+                        ChunkPayload::Disk { .. } => 0,
+                    }
+            })
+            .sum();
+        let cache = self
+            .cache
+            .borrow()
+            .as_ref()
+            .map_or(0, |(_, bytes)| bytes.capacity());
+        meta + self.open_counts.capacity() * size_of::<u32>()
+            + self.open_ends.capacity() * size_of::<u32>()
+            + self.open_data.capacity()
+            + cache
+    }
+
+    fn unsorted_pushes(&self) -> u64 {
+        self.unsorted_pushes
+    }
+
+    fn spill_bytes_written(&self) -> u64 {
+        self.spill_bytes_written
+    }
+
+    fn kind(&self) -> RrrStoreKind {
+        RrrStoreKind::Spill
+    }
+}
+
+/// The concrete layout behind a [`DynRrrStore`].
+#[derive(Debug)]
+enum DynStoreInner {
+    /// Flat reference layout.
+    Flat(RrrCollection),
+    /// Delta-varint blocks.
+    Varint(CompressedRrrCollection),
+    /// Fixed-width bitpacking.
+    Bitpack(BitpackedRrrCollection),
+    /// Varint chunks with spill-to-disk.
+    Spill(SpillRrrStore),
+}
+
+/// A runtime-chosen storage backend (`--rrr-store`), dispatching the
+/// [`RrrStore`] trait over the four concrete layouts.
+///
+/// Carries the cross-round [`IncrementalSampleIndex`] cache behind
+/// [`RrrStore::with_sample_index`]: IMM selects over the same (append-only)
+/// store every θ round, so the cache turns per-round index rebuilds into
+/// incremental absorbs of just the new samples. The cache is excluded from
+/// [`RrrStore::resident_bytes`] — it is selection working memory, reported
+/// through `SelectStats::index_bytes` exactly like the flat engines'
+/// transient indexes.
+#[derive(Debug)]
+pub struct DynRrrStore {
+    inner: DynStoreInner,
+    index_cache: RefCell<Option<IncrementalSampleIndex>>,
+}
+
+impl DynRrrStore {
+    /// Creates an empty store per `config` for a graph of `num_vertices`.
+    #[must_use]
+    pub fn new(config: StorageConfig, num_vertices: u32) -> Self {
+        let inner = match config.kind {
+            RrrStoreKind::Flat => DynStoreInner::Flat(RrrCollection::new()),
+            RrrStoreKind::Varint => DynStoreInner::Varint(CompressedRrrCollection::new()),
+            RrrStoreKind::Bitpack => {
+                DynStoreInner::Bitpack(BitpackedRrrCollection::new(num_vertices))
+            }
+            RrrStoreKind::Spill => DynStoreInner::Spill(SpillRrrStore::new(
+                config.budget.unwrap_or(SpillRrrStore::DEFAULT_BUDGET),
+            )),
+        };
+        Self {
+            inner,
+            index_cache: RefCell::new(None),
+        }
+    }
+}
+
+macro_rules! dyn_delegate {
+    ($self:expr, $store:ident => $body:expr) => {
+        match $self {
+            DynStoreInner::Flat($store) => $body,
+            DynStoreInner::Varint($store) => $body,
+            DynStoreInner::Bitpack($store) => $body,
+            DynStoreInner::Spill($store) => $body,
+        }
+    };
+}
+
+impl RrrStore for DynStoreInner {
+    fn push(&mut self, vertices: &[Vertex]) {
+        dyn_delegate!(self, s => RrrStore::push(s, vertices));
+    }
+
+    fn append_arenas(&mut self, arenas: &[SampleArena]) {
+        dyn_delegate!(self, s => RrrStore::append_arenas(s, arenas));
+    }
+
+    fn len(&self) -> usize {
+        dyn_delegate!(self, s => RrrStore::len(s))
+    }
+
+    fn total_entries(&self) -> u64 {
+        dyn_delegate!(self, s => RrrStore::total_entries(s))
+    }
+
+    fn sample_len(&self, i: usize) -> usize {
+        dyn_delegate!(self, s => RrrStore::sample_len(s, i))
+    }
+
+    fn decode_into(&self, i: usize, out: &mut Vec<Vertex>) {
+        dyn_delegate!(self, s => RrrStore::decode_into(s, i, out));
+    }
+
+    fn for_each_vertex<F: FnMut(Vertex)>(&self, i: usize, f: F) {
+        dyn_delegate!(self, s => RrrStore::for_each_vertex(s, i, f));
+    }
+
+    fn contains(&self, i: usize, v: Vertex) -> bool {
+        dyn_delegate!(self, s => RrrStore::contains(s, i, v))
+    }
+
+    fn resident_bytes(&self) -> usize {
+        dyn_delegate!(self, s => RrrStore::resident_bytes(s))
+    }
+
+    fn unsorted_pushes(&self) -> u64 {
+        dyn_delegate!(self, s => RrrStore::unsorted_pushes(s))
+    }
+
+    fn as_flat(&self) -> Option<&RrrCollection> {
+        match self {
+            DynStoreInner::Flat(c) => Some(c),
+            _ => None,
+        }
+    }
+
+    fn spill_bytes_written(&self) -> u64 {
+        dyn_delegate!(self, s => RrrStore::spill_bytes_written(s))
+    }
+
+    fn kind(&self) -> RrrStoreKind {
+        dyn_delegate!(self, s => RrrStore::kind(s))
+    }
+}
+
+impl RrrStore for DynRrrStore {
+    fn push(&mut self, vertices: &[Vertex]) {
+        self.inner.push(vertices);
+    }
+
+    fn append_arenas(&mut self, arenas: &[SampleArena]) {
+        self.inner.append_arenas(arenas);
+    }
+
+    fn len(&self) -> usize {
+        self.inner.len()
+    }
+
+    fn total_entries(&self) -> u64 {
+        self.inner.total_entries()
+    }
+
+    fn sample_len(&self, i: usize) -> usize {
+        self.inner.sample_len(i)
+    }
+
+    fn decode_into(&self, i: usize, out: &mut Vec<Vertex>) {
+        self.inner.decode_into(i, out);
+    }
+
+    fn for_each_vertex<F: FnMut(Vertex)>(&self, i: usize, f: F) {
+        self.inner.for_each_vertex(i, f);
+    }
+
+    fn contains(&self, i: usize, v: Vertex) -> bool {
+        self.inner.contains(i, v)
+    }
+
+    fn resident_bytes(&self) -> usize {
+        self.inner.resident_bytes()
+    }
+
+    fn unsorted_pushes(&self) -> u64 {
+        self.inner.unsorted_pushes()
+    }
+
+    fn as_flat(&self) -> Option<&RrrCollection> {
+        self.inner.as_flat()
+    }
+
+    fn spill_bytes_written(&self) -> u64 {
+        self.inner.spill_bytes_written()
+    }
+
+    fn with_sample_index<R>(
+        &self,
+        num_vertices: u32,
+        f: impl FnOnce(&IncrementalSampleIndex) -> R,
+    ) -> R {
+        let mut cache = self.index_cache.borrow_mut();
+        let index = cache.get_or_insert_with(|| IncrementalSampleIndex::new(num_vertices));
+        debug_assert_eq!(
+            index.num_vertices(),
+            num_vertices as usize,
+            "index cache reused across different vertex universes"
+        );
+        index.absorb(&self.inner);
+        f(index)
+    }
+
+    fn kind(&self) -> RrrStoreKind {
+        self.inner.kind()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Deterministic pseudo-random sorted sample list over `n` vertices.
+    fn synth_samples(n: u32, count: usize) -> Vec<Vec<Vertex>> {
+        let mut x = 0x9E3779B9u32;
+        (0..count)
+            .map(|i| {
+                let len = i % 7;
+                let mut s: Vec<Vertex> = (0..len)
+                    .map(|_| {
+                        x = x.wrapping_mul(1103515245).wrapping_add(12345);
+                        (x >> 8) % n
+                    })
+                    .collect();
+                s.sort_unstable();
+                s.dedup();
+                s
+            })
+            .collect()
+    }
+
+    fn all_backends(n: u32, budget: usize) -> Vec<DynRrrStore> {
+        vec![
+            DynRrrStore::new(StorageConfig::of(RrrStoreKind::Flat), n),
+            DynRrrStore::new(StorageConfig::of(RrrStoreKind::Varint), n),
+            DynRrrStore::new(StorageConfig::of(RrrStoreKind::Bitpack), n),
+            DynRrrStore::new(
+                StorageConfig {
+                    kind: RrrStoreKind::Spill,
+                    budget: Some(budget),
+                },
+                n,
+            ),
+        ]
+    }
+
+    #[test]
+    fn every_backend_round_trips_identically() {
+        let n = 500;
+        let samples = synth_samples(n, 300);
+        for mut store in all_backends(n, 2048) {
+            for s in &samples {
+                store.push(s);
+            }
+            assert_eq!(store.len(), samples.len(), "{:?}", store.kind());
+            let total: u64 = samples.iter().map(|s| s.len() as u64).sum();
+            assert_eq!(store.total_entries(), total, "{:?}", store.kind());
+            let mut out = Vec::new();
+            for (i, s) in samples.iter().enumerate() {
+                assert_eq!(store.sample_len(i), s.len(), "{:?}", store.kind());
+                store.decode_into(i, &mut out);
+                assert_eq!(&out, s, "{:?} sample {i}", store.kind());
+                let mut streamed = Vec::new();
+                store.for_each_vertex(i, |v| streamed.push(v));
+                assert_eq!(&streamed, s, "{:?} sample {i}", store.kind());
+                for v in [0, n / 2, n - 1] {
+                    assert_eq!(
+                        store.contains(i, v),
+                        s.binary_search(&v).is_ok(),
+                        "{:?} sample {i} vertex {v}",
+                        store.kind()
+                    );
+                }
+            }
+            assert!(store.resident_bytes() > 0);
+            assert_eq!(store.unsorted_pushes(), 0);
+        }
+    }
+
+    #[test]
+    fn every_backend_repairs_unsorted_pushes() {
+        for mut store in all_backends(100, 4096) {
+            store.push(&[9, 3, 3, 7]);
+            assert_eq!(store.unsorted_pushes(), 1, "{:?}", store.kind());
+            let mut out = Vec::new();
+            store.decode_into(0, &mut out);
+            assert_eq!(out, vec![3, 7, 9], "{:?}", store.kind());
+        }
+    }
+
+    #[test]
+    fn arena_fill_matches_push_fill() {
+        let n = 200;
+        let samples = synth_samples(n, 64);
+        let mut arenas = vec![SampleArena::default(), SampleArena::default()];
+        for (i, s) in samples.iter().enumerate() {
+            arenas[i / 32].append_with(|buf| {
+                buf.extend_from_slice(s);
+                0
+            });
+        }
+        for (mut via_arena, mut via_push) in
+            all_backends(n, 4096).into_iter().zip(all_backends(n, 4096))
+        {
+            via_arena.append_arenas(&arenas);
+            for s in &samples {
+                via_push.push(s);
+            }
+            let mut a = Vec::new();
+            let mut b = Vec::new();
+            for i in 0..samples.len() {
+                via_arena.decode_into(i, &mut a);
+                via_push.decode_into(i, &mut b);
+                assert_eq!(a, b, "{:?} sample {i}", via_arena.kind());
+            }
+        }
+    }
+
+    #[test]
+    fn compressed_backends_shrink_storage() {
+        // Clustered sorted ids: the flat layout pays 4 bytes per entry,
+        // varint gaps mostly 1 byte, bitpack ⌈log2 n⌉ bits.
+        let n = 1 << 14;
+        let mut flat = RrrCollection::new();
+        let mut varint = CompressedRrrCollection::new();
+        let mut bitpack = BitpackedRrrCollection::new(n);
+        for base in 0..400u32 {
+            let set: Vec<Vertex> = (0..48).map(|i| (base * 7 + i * 3) % n).collect();
+            let mut set = set;
+            set.sort_unstable();
+            set.dedup();
+            RrrStore::push(&mut flat, &set);
+            RrrStore::push(&mut varint, &set);
+            RrrStore::push(&mut bitpack, &set);
+        }
+        let f = RrrStore::resident_bytes(&flat);
+        assert!(
+            RrrStore::resident_bytes(&varint) * 2 < f,
+            "varint {} not ≪ flat {f}",
+            RrrStore::resident_bytes(&varint)
+        );
+        assert!(
+            RrrStore::resident_bytes(&bitpack) < f,
+            "bitpack {} not < flat {f}",
+            RrrStore::resident_bytes(&bitpack)
+        );
+    }
+
+    #[test]
+    fn bitpack_handles_full_u32_universe() {
+        let mut c = BitpackedRrrCollection::new(u32::MAX);
+        assert_eq!(c.width(), 32);
+        let s = vec![0u32, 1, u32::MAX - 2, u32::MAX - 1];
+        RrrStore::push(&mut c, &s);
+        let mut out = Vec::new();
+        RrrStore::decode_into(&c, 0, &mut out);
+        assert_eq!(out, s);
+        assert!(RrrStore::contains(&c, 0, u32::MAX - 1));
+        assert!(!RrrStore::contains(&c, 0, 17));
+    }
+
+    #[test]
+    fn bitpack_tiny_universe() {
+        let mut c = BitpackedRrrCollection::new(2);
+        assert_eq!(c.width(), 1);
+        RrrStore::push(&mut c, &[0, 1]);
+        RrrStore::push(&mut c, &[1]);
+        RrrStore::push(&mut c, &[]);
+        let mut out = Vec::new();
+        RrrStore::decode_into(&c, 0, &mut out);
+        assert_eq!(out, vec![0, 1]);
+        RrrStore::decode_into(&c, 2, &mut out);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn spill_store_spills_and_reads_back() {
+        let n = 1000;
+        let samples = synth_samples(n, 2000);
+        let mut store = SpillRrrStore::new(4096);
+        for s in &samples {
+            RrrStore::push(&mut store, s);
+        }
+        assert!(
+            store.spill_bytes_written() > 0,
+            "a 4 KiB budget over 2000 samples must spill"
+        );
+        assert!(store.spilled_chunks() > 0);
+        // Random-order reads (worst case for the one-chunk cache) still
+        // decode exactly.
+        let mut out = Vec::new();
+        for &i in &[1999usize, 0, 1000, 3, 1998, 500, 7] {
+            RrrStore::decode_into(&store, i, &mut out);
+            assert_eq!(&out, &samples[i], "sample {i}");
+        }
+        // Sequential sweep.
+        for (i, s) in samples.iter().enumerate() {
+            RrrStore::decode_into(&store, i, &mut out);
+            assert_eq!(&out, s, "sample {i}");
+            assert_eq!(RrrStore::sample_len(&store, i), s.len());
+        }
+        let path = store.path.clone();
+        assert!(path.exists(), "spill file must exist while the store lives");
+        drop(store);
+        assert!(!path.exists(), "spill file must be removed on drop");
+    }
+
+    #[test]
+    fn spill_store_without_pressure_stays_in_ram() {
+        let samples = synth_samples(100, 50);
+        let mut store = SpillRrrStore::new(SpillRrrStore::DEFAULT_BUDGET);
+        for s in &samples {
+            RrrStore::push(&mut store, s);
+        }
+        assert_eq!(store.spill_bytes_written(), 0);
+        assert!(!store.path.exists());
+        let mut out = Vec::new();
+        for (i, s) in samples.iter().enumerate() {
+            RrrStore::decode_into(&store, i, &mut out);
+            assert_eq!(&out, s);
+        }
+    }
+
+    #[test]
+    fn spill_resident_bytes_stay_near_budget() {
+        let n = 1000;
+        let samples = synth_samples(n, 4000);
+        let budget = 16 << 10;
+        let mut store = SpillRrrStore::new(budget);
+        let mut flat = RrrCollection::new();
+        for s in &samples {
+            RrrStore::push(&mut store, s);
+            flat.push(s);
+        }
+        // Resident footprint must land well below the flat layout: the
+        // payload respects the budget and only the per-sample metadata
+        // (8 bytes/sample) grows with θ.
+        let meta = samples.len() * 8;
+        assert!(
+            RrrStore::resident_bytes(&store) < budget + 2 * meta + store.chunk_target,
+            "resident {} exceeds budget {budget} + metadata {meta}",
+            RrrStore::resident_bytes(&store)
+        );
+        assert!(RrrStore::resident_bytes(&store) < flat.resident_bytes());
+    }
+
+    #[test]
+    fn store_kind_tags_round_trip() {
+        for kind in [
+            RrrStoreKind::Flat,
+            RrrStoreKind::Varint,
+            RrrStoreKind::Bitpack,
+            RrrStoreKind::Spill,
+        ] {
+            assert_eq!(RrrStoreKind::from_tag(kind.tag()), Some(kind));
+        }
+        assert_eq!(RrrStoreKind::from_tag("nope"), None);
+        let store = DynRrrStore::new(StorageConfig::default(), 10);
+        assert_eq!(store.kind(), RrrStoreKind::Flat);
+        assert!(store.as_flat().is_some());
+    }
+}

@@ -1,0 +1,97 @@
+//! Property-based tests for the RRR storage backends: any sorted set of
+//! vertex ids must survive the flat → compressed → decode round trip
+//! bit-for-bit, through every backend and through the arena merge path.
+
+use proptest::prelude::*;
+use ripples_diffusion::SampleArena;
+use ripples_diffusion::{
+    BitpackedRrrCollection, CompressedRrrCollection, RrrCollection, RrrStore, SpillRrrStore,
+};
+
+/// Arbitrary *sorted, deduplicated* RRR sets — the invariant every sampler
+/// upholds. Includes the empty set, singletons, and ids up to `u32::MAX`.
+fn sorted_sets() -> impl Strategy<Value = Vec<Vec<u32>>> {
+    // Mostly small ids, with the extremes (0, near-u32::MAX) mixed in so
+    // varint continuation bytes and the 32-bit bitpack width get exercised.
+    let id = (0u32..520).prop_map(|v| if v >= 512 { u32::MAX - (v - 512) } else { v });
+    let set =
+        prop::collection::btree_set(id, 0..24).prop_map(|s| s.into_iter().collect::<Vec<u32>>());
+    prop::collection::vec(set, 0..40)
+}
+
+fn flat_of(sets: &[Vec<u32>]) -> RrrCollection {
+    let mut flat = RrrCollection::new();
+    for s in sets {
+        flat.push(s);
+    }
+    flat
+}
+
+/// Decodes every sample of `store` and checks it against the reference,
+/// via all three read paths (`decode_into`, `for_each_vertex`, `contains`).
+fn assert_round_trip<S: RrrStore>(store: &S, sets: &[Vec<u32>]) {
+    assert_eq!(store.len(), sets.len());
+    let total: u64 = sets.iter().map(|s| s.len() as u64).sum();
+    assert_eq!(store.total_entries(), total);
+    let mut out = Vec::new();
+    for (i, expect) in sets.iter().enumerate() {
+        assert_eq!(store.sample_len(i), expect.len(), "sample {i} length");
+        store.decode_into(i, &mut out);
+        assert_eq!(&out, expect, "sample {i} decode_into");
+        let mut streamed = Vec::new();
+        store.for_each_vertex(i, |v| streamed.push(v));
+        assert_eq!(&streamed, expect, "sample {i} for_each_vertex");
+        for &v in expect {
+            assert!(store.contains(i, v), "sample {i} missing {v}");
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// flat → varint → decode is the identity for arbitrary sorted sets.
+    #[test]
+    fn varint_round_trip_is_identity(sets in sorted_sets()) {
+        let flat = flat_of(&sets);
+        let varint = CompressedRrrCollection::from(&flat);
+        assert_round_trip(&varint, &sets);
+        prop_assert!(
+            CompressedRrrCollection::from(&flat) == varint,
+            "re-encoding must be deterministic"
+        );
+    }
+
+    /// Every backend round-trips identically, whether filled by `push` or
+    /// through the `SampleArena` merge path the parallel samplers use.
+    #[test]
+    fn all_backends_round_trip(sets in sorted_sets()) {
+        let flat = flat_of(&sets);
+        assert_round_trip(&flat, &sets);
+
+        let mut varint = CompressedRrrCollection::new();
+        let mut bitpack = BitpackedRrrCollection::new(u32::MAX);
+        let mut spill = SpillRrrStore::new(2048);
+        let mut arena = SampleArena::with_capacity(sets.len());
+        for s in &sets {
+            RrrStore::push(&mut varint, s);
+            RrrStore::push(&mut bitpack, s);
+            RrrStore::push(&mut spill, s);
+            arena.append_with(|data| {
+                data.extend_from_slice(s);
+                0
+            });
+        }
+        assert_round_trip(&varint, &sets);
+        assert_round_trip(&bitpack, &sets);
+        assert_round_trip(&spill, &sets);
+
+        let mut from_arena = CompressedRrrCollection::new();
+        RrrStore::append_arenas(&mut from_arena, &[arena]);
+        assert_round_trip(&from_arena, &sets);
+        prop_assert!(
+            from_arena == varint,
+            "arena fill and push fill must encode identically"
+        );
+    }
+}

@@ -24,14 +24,19 @@ use crate::reference::greedy_with_tie_order;
 use crate::report::{CheckKind, OracleReport};
 use ripples_centrality::rank_biased_overlap;
 use ripples_comm::{SelfComm, ThreadWorld};
-use ripples_core::dist::imm_distributed;
+use ripples_core::dist::{
+    imm_distributed, imm_distributed_with_storage, DistRngMode, DistSelectMode,
+};
 use ripples_core::dist_partitioned::imm_partitioned;
 use ripples_core::mt::imm_multithreaded;
 use ripples_core::select::{select_with_engine, Selection};
-use ripples_core::seq::{imm_baseline, immopt_sequential};
-use ripples_core::{coverage_of, ImmParams, ImmResult, SelectEngine};
+use ripples_core::seq::{imm_baseline, immopt_sequential, immopt_sequential_with_storage};
+use ripples_core::{
+    coverage_of, select_with_engine_store, ImmParams, ImmResult, SampleEngine, SelectEngine,
+};
 use ripples_diffusion::{
-    sample_batch_fused, sample_batch_sequential, sample_root_of, spread_samples, RrrCollection,
+    sample_batch_fused, sample_batch_sequential, sample_root_of, spread_samples, DynRrrStore,
+    RrrCollection, RrrStore, RrrStoreKind, StorageConfig,
 };
 use ripples_graph::Graph;
 use ripples_rng::StreamFactory;
@@ -177,6 +182,127 @@ fn compare_runs(report: &mut OracleReport, subject: &str, r: &ImmResult, referen
         report.check(kind, subject, (rbo - 1.0).abs() < 1e-12, || {
             format!("RBO of identical seed rankings is {rbo}, expected 1")
         });
+    }
+}
+
+/// The compressed storage backends the equivalence check exercises against
+/// the flat reference. Spill runs with a deliberately tiny budget so it
+/// seals, writes, and re-reads chunks even on oracle-sized inputs.
+const COMPRESSED_STORES: [RrrStoreKind; 3] = [
+    RrrStoreKind::Varint,
+    RrrStoreKind::Bitpack,
+    RrrStoreKind::Spill,
+];
+
+fn storage_of(kind: RrrStoreKind) -> StorageConfig {
+    StorageConfig {
+        kind,
+        budget: (kind == RrrStoreKind::Spill).then_some(4096),
+    }
+}
+
+/// Layer 2b: `--rrr-store` equivalence. Every compressed backend must
+/// return the identical seeds, θ, and coverage as the flat reference —
+/// end-to-end through the sequential pipeline, through a distributed run,
+/// and at the selection layer across every eager engine on the reference
+/// collection.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn check_storage_equivalence(
+    report: &mut OracleReport,
+    graph: &Graph,
+    params: &ImmParams,
+    reference: &ImmResult,
+    collection: &RrrCollection,
+    n: u32,
+    k: u32,
+    cfg: &OracleConfig,
+) {
+    let kind = CheckKind::StorageEquivalence;
+    for store_kind in COMPRESSED_STORES {
+        let storage = storage_of(store_kind);
+        let tag = store_kind.tag();
+
+        // Full sequential pipeline.
+        let r = immopt_sequential_with_storage(
+            graph,
+            params,
+            SelectEngine::Auto,
+            SampleEngine::Reference,
+            storage,
+        );
+        let subject = format!("opt({tag})");
+        report.check(kind, &subject, r.seeds == reference.seeds, || {
+            format!("seed sets differ: {:?} vs {:?}", r.seeds, reference.seeds)
+        });
+        report.check(kind, &subject, r.theta == reference.theta, || {
+            format!("theta differs: {} vs {}", r.theta, reference.theta)
+        });
+        report.check(
+            kind,
+            &subject,
+            (r.coverage_fraction - reference.coverage_fraction).abs() < 1e-12,
+            || {
+                format!(
+                    "coverage differs: {} vs {}",
+                    r.coverage_fraction, reference.coverage_fraction
+                )
+            },
+        );
+        if store_kind == RrrStoreKind::Spill {
+            report.check(
+                kind,
+                &subject,
+                r.report.counters.spill_bytes_written > 0,
+                || "tiny-budget spill run never wrote its spill file".to_owned(),
+            );
+        }
+
+        // One distributed run per backend: the decrement aggregation path.
+        if let Some(&world) = cfg.world_sizes.first() {
+            let results = ThreadWorld::new(world).run(|comm| {
+                imm_distributed_with_storage(
+                    comm,
+                    graph,
+                    params,
+                    DistRngMode::IndexedStreams,
+                    DistSelectMode::DenseAllReduce,
+                    storage,
+                )
+            });
+            for (rank, r) in results.iter().enumerate() {
+                let subject = format!("dist({tag},world={world},rank={rank})");
+                report.check(
+                    kind,
+                    &subject,
+                    r.seeds == reference.seeds && r.theta == reference.theta,
+                    || {
+                        format!(
+                            "distributed run diverged: seeds {:?} θ {} vs {:?} θ {}",
+                            r.seeds, r.theta, reference.seeds, reference.theta
+                        )
+                    },
+                );
+            }
+        }
+
+        // Selection layer: refill the backend from the reference collection
+        // and run every eager engine over the compressed blocks.
+        let mut store = DynRrrStore::new(storage, n);
+        for s in collection.iter() {
+            RrrStore::push(&mut store, s);
+        }
+        let anchor = greedy_with_tie_order(collection, n, k, u64::from);
+        for engine in EAGER_ENGINES {
+            let (sel, _) = select_with_engine_store(engine, &store, n, k, 2);
+            let subject = format!("select({tag},{})", engine.tag());
+            report.check(kind, &subject, sel == anchor, || {
+                format!(
+                    "selection over {tag} diverged: {:?} vs {:?}",
+                    brief(&sel),
+                    brief(&anchor)
+                )
+            });
+        }
     }
 }
 

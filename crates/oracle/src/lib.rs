@@ -102,6 +102,16 @@ pub fn check_all_with(graph: &Graph, params: &ImmParams, cfg: &OracleConfig) -> 
     let k = params.effective_k(n);
 
     differential::check_select_engines(&mut report, &collection, n, k, cfg);
+    differential::check_storage_equivalence(
+        &mut report,
+        graph,
+        params,
+        &reference,
+        &collection,
+        n,
+        k,
+        cfg,
+    );
     differential::check_influence_agreement(
         &mut report,
         graph,
@@ -182,6 +192,7 @@ mod tests {
             CheckKind::RelabelingEquivariance,
             CheckKind::KPrefixMonotonicity,
             CheckKind::Submodularity,
+            CheckKind::StorageEquivalence,
         ] {
             assert!(kinds.contains(&kind), "missing {kind:?} in {kinds:?}");
         }

@@ -29,6 +29,11 @@ pub enum CheckKind {
     KPrefixMonotonicity,
     /// Greedy marginal gains are non-increasing.
     Submodularity,
+    /// Every `--rrr-store` backend (varint, bitpack, spill at a tiny
+    /// budget) returns the identical seeds, θ, and coverage as the flat
+    /// reference, across the sequential/mt/dist pipelines and every eager
+    /// select engine.
+    StorageEquivalence,
 }
 
 impl CheckKind {
@@ -44,6 +49,7 @@ impl CheckKind {
             CheckKind::ProbabilityMonotonicity => "probability-monotonicity",
             CheckKind::KPrefixMonotonicity => "k-prefix-monotonicity",
             CheckKind::Submodularity => "submodularity",
+            CheckKind::StorageEquivalence => "storage-equivalence",
         }
     }
 }

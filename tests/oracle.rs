@@ -17,7 +17,7 @@ use ripples_core::ImmParams;
 use ripples_diffusion::DiffusionModel;
 use ripples_graph::generators::standin;
 use ripples_graph::WeightModel;
-use ripples_oracle::{check_all_with, OracleConfig};
+use ripples_oracle::{check_all_with, CheckKind, OracleConfig};
 
 /// One grid cell: a stand-in graph scaled to a few hundred vertices, a
 /// model, and a fixed master seed.
@@ -45,6 +45,13 @@ fn run_cell(name: &str, divisor: u32, model: DiffusionModel, seed: u64) {
         "grid cell ran suspiciously few checks:\n{report}"
     );
     assert_eq!(report.seeds.len(), 4, "{report}");
+    assert!(
+        report
+            .passed_by_kind
+            .iter()
+            .any(|&(k, c)| k == CheckKind::StorageEquivalence && c > 0),
+        "storage-equivalence never ran:\n{report}"
+    );
 }
 
 macro_rules! grid {
