@@ -16,6 +16,12 @@
 //! Sub-5 ms phases are never flagged — at that scale scheduler jitter
 //! dominates any real change.
 //!
+//! v7 serve rows (`engine: "serve"`) are gated too: their query replay
+//! wall and build sampling wall ride on the standard metrics, and the
+//! serve-specific `snapshot_restore_wall_s` and `query_p99_ns` (scaled to
+//! seconds on load) get the same spread-aware threshold and absolute
+//! noise guard.
+//!
 //! Two snapshots are only comparable if they came from the same kind of
 //! host: the tool refuses (exit 2) when the recorded `host.threads` or
 //! `host.rustc` provenance disagrees, unless `--allow-host-mismatch` is
@@ -44,11 +50,20 @@ const ABS_GUARD_S: f64 = 0.005;
 const SPREAD_MULTIPLIER: f64 = 3.0;
 
 /// The wall metrics the gate compares, with the v5 field carrying their
-/// trial spread (absent in older schemas).
+/// trial spread (absent in older schemas). v7 serve rows additionally
+/// contribute `snapshot_restore_wall_s` and `query_p99_ns` (the latter
+/// converted to seconds on load so one threshold rule covers everything);
+/// both are picked up in [`load`] when present.
 const METRICS: [(&str, &str); 3] = [
     ("wall_s", "wall_spread"),
     ("sampling_wall_s", "sampling_wall_spread"),
     ("selection_wall_s", "selection_wall_spread"),
+];
+
+/// v7 serve-row metrics: `(field, spread_field, scale_to_seconds)`.
+const SERVE_METRICS: [(&str, &str, f64); 2] = [
+    ("snapshot_restore_wall_s", "snapshot_restore_spread", 1.0),
+    ("query_p99_ns", "query_p99_spread", 1e-9),
 ];
 
 /// One config row of a snapshot, reduced to what the gate needs.
@@ -96,13 +111,18 @@ fn load(path: &str) -> Result<Snapshot, String> {
                 // schema versions.
                 rec.str("rrr_store").unwrap_or("flat"),
             );
-            let walls = METRICS
+            let mut walls: Vec<(&'static str, f64, f64)> = METRICS
                 .iter()
                 .filter_map(|&(metric, spread_field)| {
                     rec.num(metric)
                         .map(|secs| (metric, secs, rec.num(spread_field).unwrap_or(0.0)))
                 })
                 .collect();
+            for &(metric, spread_field, scale) in &SERVE_METRICS {
+                if let Some(raw) = rec.num(metric) {
+                    walls.push((metric, raw * scale, rec.num(spread_field).unwrap_or(0.0)));
+                }
+            }
             Rec { key, walls }
         })
         .collect();

@@ -21,7 +21,7 @@
 //!   times report the median, and the min/spread ride along so `bench_diff`
 //!   can tell regression from run-to-run noise.
 //!
-//! The schema (`ripples-perf-snapshot-v6`) is documented in
+//! The schema (`ripples-perf-snapshot-v7`) is documented in
 //! `EXPERIMENTS.md`; every record carries the wall time, the per-phase
 //! sampling/selection wall-time split (summed from the span tree), the peak
 //! RRR/index/arena byte counts, and the key
@@ -43,7 +43,15 @@
 //! payload bytes, 4 per entry, over `rrr_bytes_peak` — > 1 means the
 //! backend shrank the working set), `spill_bytes_written`, and
 //! `decode_nanos` — plus flat-vs-varint er-wc rows so the compression
-//! trade-off is part of the committed trajectory.
+//! trade-off is part of the committed trajectory. v7 adds serve-mode rows
+//! (`engine: "serve"`): one resident [`SketchService`] sketch built at
+//! `k_max` answers a fixed replay of `topk(k)` queries, and the row
+//! records `queries`, `queries_per_sec`, `query_p50_ns` / `query_p99_ns`
+//! (with `query_p99_spread`), `snapshot_restore_wall_s` (plus min/spread)
+//! — the wall to restore the sketch from its snapshot file, which must be
+//! far below the row's `sampling_wall_s` since restore skips sampling —
+//! `snapshot_bytes`, and `sketch_resident_bytes`. The restored sketch is
+//! asserted bitwise-identical to the writer before anything is timed.
 
 use ripples_bench::{measure, Args};
 use ripples_comm::ThreadWorld;
@@ -57,6 +65,7 @@ use ripples_core::{
 use ripples_diffusion::{DiffusionModel, RrrStoreKind, StorageConfig};
 use ripples_graph::generators::{barabasi_albert, erdos_renyi};
 use ripples_graph::{Graph, WeightModel};
+use ripples_serve::SketchService;
 use std::fmt::Write as _;
 
 /// Gregorian civil date from days since the Unix epoch (Howard Hinnant's
@@ -436,11 +445,131 @@ fn main() {
         .expect("writing to String cannot fail");
     }
 
+    // v7 serve rows: ONE resident sketch (built at k_max = the batch rows'
+    // k) replays a fixed query mix, then restores itself from its snapshot
+    // file. The restore wall is the committed evidence that restart skips
+    // sampling; bitwise parity with the writer is asserted before timing.
+    // er-sparse has a sampling wall in the hundreds of ms, so its row is
+    // the one where the restore-skips-sampling assertion below has real
+    // margin; the er-wc rows carry the flat-vs-varint serve comparison.
+    let serve_matrix = [("er-sparse", FLAT), ("er-wc", FLAT), ("er-wc", VARINT)];
+    let queries_per_trial: usize = if quick { 64 } else { 256 };
+    for (row, &(graph_name, store)) in serve_matrix.iter().enumerate() {
+        let graph = build_graph(graph_name, quick);
+        let serve_params = ImmParams::new(1, params.epsilon, DiffusionModel::IndependentCascade, 0)
+            .with_k_max(params.k);
+        let mut query_walls = Vec::with_capacity(trials);
+        let mut sampling_walls = Vec::with_capacity(trials);
+        let mut restore_walls = Vec::with_capacity(trials);
+        let mut p50s = Vec::with_capacity(trials);
+        let mut p99s = Vec::with_capacity(trials);
+        let mut theta = 0usize;
+        let mut sketch_bytes = 0usize;
+        let mut snapshot_bytes = 0u64;
+        for trial in 0..trials {
+            let mut svc =
+                SketchService::build(&graph, serve_params, select, SampleEngine::Reference, store);
+            sampling_walls.push(svc.build_result().map_or(0.0, |r| {
+                phase_wall_s(r.report.spans(), &["sample", "Sample"])
+            }));
+            theta = svc.theta();
+            sketch_bytes = svc.resident_bytes();
+
+            let snap = std::env::temp_dir().join(format!(
+                "ripples-perf-serve-{}-{row}-{trial}.snap",
+                std::process::id()
+            ));
+            svc.snapshot_to(&snap).expect("serve row: snapshot write");
+            snapshot_bytes = std::fs::metadata(&snap).map(|m| m.len()).unwrap_or(0);
+            let (mut restored, restore_wall) = measure(|| {
+                SketchService::restore_from(&snap, &graph, select)
+                    .expect("serve row: snapshot restore")
+            });
+            std::fs::remove_file(&snap).ok();
+            restore_walls.push(restore_wall.as_secs_f64());
+
+            for k in [1, params.k / 2, params.k] {
+                let (a, _) = svc.topk(k).expect("query within k_max");
+                let (b, _) = restored.topk(k).expect("query within k_max");
+                assert_eq!(a, b, "restored sketch diverged from writer at k={k}");
+            }
+
+            let ((), wall) = measure(|| {
+                for q in 0..queries_per_trial {
+                    let k = (q as u32 % params.k) + 1;
+                    let _ = svc.topk(k).expect("query within k_max");
+                }
+            });
+            query_walls.push(wall.as_secs_f64());
+            p50s.push(svc.latency_quantile_nanos(0.50) as f64);
+            p99s.push(svc.latency_quantile_nanos(0.99) as f64);
+        }
+        let (wall_min, wall_median, wall_spread) = stats(&mut query_walls);
+        let (samp_min, samp_median, samp_spread) = stats(&mut sampling_walls);
+        let (rest_min, rest_median, rest_spread) = stats(&mut restore_walls);
+        let (_, p50_median, _) = stats(&mut p50s);
+        let (_, p99_median, p99_spread) = stats(&mut p99s);
+        let qps = if wall_median > 0.0 {
+            queries_per_trial as f64 / wall_median
+        } else {
+            0.0
+        };
+        // The restart-skips-sampling claim, enforced where timing is
+        // meaningful (tiny quick-mode sampling walls are all jitter).
+        if samp_median > 0.05 {
+            assert!(
+                rest_median < 0.2 * samp_median,
+                "snapshot restore ({rest_median:.4}s) is not < 20% of the sampling wall \
+                 ({samp_median:.4}s)"
+            );
+        }
+        eprintln!(
+            "serve {}/{}: {} store={}: {:.0} queries/s (p50 {:.0} ns, p99 {:.0} ns), restore {:.4}s vs sampling {:.4}s, theta={}",
+            row + 1,
+            serve_matrix.len(),
+            graph_name,
+            store.kind.tag(),
+            qps,
+            p50_median,
+            p99_median,
+            rest_median,
+            samp_median,
+            theta,
+        );
+        records.push(',');
+        write!(
+            records,
+            "\n    {{\"engine\":\"serve\",\"sample_engine\":\"{}\",\"rrr_store\":\"{}\",\"graph\":\"{}\",\"vertices\":{},\"edges\":{},\"k\":{},\"epsilon\":{},\"trials\":{trials},\"queries\":{queries_per_trial},\"wall_s\":{:.6},\"wall_min_s\":{:.6},\"wall_spread\":{:.4},\"sampling_wall_s\":{:.6},\"sampling_wall_min_s\":{:.6},\"sampling_wall_spread\":{:.4},\"theta\":{},\"queries_per_sec\":{:.1},\"query_p50_ns\":{:.0},\"query_p99_ns\":{:.0},\"query_p99_spread\":{:.4},\"snapshot_restore_wall_s\":{:.6},\"snapshot_restore_min_s\":{:.6},\"snapshot_restore_spread\":{:.4},\"snapshot_bytes\":{snapshot_bytes},\"sketch_resident_bytes\":{sketch_bytes}}}",
+            SampleEngine::Reference.tag(),
+            store.kind.tag(),
+            graph_name,
+            graph.num_vertices(),
+            graph.num_edges(),
+            params.k,
+            params.epsilon,
+            wall_median,
+            wall_min,
+            wall_spread,
+            samp_median,
+            samp_min,
+            samp_spread,
+            theta,
+            qps,
+            p50_median,
+            p99_median,
+            p99_spread,
+            rest_median,
+            rest_min,
+            rest_spread,
+        )
+        .expect("writing to String cannot fail");
+    }
+
     let threads = std::thread::available_parallelism().map_or(1, |p| p.get());
     let git_sha = probe("git", &["rev-parse", "HEAD"], "unknown");
     let rustc = probe("rustc", &["-V"], "unknown");
     let json = format!(
-        "{{\n  \"schema\": \"ripples-perf-snapshot-v6\",\n  \"date\": \"{date}\",\n  \"quick\": {quick},\n  \"host\": {{\"threads\": {threads}, \"git_sha\": \"{git_sha}\", \"rustc\": \"{rustc}\"}},\n  \"configs\": [{records}\n  ]\n}}\n",
+        "{{\n  \"schema\": \"ripples-perf-snapshot-v7\",\n  \"date\": \"{date}\",\n  \"quick\": {quick},\n  \"host\": {{\"threads\": {threads}, \"git_sha\": \"{git_sha}\", \"rustc\": \"{rustc}\"}},\n  \"configs\": [{records}\n  ]\n}}\n",
     );
     ripples_trace::validate_json(&json).expect("snapshot must be valid JSON");
 

@@ -1,0 +1,473 @@
+//! `serve` — the resident influence-query service.
+//!
+//! Builds (or restores) an RRR sketch **once**, then answers any number of
+//! top-k / exclusion / spread queries from it over a zero-dependency
+//! NDJSON line protocol — stdin/stdout by default, TCP with `--tcp ADDR`,
+//! or a batch replay of a query file with `--queries FILE`.
+//!
+//! ```text
+//! serve --standin cit-HepTh --scale-div 96 --k-max 16 [--epsilon E]
+//!       [--seed S] [--model ic|lt]
+//!       [--select auto|sequential|partitioned|lazy|hypergraph|fused]
+//!       [--sample auto|reference|fused]
+//!       [--rrr-store flat|varint|bitpack|spill] [--rrr-budget BYTES]
+//!       [--snapshot-out FILE] [--snapshot-in FILE]
+//!       [--queries FILE] [--tcp ADDR] [--metrics FILE] [--no-timing]
+//! ```
+//!
+//! Graph sources are the same as the `ripples` binary: `--input FILE`
+//! (edge list), `--standin NAME [--scale-div D]`, or `--gen ba:N:M|er:N:M
+//! [--gen-seed S]`.
+//!
+//! ## Protocol
+//!
+//! One JSON object per line in, one per line out (requests are parsed
+//! with the bench JSON reader; every response is re-validated with the
+//! trace crate's RFC 8259 validator before it is written):
+//!
+//! ```text
+//! {"op":"topk","k":10}
+//! {"op":"topk_excluding","k":10,"banned":[3,17]}
+//! {"op":"spread","seeds":[3,17,40]}
+//! {"op":"info"}
+//! {"op":"quit"}
+//! ```
+//!
+//! Responses carry `"ok":true` plus the answer and per-query accounting
+//! (`wall_ns`, `entries_touched`, `covered`, `coverage`), or `"ok":false`
+//! with an `"error"` string; the process never dies on a bad query.
+//! `--no-timing` reports `wall_ns` as 0 — the one nondeterministic frame
+//! field — so two replays of the same query file are byte-comparable
+//! (CI's snapshot-restart parity gate relies on this).
+//!
+//! ## Snapshots
+//!
+//! `--snapshot-out FILE` writes the sealed sketch (versioned header with
+//! graph fingerprint + RNG provenance, whole-file checksum) after the
+//! build; `--snapshot-in FILE` restores it and **skips sampling
+//! entirely** — the restored service answers bitwise-identically to the
+//! one that wrote the file. Restore refuses (with a structured error) on
+//! corrupt bytes or a fingerprint mismatch with the loaded graph.
+
+use std::io::{BufRead, BufReader, Write};
+use std::path::Path;
+
+use ripples_bench::json::{parse, Value};
+use ripples_bench::Args;
+use ripples_core::{ImmParams, SampleEngine, SelectEngine};
+use ripples_diffusion::{DiffusionModel, RrrStoreKind, StorageConfig};
+use ripples_graph::generators::{barabasi_albert, erdos_renyi, standin};
+use ripples_graph::io::{read_edge_list_file, EdgeListOptions, VertexIds};
+use ripples_graph::{Graph, Vertex, WeightModel};
+use ripples_serve::{QueryReport, SketchService};
+use ripples_trace::validate_json;
+
+fn load_graph(args: &Args, model: DiffusionModel) -> Graph {
+    let weights = WeightModel::UniformRandom { seed: 7 };
+    let lt_normalize = model == DiffusionModel::LinearThreshold;
+    if let Some(path) = args.get("input") {
+        let options = EdgeListOptions {
+            vertex_ids: VertexIds::Remap,
+            undirected: args.flag("undirected"),
+            default_prob: 1.0,
+            weights: Some(weights),
+        };
+        read_edge_list_file(path, options).unwrap_or_else(|e| {
+            eprintln!("error: cannot load {path}: {e}");
+            std::process::exit(1);
+        })
+    } else if let Some(name) = args.get("standin") {
+        let spec = standin(name).unwrap_or_else(|| {
+            eprintln!("error: unknown stand-in `{name}`; see ripples-graph's catalog");
+            std::process::exit(1);
+        });
+        let divisor = args.parse_or("scale-div", spec.default_divisor);
+        spec.build(divisor, weights, lt_normalize)
+    } else if let Some(spec) = args.get("gen") {
+        let seed: u64 = args.parse_or("gen-seed", 42);
+        let parts: Vec<&str> = spec.split(':').collect();
+        let parse_num = |s: &str| -> u64 {
+            s.parse().unwrap_or_else(|e| {
+                eprintln!("error: bad --gen number `{s}`: {e}");
+                std::process::exit(1);
+            })
+        };
+        match parts.as_slice() {
+            ["ba", n, m] => barabasi_albert(
+                parse_num(n) as u32,
+                parse_num(m) as u32,
+                weights,
+                lt_normalize,
+                seed,
+            ),
+            ["er", n, m] => erdos_renyi(
+                parse_num(n) as u32,
+                parse_num(m) as usize,
+                weights,
+                lt_normalize,
+                seed,
+            ),
+            _ => {
+                eprintln!("error: --gen takes `ba:N:M` or `er:N:M`, got `{spec}`");
+                std::process::exit(1);
+            }
+        }
+    } else {
+        eprintln!(
+            "error: pass --input FILE, --standin NAME (e.g. --standin cit-HepTh), \
+             or --gen ba:N:M|er:N:M"
+        );
+        std::process::exit(1);
+    }
+}
+
+fn render_seeds(seeds: &[Vertex]) -> String {
+    let mut s = String::from("[");
+    for (i, v) in seeds.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        s.push_str(&v.to_string());
+    }
+    s.push(']');
+    s
+}
+
+/// `--no-timing`: zero `wall_ns` in every frame so replay output is
+/// byte-stable across runs.
+static NO_TIMING: std::sync::atomic::AtomicBool = std::sync::atomic::AtomicBool::new(false);
+
+fn report_fields(r: &QueryReport) -> String {
+    let wall = if NO_TIMING.load(std::sync::atomic::Ordering::Relaxed) {
+        0
+    } else {
+        r.wall_nanos
+    };
+    format!(
+        "\"wall_ns\":{},\"entries_touched\":{},\"covered\":{},\"coverage\":{}",
+        wall, r.entries_touched, r.covered, r.coverage_fraction
+    )
+}
+
+/// Escapes a string for embedding in a JSON string literal.
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn error_frame(msg: &str) -> String {
+    format!("{{\"ok\":false,\"error\":\"{}\"}}", escape(msg))
+}
+
+/// Extracts a `u32` vertex list from a JSON array field.
+fn vertex_list(v: &Value, field: &str) -> Result<Vec<Vertex>, String> {
+    let arr = v
+        .get(field)
+        .and_then(Value::as_array)
+        .ok_or_else(|| format!("`{field}` must be an array of vertex ids"))?;
+    arr.iter()
+        .map(|x| {
+            x.as_f64()
+                .filter(|f| f.fract() == 0.0 && *f >= 0.0 && *f <= f64::from(u32::MAX))
+                .map(|f| f as Vertex)
+                .ok_or_else(|| format!("`{field}` entries must be non-negative integers"))
+        })
+        .collect()
+}
+
+/// Answers one request line; always returns a single JSON frame. `quit`
+/// additionally signals the session loop to stop.
+fn handle_line(svc: &mut SketchService, line: &str) -> (String, bool) {
+    let trimmed = line.trim();
+    if trimmed.is_empty() {
+        return (error_frame("empty request line"), false);
+    }
+    let req = match parse(trimmed) {
+        Ok(v) => v,
+        Err(e) => return (error_frame(&format!("bad JSON: {e}")), false),
+    };
+    let op = match req.str("op") {
+        Some(op) => op.to_string(),
+        None => return (error_frame("missing `op` field"), false),
+    };
+    let frame = match op.as_str() {
+        "topk" => {
+            let k = req.num("k").filter(|f| f.fract() == 0.0 && *f >= 0.0);
+            match k {
+                None => error_frame("`k` must be a non-negative integer"),
+                Some(k) => match svc.topk(k as u32) {
+                    Ok((seeds, r)) => format!(
+                        "{{\"ok\":true,\"op\":\"topk\",\"k\":{},\"seeds\":{},{}}}",
+                        k as u32,
+                        render_seeds(&seeds),
+                        report_fields(&r)
+                    ),
+                    Err(e) => error_frame(&e.to_string()),
+                },
+            }
+        }
+        "topk_excluding" => {
+            let k = req.num("k").filter(|f| f.fract() == 0.0 && *f >= 0.0);
+            let banned = vertex_list(&req, "banned");
+            match (k, banned) {
+                (None, _) => error_frame("`k` must be a non-negative integer"),
+                (_, Err(e)) => error_frame(&e),
+                (Some(k), Ok(banned)) => match svc.topk_excluding(k as u32, &banned) {
+                    Ok((seeds, r)) => format!(
+                        "{{\"ok\":true,\"op\":\"topk_excluding\",\"k\":{},\"seeds\":{},{}}}",
+                        k as u32,
+                        render_seeds(&seeds),
+                        report_fields(&r)
+                    ),
+                    Err(e) => error_frame(&e.to_string()),
+                },
+            }
+        }
+        "spread" => match vertex_list(&req, "seeds") {
+            Err(e) => error_frame(&e),
+            Ok(seeds) => match svc.spread_estimate(&seeds) {
+                Ok((estimate, r)) => format!(
+                    "{{\"ok\":true,\"op\":\"spread\",\"estimate\":{},{}}}",
+                    estimate,
+                    report_fields(&r)
+                ),
+                Err(e) => error_frame(&e.to_string()),
+            },
+        },
+        "info" => {
+            let no_timing = NO_TIMING.load(std::sync::atomic::Ordering::Relaxed);
+            let quantile = |q| {
+                if no_timing {
+                    0
+                } else {
+                    svc.latency_quantile_nanos(q)
+                }
+            };
+            format!(
+                "{{\"ok\":true,\"op\":\"info\",\"n\":{},\"theta\":{},\"k_max\":{},\
+                 \"store\":\"{}\",\"select\":\"{}\",\"sample\":\"{}\",\
+                 \"resident_bytes\":{},\"queries_served\":{},\
+                 \"query_p50_ns\":{},\"query_p99_ns\":{}}}",
+                svc.num_vertices(),
+                svc.theta(),
+                svc.k_max(),
+                svc.store_kind().tag(),
+                svc.select_engine().tag(),
+                svc.sample_engine().tag(),
+                svc.resident_bytes(),
+                svc.queries_served(),
+                quantile(0.50),
+                quantile(0.99),
+            )
+        }
+        "quit" => return ("{\"ok\":true,\"op\":\"quit\"}".to_string(), true),
+        other => error_frame(&format!("unknown op `{other}`")),
+    };
+    (frame, false)
+}
+
+/// Runs the request/response loop over any line source and sink.
+fn session<R: BufRead, W: Write>(svc: &mut SketchService, reader: R, mut writer: W) {
+    for line in reader.lines() {
+        let line = match line {
+            Ok(l) => l,
+            Err(e) => {
+                eprintln!("serve: read error: {e}");
+                break;
+            }
+        };
+        if line.trim().is_empty() {
+            continue;
+        }
+        let (frame, quit) = handle_line(svc, &line);
+        debug_assert!(
+            validate_json(&frame).is_ok(),
+            "serve produced invalid JSON: {frame}"
+        );
+        if writeln!(writer, "{frame}")
+            .and_then(|()| writer.flush())
+            .is_err()
+        {
+            break;
+        }
+        if quit {
+            break;
+        }
+    }
+}
+
+fn main() {
+    let args = Args::from_env();
+
+    let model = match args.get("model").unwrap_or("ic") {
+        "ic" => DiffusionModel::IndependentCascade,
+        "lt" => DiffusionModel::LinearThreshold,
+        other => {
+            eprintln!("error: unknown --model `{other}` (try ic|lt)");
+            std::process::exit(1);
+        }
+    };
+    let select = match args.get("select") {
+        None => SelectEngine::Auto,
+        Some(tag) => SelectEngine::from_tag(tag).unwrap_or_else(|| {
+            eprintln!(
+                "error: unknown --select `{tag}` \
+                 (try auto|sequential|partitioned|lazy|hypergraph|fused)"
+            );
+            std::process::exit(1);
+        }),
+    };
+    let sample = match args.get("sample") {
+        None => SampleEngine::Reference,
+        Some(tag) => SampleEngine::from_tag(tag).unwrap_or_else(|| {
+            eprintln!("error: unknown --sample `{tag}` (try auto|reference|fused)");
+            std::process::exit(1);
+        }),
+    };
+    let storage = StorageConfig {
+        kind: match args.get("rrr-store") {
+            None => RrrStoreKind::Flat,
+            Some(tag) => RrrStoreKind::from_tag(tag).unwrap_or_else(|| {
+                eprintln!("error: unknown --rrr-store `{tag}` (try flat|varint|bitpack|spill)");
+                std::process::exit(1);
+            }),
+        },
+        budget: args.get("rrr-budget").map(|s| {
+            s.parse().unwrap_or_else(|_| {
+                eprintln!("error: --rrr-budget takes a byte count, got `{s}`");
+                std::process::exit(1);
+            })
+        }),
+    };
+
+    NO_TIMING.store(args.flag("no-timing"), std::sync::atomic::Ordering::Relaxed);
+
+    let metrics_path = args.get("metrics").map(str::to_string);
+    if metrics_path.is_some() {
+        ripples_metrics::enable();
+    }
+
+    let graph = load_graph(&args, model);
+
+    let mut svc = if let Some(snap) = args.get("snapshot-in") {
+        // Restore path: the sketch comes off disk, sampling is skipped
+        // entirely. Provenance (seed, ε, model, k_max) rides in the file.
+        match SketchService::restore_from(Path::new(snap), &graph, select) {
+            Ok(svc) => {
+                eprintln!(
+                    "serve: restored sketch from {snap}: θ={} k_max={} store={}",
+                    svc.theta(),
+                    svc.k_max(),
+                    svc.store_kind().tag()
+                );
+                svc
+            }
+            Err(e) => {
+                eprintln!("error: cannot restore {snap}: {e}");
+                std::process::exit(1);
+            }
+        }
+    } else {
+        let k_max: u32 = args.parse_or("k-max", 16);
+        if k_max == 0 {
+            eprintln!("error: --k-max must be positive");
+            std::process::exit(1);
+        }
+        let epsilon: f64 = args.parse_or("epsilon", 0.5);
+        let seed: u64 = args.parse_or("seed", 0);
+        let params = ImmParams::new(1, epsilon, model, seed).with_k_max(k_max);
+        let svc = SketchService::build(&graph, params, select, sample, storage);
+        eprintln!(
+            "serve: built sketch in {:.3}s: θ={} k_max={} store={} ({} resident bytes)",
+            svc.build_wall_s(),
+            svc.theta(),
+            svc.k_max(),
+            svc.store_kind().tag(),
+            svc.resident_bytes()
+        );
+        svc
+    };
+
+    if let Some(out) = args.get("snapshot-out") {
+        match svc.snapshot_to(Path::new(out)) {
+            Ok(()) => eprintln!("serve: snapshot written to {out}"),
+            Err(e) => {
+                eprintln!("error: cannot snapshot to {out}: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+
+    if let Some(qfile) = args.get("queries") {
+        // Batch replay: answer the whole pinned query file, then exit.
+        let file = std::fs::File::open(qfile).unwrap_or_else(|e| {
+            eprintln!("error: cannot open --queries {qfile}: {e}");
+            std::process::exit(1);
+        });
+        let stdout = std::io::stdout();
+        session(&mut svc, BufReader::new(file), stdout.lock());
+    } else if let Some(addr) = args.get("tcp") {
+        let listener = std::net::TcpListener::bind(addr).unwrap_or_else(|e| {
+            eprintln!("error: cannot bind {addr}: {e}");
+            std::process::exit(1);
+        });
+        eprintln!(
+            "serve: listening on {}",
+            listener
+                .local_addr()
+                .map_or_else(|_| addr.to_string(), |a| a.to_string())
+        );
+        // One client at a time: queries borrow the single resident sketch.
+        for stream in listener.incoming() {
+            match stream {
+                Ok(stream) => {
+                    let reader = BufReader::new(match stream.try_clone() {
+                        Ok(s) => s,
+                        Err(e) => {
+                            eprintln!("serve: cannot clone stream: {e}");
+                            continue;
+                        }
+                    });
+                    session(&mut svc, reader, stream);
+                }
+                Err(e) => eprintln!("serve: accept failed: {e}"),
+            }
+        }
+    } else {
+        let stdin = std::io::stdin();
+        let stdout = std::io::stdout();
+        session(&mut svc, stdin.lock(), stdout.lock());
+    }
+
+    if let Some(path) = &metrics_path {
+        // A final one-sample metrics series of the serving session:
+        // gauges (sketch bytes, latency quantiles) and counters, in the
+        // same schema-v1 shape the batch binaries emit.
+        let series = ripples_metrics::TimeSeries {
+            interval_ms: 0,
+            downsample_halvings: 0,
+            samples: vec![ripples_metrics::snapshot()],
+        };
+        let json = series.to_json();
+        if let Err(e) = validate_json(&json) {
+            eprintln!("error: metrics snapshot is not valid JSON: {e}");
+            std::process::exit(1);
+        }
+        if let Err(e) = std::fs::write(path, &json) {
+            eprintln!("error: cannot write --metrics {path}: {e}");
+            std::process::exit(1);
+        }
+        eprintln!("serve: metrics written to {path}");
+    }
+}

@@ -613,7 +613,13 @@ fn imm_distributed_impl<C: Communicator, S: RrrStore>(
         return crate::seq::immopt_sequential(graph, params);
     }
     let k = params.effective_k(n);
-    let schedule = ThetaSchedule::new(u64::from(n), u64::from(k), params.epsilon, params.ell);
+    let sizing_k = params.sizing_k(n);
+    let schedule = ThetaSchedule::new(
+        u64::from(n),
+        u64::from(sizing_k),
+        params.epsilon,
+        params.ell,
+    );
     let factory = StreamFactory::new(params.seed);
     let model: DiffusionModel = params.model;
     // This engine samples through `generate_rrr` directly, bypassing the
@@ -707,7 +713,14 @@ fn imm_distributed_impl<C: Communicator, S: RrrStore>(
                     }
                     memory.observe_rrr(local_ref.resident_bytes());
                     let (sel_seeds, _, fraction, sstats) = report.span("select", |_| {
-                        select_seeds_distributed(comm, local_ref, *theta_ref, n, k, select_mode)
+                        select_seeds_distributed(
+                            comm,
+                            local_ref,
+                            *theta_ref,
+                            n,
+                            sizing_k,
+                            select_mode,
+                        )
                     });
                     select_stats.absorb(sstats);
                     report.counters.theta_rounds += 1;
@@ -729,7 +742,7 @@ fn imm_distributed_impl<C: Communicator, S: RrrStore>(
     }
     let theta = match lb {
         Some(bound) => schedule.final_theta(bound),
-        None => schedule.fallback_theta(u64::from(k)),
+        None => schedule.fallback_theta(u64::from(sizing_k)),
     };
     if crate::obs::metrics::enabled() {
         crate::obs::metrics::set(crate::obs::metrics::Metric::ThetaTarget, theta as u64);

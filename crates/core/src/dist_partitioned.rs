@@ -207,7 +207,13 @@ fn imm_partitioned_impl<C: Communicator, S: RrrStore>(
         return crate::seq::immopt_sequential(graph, params);
     }
     let k = params.effective_k(n);
-    let schedule = ThetaSchedule::new(u64::from(n), u64::from(k), params.epsilon, params.ell);
+    let sizing_k = params.sizing_k(n);
+    let schedule = ThetaSchedule::new(
+        u64::from(n),
+        u64::from(sizing_k),
+        params.epsilon,
+        params.ell,
+    );
     let factory = StreamFactory::new(params.seed);
     let model = params.model;
     // The cooperative sampler expands through partition-local edge lists,
@@ -286,7 +292,7 @@ fn imm_partitioned_impl<C: Communicator, S: RrrStore>(
                     memory.observe_rrr(local_ref.resident_bytes());
                     let (sel_seeds, _, fraction, sstats) = report.span("select", |_| {
                         crate::dist::select_seeds_distributed_public(
-                            comm, local_ref, *theta_ref, n, k,
+                            comm, local_ref, *theta_ref, n, sizing_k,
                         )
                     });
                     select_stats.absorb(sstats);
@@ -309,7 +315,7 @@ fn imm_partitioned_impl<C: Communicator, S: RrrStore>(
     }
     let theta = match lb {
         Some(bound) => schedule.final_theta(bound),
-        None => schedule.fallback_theta(u64::from(k)),
+        None => schedule.fallback_theta(u64::from(sizing_k)),
     };
     if crate::obs::metrics::enabled() {
         crate::obs::metrics::set(crate::obs::metrics::Metric::ThetaTarget, theta as u64);

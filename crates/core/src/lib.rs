@@ -56,6 +56,7 @@ pub mod sample;
 pub mod scaling;
 pub mod select;
 pub mod seq;
+pub mod sketch;
 pub mod theta;
 pub mod tim;
 
@@ -67,6 +68,7 @@ pub use phases::{Phase, PhaseTimers};
 pub use result::ImmResult;
 pub use sample::{fused_sampling_is_profitable, SampleEngine, SamplerDispatch};
 pub use select::{
-    coverage_of, fused_is_profitable, fused_is_profitable_store, select_with_engine_store,
-    SelectEngine, SelectStats,
+    coverage_of, fused_is_profitable, fused_is_profitable_store, select_seeds_store_banned,
+    select_with_engine_store, SelectEngine, SelectStats,
 };
+pub use sketch::{build_resident_sketch, coverage_of_store, ResidentSketchBuild};

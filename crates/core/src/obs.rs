@@ -204,6 +204,33 @@ impl Histogram {
         &self.buckets
     }
 
+    /// Upper-bound estimate of the `q`-quantile (`q ∈ [0, 1]`): walks the
+    /// buckets to the smallest one whose cumulative count reaches
+    /// `ceil(q · count)` and returns that bucket's exclusive upper bound —
+    /// so the true quantile is strictly below the returned value, except
+    /// the final bucket, whose tail is reported as the observed `max`.
+    /// Returns 0 on an empty histogram. This is the p50/p99 estimator the
+    /// serve mode exports for query latencies.
+    #[must_use]
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return if i == HISTOGRAM_BUCKETS - 1 {
+                    self.max
+                } else {
+                    Self::bucket_bounds(i).1
+                };
+            }
+        }
+        self.max
+    }
+
     /// Inclusive-exclusive value bounds of bucket `i`.
     #[must_use]
     pub fn bucket_bounds(i: usize) -> (u64, u64) {
@@ -768,6 +795,23 @@ mod tests {
         h.record(u64::MAX);
         assert_eq!(h.buckets()[HISTOGRAM_BUCKETS - 1], 1);
         assert_eq!(h.max(), u64::MAX);
+    }
+
+    #[test]
+    fn histogram_quantile_walks_buckets() {
+        let mut h = Histogram::new();
+        assert_eq!(h.quantile(0.5), 0, "empty histogram");
+        // 90 small values in [1,2), 10 large in [1024, 2048).
+        h.record_n(1, 90);
+        h.record_n(1500, 10);
+        assert_eq!(h.quantile(0.5), 2); // bucket [1,2) upper bound
+        assert_eq!(h.quantile(0.9), 2); // rank 90 still inside the small bucket
+        assert_eq!(h.quantile(0.99), 2048); // rank 99 lands in [1024, 2048)
+        assert_eq!(h.quantile(1.0), 2048);
+        // The open tail bucket reports the observed max, not infinity.
+        let mut t = Histogram::new();
+        t.record(u64::MAX - 5);
+        assert_eq!(t.quantile(0.99), u64::MAX - 5);
     }
 
     #[test]

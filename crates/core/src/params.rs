@@ -17,6 +17,14 @@ pub struct ImmParams {
     pub model: DiffusionModel,
     /// Master seed for all randomness in the run.
     pub seed: u64,
+    /// Optional sketch-sizing override for serve mode: when set, θ estimation
+    /// (and the estimation-round selections it runs) are sized for
+    /// `max(k, k_max)` while the *final* selection still returns `k` seeds.
+    /// A resident sketch built once at `k_max` can then answer any
+    /// `topk(k ≤ k_max)` query bitwise-identically to a fresh batch run with
+    /// the same `k_max`, because the sampled collection is identical.
+    /// `None` (the default) preserves the historical behavior exactly.
+    pub k_max: Option<u32>,
 }
 
 impl ImmParams {
@@ -33,6 +41,7 @@ impl ImmParams {
             ell: 1.0,
             model,
             seed,
+            k_max: None,
         };
         p.validate();
         p
@@ -43,6 +52,19 @@ impl ImmParams {
     pub fn with_ell(mut self, ell: f64) -> Self {
         self.ell = ell;
         self.validate();
+        self
+    }
+
+    /// Sizes the sketch for `k_max` queries (serve mode). See
+    /// [`ImmParams::k_max`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k_max == 0`.
+    #[must_use]
+    pub fn with_k_max(mut self, k_max: u32) -> Self {
+        assert!(k_max > 0, "k_max must be positive");
+        self.k_max = Some(k_max);
         self
     }
 
@@ -61,6 +83,15 @@ impl ImmParams {
     #[must_use]
     pub fn effective_k(&self, n: u32) -> u32 {
         self.k.min(n)
+    }
+
+    /// The `k` used to *size* the sketch (θ schedule and estimation-round
+    /// selections): `max(k, k_max)` clamped to `n`. Equals
+    /// [`ImmParams::effective_k`] whenever `k_max` is unset or `≤ k`, so
+    /// batch runs are unaffected.
+    #[must_use]
+    pub fn sizing_k(&self, n: u32) -> u32 {
+        self.k.max(self.k_max.unwrap_or(0)).min(n)
     }
 }
 
@@ -98,5 +129,30 @@ mod tests {
     #[should_panic(expected = "ell must be positive")]
     fn bad_ell_panics() {
         let _ = ImmParams::new(5, 0.5, DiffusionModel::IndependentCascade, 7).with_ell(0.0);
+    }
+
+    #[test]
+    fn sizing_k_defaults_to_effective_k() {
+        let p = ImmParams::new(5, 0.5, DiffusionModel::IndependentCascade, 7);
+        assert_eq!(p.k_max, None);
+        assert_eq!(p.sizing_k(100), p.effective_k(100));
+        assert_eq!(p.sizing_k(3), 3);
+    }
+
+    #[test]
+    fn sizing_k_takes_k_max() {
+        let p = ImmParams::new(5, 0.5, DiffusionModel::IndependentCascade, 7).with_k_max(40);
+        assert_eq!(p.sizing_k(100), 40);
+        assert_eq!(p.effective_k(100), 5);
+        assert_eq!(p.sizing_k(8), 8);
+        // k_max smaller than k is inert.
+        let q = ImmParams::new(50, 0.5, DiffusionModel::IndependentCascade, 7).with_k_max(10);
+        assert_eq!(q.sizing_k(100), 50);
+    }
+
+    #[test]
+    #[should_panic(expected = "k_max must be positive")]
+    fn zero_k_max_panics() {
+        let _ = ImmParams::new(5, 0.5, DiffusionModel::IndependentCascade, 7).with_k_max(0);
     }
 }

@@ -791,6 +791,85 @@ pub fn select_seeds_store_direct<S: RrrStore>(
     )
 }
 
+/// [`select_seeds_store_direct`] with a pre-banned vertex set: banned
+/// vertices are marked selected before the first greedy round, so they are
+/// never candidates and never cover a sample. Because banned vertices also
+/// never have their samples purged *through them* (only a chosen seed
+/// covers samples), the greedy trajectory over the non-banned vertices is
+/// exactly the trajectory of a plain selection on the vertex-filtered
+/// sketch (every banned id deleted from every RRR set) — the
+/// `topk_excluding` query primitive of the resident serve mode. Returned
+/// `seeds` never contain a banned vertex, so fewer than `k` seeds come
+/// back when bans exhaust the vertex set.
+///
+/// # Panics
+///
+/// Panics if `banned.len() != n as usize`.
+#[must_use]
+pub fn select_seeds_store_banned<S: RrrStore>(
+    store: &S,
+    n: u32,
+    k: u32,
+    banned: &[bool],
+) -> (Selection, SelectStats) {
+    let n_us = n as usize;
+    assert_eq!(banned.len(), n_us, "banned mask must cover all vertices");
+    let k = k.min(n);
+    let mut stats = SelectStats::default();
+    let mut counters = vec![0u64; n_us];
+    let t0 = std::time::Instant::now();
+    for j in 0..store.len() {
+        store.for_each_vertex(j, |v| counters[v as usize] += 1);
+    }
+    stats.decode_nanos += u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX);
+    let mut covered = vec![false; store.len()];
+    let mut selected = banned.to_vec();
+    let mut seeds = Vec::with_capacity(k as usize);
+    let mut gains = Vec::with_capacity(k as usize);
+    let mut covered_count = 0usize;
+    for _ in 0..k {
+        let Some(v) = argmax(&counters, &selected) else {
+            break;
+        };
+        selected[v as usize] = true;
+        if crate::obs::trace::enabled() {
+            crate::obs::trace::mark(
+                crate::obs::trace::TraceName::SelectStep,
+                u64::from(v),
+                counters[v as usize],
+            );
+        }
+        if crate::obs::metrics::enabled() {
+            crate::obs::metrics::add(crate::obs::metrics::Metric::SelectSteps, 1);
+            crate::obs::metrics::add(crate::obs::metrics::Metric::SeedsSelected, 1);
+        }
+        gains.push(counters[v as usize]);
+        seeds.push(v);
+        let t0 = std::time::Instant::now();
+        let mut touched = 0u64;
+        for (j, cov) in covered.iter_mut().enumerate() {
+            if *cov {
+                continue;
+            }
+            if store.contains(j, v) {
+                *cov = true;
+                covered_count += 1;
+                touched += store.sample_len(j) as u64;
+                store.for_each_vertex(j, |u| counters[u as usize] -= 1);
+            }
+        }
+        stats.decode_nanos += u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        stats.entries_touched += touched;
+        if crate::obs::metrics::enabled() {
+            crate::obs::metrics::add(crate::obs::metrics::Metric::SelectEntriesTouched, touched);
+        }
+    }
+    (
+        Selection::finish(seeds, gains, covered_count, store.len()),
+        stats,
+    )
+}
+
 /// Index-driven greedy max-cover over a compressed [`RrrStore`]: streams
 /// the store through [`RrrStore::with_sample_index`] (a gap-varint
 /// inverted index; [`DynRrrStore`] caches it across rounds so only samples
@@ -1213,6 +1292,48 @@ mod tests {
         assert_eq!(dstats.index_bytes, 0);
         assert!(istats.index_bytes > 0);
         assert_eq!(dstats.entries_touched, istats.entries_touched);
+    }
+
+    #[test]
+    fn banned_selection_equals_selection_on_filtered_sketch() {
+        let sets: Vec<Vec<Vertex>> = vec![
+            vec![0, 1, 2],
+            vec![1, 2, 3],
+            vec![2, 3, 4],
+            vec![4, 5],
+            vec![0, 5],
+            vec![1, 6],
+            vec![2],
+        ];
+        let n = 7u32;
+        let k = 3u32;
+        let mut full = RrrCollection::new();
+        for s in &sets {
+            full.push(s);
+        }
+        let mut banned = vec![false; n as usize];
+        banned[2] = true;
+        banned[5] = true;
+        let (masked, _) = select_seeds_store_banned(&full, n, k, &banned);
+        // Reference: delete banned ids from every set, select normally.
+        let mut filtered = RrrCollection::new();
+        for s in &sets {
+            let kept: Vec<Vertex> = s.iter().copied().filter(|&v| !banned[v as usize]).collect();
+            filtered.push(&kept);
+        }
+        let plain = select_seeds_sequential(&filtered, n, k);
+        assert_eq!(masked.seeds, plain.seeds);
+        assert_eq!(masked.marginal_gains, plain.marginal_gains);
+        assert_eq!(masked.covered, plain.covered);
+        assert!(masked.seeds.iter().all(|&v| !banned[v as usize]));
+    }
+
+    #[test]
+    fn banned_everything_returns_no_seeds() {
+        let c = collection(&[&[0, 1], &[1, 2]]);
+        let (sel, _) = select_seeds_store_banned(&c, 3, 2, &[true, true, true]);
+        assert!(sel.seeds.is_empty());
+        assert_eq!(sel.covered, 0);
     }
 
     #[test]

@@ -124,15 +124,41 @@ pub(crate) fn run_imm_compact_store<S: RrrStore>(
     graph: &Graph,
     params: &ImmParams,
     store: S,
+    sampler: impl FnMut(u64, usize, &mut S) -> BatchOutcome,
+    selector: impl FnMut(&S, u32, u32) -> (Selection, SelectStats),
+) -> ImmResult {
+    run_imm_compact_store_keep(engine, graph, params, store, sampler, selector).0
+}
+
+/// [`run_imm_compact_store`] that hands the *filled, sealed* store back to
+/// the caller instead of dropping it — the entry point of the resident
+/// serve mode, which keeps the sketch alive to answer further top-k
+/// queries. θ sizing uses [`ImmParams::sizing_k`] (`= effective_k` unless
+/// `k_max` is set), so a sketch built here at `k_max` is the same
+/// collection a fresh batch run with the same `k_max` would sample.
+pub(crate) fn run_imm_compact_store_keep<S: RrrStore>(
+    engine: &str,
+    graph: &Graph,
+    params: &ImmParams,
+    store: S,
     mut sampler: impl FnMut(u64, usize, &mut S) -> BatchOutcome,
     mut selector: impl FnMut(&S, u32, u32) -> (Selection, SelectStats),
-) -> ImmResult {
+) -> (ImmResult, S) {
     let n = graph.num_vertices();
     if n < 2 {
-        return degenerate_result(engine, graph, params);
+        return (degenerate_result(engine, graph, params), store);
     }
     let k = params.effective_k(n);
-    let schedule = ThetaSchedule::new(u64::from(n), u64::from(k), params.epsilon, params.ell);
+    // The θ schedule and the estimation-round selections size the sketch;
+    // only the final selection returns `k` seeds. `sizing_k == k` unless
+    // the caller set `k_max` (serve mode).
+    let sizing_k = params.sizing_k(n);
+    let schedule = ThetaSchedule::new(
+        u64::from(n),
+        u64::from(sizing_k),
+        params.epsilon,
+        params.ell,
+    );
 
     let mut report = RunReport::new(engine);
     let mut memory = MemoryStats {
@@ -174,7 +200,8 @@ pub(crate) fn run_imm_compact_store<S: RrrStore>(
                         record_batch(report, collection, old_len, &outcome);
                     }
                     memory.observe_rrr(collection.resident_bytes());
-                    let (sel, sstats) = report.span("select", |_| selector(collection, n, k));
+                    let (sel, sstats) =
+                        report.span("select", |_| selector(collection, n, sizing_k));
                     select_stats.absorb(sstats);
                     report.counters.theta_rounds += 1;
                     report.counters.select_iterations += sel.seeds.len() as u64;
@@ -195,7 +222,7 @@ pub(crate) fn run_imm_compact_store<S: RrrStore>(
     }
     let theta = match lb {
         Some(bound) => schedule.final_theta(bound),
-        None => schedule.fallback_theta(u64::from(k)),
+        None => schedule.fallback_theta(u64::from(sizing_k)),
     };
     if crate::obs::metrics::enabled() {
         crate::obs::metrics::set(crate::obs::metrics::Metric::ThetaTarget, theta as u64);
@@ -231,7 +258,7 @@ pub(crate) fn run_imm_compact_store<S: RrrStore>(
     if crate::obs::trace::enabled() {
         report.trace = Some(crate::obs::trace::collect_all());
     }
-    ImmResult {
+    let result = ImmResult {
         seeds: final_sel.seeds,
         theta: collection.len(),
         coverage_fraction: final_sel.fraction,
@@ -240,7 +267,8 @@ pub(crate) fn run_imm_compact_store<S: RrrStore>(
         memory,
         sample_work,
         report,
-    }
+    };
+    (result, collection)
 }
 
 /// Seed-set sizes from which [`immopt_sequential`] hands selection to the
@@ -464,7 +492,13 @@ pub fn imm_baseline_with_options(
         return degenerate_result("baseline", graph, params);
     }
     let k = params.effective_k(n);
-    let schedule = ThetaSchedule::new(u64::from(n), u64::from(k), params.epsilon, params.ell);
+    let sizing_k = params.sizing_k(n);
+    let schedule = ThetaSchedule::new(
+        u64::from(n),
+        u64::from(sizing_k),
+        params.epsilon,
+        params.ell,
+    );
     let factory = StreamFactory::new(params.seed);
     let model = params.model;
     // This engine samples through `generate_rrr` directly, bypassing the
@@ -533,7 +567,7 @@ pub fn imm_baseline_with_options(
                         *next_index += need as u64;
                     }
                     memory.observe_rrr(storage.resident_bytes());
-                    let sel = report.span("select", |_| storage.select(n, k));
+                    let sel = report.span("select", |_| storage.select(n, sizing_k));
                     report.counters.theta_rounds += 1;
                     report.counters.select_iterations += sel.seeds.len() as u64;
                     report.counters.round_budgets.push(budget as u64);
@@ -553,7 +587,7 @@ pub fn imm_baseline_with_options(
     }
     let theta = match lb {
         Some(bound) => schedule.final_theta(bound),
-        None => schedule.fallback_theta(u64::from(k)),
+        None => schedule.fallback_theta(u64::from(sizing_k)),
     };
     if crate::obs::metrics::enabled() {
         crate::obs::metrics::set(crate::obs::metrics::Metric::ThetaTarget, theta as u64);

@@ -1,0 +1,132 @@
+//! Resident-sketch support for the serve mode (`ripples-serve`).
+//!
+//! A batch run samples an RRR collection, selects seeds, and drops the
+//! collection. The serve mode instead builds the sketch **once** — sized
+//! via [`ImmParams::with_k_max`] so θ covers the largest query it will ever
+//! answer — and keeps the sealed store resident to answer any number of
+//! top-k queries by re-running selection only. This module provides the
+//! build entry point that hands the filled store back instead of dropping
+//! it, plus the store-generic coverage scorer the `spread_estimate` query
+//! uses.
+//!
+//! Bitwise equivalence contract: a sketch built here with `k_max = K` holds
+//! exactly the samples a fresh batch run with the same master seed and the
+//! same `k_max = K` would draw (the θ schedule and estimation-round
+//! selections are both driven by [`ImmParams::sizing_k`]), so re-running
+//! selection at any `k ≤ K` reproduces that batch run's seed set bit for
+//! bit. `tests/serve.rs` asserts this across engine × store combinations.
+
+use crate::params::ImmParams;
+use crate::result::ImmResult;
+use crate::sample::{SampleEngine, SamplerDispatch};
+use crate::select::SelectEngine;
+use ripples_diffusion::{DynRrrStore, RrrStore, StorageConfig};
+use ripples_graph::{Graph, Vertex};
+use ripples_rng::StreamFactory;
+
+/// A freshly built resident sketch: the sealed store plus the build run's
+/// full [`ImmResult`] (θ, seeds at the build `k`, report, memory).
+pub struct ResidentSketchBuild {
+    /// The sealed RRR store, holding exactly θ samples.
+    pub store: DynRrrStore,
+    /// The build run's result; `result.theta` is the sample count the
+    /// store holds, `result.seeds` the selection at the build `k`.
+    pub result: ImmResult,
+}
+
+/// Runs IMM's estimation + sampling phases and returns the sealed store
+/// alongside the run result, instead of dropping the collection the way the
+/// batch entry points do. Semantically
+/// [`immopt_sequential_with_storage`](crate::seq::immopt_sequential_with_storage)
+/// with the store kept alive: same samples, same θ, same final selection,
+/// for every `--select`/`--sample`/`--rrr-store` backend.
+#[must_use]
+pub fn build_resident_sketch(
+    graph: &Graph,
+    params: &ImmParams,
+    select: SelectEngine,
+    sample: SampleEngine,
+    storage: StorageConfig,
+) -> ResidentSketchBuild {
+    let factory = StreamFactory::new(params.seed);
+    let mut dispatch = SamplerDispatch::new(graph, params.model, &factory, sample, false);
+    let store = DynRrrStore::new(storage, graph.num_vertices());
+    let (result, store) = crate::seq::run_imm_compact_store_keep(
+        "sketch",
+        graph,
+        params,
+        store,
+        |first, count, out| dispatch.sample_batch(first, count, out),
+        |collection, n, k| crate::select::select_with_engine_store(select, collection, n, k, 1),
+    );
+    ResidentSketchBuild { store, result }
+}
+
+/// Number of samples in `store` covered by `seeds` (samples containing at
+/// least one seed) — [`coverage_of`](crate::select::coverage_of) over any
+/// [`RrrStore`]. `n · covered / len` is the standard RRR estimate of the
+/// seed set's expected influence, which the serve mode's `spread_estimate`
+/// query returns without touching the graph.
+#[must_use]
+pub fn coverage_of_store<S: RrrStore>(store: &S, seeds: &[Vertex]) -> usize {
+    let mut covered = 0usize;
+    for j in 0..store.len() {
+        if seeds.iter().any(|&s| store.contains(j, s)) {
+            covered += 1;
+        }
+    }
+    covered
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::seq::immopt_sequential_with_storage;
+    use ripples_diffusion::{DiffusionModel, RrrStoreKind};
+    use ripples_graph::generators::erdos_renyi;
+    use ripples_graph::WeightModel;
+
+    fn test_graph() -> Graph {
+        erdos_renyi(300, 2400, WeightModel::UniformRandom { seed: 2 }, false, 11)
+    }
+
+    #[test]
+    fn build_matches_batch_run_and_keeps_theta_samples() {
+        let g = test_graph();
+        let p = ImmParams::new(4, 0.5, DiffusionModel::IndependentCascade, 5).with_k_max(16);
+        let storage = StorageConfig::of(RrrStoreKind::Flat);
+        let built = build_resident_sketch(
+            &g,
+            &p,
+            SelectEngine::Sequential,
+            SampleEngine::Reference,
+            storage,
+        );
+        assert_eq!(built.store.len(), built.result.theta);
+        let batch = immopt_sequential_with_storage(
+            &g,
+            &p,
+            SelectEngine::Sequential,
+            SampleEngine::Reference,
+            storage,
+        );
+        assert_eq!(built.result.seeds, batch.seeds);
+        assert_eq!(built.result.theta, batch.theta);
+    }
+
+    #[test]
+    fn coverage_of_store_matches_flat_coverage() {
+        use ripples_diffusion::RrrCollection;
+        let mut c = RrrCollection::new();
+        c.push(&[0, 1, 2]);
+        c.push(&[2, 3]);
+        c.push(&[4]);
+        assert_eq!(coverage_of_store(&c, &[2]), 2);
+        assert_eq!(coverage_of_store(&c, &[4, 0]), 2);
+        assert_eq!(coverage_of_store(&c, &[]), 0);
+        assert_eq!(
+            coverage_of_store(&c, &[2]),
+            crate::select::coverage_of(&c, &[2])
+        );
+    }
+}

@@ -215,6 +215,119 @@ impl CompressedRrrCollection {
         self.unsorted_pushes
     }
 
+    /// The raw block-offset array: `len() + 1` entries bounding each
+    /// sample's varint block in [`CompressedRrrCollection::raw_bytes`].
+    /// Snapshot serialization surface (`ripples-serve`).
+    #[must_use]
+    pub fn raw_offsets(&self) -> &[usize] {
+        &self.offsets
+    }
+
+    /// Per-sample vertex counts. Snapshot serialization surface.
+    #[must_use]
+    pub fn raw_counts(&self) -> &[u32] {
+        &self.counts
+    }
+
+    /// The delta-varint byte arena. Snapshot serialization surface.
+    #[must_use]
+    pub fn raw_bytes(&self) -> &[u8] {
+        &self.data
+    }
+
+    /// Rebuilds a collection from deserialized raw parts, re-validating
+    /// every invariant a push sequence would have established: offsets
+    /// start at 0, stay monotone, and end at `data.len()`; every block is
+    /// a well-formed LEB128 stream that decodes exactly `counts[i]`
+    /// strictly-ascending vertices in exactly its offset span. Truncated or
+    /// bit-flipped blocks are reported by sample index and byte offset —
+    /// the snapshot-restore path turns these into structured errors rather
+    /// than panicking inside the unchecked hot-path decoder.
+    ///
+    /// # Errors
+    ///
+    /// Any violated invariant, as human-readable text naming the field.
+    pub fn from_raw_parts(
+        offsets: Vec<usize>,
+        counts: Vec<u32>,
+        data: Vec<u8>,
+    ) -> Result<Self, String> {
+        if offsets.len() != counts.len() + 1 {
+            return Err(format!(
+                "offsets length {} != counts length {} + 1",
+                offsets.len(),
+                counts.len()
+            ));
+        }
+        if offsets.first() != Some(&0) {
+            return Err("offsets[0] must be 0".to_string());
+        }
+        if let Some(i) = offsets.windows(2).position(|w| w[0] > w[1]) {
+            return Err(format!("offsets[{}] > offsets[{}]", i, i + 1));
+        }
+        if *offsets.last().expect("non-empty checked above") != data.len() {
+            return Err(format!(
+                "offsets[{}] = {} != data length {}",
+                offsets.len() - 1,
+                offsets.last().expect("non-empty"),
+                data.len()
+            ));
+        }
+        // Checked decode of every block: the hot-path decoder assumes
+        // well-formed input, so corruption must be rejected here.
+        for (i, &count) in counts.iter().enumerate() {
+            let block = &data[offsets[i]..offsets[i + 1]];
+            let mut pos = 0usize;
+            let mut prev: Vertex = 0;
+            for idx in 0..count {
+                let mut x = 0u32;
+                let mut shift = 0u32;
+                loop {
+                    let Some(&byte) = block.get(pos) else {
+                        return Err(format!("sample {i}: varint truncated at block byte {pos}"));
+                    };
+                    pos += 1;
+                    if shift >= 32 || (shift == 28 && byte & 0x7F > 0x0F) {
+                        return Err(format!(
+                            "sample {i}: varint overflows u32 at block byte {}",
+                            pos - 1
+                        ));
+                    }
+                    x |= u32::from(byte & 0x7F) << shift;
+                    if byte & 0x80 == 0 {
+                        break;
+                    }
+                    shift += 7;
+                }
+                let v = if idx == 0 {
+                    x
+                } else {
+                    match prev.checked_add(x).and_then(|s| s.checked_add(1)) {
+                        Some(v) => v,
+                        None => {
+                            return Err(format!(
+                                "sample {i}: delta overflows vertex id at entry {idx}"
+                            ));
+                        }
+                    }
+                };
+                prev = v;
+            }
+            if pos != block.len() {
+                return Err(format!(
+                    "sample {i}: block decodes in {pos} bytes but spans {}",
+                    block.len()
+                ));
+            }
+        }
+        Ok(Self {
+            offsets,
+            counts,
+            data,
+            unsorted_pushes: 0,
+        })
+    }
+
     /// Decodes sample `i` into `out` (cleared first).
     pub fn decode_into(&self, i: usize, out: &mut Vec<Vertex>) {
         out.clear();

@@ -355,6 +355,60 @@ impl RrrCollection {
         self.offsets.capacity() * size_of::<usize>() + self.data.capacity() * size_of::<Vertex>()
     }
 
+    /// The raw offset array: `len() + 1` entries, `offsets[i]..offsets[i+1]`
+    /// bounds sample `i` in [`RrrCollection::raw_data`]. Snapshot
+    /// serialization surface (`ripples-serve`).
+    #[must_use]
+    pub fn raw_offsets(&self) -> &[usize] {
+        &self.offsets
+    }
+
+    /// The flattened vertex arena behind all samples. Snapshot
+    /// serialization surface (`ripples-serve`).
+    #[must_use]
+    pub fn raw_data(&self) -> &[Vertex] {
+        &self.data
+    }
+
+    /// Rebuilds a collection from deserialized raw parts, re-validating
+    /// every structural invariant a [`RrrCollection::push`] sequence would
+    /// have established: `offsets` starts at 0, is monotone, and ends at
+    /// `data.len()`; every sample is strictly ascending. Returns a
+    /// description naming the offending field and index on violation — the
+    /// snapshot-restore path maps these onto structured errors instead of
+    /// letting corrupt bytes poison selections.
+    ///
+    /// # Errors
+    ///
+    /// Any violated invariant, as human-readable text naming the field.
+    pub fn from_raw_parts(offsets: Vec<usize>, data: Vec<Vertex>) -> Result<Self, String> {
+        if offsets.first() != Some(&0) {
+            return Err("offsets[0] must be 0".to_string());
+        }
+        if let Some(i) = offsets.windows(2).position(|w| w[0] > w[1]) {
+            return Err(format!("offsets[{}] > offsets[{}]", i, i + 1));
+        }
+        if *offsets.last().expect("non-empty checked above") != data.len() {
+            return Err(format!(
+                "offsets[{}] = {} != data length {}",
+                offsets.len() - 1,
+                offsets.last().expect("non-empty"),
+                data.len()
+            ));
+        }
+        for i in 0..offsets.len() - 1 {
+            let sample = &data[offsets[i]..offsets[i + 1]];
+            if !sample.windows(2).all(|w| w[0] < w[1]) {
+                return Err(format!("sample {i} is not strictly ascending"));
+            }
+        }
+        Ok(Self {
+            offsets,
+            data,
+            unsorted_pushes: 0,
+        })
+    }
+
     /// Appends the samples of `arenas`, in arena order, by parallel bulk
     /// copy at precomputed offsets — the merge step of arena-backed
     /// [`crate::sampler::sample_batch`]. Produces the exact layout that

@@ -890,6 +890,36 @@ impl DynRrrStore {
             index_cache: RefCell::new(None),
         }
     }
+
+    /// Wraps a restored flat collection (snapshot-restore path): the store
+    /// behaves exactly as if the collection had been filled in place, flat
+    /// fast paths included.
+    #[must_use]
+    pub fn from_flat(collection: RrrCollection) -> Self {
+        Self {
+            inner: DynStoreInner::Flat(collection),
+            index_cache: RefCell::new(None),
+        }
+    }
+
+    /// Wraps a restored varint collection (snapshot-restore path).
+    #[must_use]
+    pub fn from_varint(collection: CompressedRrrCollection) -> Self {
+        Self {
+            inner: DynStoreInner::Varint(collection),
+            index_cache: RefCell::new(None),
+        }
+    }
+
+    /// Borrows the underlying varint collection, if that is the layout
+    /// (snapshot-serialize path, the mirror of [`Self::from_varint`]).
+    #[must_use]
+    pub fn as_varint(&self) -> Option<&CompressedRrrCollection> {
+        match &self.inner {
+            DynStoreInner::Varint(c) => Some(c),
+            _ => None,
+        }
+    }
 }
 
 macro_rules! dyn_delegate {

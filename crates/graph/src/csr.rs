@@ -148,6 +148,38 @@ impl Graph {
             + (self.out_probs.len() + self.in_probs.len()) * size_of::<f32>()
     }
 
+    /// Content fingerprint of the graph: an FNV-1a fold over `n`, `m`, the
+    /// forward CSR arrays, and the bit patterns of the edge probabilities.
+    /// Two graphs fingerprint equal iff their forward CSR content is
+    /// byte-identical (the reverse CSR is derived from the same edges), so
+    /// the serve mode's sketch snapshots can refuse restoration against a
+    /// different graph without storing the graph itself.
+    #[must_use]
+    pub fn fingerprint(&self) -> u64 {
+        const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+        #[inline]
+        fn fold(h: &mut u64, x: u64) {
+            for shift in (0..64).step_by(8) {
+                *h ^= (x >> shift) & 0xFF;
+                *h = h.wrapping_mul(FNV_PRIME);
+            }
+        }
+        let mut h = FNV_OFFSET;
+        fold(&mut h, u64::from(self.num_vertices));
+        fold(&mut h, self.out_targets.len() as u64);
+        for &o in &self.out_offsets {
+            fold(&mut h, o as u64);
+        }
+        for &t in &self.out_targets {
+            fold(&mut h, u64::from(t));
+        }
+        for &p in &self.out_probs {
+            fold(&mut h, u64::from(p.to_bits()));
+        }
+        h
+    }
+
     /// Checks the internal invariants; used by tests and after IO.
     ///
     /// Invariants: offset arrays are monotone and span the edge arrays; both
@@ -259,6 +291,29 @@ mod tests {
     #[test]
     fn validates() {
         diamond().validate().unwrap();
+    }
+
+    #[test]
+    fn fingerprint_distinguishes_content() {
+        let g = diamond();
+        assert_eq!(g.fingerprint(), diamond().fingerprint(), "deterministic");
+        // Different probability: different fingerprint.
+        let mut b = GraphBuilder::new(4);
+        b.add_edge(0, 1, 0.5).unwrap();
+        b.add_edge(0, 2, 0.25).unwrap();
+        b.add_edge(1, 3, 1.0).unwrap();
+        b.add_edge(2, 3, 0.5).unwrap();
+        let other = b.build().unwrap();
+        assert_ne!(g.fingerprint(), other.fingerprint());
+        // Different topology: different fingerprint.
+        let mut b = GraphBuilder::new(4);
+        b.add_edge(0, 1, 0.5).unwrap();
+        let sparse = b.build().unwrap();
+        assert_ne!(g.fingerprint(), sparse.fingerprint());
+        // Vertex count matters even with no edges.
+        let e3 = GraphBuilder::new(3).build().unwrap();
+        let e4 = GraphBuilder::new(4).build().unwrap();
+        assert_ne!(e3.fingerprint(), e4.fingerprint());
     }
 
     #[test]

@@ -75,6 +75,14 @@ pub enum Metric {
     MaskBytes,
     /// Ranks the comm layer has declared dead so far.
     DegradedRanks,
+    /// Resident sketch footprint of the serve mode, bytes.
+    SketchBytes,
+    /// p50 query latency of the serve mode, nanoseconds (power-of-two
+    /// histogram upper bound).
+    QueryP50Nanos,
+    /// p99 query latency of the serve mode, nanoseconds (power-of-two
+    /// histogram upper bound).
+    QueryP99Nanos,
     // --- counters ---------------------------------------------------------
     /// RRR sets generated (world total).
     SamplesGenerated,
@@ -96,6 +104,8 @@ pub enum Metric {
     CommRetries,
     /// Comm ops dropped by fault injection.
     CommDroppedOps,
+    /// Queries answered by the resident serve mode.
+    QueriesServed,
 }
 
 /// Metric kinds, mirroring the Prometheus data model.
@@ -110,7 +120,7 @@ pub enum Kind {
 
 impl Metric {
     /// Number of registered metrics (cells in the registry).
-    pub const COUNT: usize = 18;
+    pub const COUNT: usize = 22;
 
     /// Every metric, in cell order — the column order of exported series.
     pub const ALL: [Metric; Self::COUNT] = [
@@ -122,6 +132,9 @@ impl Metric {
         Metric::ArenaBytes,
         Metric::MaskBytes,
         Metric::DegradedRanks,
+        Metric::SketchBytes,
+        Metric::QueryP50Nanos,
+        Metric::QueryP99Nanos,
         Metric::SamplesGenerated,
         Metric::EdgesExamined,
         Metric::SelectSteps,
@@ -132,6 +145,7 @@ impl Metric {
         Metric::CommBytes,
         Metric::CommRetries,
         Metric::CommDroppedOps,
+        Metric::QueriesServed,
     ];
 
     /// Stable export name (snake_case, no namespace prefix).
@@ -146,6 +160,9 @@ impl Metric {
             Metric::ArenaBytes => "arena_bytes",
             Metric::MaskBytes => "mask_bytes",
             Metric::DegradedRanks => "degraded_ranks",
+            Metric::SketchBytes => "sketch_bytes",
+            Metric::QueryP50Nanos => "query_p50_nanos",
+            Metric::QueryP99Nanos => "query_p99_nanos",
             Metric::SamplesGenerated => "samples_generated",
             Metric::EdgesExamined => "edges_examined",
             Metric::SelectSteps => "select_steps",
@@ -156,6 +173,7 @@ impl Metric {
             Metric::CommBytes => "comm_bytes",
             Metric::CommRetries => "comm_retries",
             Metric::CommDroppedOps => "comm_dropped_ops",
+            Metric::QueriesServed => "queries_served",
         }
     }
 
@@ -170,7 +188,10 @@ impl Metric {
             | Metric::IndexBytes
             | Metric::ArenaBytes
             | Metric::MaskBytes
-            | Metric::DegradedRanks => Kind::Gauge,
+            | Metric::DegradedRanks
+            | Metric::SketchBytes
+            | Metric::QueryP50Nanos
+            | Metric::QueryP99Nanos => Kind::Gauge,
             _ => Kind::Counter,
         }
     }
@@ -189,6 +210,9 @@ impl Metric {
             Metric::ArenaBytes => "Live per-worker arena footprint in bytes (peak across ranks)",
             Metric::MaskBytes => "Live fused-lane mask footprint in bytes (peak across ranks)",
             Metric::DegradedRanks => "Ranks declared dead by the comm layer",
+            Metric::SketchBytes => "Resident sketch footprint held by the serve mode in bytes",
+            Metric::QueryP50Nanos => "Median serve-query latency in nanoseconds",
+            Metric::QueryP99Nanos => "99th-percentile serve-query latency in nanoseconds",
             Metric::SamplesGenerated => "RRR sets generated across all ranks",
             Metric::EdgesExamined => "Edges examined while growing RRR sets",
             Metric::SelectSteps => "Greedy selection steps (lazy pops and seed commits)",
@@ -199,6 +223,7 @@ impl Metric {
             Metric::CommBytes => "Payload bytes moved by collectives",
             Metric::CommRetries => "Communication attempts retried after faults",
             Metric::CommDroppedOps => "Communication operations dropped by fault injection",
+            Metric::QueriesServed => "Queries answered by the resident serve mode",
         }
     }
 }

@@ -40,6 +40,7 @@ use ripples_diffusion::{
 };
 use ripples_graph::Graph;
 use ripples_rng::StreamFactory;
+use ripples_serve::SketchService;
 
 /// The engines that promise bitwise-identical [`Selection`]s.
 pub(crate) const EAGER_ENGINES: [SelectEngine; 5] = [
@@ -302,6 +303,101 @@ pub(crate) fn check_storage_equivalence(
                     brief(&anchor)
                 )
             });
+        }
+    }
+}
+
+/// Layer 2c: serve-vs-batch equivalence. A resident serve-mode sketch is
+/// built **once**, sized for `k_max = k`, and must then answer `topk(k_q)`
+/// for several `k_q ≤ k` bitwise-identically to *fresh* seq / mt / dist
+/// batch runs at the same master seed and the same `k_max` — the core
+/// guarantee that makes the build-once/serve-many mode trustworthy. The
+/// served `spread_estimate` of each answer must also reproduce the batch
+/// run's coverage fraction exactly (both are `covered/θ` on the same
+/// samples).
+pub(crate) fn check_query_equivalence(
+    report: &mut OracleReport,
+    graph: &Graph,
+    params: &ImmParams,
+    cfg: &OracleConfig,
+) {
+    let kind = CheckKind::QueryEquivalence;
+    let n = graph.num_vertices();
+    let k_cap = params.effective_k(n);
+    if k_cap == 0 {
+        return;
+    }
+    let sized = params.with_k_max(k_cap);
+    let mut svc = SketchService::build(
+        graph,
+        sized,
+        SelectEngine::Sequential,
+        SampleEngine::Reference,
+        StorageConfig::default(),
+    );
+
+    let mut ks = vec![1, k_cap.div_ceil(2), k_cap];
+    ks.dedup();
+    for k_q in ks {
+        let (served, sreport) = match svc.topk(k_q) {
+            Ok(x) => x,
+            Err(e) => {
+                report.check(kind, &format!("serve(k={k_q})"), false, || {
+                    format!("query failed: {e}")
+                });
+                continue;
+            }
+        };
+        let mut p = sized;
+        p.k = k_q;
+
+        // Fresh sequential batch run at the same master seed and k_max.
+        let seq = immopt_sequential_with_storage(
+            graph,
+            &p,
+            SelectEngine::Sequential,
+            SampleEngine::Reference,
+            StorageConfig::default(),
+        );
+        let subject = format!("seq(k={k_q})");
+        report.check(kind, &subject, served == seq.seeds, || {
+            format!("served {served:?} vs batch {:?}", seq.seeds)
+        });
+        report.check(kind, &subject, svc.theta() == seq.theta, || {
+            format!("resident θ {} vs batch θ {}", svc.theta(), seq.theta)
+        });
+        report.check(
+            kind,
+            &subject,
+            (sreport.coverage_fraction - seq.coverage_fraction).abs() < 1e-12,
+            || {
+                format!(
+                    "served coverage {} vs batch {}",
+                    sreport.coverage_fraction, seq.coverage_fraction
+                )
+            },
+        );
+
+        // One multithreaded and one distributed batch run per query size.
+        if let Some(&threads) = cfg.mt_threads.first() {
+            let mt = imm_multithreaded(graph, &p, threads);
+            report.check(
+                kind,
+                &format!("mt(k={k_q},threads={threads})"),
+                served == mt.seeds,
+                || format!("served {served:?} vs mt {:?}", mt.seeds),
+            );
+        }
+        if let Some(&world) = cfg.world_sizes.last() {
+            let results = ThreadWorld::new(world).run(|comm| imm_distributed(comm, graph, &p));
+            for (rank, r) in results.iter().enumerate() {
+                report.check(
+                    kind,
+                    &format!("dist(k={k_q},world={world},rank={rank})"),
+                    served == r.seeds,
+                    || format!("served {served:?} vs dist {:?}", r.seeds),
+                );
+            }
         }
     }
 }

@@ -129,6 +129,8 @@ pub fn check_all_with(graph: &Graph, params: &ImmParams, cfg: &OracleConfig) -> 
         cfg,
     );
 
+    differential::check_query_equivalence(&mut report, graph, params, cfg);
+
     metamorphic::check_relabeling_selection(&mut report, &collection, n, k, cfg);
     metamorphic::check_relabeling_spread(&mut report, graph, params, &reference.seeds, cfg);
     if params.model == DiffusionModel::IndependentCascade {
@@ -193,6 +195,7 @@ mod tests {
             CheckKind::KPrefixMonotonicity,
             CheckKind::Submodularity,
             CheckKind::StorageEquivalence,
+            CheckKind::QueryEquivalence,
         ] {
             assert!(kinds.contains(&kind), "missing {kind:?} in {kinds:?}");
         }

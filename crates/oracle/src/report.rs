@@ -34,6 +34,11 @@ pub enum CheckKind {
     /// reference, across the sequential/mt/dist pipelines and every eager
     /// select engine.
     StorageEquivalence,
+    /// A resident serve-mode sketch (built once, sized for `k_max`)
+    /// answers every `topk(k ≤ k_max)` bitwise-identically to fresh
+    /// seq/mt/dist batch runs at the same master seed, and its
+    /// `spread_estimate` reproduces the batch coverage identity.
+    QueryEquivalence,
 }
 
 impl CheckKind {
@@ -50,6 +55,7 @@ impl CheckKind {
             CheckKind::KPrefixMonotonicity => "k-prefix-monotonicity",
             CheckKind::Submodularity => "submodularity",
             CheckKind::StorageEquivalence => "storage-equivalence",
+            CheckKind::QueryEquivalence => "query-equivalence",
         }
     }
 }

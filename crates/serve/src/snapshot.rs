@@ -1,0 +1,615 @@
+//! Sketch snapshot/restore: serialize a sealed RRR store with a versioned
+//! provenance header, restore it in O(bytes) and skip sampling entirely.
+//!
+//! # Format (version 1, all integers little-endian)
+//!
+//! ```text
+//! offset  size  field
+//!      0     8  magic "RIPLSNAP"
+//!      8     4  version (u32) = 1
+//!     12     8  checksum (u64, FNV-1a over every byte from offset 20 to EOF)
+//!     20     1  store kind (0 = flat, 1 = varint)
+//!     21     1  diffusion model (0 = ic, 1 = lt)
+//!     22     1  sample engine (0 = auto, 1 = reference, 2 = fused)
+//!     23     1  reserved, must be 0
+//!     24     8  graph fingerprint (u64, Graph::fingerprint)
+//!     32     8  master seed (u64)
+//!     40     4  k (u32)
+//!     44     4  k_max (u32, 0 = unset)
+//!     48     8  epsilon (f64 bits)
+//!     56     8  ell (f64 bits)
+//!     64     8  theta (u64, sample count; must match the payload)
+//!     72     …  payload (layout per store kind, below)
+//! ```
+//!
+//! Flat payload: `u64` offsets length, offsets as `u64` each, `u64` data
+//! length, vertex ids as `u32` each. Varint payload: `u64` offsets length,
+//! offsets as `u64` each, `u64` counts length, counts as `u32` each, `u64`
+//! byte-stream length, the raw delta-varint bytes.
+//!
+//! The provenance header pins everything that determined the sampled
+//! collection: the graph (by fingerprint), the master seed, the sampling
+//! kernel, the model, and the sizing parameters. A restore checks the
+//! fingerprint against the live graph, re-validates the payload
+//! structurally (monotone offsets, strictly-ascending samples, checked
+//! varint decode), and finally verifies the whole-file checksum, so a
+//! corrupt, truncated, or mismatched file is a structured
+//! [`SnapshotError`] naming the offset and field — never a panic and never
+//! a silently wrong sketch. The checksum runs *after* structural parsing
+//! so truncation reports the exact field that ran dry; any single-byte
+//! flip that survives the structural checks is caught by the checksum
+//! (`crates/serve/tests/prop_snapshot.rs` asserts both properties over
+//! random corruptions). Restored sketches answer queries
+//! bitwise-identically to the service that wrote them.
+//!
+//! Only the flat and varint layouts snapshot; the bitpack and spill
+//! backends keep state (per-vertex widths, on-disk chunks) that the v1
+//! format does not carry, and report [`SnapshotError::UnsupportedStore`].
+
+use std::fs;
+use std::path::Path;
+
+use ripples_core::{ImmParams, SampleEngine};
+use ripples_diffusion::{
+    CompressedRrrCollection, DiffusionModel, DynRrrStore, RrrCollection, RrrStore, RrrStoreKind,
+};
+use ripples_graph::Graph;
+
+use crate::SketchService;
+
+/// The 8-byte file magic.
+pub const SNAPSHOT_MAGIC: [u8; 8] = *b"RIPLSNAP";
+/// The format version this build writes and reads.
+pub const SNAPSHOT_VERSION: u32 = 1;
+
+/// Why a snapshot could not be written or restored. Every decode-side
+/// variant names the file offset and the field being read, so a corrupt
+/// file is diagnosable without a hex dump.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SnapshotError {
+    /// Filesystem failure (open/read/write), with the OS detail.
+    Io {
+        /// What the snapshot code was doing.
+        action: &'static str,
+        /// `std::io::Error` rendering.
+        detail: String,
+    },
+    /// The file does not start with [`SNAPSHOT_MAGIC`].
+    BadMagic {
+        /// The 8 bytes actually found.
+        found: [u8; 8],
+    },
+    /// The file's version is not [`SNAPSHOT_VERSION`].
+    UnsupportedVersion {
+        /// The version actually found.
+        found: u32,
+    },
+    /// The store layout cannot snapshot (bitpack/spill on write, or an
+    /// unknown kind byte on read).
+    UnsupportedStore {
+        /// The layout's CLI tag, or `"kind byte N"` for an unknown byte.
+        kind: String,
+    },
+    /// The file ends before `field` is complete.
+    Truncated {
+        /// The field being read when the bytes ran out.
+        field: &'static str,
+        /// File offset where the read began.
+        offset: usize,
+    },
+    /// A field decodes but its value is inconsistent.
+    Corrupt {
+        /// The offending field.
+        field: &'static str,
+        /// File offset where the field begins.
+        offset: usize,
+        /// What is wrong with the value.
+        detail: String,
+    },
+    /// The snapshot was built over a different graph.
+    FingerprintMismatch {
+        /// Fingerprint recorded in the snapshot.
+        expected: u64,
+        /// Fingerprint of the graph supplied at restore.
+        found: u64,
+    },
+    /// The file parses but its bytes do not hash to the recorded checksum
+    /// (bit rot or tampering that slipped past the structural checks).
+    ChecksumMismatch {
+        /// Checksum recorded in the header.
+        expected: u64,
+        /// Checksum of the bytes actually read.
+        found: u64,
+    },
+}
+
+impl std::fmt::Display for SnapshotError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SnapshotError::Io { action, detail } => {
+                write!(f, "snapshot I/O failed while {action}: {detail}")
+            }
+            SnapshotError::BadMagic { found } => {
+                write!(
+                    f,
+                    "not a sketch snapshot: magic bytes {found:02x?} at offset 0"
+                )
+            }
+            SnapshotError::UnsupportedVersion { found } => write!(
+                f,
+                "snapshot version {found} is not supported (this build reads v{SNAPSHOT_VERSION})"
+            ),
+            SnapshotError::UnsupportedStore { kind } => {
+                write!(f, "store layout {kind} does not support snapshots")
+            }
+            SnapshotError::Truncated { field, offset } => {
+                write!(
+                    f,
+                    "snapshot truncated at offset {offset} while reading {field}"
+                )
+            }
+            SnapshotError::Corrupt {
+                field,
+                offset,
+                detail,
+            } => write!(
+                f,
+                "snapshot corrupt: field {field} at offset {offset}: {detail}"
+            ),
+            SnapshotError::FingerprintMismatch { expected, found } => write!(
+                f,
+                "graph fingerprint mismatch: snapshot was built over {expected:#018x}, \
+                 the supplied graph is {found:#018x}"
+            ),
+            SnapshotError::ChecksumMismatch { expected, found } => write!(
+                f,
+                "snapshot checksum mismatch: header records {expected:#018x}, \
+                 file bytes hash to {found:#018x}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for SnapshotError {}
+
+/// Everything [`read_snapshot`] recovers: the sealed store plus the build
+/// provenance needed to reconstruct an equivalent [`SketchService`].
+#[derive(Debug)]
+pub struct RestoredSketch {
+    /// The restored, sealed store.
+    pub store: DynRrrStore,
+    /// The build parameters (master seed, ε, ℓ, model, k, k_max).
+    pub params: ImmParams,
+    /// The sampling kernel the sketch was drawn with.
+    pub sample: SampleEngine,
+}
+
+const fn model_byte(model: DiffusionModel) -> u8 {
+    match model {
+        DiffusionModel::IndependentCascade => 0,
+        DiffusionModel::LinearThreshold => 1,
+    }
+}
+
+const fn sample_byte(sample: SampleEngine) -> u8 {
+    match sample {
+        SampleEngine::Auto => 0,
+        SampleEngine::Reference => 1,
+        SampleEngine::Fused => 2,
+    }
+}
+
+fn push_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn push_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Byte offset of the checksum field; the checksum covers everything
+/// *after* it (offset [`CHECKSUM_COVERS_FROM`] to EOF).
+const CHECKSUM_OFFSET: usize = 12;
+/// First byte covered by the checksum.
+const CHECKSUM_COVERS_FROM: usize = CHECKSUM_OFFSET + 8;
+
+/// FNV-1a over a byte slice — the same hash family `Graph::fingerprint`
+/// uses, good enough to catch bit rot (this is an integrity check, not an
+/// authenticity one).
+fn fnv1a(bytes: &[u8]) -> u64 {
+    const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut h = FNV_OFFSET;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    h
+}
+
+/// Serializes `service`'s sealed sketch to `path`.
+///
+/// # Errors
+///
+/// [`SnapshotError::UnsupportedStore`] for bitpack/spill layouts,
+/// [`SnapshotError::Io`] on filesystem failure.
+pub fn write_snapshot(path: &Path, service: &SketchService) -> Result<(), SnapshotError> {
+    let bytes = encode_snapshot(service)?;
+    fs::write(path, bytes).map_err(|e| SnapshotError::Io {
+        action: "writing the snapshot file",
+        detail: e.to_string(),
+    })
+}
+
+/// Serializes `service`'s sealed sketch into a byte buffer (the body of
+/// [`write_snapshot`], separated for tests).
+///
+/// # Errors
+///
+/// [`SnapshotError::UnsupportedStore`] for bitpack/spill layouts.
+pub fn encode_snapshot(service: &SketchService) -> Result<Vec<u8>, SnapshotError> {
+    let store = service.store();
+    let kind_byte: u8 = match store.kind() {
+        RrrStoreKind::Flat => 0,
+        RrrStoreKind::Varint => 1,
+        other => {
+            return Err(SnapshotError::UnsupportedStore {
+                kind: other.tag().to_string(),
+            })
+        }
+    };
+    let params = service.params();
+    let mut out = Vec::with_capacity(80 + store.resident_bytes());
+    out.extend_from_slice(&SNAPSHOT_MAGIC);
+    push_u32(&mut out, SNAPSHOT_VERSION);
+    push_u64(&mut out, 0); // checksum placeholder, patched below
+    out.push(kind_byte);
+    out.push(model_byte(params.model));
+    out.push(sample_byte(service.sample_engine()));
+    out.push(0); // reserved
+    push_u64(&mut out, service.graph_fingerprint());
+    push_u64(&mut out, params.seed);
+    push_u32(&mut out, params.k);
+    push_u32(&mut out, params.k_max.unwrap_or(0));
+    push_u64(&mut out, params.epsilon.to_bits());
+    push_u64(&mut out, params.ell.to_bits());
+    push_u64(&mut out, service.theta() as u64);
+    match store.kind() {
+        RrrStoreKind::Flat => {
+            let flat = store.as_flat().expect("flat kind has flat layout");
+            push_u64(&mut out, flat.raw_offsets().len() as u64);
+            for &o in flat.raw_offsets() {
+                push_u64(&mut out, o as u64);
+            }
+            push_u64(&mut out, flat.raw_data().len() as u64);
+            for &v in flat.raw_data() {
+                push_u32(&mut out, v);
+            }
+        }
+        RrrStoreKind::Varint => {
+            let varint = store.as_varint().expect("varint kind has varint layout");
+            push_u64(&mut out, varint.raw_offsets().len() as u64);
+            for &o in varint.raw_offsets() {
+                push_u64(&mut out, o as u64);
+            }
+            push_u64(&mut out, varint.raw_counts().len() as u64);
+            for &c in varint.raw_counts() {
+                push_u32(&mut out, c);
+            }
+            push_u64(&mut out, varint.raw_bytes().len() as u64);
+            out.extend_from_slice(varint.raw_bytes());
+        }
+        _ => unreachable!("rejected above"),
+    }
+    let checksum = fnv1a(&out[CHECKSUM_COVERS_FROM..]);
+    out[CHECKSUM_OFFSET..CHECKSUM_OFFSET + 8].copy_from_slice(&checksum.to_le_bytes());
+    Ok(out)
+}
+
+/// A bounds-checked little-endian reader that tracks the file offset, so
+/// every failure can name where and what it was reading.
+struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn take(&mut self, n: usize, field: &'static str) -> Result<&'a [u8], SnapshotError> {
+        let end = self
+            .pos
+            .checked_add(n)
+            .filter(|&e| e <= self.buf.len())
+            .ok_or(SnapshotError::Truncated {
+                field,
+                offset: self.pos,
+            })?;
+        let s = &self.buf[self.pos..end];
+        self.pos = end;
+        Ok(s)
+    }
+
+    fn u8(&mut self, field: &'static str) -> Result<u8, SnapshotError> {
+        Ok(self.take(1, field)?[0])
+    }
+
+    fn u32(&mut self, field: &'static str) -> Result<u32, SnapshotError> {
+        let b = self.take(4, field)?;
+        Ok(u32::from_le_bytes(b.try_into().expect("4-byte slice")))
+    }
+
+    fn u64(&mut self, field: &'static str) -> Result<u64, SnapshotError> {
+        let b = self.take(8, field)?;
+        Ok(u64::from_le_bytes(b.try_into().expect("8-byte slice")))
+    }
+
+    /// A length field that must also fit in memory as `elem_size`-byte
+    /// elements of the remaining file, preventing absurd-length
+    /// allocations from corrupt headers.
+    fn len(&mut self, field: &'static str, elem_size: usize) -> Result<usize, SnapshotError> {
+        let offset = self.pos;
+        let raw = self.u64(field)?;
+        let len = usize::try_from(raw).map_err(|_| SnapshotError::Corrupt {
+            field,
+            offset,
+            detail: format!("length {raw} does not fit in memory"),
+        })?;
+        let remaining = self.buf.len() - self.pos;
+        if len.checked_mul(elem_size).is_none_or(|b| b > remaining) {
+            return Err(SnapshotError::Corrupt {
+                field,
+                offset,
+                detail: format!(
+                    "length {len} x {elem_size} bytes exceeds the {remaining} bytes left in the file"
+                ),
+            });
+        }
+        Ok(len)
+    }
+}
+
+/// Reads and validates a snapshot from `path`, checking its graph
+/// fingerprint against `graph`.
+///
+/// # Errors
+///
+/// See [`SnapshotError`]; structural payload problems surface as
+/// [`SnapshotError::Corrupt`] with the underlying validation message.
+pub fn read_snapshot(path: &Path, graph: &Graph) -> Result<RestoredSketch, SnapshotError> {
+    let bytes = fs::read(path).map_err(|e| SnapshotError::Io {
+        action: "reading the snapshot file",
+        detail: e.to_string(),
+    })?;
+    decode_snapshot(&bytes, graph)
+}
+
+/// Decodes a snapshot from an in-memory buffer (the body of
+/// [`read_snapshot`], separated for tests and fuzzing).
+///
+/// # Errors
+///
+/// See [`read_snapshot`].
+pub fn decode_snapshot(bytes: &[u8], graph: &Graph) -> Result<RestoredSketch, SnapshotError> {
+    let mut r = Reader { buf: bytes, pos: 0 };
+    let magic = r.take(8, "magic")?;
+    if magic != SNAPSHOT_MAGIC {
+        return Err(SnapshotError::BadMagic {
+            found: magic.try_into().expect("8-byte slice"),
+        });
+    }
+    let version = r.u32("version")?;
+    if version != SNAPSHOT_VERSION {
+        return Err(SnapshotError::UnsupportedVersion { found: version });
+    }
+    let checksum = r.u64("checksum")?;
+    let kind_offset = r.pos;
+    let kind_byte = r.u8("store kind")?;
+    let model_offset = r.pos;
+    let model_byte = r.u8("diffusion model")?;
+    let sample_offset = r.pos;
+    let sample_byte = r.u8("sample engine")?;
+    let reserved_offset = r.pos;
+    let reserved = r.u8("reserved")?;
+    if reserved != 0 {
+        return Err(SnapshotError::Corrupt {
+            field: "reserved",
+            offset: reserved_offset,
+            detail: format!("expected 0, found {reserved}"),
+        });
+    }
+    let fingerprint = r.u64("graph fingerprint")?;
+    let live = graph.fingerprint();
+    if fingerprint != live {
+        return Err(SnapshotError::FingerprintMismatch {
+            expected: fingerprint,
+            found: live,
+        });
+    }
+    let seed = r.u64("master seed")?;
+    let k_offset = r.pos;
+    let k = r.u32("k")?;
+    let k_max = r.u32("k_max")?;
+    let eps_offset = r.pos;
+    let epsilon = f64::from_bits(r.u64("epsilon")?);
+    let ell_offset = r.pos;
+    let ell = f64::from_bits(r.u64("ell")?);
+    let theta_offset = r.pos;
+    let theta = r.u64("theta")?;
+
+    let model = match model_byte {
+        0 => DiffusionModel::IndependentCascade,
+        1 => DiffusionModel::LinearThreshold,
+        other => {
+            return Err(SnapshotError::Corrupt {
+                field: "diffusion model",
+                offset: model_offset,
+                detail: format!("unknown model byte {other}"),
+            })
+        }
+    };
+    let sample = match sample_byte {
+        0 => SampleEngine::Auto,
+        1 => SampleEngine::Reference,
+        2 => SampleEngine::Fused,
+        other => {
+            return Err(SnapshotError::Corrupt {
+                field: "sample engine",
+                offset: sample_offset,
+                detail: format!("unknown sample-engine byte {other}"),
+            })
+        }
+    };
+    if k == 0 {
+        return Err(SnapshotError::Corrupt {
+            field: "k",
+            offset: k_offset,
+            detail: "k must be positive".to_string(),
+        });
+    }
+    if !(epsilon > 0.0 && epsilon < 1.0) {
+        return Err(SnapshotError::Corrupt {
+            field: "epsilon",
+            offset: eps_offset,
+            detail: format!("epsilon {epsilon} outside (0, 1)"),
+        });
+    }
+    // NaN-safe: reject NaN as well as zero/negative.
+    if ell.is_nan() || ell <= 0.0 {
+        return Err(SnapshotError::Corrupt {
+            field: "ell",
+            offset: ell_offset,
+            detail: format!("ell {ell} must be positive"),
+        });
+    }
+
+    let store = match kind_byte {
+        0 => decode_flat_payload(&mut r)?,
+        1 => decode_varint_payload(&mut r)?,
+        other => {
+            return Err(SnapshotError::UnsupportedStore {
+                kind: format!("kind byte {other}"),
+            })
+        }
+    };
+    if r.pos != bytes.len() {
+        return Err(SnapshotError::Corrupt {
+            field: "payload",
+            offset: r.pos,
+            detail: format!("{} trailing bytes after the payload", bytes.len() - r.pos),
+        });
+    }
+    if store.len() as u64 != theta {
+        return Err(SnapshotError::Corrupt {
+            field: "theta",
+            offset: theta_offset,
+            detail: format!(
+                "header says {theta} samples but the payload holds {}",
+                store.len()
+            ),
+        });
+    }
+    if let Some(v) = max_vertex(&store) {
+        if v >= graph.num_vertices() {
+            return Err(SnapshotError::Corrupt {
+                field: "payload",
+                offset: kind_offset,
+                detail: format!(
+                    "sample vertex id {v} is out of range for a {}-vertex graph",
+                    graph.num_vertices()
+                ),
+            });
+        }
+    }
+
+    // Last line of defense: a byte flip the structural checks cannot see
+    // (e.g. a vertex id changed to another valid id) fails here.
+    let computed = fnv1a(&bytes[CHECKSUM_COVERS_FROM..]);
+    if computed != checksum {
+        return Err(SnapshotError::ChecksumMismatch {
+            expected: checksum,
+            found: computed,
+        });
+    }
+
+    let mut params = ImmParams::new(k, epsilon, model, seed);
+    if k_max > 0 {
+        params = params.with_k_max(k_max);
+    }
+    Ok(RestoredSketch {
+        store,
+        params,
+        sample,
+    })
+}
+
+fn decode_flat_payload(r: &mut Reader<'_>) -> Result<DynRrrStore, SnapshotError> {
+    let payload_offset = r.pos;
+    let offsets_len = r.len("flat offsets length", 8)?;
+    let mut offsets = Vec::with_capacity(offsets_len);
+    for _ in 0..offsets_len {
+        let off_pos = r.pos;
+        let raw = r.u64("flat offset")?;
+        offsets.push(usize::try_from(raw).map_err(|_| SnapshotError::Corrupt {
+            field: "flat offset",
+            offset: off_pos,
+            detail: format!("offset {raw} does not fit in memory"),
+        })?);
+    }
+    let data_len = r.len("flat data length", 4)?;
+    let mut data = Vec::with_capacity(data_len);
+    for _ in 0..data_len {
+        data.push(r.u32("flat vertex id")?);
+    }
+    let collection =
+        RrrCollection::from_raw_parts(offsets, data).map_err(|detail| SnapshotError::Corrupt {
+            field: "flat payload",
+            offset: payload_offset,
+            detail,
+        })?;
+    Ok(DynRrrStore::from_flat(collection))
+}
+
+fn decode_varint_payload(r: &mut Reader<'_>) -> Result<DynRrrStore, SnapshotError> {
+    let payload_offset = r.pos;
+    let offsets_len = r.len("varint offsets length", 8)?;
+    let mut offsets = Vec::with_capacity(offsets_len);
+    for _ in 0..offsets_len {
+        let off_pos = r.pos;
+        let raw = r.u64("varint offset")?;
+        offsets.push(usize::try_from(raw).map_err(|_| SnapshotError::Corrupt {
+            field: "varint offset",
+            offset: off_pos,
+            detail: format!("offset {raw} does not fit in memory"),
+        })?);
+    }
+    let counts_len = r.len("varint counts length", 4)?;
+    let mut counts = Vec::with_capacity(counts_len);
+    for _ in 0..counts_len {
+        counts.push(r.u32("varint count")?);
+    }
+    let bytes_len = r.len("varint byte-stream length", 1)?;
+    let data = r.take(bytes_len, "varint byte stream")?.to_vec();
+    let collection =
+        CompressedRrrCollection::from_raw_parts(offsets, counts, data).map_err(|detail| {
+            SnapshotError::Corrupt {
+                field: "varint payload",
+                offset: payload_offset,
+                detail,
+            }
+        })?;
+    Ok(DynRrrStore::from_varint(collection))
+}
+
+/// Largest vertex id appearing in any sample, for range validation
+/// against the live graph at restore time.
+fn max_vertex(store: &DynRrrStore) -> Option<u32> {
+    let mut max: Option<u32> = None;
+    let mut buf = Vec::new();
+    for i in 0..store.len() {
+        store.decode_into(i, &mut buf);
+        // Samples are strictly ascending, so the last entry is the max.
+        if let Some(&m) = buf.last() {
+            max = Some(max.map_or(m, |cur| cur.max(m)));
+        }
+    }
+    max
+}

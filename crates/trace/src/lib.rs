@@ -128,6 +128,11 @@ pub enum TraceName {
     /// Peak per-vertex activation-mask scratch bytes of the fused sampler;
     /// `arg0` = bytes.
     MaskBytes = 19,
+    /// A serve-mode query starts; `arg0` = requested seed count `k`.
+    QueryBegin = 20,
+    /// A serve-mode query finishes; `arg0` = requested seed count `k`,
+    /// `arg1` = RRR-index entries touched while answering.
+    QueryEnd = 21,
 }
 
 impl TraceName {
@@ -155,6 +160,8 @@ impl TraceName {
             TraceName::RankDead => "rank-dead",
             TraceName::FusedChunk => "fused-chunk",
             TraceName::MaskBytes => "mask-bytes",
+            TraceName::QueryBegin => "query-begin",
+            TraceName::QueryEnd => "query-end",
         }
     }
 
@@ -172,6 +179,8 @@ impl TraceName {
             }
             TraceName::IndexBuild => (Some("entries"), None),
             TraceName::SelectTouched => (Some("entries"), Some("vertex")),
+            TraceName::QueryBegin => (Some("k"), None),
+            TraceName::QueryEnd => (Some("k"), Some("entries")),
             TraceName::CommRetry => (Some("op"), Some("attempt")),
             TraceName::RankDead => (Some("rank"), Some("op")),
             _ => (None, None),
@@ -201,6 +210,8 @@ impl TraceName {
             17 => Some(RankDead),
             18 => Some(FusedChunk),
             19 => Some(MaskBytes),
+            20 => Some(QueryBegin),
+            21 => Some(QueryEnd),
             _ => None,
         }
     }
@@ -884,12 +895,12 @@ mod tests {
 
     #[test]
     fn name_catalog_round_trips() {
-        for x in 0..=19u8 {
+        for x in 0..=21u8 {
             let name = TraceName::from_u8(x).expect("catalog entry");
             assert_eq!(name as u8, x);
             assert!(!name.label().is_empty());
         }
-        assert!(TraceName::from_u8(20).is_none());
+        assert!(TraceName::from_u8(22).is_none());
         assert!(EventKind::from_u8(3).is_none());
     }
 }

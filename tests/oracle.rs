@@ -52,6 +52,13 @@ fn run_cell(name: &str, divisor: u32, model: DiffusionModel, seed: u64) {
             .any(|&(k, c)| k == CheckKind::StorageEquivalence && c > 0),
         "storage-equivalence never ran:\n{report}"
     );
+    assert!(
+        report
+            .passed_by_kind
+            .iter()
+            .any(|&(k, c)| k == CheckKind::QueryEquivalence && c > 0),
+        "query-equivalence never ran:\n{report}"
+    );
 }
 
 macro_rules! grid {

@@ -1,0 +1,307 @@
+//! Serve-vs-batch equivalence: a resident sketch built once (sized for
+//! `k_max`) answers `topk(k)` **bitwise-identically** to a fresh batch run
+//! at the same master seed and `k_max` — across every select engine ×
+//! `--rrr-store` backend combination, on Table 2 stand-in graphs, for
+//! k ∈ {1, 10, k_max}.
+//!
+//! Also covered here:
+//!
+//! - `topk_excluding(k, banned)` equals batch selection on a sketch with
+//!   the banned vertices filtered out of every sample (independent naive
+//!   reference built in this file).
+//! - the monotone-k prefix regression: `topk(k_small)` is a prefix of
+//!   `topk(k_max)` (the latent assumption the serve mode depends on; CELF
+//!   can violate it on ties, which is why the service maps `Lazy` to
+//!   `Sequential` — asserted below).
+//! - snapshot → restore answers every query bitwise-identically to the
+//!   service that wrote the snapshot *and* to fresh batch runs, without
+//!   re-sampling.
+
+use ripples_core::seq::immopt_sequential_with_storage;
+use ripples_core::{ImmParams, SampleEngine, SelectEngine};
+use ripples_diffusion::{DiffusionModel, RrrCollection, RrrStore, RrrStoreKind, StorageConfig};
+use ripples_graph::generators::standin;
+use ripples_graph::{Graph, Vertex, WeightModel};
+use ripples_serve::SketchService;
+
+const K_MAX: u32 = 12;
+/// Three distinct query sizes served from ONE resident sketch, each
+/// checked bitwise against a fresh batch run.
+const QUERY_KS: [u32; 3] = [1, 10, K_MAX];
+const MASTER_SEED: u64 = 11;
+
+fn standin_graph(name: &str, divisor: u32) -> Graph {
+    let spec = standin(name).unwrap_or_else(|| panic!("unknown stand-in {name}"));
+    spec.build(divisor, WeightModel::UniformRandom { seed: 7 }, false)
+}
+
+fn sized_params() -> ImmParams {
+    ImmParams::new(1, 0.5, DiffusionModel::IndependentCascade, MASTER_SEED).with_k_max(K_MAX)
+}
+
+/// The core contract: build one resident sketch, serve the three query
+/// sizes, and check each answer (and θ) bitwise against a fresh batch
+/// pipeline run configured identically.
+fn assert_serve_matches_batch(graph: &Graph, select: SelectEngine, kind: RrrStoreKind) {
+    let params = sized_params();
+    let mut svc = SketchService::build(
+        graph,
+        params,
+        select,
+        SampleEngine::Reference,
+        StorageConfig::of(kind),
+    );
+    for k in QUERY_KS {
+        let (served, report) = svc.topk(k).expect("query within k_max");
+        assert_eq!(served.len(), k as usize);
+        assert!(report.covered > 0, "degenerate sketch");
+
+        let mut p = params;
+        p.k = k;
+        let batch = immopt_sequential_with_storage(
+            graph,
+            &p,
+            select,
+            SampleEngine::Reference,
+            StorageConfig::of(kind),
+        );
+        assert_eq!(
+            served,
+            batch.seeds,
+            "serve/batch divergence: {}/{} at k={k}",
+            select.tag(),
+            kind.tag()
+        );
+        assert_eq!(
+            svc.theta(),
+            batch.theta,
+            "θ divergence: {}/{} at k={k}",
+            select.tag(),
+            kind.tag()
+        );
+    }
+}
+
+macro_rules! serve_grid {
+    ($($test:ident: ($select:ident, $store:ident),)*) => {
+        $(
+            #[test]
+            fn $test() {
+                let graph = standin_graph("cit-HepTh", 96);
+                assert_serve_matches_batch(
+                    &graph,
+                    SelectEngine::$select,
+                    RrrStoreKind::$store,
+                );
+            }
+        )*
+    };
+}
+
+serve_grid! {
+    sequential_flat: (Sequential, Flat),
+    sequential_varint: (Sequential, Varint),
+    sequential_bitpack: (Sequential, Bitpack),
+    sequential_spill: (Sequential, Spill),
+    partitioned_flat: (Partitioned, Flat),
+    partitioned_varint: (Partitioned, Varint),
+    partitioned_bitpack: (Partitioned, Bitpack),
+    partitioned_spill: (Partitioned, Spill),
+    hypergraph_flat: (Hypergraph, Flat),
+    hypergraph_varint: (Hypergraph, Varint),
+    hypergraph_bitpack: (Hypergraph, Bitpack),
+    hypergraph_spill: (Hypergraph, Spill),
+    fused_flat: (Fused, Flat),
+    fused_varint: (Fused, Varint),
+    fused_bitpack: (Fused, Bitpack),
+    fused_spill: (Fused, Spill),
+    auto_flat: (Auto, Flat),
+    auto_varint: (Auto, Varint),
+    auto_bitpack: (Auto, Bitpack),
+    auto_spill: (Auto, Spill),
+}
+
+/// Second stand-in graph: one spot check per store family so the contract
+/// is not a cit-HepTh artifact.
+#[test]
+fn epinions_sequential_flat_and_varint() {
+    let graph = standin_graph("soc-Epinions1", 256);
+    assert_serve_matches_batch(&graph, SelectEngine::Sequential, RrrStoreKind::Flat);
+    assert_serve_matches_batch(&graph, SelectEngine::Sequential, RrrStoreKind::Varint);
+}
+
+/// The fused *sampling* kernel feeds the same resident sketch: serve and
+/// batch must still agree bitwise when both use it.
+#[test]
+fn fused_sampler_serves_bitwise() {
+    let graph = standin_graph("cit-HepTh", 96);
+    let params = sized_params();
+    let mut svc = SketchService::build(
+        &graph,
+        params,
+        SelectEngine::Sequential,
+        SampleEngine::Fused,
+        StorageConfig::default(),
+    );
+    for k in QUERY_KS {
+        let (served, _) = svc.topk(k).unwrap();
+        let mut p = params;
+        p.k = k;
+        let batch = immopt_sequential_with_storage(
+            &graph,
+            &p,
+            SelectEngine::Sequential,
+            SampleEngine::Fused,
+            StorageConfig::default(),
+        );
+        assert_eq!(served, batch.seeds, "fused-sampler divergence at k={k}");
+    }
+}
+
+/// Independent naive reference for `topk_excluding`: decode every sample
+/// of the resident store, drop the banned vertices, and run the ordinary
+/// sequential greedy on the filtered collection.
+fn filtered_reference(svc: &SketchService, n: u32, k: u32, banned: &[Vertex]) -> Vec<Vertex> {
+    let mut filtered = RrrCollection::new();
+    let mut buf = Vec::new();
+    for i in 0..svc.store().len() {
+        svc.store().decode_into(i, &mut buf);
+        let kept: Vec<Vertex> = buf
+            .iter()
+            .copied()
+            .filter(|v| !banned.contains(v))
+            .collect();
+        filtered.push(&kept);
+    }
+    let (sel, _) =
+        ripples_core::select::select_with_engine(SelectEngine::Sequential, &filtered, n, k, 1);
+    sel.seeds
+}
+
+/// `topk_excluding` ≡ batch selection on the vertex-filtered sketch.
+#[test]
+fn excluding_equals_filtered_sketch_selection() {
+    let graph = standin_graph("cit-HepTh", 96);
+    let mut svc = SketchService::build(
+        &graph,
+        sized_params(),
+        SelectEngine::Sequential,
+        SampleEngine::Reference,
+        StorageConfig::default(),
+    );
+    // Ban the unconstrained winners — the most adversarial exclusion set.
+    let (top, _) = svc.topk(3).unwrap();
+    for k in [1u32, 4, 8] {
+        let (served, _) = svc.topk_excluding(k, &top).unwrap();
+        let reference = filtered_reference(&svc, graph.num_vertices(), k, &top);
+        assert_eq!(served, reference, "excluding divergence at k={k}");
+        for b in &top {
+            assert!(!served.contains(b), "banned vertex {b} served at k={k}");
+        }
+    }
+}
+
+/// The monotone-k regression: every eager engine picks seed `i` with a
+/// `k`-independent argmax, so `topk(k₁)` must be a prefix of `topk(k₂)`
+/// for `k₁ ≤ k₂`. This is the property that lets ONE resident sketch
+/// answer all k ≤ k_max consistently.
+#[test]
+fn topk_small_is_prefix_of_topk_max() {
+    let graph = standin_graph("cit-HepTh", 96);
+    for engine in [
+        SelectEngine::Sequential,
+        SelectEngine::Partitioned,
+        SelectEngine::Hypergraph,
+        SelectEngine::Fused,
+        SelectEngine::Auto,
+    ] {
+        let mut svc = SketchService::build(
+            &graph,
+            sized_params(),
+            engine,
+            SampleEngine::Reference,
+            StorageConfig::default(),
+        );
+        let (full, _) = svc.topk(K_MAX).unwrap();
+        for k in 1..K_MAX {
+            let (prefix, _) = svc.topk(k).unwrap();
+            assert_eq!(
+                &prefix[..],
+                &full[..k as usize],
+                "prefix violation: {} at k={k}",
+                engine.tag()
+            );
+        }
+    }
+}
+
+/// CELF (`Lazy`) may reorder tied seeds per k, breaking the prefix
+/// property — the service documents this by mapping it to `Sequential`.
+#[test]
+fn lazy_engine_is_mapped_to_sequential() {
+    let graph = standin_graph("cit-HepTh", 96);
+    let svc = SketchService::build(
+        &graph,
+        sized_params(),
+        SelectEngine::Lazy,
+        SampleEngine::Reference,
+        StorageConfig::default(),
+    );
+    assert_eq!(svc.select_engine(), SelectEngine::Sequential);
+}
+
+/// Snapshot → restore: the restored service answers every query size
+/// bitwise-identically to the writer and to fresh batch runs, without
+/// re-running sampling (its store is byte-restored, θ included).
+#[test]
+fn snapshot_restore_serves_bitwise_identically() {
+    let graph = standin_graph("cit-HepTh", 96);
+    let params = sized_params();
+    for kind in [RrrStoreKind::Flat, RrrStoreKind::Varint] {
+        let mut original = SketchService::build(
+            &graph,
+            params,
+            SelectEngine::Sequential,
+            SampleEngine::Reference,
+            StorageConfig::of(kind),
+        );
+        let path = std::env::temp_dir().join(format!(
+            "ripples-serve-test-{}-{}.snap",
+            std::process::id(),
+            kind.tag()
+        ));
+        original.snapshot_to(&path).expect("snapshot writes");
+        let mut restored = SketchService::restore_from(&path, &graph, SelectEngine::Sequential)
+            .expect("snapshot restores");
+        std::fs::remove_file(&path).ok();
+
+        assert_eq!(restored.theta(), original.theta());
+        assert_eq!(restored.params(), original.params());
+        for k in QUERY_KS {
+            let (a, _) = original.topk(k).unwrap();
+            let (b, _) = restored.topk(k).unwrap();
+            assert_eq!(a, b, "restored sketch diverged at k={k} ({})", kind.tag());
+
+            let mut p = params;
+            p.k = k;
+            let batch = immopt_sequential_with_storage(
+                &graph,
+                &p,
+                SelectEngine::Sequential,
+                SampleEngine::Reference,
+                StorageConfig::of(kind),
+            );
+            assert_eq!(
+                b,
+                batch.seeds,
+                "restored sketch diverged from batch at k={k} ({})",
+                kind.tag()
+            );
+        }
+        // Spread estimates come off the identical samples.
+        let (seeds, _) = restored.topk(4).unwrap();
+        let (e1, _) = original.spread_estimate(&seeds).unwrap();
+        let (e2, _) = restored.spread_estimate(&seeds).unwrap();
+        assert!((e1 - e2).abs() < 1e-12);
+    }
+}
