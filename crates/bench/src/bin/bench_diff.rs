@@ -22,6 +22,12 @@
 //! seconds on load) get the same spread-aware threshold and absolute
 //! noise guard.
 //!
+//! v8 rows additionally gate `graph_bytes_peak` (the sharded engine's
+//! per-rank resident graph footprint). Graph construction is
+//! deterministic, so the metric carries no spread: growth beyond the
+//! floor (and a small absolute guard for allocator rounding) on an
+//! overlapping config is a real memory regression, not noise.
+//!
 //! Two snapshots are only comparable if they came from the same kind of
 //! host: the tool refuses (exit 2) when the recorded `host.threads` or
 //! `host.rustc` provenance disagrees, unless `--allow-host-mismatch` is
@@ -66,12 +72,22 @@ const SERVE_METRICS: [(&str, &str, f64); 2] = [
     ("query_p99_ns", "query_p99_spread", 1e-9),
 ];
 
+/// v8 byte metric (sharded per-rank graph footprint). Deterministic — no
+/// spread field — so the floor alone is the threshold. Rows where the
+/// value is zero (engines that replicate the graph) are skipped.
+const BYTE_METRIC: &str = "graph_bytes_peak";
+/// Absolute guard for the byte metric: ignore growth under 4 KiB, which
+/// is within allocator/rounding slack for the small snapshot graphs.
+const ABS_GUARD_BYTES: f64 = 4096.0;
+
 /// One config row of a snapshot, reduced to what the gate needs.
 #[derive(Clone, Debug)]
 struct Rec {
     key: String,
     /// `(metric, seconds, spread)` for each present wall metric.
     walls: Vec<(&'static str, f64, f64)>,
+    /// v8 `graph_bytes_peak`, when present and nonzero.
+    graph_bytes_peak: Option<f64>,
 }
 
 /// A whole snapshot, reduced to what the gate needs.
@@ -123,7 +139,12 @@ fn load(path: &str) -> Result<Snapshot, String> {
                     walls.push((metric, raw * scale, rec.num(spread_field).unwrap_or(0.0)));
                 }
             }
-            Rec { key, walls }
+            let graph_bytes_peak = rec.num(BYTE_METRIC).filter(|&b| b > 0.0);
+            Rec {
+                key,
+                walls,
+                graph_bytes_peak,
+            }
         })
         .collect();
     Ok(Snapshot {
@@ -175,7 +196,7 @@ fn compare(
     }
 
     let mut table = Table::new(vec![
-        "config", "metric", "base_s", "cand_s", "delta", "limit", "verdict",
+        "config", "metric", "base", "cand", "delta", "limit", "verdict",
     ]);
     let mut regressions = Vec::new();
     let mut compared = 0usize;
@@ -222,6 +243,34 @@ fn compare(
                 });
             }
         }
+        // v8 memory gate: deterministic, so the floor alone bounds it.
+        if let (Some(base_b), Some(cand_b)) = (b.graph_bytes_peak, c.graph_bytes_peak) {
+            compared += 1;
+            let delta = (cand_b - base_b) / base_b;
+            let regressed = delta > floor && (cand_b - base_b) > ABS_GUARD_BYTES;
+            table.row(vec![
+                b.key.clone(),
+                BYTE_METRIC.to_string(),
+                format!("{base_b:.0}"),
+                format!("{cand_b:.0}"),
+                format!("{:+.1}%", delta * 100.0),
+                format!("+{:.1}%", floor * 100.0),
+                if regressed {
+                    "REGRESSED".to_string()
+                } else {
+                    "ok".to_string()
+                },
+            ]);
+            if regressed {
+                regressions.push(Regression {
+                    key: b.key.clone(),
+                    metric: BYTE_METRIC,
+                    base: base_b,
+                    cand: cand_b,
+                    threshold: floor,
+                });
+            }
+        }
     }
     for c in &cand.configs {
         if !base.configs.iter().any(|b| b.key == c.key) && !quiet {
@@ -251,8 +300,9 @@ fn report_and_exit(regressions: &[Regression]) -> ! {
         std::process::exit(0);
     }
     for r in regressions {
+        let unit = if r.metric == BYTE_METRIC { "B" } else { "s" };
         eprintln!(
-            "REGRESSION: {} {}: {:.4}s -> {:.4}s ({:+.1}%, limit +{:.1}%)",
+            "REGRESSION: {} {}: {:.4}{unit} -> {:.4}{unit} ({:+.1}%, limit +{:.1}%)",
             r.key,
             r.metric,
             r.base,
@@ -282,7 +332,7 @@ fn self_test(path: &str, floor: f64) -> ! {
         );
         std::process::exit(1);
     }
-    eprintln!("self-test 1/3 ok: identical snapshots compare clean");
+    eprintln!("self-test 1/4 ok: identical snapshots compare clean");
 
     let mut perturbed = snap.clone();
     let victim = perturbed
@@ -314,13 +364,44 @@ fn self_test(path: &str, floor: f64) -> ! {
         );
         std::process::exit(1);
     }
-    eprintln!("self-test 2/3 ok: 2x sampling-wall perturbation of {victim_key} tripped the gate");
+    eprintln!("self-test 2/4 ok: 2x sampling-wall perturbation of {victim_key} tripped the gate");
+
+    // v8 byte gate: doubling a sharded row's per-rank graph footprint must
+    // be flagged. Pre-v8 snapshots carry no byte metric — skip, don't fail.
+    let mut bloated = snap.clone();
+    match bloated
+        .configs
+        .iter_mut()
+        .find(|rec| rec.graph_bytes_peak.is_some())
+    {
+        Some(victim) => {
+            let victim_key = victim.key.clone();
+            victim.graph_bytes_peak = victim.graph_bytes_peak.map(|b| b * 2.0);
+            let tripped = compare(&snap, &bloated, floor, false, true)
+                .expect("bloated self-comparison must be comparable");
+            if !tripped
+                .iter()
+                .any(|r| r.key == victim_key && r.metric == BYTE_METRIC)
+            {
+                eprintln!(
+                    "self-test FAILED: 2x graph_bytes_peak perturbation of {victim_key} was not flagged"
+                );
+                std::process::exit(1);
+            }
+            eprintln!(
+                "self-test 3/4 ok: 2x graph_bytes_peak perturbation of {victim_key} tripped the gate"
+            );
+        }
+        None => {
+            eprintln!("self-test 3/4 skipped: snapshot carries no graph_bytes_peak rows (pre-v8)");
+        }
+    }
 
     let mut alien = snap.clone();
     alien.threads = Some(snap.threads.unwrap_or(1) + 1);
     match compare(&snap, &alien, floor, false, true) {
         Err(reason) => {
-            eprintln!("self-test 3/3 ok: host mismatch refused ({reason})");
+            eprintln!("self-test 4/4 ok: host mismatch refused ({reason})");
         }
         Ok(_) => {
             eprintln!("self-test FAILED: mismatched host provenance was not refused");

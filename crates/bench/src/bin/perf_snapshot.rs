@@ -21,7 +21,7 @@
 //!   times report the median, and the min/spread ride along so `bench_diff`
 //!   can tell regression from run-to-run noise.
 //!
-//! The schema (`ripples-perf-snapshot-v7`) is documented in
+//! The schema (`ripples-perf-snapshot-v8`) is documented in
 //! `EXPERIMENTS.md`; every record carries the wall time, the per-phase
 //! sampling/selection wall-time split (summed from the span tree), the peak
 //! RRR/index/arena byte counts, and the key
@@ -52,12 +52,22 @@
 //! far below the row's `sampling_wall_s` since restore skips sampling —
 //! `snapshot_bytes`, and `sketch_resident_bytes`. The restored sketch is
 //! asserted bitwise-identical to the writer before anything is timed.
+//! v8 adds the vertex-cut sharded engine (`engine: "sharded"`, 4 ranks)
+//! and three fields on every batch row: `graph_bytes_peak` (per-rank peak
+//! graph bytes — the shard for `sharded`, 0 for engines that replicate),
+//! `frontier_exchanges`, and `overlap_nanos` (exchange latency hidden
+//! behind sampling; both 0 for non-sharded engines), plus
+//! `exchange_calls` in the `comm` object. The harness *asserts* the
+//! sharded claim before writing: the 4-rank per-rank `graph_bytes_peak`
+//! must be under half the replicated engines\' full-graph footprint on
+//! the same graph.
 
 use ripples_bench::{measure, Args};
 use ripples_comm::ThreadWorld;
 use ripples_core::{
     dist::{imm_distributed_with_storage, DistRngMode, DistSelectMode},
     dist_partitioned::imm_partitioned_with_storage,
+    dist_sharded::imm_sharded_with_storage,
     mt::imm_multithreaded_with_storage,
     seq::immopt_sequential_with_storage,
     ImmParams, ImmResult, SampleEngine, SelectEngine,
@@ -189,6 +199,15 @@ fn run_engine(
                 .pop()
                 .expect("at least one rank")
         }
+        // The sharded rows run at 4 ranks so the committed per-rank
+        // graph_bytes_peak shows a real (4-way) cut, not a 2-way one.
+        "sharded" => {
+            let world = ThreadWorld::new(4);
+            world
+                .run(|comm| imm_sharded_with_storage(comm, graph, params, store))
+                .pop()
+                .expect("at least one rank")
+        }
         other => panic!("unknown snapshot engine `{other}`"),
     }
 }
@@ -281,6 +300,21 @@ fn main() {
         Config {
             graph_name: "ba-hubs",
             engine: "partitioned",
+            sample: SampleEngine::Reference,
+            store: FLAT,
+        },
+        // Vertex-cut sharded rows at 4 ranks, on the same graphs as a
+        // replicated (mt) row and the interval-partitioned row, so the
+        // trajectory carries the memory-vs-overlap trade directly.
+        Config {
+            graph_name: "ba-hubs",
+            engine: "sharded",
+            sample: SampleEngine::Reference,
+            store: FLAT,
+        },
+        Config {
+            graph_name: "er-sparse",
+            engine: "sharded",
             sample: SampleEngine::Reference,
             store: FLAT,
         },
@@ -389,11 +423,33 @@ fn main() {
         }
         let comm = match &result.report.comm {
             Some(cc) => format!(
-                "{{\"allreduce_calls\":{},\"barrier_calls\":{},\"broadcast_calls\":{},\"allgather_calls\":{},\"bytes_moved\":{}}}",
-                cc.allreduce_calls, cc.barrier_calls, cc.broadcast_calls, cc.allgather_calls, cc.bytes_moved
+                "{{\"allreduce_calls\":{},\"barrier_calls\":{},\"broadcast_calls\":{},\"allgather_calls\":{},\"exchange_calls\":{},\"bytes_moved\":{}}}",
+                cc.allreduce_calls, cc.barrier_calls, cc.broadcast_calls, cc.allgather_calls, cc.exchange_calls, cc.bytes_moved
             ),
             None => "null".to_string(),
         };
+        // The sharded memory claim, enforced before the snapshot is
+        // written: a 4-rank shard (edge chunks + two O(n) routing tables)
+        // must stay under half the replicated full-graph footprint.
+        if config.engine == "sharded" {
+            let full = graph.resident_bytes();
+            assert!(
+                c.graph_bytes_peak > 0,
+                "sharded row did not publish graph_bytes_peak"
+            );
+            assert!(
+                (c.graph_bytes_peak as usize) * 2 < full,
+                "sharded per-rank graph_bytes_peak {} is not under half the \
+                 replicated footprint {} on {}",
+                c.graph_bytes_peak,
+                full,
+                config.graph_name
+            );
+            assert!(
+                c.frontier_exchanges > 0,
+                "sharded row did not publish frontier_exchanges"
+            );
+        }
         // Flat-equivalent payload is 4 bytes per stored entry (one u32);
         // the ratio over the live peak is the headline compression number.
         let compressed_ratio = if c.rrr_bytes_peak > 0 {
@@ -403,7 +459,7 @@ fn main() {
         };
         write!(
             records,
-            "\n    {{\"engine\":\"{}\",\"sample_engine\":\"{}\",\"rrr_store\":\"{}\",\"graph\":\"{}\",\"vertices\":{},\"edges\":{},\"k\":{},\"epsilon\":{},\"trials\":{trials},\"wall_s\":{:.6},\"wall_min_s\":{:.6},\"wall_spread\":{:.4},\"sampling_wall_s\":{:.6},\"sampling_wall_min_s\":{:.6},\"sampling_wall_spread\":{:.4},\"selection_wall_s\":{:.6},\"selection_wall_min_s\":{:.6},\"selection_wall_spread\":{:.4},\"theta\":{},\"theta_rounds\":{},\"samples_generated\":{},\"edges_examined\":{},\"rrr_entries\":{},\"rrr_bytes_peak\":{},\"compressed_ratio\":{:.4},\"spill_bytes_written\":{},\"decode_nanos\":{},\"index_bytes_peak\":{},\"arena_bytes_peak\":{},\"fused_passes\":{},\"mask_bytes_peak\":{},\"select_entries_touched\":{},\"index_build_nanos\":{},\"select_iterations\":{},\"retries\":{},\"dropped_ops\":{},\"degraded_ranks\":{},\"comm\":{}}}",
+            "\n    {{\"engine\":\"{}\",\"sample_engine\":\"{}\",\"rrr_store\":\"{}\",\"graph\":\"{}\",\"vertices\":{},\"edges\":{},\"k\":{},\"epsilon\":{},\"trials\":{trials},\"wall_s\":{:.6},\"wall_min_s\":{:.6},\"wall_spread\":{:.4},\"sampling_wall_s\":{:.6},\"sampling_wall_min_s\":{:.6},\"sampling_wall_spread\":{:.4},\"selection_wall_s\":{:.6},\"selection_wall_min_s\":{:.6},\"selection_wall_spread\":{:.4},\"theta\":{},\"theta_rounds\":{},\"samples_generated\":{},\"edges_examined\":{},\"rrr_entries\":{},\"rrr_bytes_peak\":{},\"compressed_ratio\":{:.4},\"spill_bytes_written\":{},\"decode_nanos\":{},\"index_bytes_peak\":{},\"arena_bytes_peak\":{},\"fused_passes\":{},\"mask_bytes_peak\":{},\"select_entries_touched\":{},\"index_build_nanos\":{},\"select_iterations\":{},\"retries\":{},\"dropped_ops\":{},\"degraded_ranks\":{},\"graph_bytes_peak\":{},\"frontier_exchanges\":{},\"overlap_nanos\":{},\"comm\":{}}}",
             config.engine,
             config.sample.tag(),
             config.store.kind.tag(),
@@ -440,6 +496,9 @@ fn main() {
             c.retries,
             c.dropped_ops,
             c.degraded_ranks,
+            c.graph_bytes_peak,
+            c.frontier_exchanges,
+            c.overlap_nanos,
             comm,
         )
         .expect("writing to String cannot fail");
@@ -569,7 +628,7 @@ fn main() {
     let git_sha = probe("git", &["rev-parse", "HEAD"], "unknown");
     let rustc = probe("rustc", &["-V"], "unknown");
     let json = format!(
-        "{{\n  \"schema\": \"ripples-perf-snapshot-v7\",\n  \"date\": \"{date}\",\n  \"quick\": {quick},\n  \"host\": {{\"threads\": {threads}, \"git_sha\": \"{git_sha}\", \"rustc\": \"{rustc}\"}},\n  \"configs\": [{records}\n  ]\n}}\n",
+        "{{\n  \"schema\": \"ripples-perf-snapshot-v8\",\n  \"date\": \"{date}\",\n  \"quick\": {quick},\n  \"host\": {{\"threads\": {threads}, \"git_sha\": \"{git_sha}\", \"rustc\": \"{rustc}\"}},\n  \"configs\": [{records}\n  ]\n}}\n",
     );
     ripples_trace::validate_json(&json).expect("snapshot must be valid JSON");
 

@@ -5,7 +5,7 @@
 //!
 //! ```text
 //! ripples --input graph.txt [--undirected] [--weights uniform|wc|const:P|tri]
-//!         [--engine opt|baseline|mt|dist|partitioned|community|celf|tim|degdiscount]
+//!         [--engine opt|baseline|mt|dist|partitioned|sharded|community|celf|tim|degdiscount]
 //!         [--model ic|lt] [--k K] [--epsilon E] [--seed S]
 //!         [--threads T | --ranks R] [--simulate TRIALS]
 //!         [--select auto|sequential|partitioned|lazy|hypergraph|fused]
@@ -34,7 +34,8 @@
 //! EXPERIMENTS.md § "Choosing a sampling engine".
 //!
 //! `--rrr-store` picks the RRR storage backend for the `opt`, `mt`, `dist`,
-//! `partitioned`, and `tim` engines (default `flat`). `varint` gap-encodes
+//! `partitioned`, `sharded`, and `tim` engines (default `flat`). `varint`
+//! gap-encodes
 //! each sorted set with LEB128 varints, `bitpack` stores ids at
 //! `⌈log₂ n⌉` bits, and `spill` seals varint blocks and writes them to a
 //! temporary file once resident bytes exceed `--rrr-budget` (default 1 GiB),
@@ -68,7 +69,8 @@
 //! EXPERIMENTS.md § "Live-monitoring a run".
 //!
 //! `--chaos-seed S` injects a deterministic fault schedule (dropped, delayed
-//! and truncated collectives) into the `dist`/`partitioned` engines'
+//! and truncated collectives) into the `dist`/`partitioned`/`sharded`
+//! engines'
 //! communicator; `--chaos-rate R` sets the per-op fault probability (default
 //! 0.02). The run completes through the retry/degradation layer and prints a
 //! robustness summary (retries, dropped ops, degraded ranks); the same seed
@@ -83,6 +85,7 @@ use ripples_core::{
     community::community_imm,
     dist::{imm_distributed, imm_distributed_with_storage, DistRngMode, DistSelectMode},
     dist_partitioned::{imm_partitioned, imm_partitioned_with_storage},
+    dist_sharded::{imm_sharded, imm_sharded_with_storage},
     heuristics::degree_discount_ic,
     mt::imm_multithreaded_with_storage,
     seq::{imm_baseline, immopt_sequential, immopt_sequential_with_storage},
@@ -317,11 +320,11 @@ fn main() {
     if storage.kind != RrrStoreKind::Flat
         && !matches!(
             engine.as_str(),
-            "opt" | "mt" | "dist" | "partitioned" | "tim"
+            "opt" | "mt" | "dist" | "partitioned" | "sharded" | "tim"
         )
     {
         eprintln!(
-            "warning: --rrr-store only affects the opt/mt/dist/partitioned/tim engines; ignoring"
+            "warning: --rrr-store only affects the opt/mt/dist/partitioned/sharded/tim engines; ignoring"
         );
     }
 
@@ -330,8 +333,10 @@ fn main() {
         let rate: f64 = args.parse_or("chaos-rate", 0.02);
         FaultPlan::chaos(chaos_seed, rate)
     });
-    if chaos.is_some() && !matches!(engine.as_str(), "dist" | "partitioned") {
-        eprintln!("warning: --chaos-seed only affects the dist/partitioned engines; ignoring");
+    if chaos.is_some() && !matches!(engine.as_str(), "dist" | "partitioned" | "sharded") {
+        eprintln!(
+            "warning: --chaos-seed only affects the dist/partitioned/sharded engines; ignoring"
+        );
     }
 
     let trace_path = args.get("trace").map(str::to_string);
@@ -465,6 +470,31 @@ fn main() {
             let detail = format!(
                 "ranks={ranks} theta={} per-rank-graph={}B phases=[{}]",
                 r.theta, r.memory.graph_bytes, r.timers
+            );
+            (r.seeds, detail, Some(r.report))
+        }
+        "sharded" => {
+            let ranks: u32 = args.parse_or("ranks", 2);
+            let world = ThreadWorld::new(ranks);
+            let mut results = match &chaos {
+                Some(plan) => world.run(|comm| {
+                    let faulty = FaultComm::new(comm, plan.clone());
+                    imm_sharded_with_storage(&faulty, &graph, &params, storage)
+                }),
+                None if storage.kind == RrrStoreKind::Flat => {
+                    world.run(|comm| imm_sharded(comm, &graph, &params))
+                }
+                None => world.run(|comm| imm_sharded_with_storage(comm, &graph, &params, storage)),
+            };
+            let r = results.pop().expect("at least one rank");
+            let detail = format!(
+                "ranks={ranks} theta={} per-rank-graph={}B frontier-exchanges={} \
+                 overlap={}ns phases=[{}]",
+                r.theta,
+                r.memory.graph_bytes,
+                r.report.counters.frontier_exchanges,
+                r.report.counters.overlap_nanos,
+                r.timers
             );
             (r.seeds, detail, Some(r.report))
         }

@@ -12,7 +12,8 @@
 //!       [--sample auto|reference|fused]
 //!       [--rrr-store flat|varint|bitpack|spill] [--rrr-budget BYTES]
 //!       [--snapshot-out FILE] [--snapshot-in FILE]
-//!       [--queries FILE] [--tcp ADDR] [--metrics FILE] [--no-timing]
+//!       [--queries FILE] [--tcp ADDR] [--read-timeout-ms MS]
+//!       [--metrics FILE] [--no-timing]
 //! ```
 //!
 //! Graph sources are the same as the `ripples` binary: `--input FILE`
@@ -429,9 +430,20 @@ fn main() {
                 .map_or_else(|_| addr.to_string(), |a| a.to_string())
         );
         // One client at a time: queries borrow the single resident sketch.
+        // A per-connection read timeout bounds how long a wedged client
+        // (connected but silent, never closing) can hold the session —
+        // its read errors out, the session ends, and the loop accepts the
+        // next connection instead of starving it. 0 disables the timeout.
+        let read_timeout_ms: u64 = args.parse_or("read-timeout-ms", 5000);
+        let read_timeout =
+            (read_timeout_ms > 0).then(|| std::time::Duration::from_millis(read_timeout_ms));
         for stream in listener.incoming() {
             match stream {
                 Ok(stream) => {
+                    if let Err(e) = stream.set_read_timeout(read_timeout) {
+                        eprintln!("serve: cannot set read timeout: {e}");
+                        continue;
+                    }
                     let reader = BufReader::new(match stream.try_clone() {
                         Ok(s) => s,
                         Err(e) => {
@@ -439,6 +451,8 @@ fn main() {
                             continue;
                         }
                     });
+                    // Client I/O errors (including the timeout) end this
+                    // session, never the process.
                     session(&mut svc, reader, stream);
                 }
                 Err(e) => eprintln!("serve: accept failed: {e}"),

@@ -20,6 +20,9 @@ pub struct CommStats {
     pub broadcast_calls: u64,
     /// Number of `all_gather_*` calls.
     pub allgather_calls: u64,
+    /// Number of logical `alltoallv_u64` exchanges (a posted exchange
+    /// counts once, at the attempt that reaches the transport).
+    pub exchange_calls: u64,
     /// Modeled payload bytes this rank would transmit under recursive
     /// doubling.
     pub bytes_moved: u64,
@@ -32,6 +35,7 @@ pub(crate) struct StatsCell {
     pub barrier_calls: Cell<u64>,
     pub broadcast_calls: Cell<u64>,
     pub allgather_calls: Cell<u64>,
+    pub exchange_calls: Cell<u64>,
     pub bytes_moved: Cell<u64>,
 }
 
@@ -42,6 +46,7 @@ impl StatsCell {
             barrier_calls: self.barrier_calls.get(),
             broadcast_calls: self.broadcast_calls.get(),
             allgather_calls: self.allgather_calls.get(),
+            exchange_calls: self.exchange_calls.get(),
             bytes_moved: self.bytes_moved.get(),
         }
     }
@@ -52,6 +57,16 @@ impl StatsCell {
         let rounds = u64::from(32 - size.saturating_sub(1).leading_zeros());
         self.bytes_moved
             .set(self.bytes_moved.get() + payload_bytes * rounds);
+    }
+
+    /// Records one logical exchange: direct point-to-point routing, so the
+    /// payload is charged once (not log-rounds). Single-rank worlds move no
+    /// bytes.
+    pub(crate) fn charge_exchange(&self, payload_bytes: u64, size: u32) {
+        self.exchange_calls.set(self.exchange_calls.get() + 1);
+        if size > 1 {
+            self.bytes_moved.set(self.bytes_moved.get() + payload_bytes);
+        }
     }
 }
 
@@ -90,6 +105,8 @@ pub enum CollectiveOp {
     Broadcast,
     /// `all_gather_u64` / `all_gather_u64_list`.
     AllGather,
+    /// `alltoallv_u64` / a posted frontier exchange.
+    Exchange,
 }
 
 impl fmt::Display for CollectiveOp {
@@ -99,6 +116,7 @@ impl fmt::Display for CollectiveOp {
             CollectiveOp::AllReduce => "allreduce",
             CollectiveOp::Broadcast => "broadcast",
             CollectiveOp::AllGather => "allgather",
+            CollectiveOp::Exchange => "exchange",
         })
     }
 }
@@ -249,6 +267,34 @@ impl fmt::Display for CommError {
 
 impl std::error::Error for CommError {}
 
+/// An in-flight nonblocking exchange, returned by
+/// [`Communicator::post_exchange_u64`] and consumed by
+/// [`Communicator::wait_exchange`].
+///
+/// Each backend picks the cheapest representation that preserves its
+/// semantics:
+///
+/// * `Ready` — the result was computed eagerly at post time (the default
+///   trait implementation, and `SelfComm`). Wait is free.
+/// * `Deferred` — the *sends* are parked and the transport runs at wait
+///   time. Fault-injecting decorators use this so a posted exchange's fault
+///   roll happens at the wait — where the caller (or `RetryComm`) can retry
+///   it — and never at the post, which must stay infallible.
+/// * `Staged` — the sends were deposited into the backend's shared staging
+///   area under the given exchange generation; the posting rank is free to
+///   compute while peers deposit theirs. `ThreadComm` implements true
+///   overlap this way.
+#[derive(Debug)]
+#[must_use = "a posted exchange must be waited on"]
+pub enum ExchangeHandle {
+    /// Result already available.
+    Ready(Vec<Vec<u64>>),
+    /// Sends parked; transport runs at wait time.
+    Deferred(Vec<Vec<u64>>),
+    /// Sends staged in the backend under this exchange generation.
+    Staged(u64),
+}
+
 /// Robustness bookkeeping a communicator stack has accumulated: retry and
 /// drop counters plus the set of ranks declared dead. Backends without a
 /// fault surface report the all-zero default.
@@ -300,6 +346,75 @@ pub trait Communicator {
     /// rank order on every rank (`MPI_Allgatherv`). The backbone of sparse
     /// counter aggregation in distributed seed selection.
     fn all_gather_u64_list(&self, items: &[u64]) -> Vec<Vec<u64>>;
+
+    /// Personalized all-to-all over variable-length `u64` lists
+    /// (`MPI_Alltoallv`): `sends[r]` goes to rank `r`; returns what every
+    /// rank sent to *this* rank, in sender-rank order. The backbone of the
+    /// vertex-cut engine's frontier exchange.
+    ///
+    /// The default implementation routes through
+    /// [`Communicator::all_gather_u64_list`] over a `[len, payload…]*`
+    /// flattening — correct for any backend, with allgather (not exchange)
+    /// accounting; real backends override with direct routing.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sends.len() != size()`.
+    fn alltoallv_u64(&self, sends: &[Vec<u64>]) -> Vec<Vec<u64>> {
+        assert_eq!(
+            sends.len(),
+            self.size() as usize,
+            "alltoallv needs one send list per rank"
+        );
+        let mut flat = Vec::with_capacity(sends.iter().map(|s| s.len() + 1).sum());
+        for list in sends {
+            flat.push(list.len() as u64);
+            flat.extend_from_slice(list);
+        }
+        let gathered = self.all_gather_u64_list(&flat);
+        let me = self.rank() as usize;
+        gathered
+            .iter()
+            .map(|row| {
+                let mut idx = 0usize;
+                for dest in 0..self.size() as usize {
+                    let len = row.get(idx).copied().unwrap_or(0) as usize;
+                    idx += 1;
+                    if dest == me {
+                        return row[idx..idx + len].to_vec();
+                    }
+                    idx += len;
+                }
+                Vec::new()
+            })
+            .collect()
+    }
+
+    /// Posts a nonblocking [`Communicator::alltoallv_u64`]; the caller may
+    /// compute between the post and the matching
+    /// [`Communicator::wait_exchange`]. Every rank must post and wait its
+    /// exchanges in the same order, exactly as with MPI nonblocking
+    /// collectives.
+    fn post_exchange_u64(&self, sends: &[Vec<u64>]) -> ExchangeHandle {
+        ExchangeHandle::Ready(self.alltoallv_u64(sends))
+    }
+
+    /// Completes a posted exchange, returning what every rank sent to this
+    /// rank, in sender-rank order.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an [`ExchangeHandle::Staged`] handle: only the backend
+    /// that staged it can complete it.
+    fn wait_exchange(&self, handle: ExchangeHandle) -> Vec<Vec<u64>> {
+        match handle {
+            ExchangeHandle::Ready(result) => result,
+            ExchangeHandle::Deferred(sends) => self.alltoallv_u64(&sends),
+            ExchangeHandle::Staged(_) => {
+                panic!("staged exchange waited on a backend without staging")
+            }
+        }
+    }
 
     /// Communication counters recorded so far on this rank.
     fn stats(&self) -> CommStats;
@@ -380,6 +495,16 @@ pub trait Communicator {
         Ok(self.all_gather_u64_list(items))
     }
 
+    /// Fallible [`Communicator::alltoallv_u64`]. On `Err` the attempt
+    /// performed no communication.
+    ///
+    /// # Errors
+    ///
+    /// Returns the injected [`CommError`] on a fault-injecting backend.
+    fn try_alltoallv_u64(&self, sends: &[Vec<u64>]) -> Result<Vec<Vec<u64>>, CommError> {
+        Ok(self.alltoallv_u64(sends))
+    }
+
     // --- Degradation hooks -------------------------------------------------
 
     /// Ranks declared dead so far, ascending; empty on reliable backends.
@@ -447,6 +572,18 @@ impl<C: Communicator + ?Sized> Communicator for &C {
         (**self).all_gather_u64_list(items)
     }
 
+    fn alltoallv_u64(&self, sends: &[Vec<u64>]) -> Vec<Vec<u64>> {
+        (**self).alltoallv_u64(sends)
+    }
+
+    fn post_exchange_u64(&self, sends: &[Vec<u64>]) -> ExchangeHandle {
+        (**self).post_exchange_u64(sends)
+    }
+
+    fn wait_exchange(&self, handle: ExchangeHandle) -> Vec<Vec<u64>> {
+        (**self).wait_exchange(handle)
+    }
+
     fn stats(&self) -> CommStats {
         (**self).stats()
     }
@@ -477,6 +614,10 @@ impl<C: Communicator + ?Sized> Communicator for &C {
 
     fn try_all_gather_u64_list(&self, items: &[u64]) -> Result<Vec<Vec<u64>>, CommError> {
         (**self).try_all_gather_u64_list(items)
+    }
+
+    fn try_alltoallv_u64(&self, sends: &[Vec<u64>]) -> Result<Vec<Vec<u64>>, CommError> {
+        (**self).try_alltoallv_u64(sends)
     }
 
     fn dead_ranks(&self) -> Vec<u32> {

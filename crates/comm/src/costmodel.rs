@@ -49,6 +49,18 @@ impl AlphaBetaModel {
     pub fn barrier_time(&self, ranks: u32) -> f64 {
         self.allreduce_time(0, ranks)
     }
+
+    /// Time for a personalized all-to-all (`MPI_Alltoallv`) sending `bytes`
+    /// total from this rank among `ranks`: one direct message per peer
+    /// (pairwise-exchange algorithm), so latency is linear in the peer
+    /// count while the payload crosses the wire once.
+    #[must_use]
+    pub fn alltoallv_time(&self, bytes: u64, ranks: u32) -> f64 {
+        if ranks <= 1 {
+            return 0.0;
+        }
+        f64::from(ranks - 1) * self.alpha + self.beta * bytes as f64
+    }
 }
 
 /// One compute cluster: node/core topology, compute rate, and interconnect.
@@ -145,6 +157,21 @@ mod tests {
         let e = ClusterSpec::edison();
         assert_ne!(p.threads_per_node, e.threads_per_node);
         assert!(p.edge_rate_per_thread > e.edge_rate_per_thread);
+    }
+
+    #[test]
+    fn alltoallv_linear_latency_single_payload_pass() {
+        let m = AlphaBetaModel {
+            alpha: 1e-6,
+            beta: 1e-9,
+        };
+        assert_eq!(m.alltoallv_time(1 << 20, 1), 0.0);
+        // Latency term scales with peers; payload term does not.
+        let t2 = m.alltoallv_time(0, 2);
+        let t5 = m.alltoallv_time(0, 5);
+        assert!((t5 / t2 - 4.0).abs() < 1e-9);
+        let payload = m.alltoallv_time(1_000_000, 2) - t2;
+        assert!((payload - 1e-3).abs() < 1e-12, "1 MB at 1 ns/B = 1 ms");
     }
 
     #[test]

@@ -29,7 +29,9 @@
 //! sums, `-∞` for max, an empty list for gathers). A broadcast rooted at a
 //! dead rank is the one unrecoverable case: [`CommError::DeadRoot`].
 
-use crate::communicator::{CollectiveOp, CommError, CommHealth, CommStats, Communicator};
+use crate::communicator::{
+    CollectiveOp, CommError, CommHealth, CommStats, Communicator, ExchangeHandle,
+};
 use ripples_rng::SplitMix64;
 use std::cell::{Cell, RefCell};
 
@@ -377,6 +379,29 @@ impl<C: Communicator> Communicator for FaultComm<C> {
             .unwrap_or_else(|e| unhandled(&e))
     }
 
+    fn alltoallv_u64(&self, sends: &[Vec<u64>]) -> Vec<Vec<u64>> {
+        self.try_alltoallv_u64(sends)
+            .unwrap_or_else(|e| unhandled(&e))
+    }
+
+    fn post_exchange_u64(&self, sends: &[Vec<u64>]) -> ExchangeHandle {
+        // Defer the transport (and the fault roll) to the wait: the post
+        // must stay infallible, and deciding the fault here would burn an
+        // op index at a point the retry layer cannot replay. The overlap is
+        // lost under fault injection — correctness over concurrency.
+        ExchangeHandle::Deferred(sends.to_vec())
+    }
+
+    fn wait_exchange(&self, handle: ExchangeHandle) -> Vec<Vec<u64>> {
+        match handle {
+            ExchangeHandle::Ready(result) => result,
+            ExchangeHandle::Deferred(sends) => self.alltoallv_u64(&sends),
+            // Not produced by this decorator's post, but a caller may hand
+            // us a handle staged directly on the backend.
+            ExchangeHandle::Staged(_) => self.inner.wait_exchange(handle),
+        }
+    }
+
     fn stats(&self) -> CommStats {
         self.inner.stats()
     }
@@ -437,6 +462,18 @@ impl<C: Communicator> Communicator for FaultComm<C> {
             Ok(self.inner.all_gather_u64_list(&[]))
         } else {
             Ok(self.inner.all_gather_u64_list(items))
+        }
+    }
+
+    fn try_alltoallv_u64(&self, sends: &[Vec<u64>]) -> Result<Vec<Vec<u64>>, CommError> {
+        let payload = 8 * sends.iter().map(|s| s.len() as u64).sum::<u64>();
+        self.check(CollectiveOp::Exchange, payload)?;
+        if self.self_dead() {
+            // Zombie: keep the backend in lockstep but send nothing.
+            let empty = vec![Vec::new(); sends.len()];
+            Ok(self.inner.alltoallv_u64(&empty))
+        } else {
+            Ok(self.inner.alltoallv_u64(sends))
         }
     }
 

@@ -36,7 +36,9 @@ pub mod retry;
 pub mod selfcomm;
 pub mod thread;
 
-pub use communicator::{CollectiveOp, CommError, CommHealth, CommStats, Communicator};
+pub use communicator::{
+    CollectiveOp, CommError, CommHealth, CommStats, Communicator, ExchangeHandle,
+};
 pub use costmodel::{AlphaBetaModel, ClusterSpec};
 pub use fault::{FaultComm, FaultKind, FaultPlan};
 pub use retry::{RetryComm, RetryPolicy};

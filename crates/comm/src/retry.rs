@@ -18,7 +18,7 @@
 //! Retries and deaths are visible on the PR-2 tracer as `comm-retry` and
 //! `rank-dead` marks when tracing is enabled.
 
-use crate::communicator::{CommError, CommHealth, CommStats, Communicator};
+use crate::communicator::{CommError, CommHealth, CommStats, Communicator, ExchangeHandle};
 use ripples_trace::TraceName;
 use std::cell::Cell;
 
@@ -203,6 +203,25 @@ impl<C: Communicator> Communicator for RetryComm<C> {
         self.run(|c| c.try_all_gather_u64_list(items))
     }
 
+    fn alltoallv_u64(&self, sends: &[Vec<u64>]) -> Vec<Vec<u64>> {
+        self.run(|c| c.try_alltoallv_u64(sends))
+    }
+
+    fn post_exchange_u64(&self, sends: &[Vec<u64>]) -> ExchangeHandle {
+        // Forward the post: a reliable backend stages it for true overlap;
+        // a fault-injecting stack hands back `Deferred`, whose transport we
+        // retry at the wait.
+        self.inner.post_exchange_u64(sends)
+    }
+
+    fn wait_exchange(&self, handle: ExchangeHandle) -> Vec<Vec<u64>> {
+        match handle {
+            ExchangeHandle::Ready(result) => result,
+            ExchangeHandle::Deferred(sends) => self.run(|c| c.try_alltoallv_u64(&sends)),
+            ExchangeHandle::Staged(_) => self.inner.wait_exchange(handle),
+        }
+    }
+
     fn stats(&self) -> CommStats {
         self.inner.stats()
     }
@@ -236,6 +255,10 @@ impl<C: Communicator> Communicator for RetryComm<C> {
 
     fn try_all_gather_u64_list(&self, items: &[u64]) -> Result<Vec<Vec<u64>>, CommError> {
         self.inner.try_all_gather_u64_list(items)
+    }
+
+    fn try_alltoallv_u64(&self, sends: &[Vec<u64>]) -> Result<Vec<Vec<u64>>, CommError> {
+        self.inner.try_alltoallv_u64(sends)
     }
 
     fn dead_ranks(&self) -> Vec<u32> {

@@ -80,6 +80,13 @@ impl Communicator for SelfComm {
         traced(TraceName::CommAllGather, 0, || vec![items.to_vec()])
     }
 
+    fn alltoallv_u64(&self, sends: &[Vec<u64>]) -> Vec<Vec<u64>> {
+        assert_eq!(sends.len(), 1, "one send list per rank");
+        // One rank: its send to itself is the whole result, zero bytes move.
+        self.stats.charge_exchange(0, 1);
+        traced(TraceName::CommExchange, 0, || vec![sends[0].clone()])
+    }
+
     fn stats(&self) -> CommStats {
         self.stats.snapshot()
     }

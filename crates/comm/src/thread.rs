@@ -10,14 +10,26 @@
 //! correct; modeled costs for real networks come from
 //! [`crate::costmodel`], not from timing this loopback implementation.
 
-use crate::communicator::{traced, CommStats, Communicator, StatsCell};
+use crate::communicator::{traced, CommStats, Communicator, ExchangeHandle, StatsCell};
 use parking_lot::{Condvar, Mutex};
 use ripples_trace::TraceName;
+use std::cell::Cell;
+use std::collections::HashMap;
 use std::sync::Arc;
 
 struct BarrierState {
     count: u32,
     generation: u64,
+}
+
+/// One in-flight exchange generation: each sender deposits its full send
+/// matrix; receivers extract their column. Unlike the barriered collectives,
+/// staging is keyed by generation so several exchanges can be in flight at
+/// once — a fast rank may deposit generation `g+1` while a slow rank is
+/// still collecting generation `g`.
+struct ExchangeSlot {
+    deposits: Vec<Option<Vec<Vec<u64>>>>,
+    reads_left: u32,
 }
 
 struct Shared {
@@ -26,6 +38,8 @@ struct Shared {
     barrier_cv: Condvar,
     u64_slots: Mutex<Vec<Vec<u64>>>,
     f64_slots: Mutex<Vec<f64>>,
+    exchange: Mutex<HashMap<u64, ExchangeSlot>>,
+    exchange_cv: Condvar,
 }
 
 impl Shared {
@@ -39,6 +53,8 @@ impl Shared {
             barrier_cv: Condvar::new(),
             u64_slots: Mutex::new(vec![Vec::new(); size as usize]),
             f64_slots: Mutex::new(vec![0.0; size as usize]),
+            exchange: Mutex::new(HashMap::new()),
+            exchange_cv: Condvar::new(),
         }
     }
 
@@ -115,6 +131,7 @@ impl ThreadWorld {
                             rank,
                             shared,
                             stats: StatsCell::default(),
+                            exchange_gen: Cell::new(0),
                         };
                         body(&comm)
                     })
@@ -133,6 +150,10 @@ pub struct ThreadComm {
     rank: u32,
     shared: Arc<Shared>,
     stats: StatsCell,
+    /// Next exchange generation this rank will post. Per-rank local, yet
+    /// globally consistent: every rank issues the same collective sequence
+    /// (the MPI contract), so rank-local counter values agree.
+    exchange_gen: Cell<u64>,
 }
 
 impl Communicator for ThreadComm {
@@ -272,6 +293,67 @@ impl Communicator for ThreadComm {
         })
     }
 
+    fn alltoallv_u64(&self, sends: &[Vec<u64>]) -> Vec<Vec<u64>> {
+        let handle = self.post_exchange_u64(sends);
+        self.wait_exchange(handle)
+    }
+
+    fn post_exchange_u64(&self, sends: &[Vec<u64>]) -> ExchangeHandle {
+        assert_eq!(
+            sends.len(),
+            self.shared.size as usize,
+            "alltoallv needs one send list per rank"
+        );
+        let payload = 8 * sends.iter().map(|s| s.len() as u64).sum::<u64>();
+        self.stats.charge_exchange(payload, self.shared.size);
+        traced(TraceName::CommExchange, payload, || {
+            if self.shared.size == 1 {
+                return ExchangeHandle::Ready(vec![sends[0].clone()]);
+            }
+            let generation = self.exchange_gen.get();
+            self.exchange_gen.set(generation + 1);
+            {
+                let mut slots = self.shared.exchange.lock();
+                let slot = slots.entry(generation).or_insert_with(|| ExchangeSlot {
+                    deposits: vec![None; self.shared.size as usize],
+                    reads_left: self.shared.size,
+                });
+                slot.deposits[self.rank as usize] = Some(sends.to_vec());
+            }
+            self.shared.exchange_cv.notify_all();
+            ExchangeHandle::Staged(generation)
+        })
+    }
+
+    fn wait_exchange(&self, handle: ExchangeHandle) -> Vec<Vec<u64>> {
+        match handle {
+            ExchangeHandle::Ready(result) => result,
+            ExchangeHandle::Deferred(sends) => self.alltoallv_u64(&sends),
+            ExchangeHandle::Staged(generation) => {
+                let mut slots = self.shared.exchange.lock();
+                while !slots
+                    .get(&generation)
+                    .is_some_and(|s| s.deposits.iter().all(Option::is_some))
+                {
+                    self.shared.exchange_cv.wait(&mut slots);
+                }
+                let slot = slots.get_mut(&generation).expect("deposit checked above");
+                let result: Vec<Vec<u64>> = slot
+                    .deposits
+                    .iter()
+                    .map(|d| d.as_ref().expect("complete")[self.rank as usize].clone())
+                    .collect();
+                // Last reader retires the generation; a rank only waits
+                // after posting, so no rank can still need this slot.
+                slot.reads_left -= 1;
+                if slot.reads_left == 0 {
+                    slots.remove(&generation);
+                }
+                result
+            }
+        }
+    }
+
     fn stats(&self) -> CommStats {
         self.stats.snapshot()
     }
@@ -408,6 +490,70 @@ mod tests {
         for r in results {
             assert_eq!(r, vec![0, 1, 4, 9]);
         }
+    }
+
+    #[test]
+    fn alltoallv_routes_every_pair() {
+        let world = ThreadWorld::new(3);
+        let results = world.run(|c| {
+            // sends[d] = [rank*10 + d]; receiver d gets column d.
+            let sends: Vec<Vec<u64>> = (0..3).map(|d| vec![u64::from(c.rank()) * 10 + d]).collect();
+            c.alltoallv_u64(&sends)
+        });
+        for (r, got) in results.iter().enumerate() {
+            let expect: Vec<Vec<u64>> = (0..3u64).map(|s| vec![s * 10 + r as u64]).collect();
+            assert_eq!(got, &expect, "rank {r}");
+        }
+    }
+
+    #[test]
+    fn posted_exchanges_overlap_and_stay_isolated() {
+        // Two exchanges in flight at once; each drains to its own payloads.
+        let world = ThreadWorld::new(4);
+        let results = world.run(|c| {
+            let me = u64::from(c.rank());
+            let a: Vec<Vec<u64>> = (0..4).map(|d| vec![100 + me * 10 + d]).collect();
+            let b: Vec<Vec<u64>> = (0..4).map(|d| vec![200 + me * 10 + d, me]).collect();
+            let ha = c.post_exchange_u64(&a);
+            let hb = c.post_exchange_u64(&b);
+            (c.wait_exchange(ha), c.wait_exchange(hb))
+        });
+        for (r, (ra, rb)) in results.iter().enumerate() {
+            let r = r as u64;
+            let ea: Vec<Vec<u64>> = (0..4).map(|s| vec![100 + s * 10 + r]).collect();
+            let eb: Vec<Vec<u64>> = (0..4).map(|s| vec![200 + s * 10 + r, s]).collect();
+            assert_eq!(ra, &ea, "first exchange, rank {r}");
+            assert_eq!(rb, &eb, "second exchange, rank {r}");
+        }
+    }
+
+    #[test]
+    fn exchange_charges_direct_bytes_once() {
+        let world = ThreadWorld::new(4);
+        let stats = world.run(|c| {
+            // 4 lists × 2 entries = 64 payload bytes, charged once (direct
+            // routing), unlike the log-rounds collectives.
+            let sends: Vec<Vec<u64>> = (0..4).map(|d| vec![d, d]).collect();
+            let _ = c.alltoallv_u64(&sends);
+            c.stats()
+        });
+        for s in stats {
+            assert_eq!(s.exchange_calls, 1);
+            assert_eq!(s.bytes_moved, 64);
+        }
+    }
+
+    #[test]
+    fn single_rank_exchange_is_identity_and_free() {
+        let world = ThreadWorld::new(1);
+        let results = world.run(|c| {
+            let h = c.post_exchange_u64(&[vec![9, 8, 7]]);
+            (c.wait_exchange(h), c.stats())
+        });
+        let (got, stats) = &results[0];
+        assert_eq!(got, &vec![vec![9, 8, 7]]);
+        assert_eq!(stats.exchange_calls, 1);
+        assert_eq!(stats.bytes_moved, 0);
     }
 
     #[test]

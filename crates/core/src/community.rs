@@ -53,8 +53,12 @@ fn allocate_seats(sizes: &[usize], k: u32) -> Vec<u32> {
         remainders.push((exact - floor as f64, c));
     }
     // Largest remainders get the leftover seats (ties by community id for
-    // determinism), skipping communities already at capacity.
-    remainders.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap().then(a.1.cmp(&b.1)));
+    // determinism), skipping communities already at capacity. `total_cmp`
+    // is a total order over every f64 bit pattern, so degenerate
+    // remainders (−0.0, values that round-trip to NaN under future
+    // arithmetic changes) can never panic the sort the way
+    // `partial_cmp(..).unwrap()` could.
+    remainders.sort_by(|a, b| b.0.total_cmp(&a.0).then(a.1.cmp(&b.1)));
     let mut leftover = k - assigned;
     let mut idx = 0usize;
     while leftover > 0 {
@@ -143,6 +147,33 @@ mod tests {
     fn seats_handle_k_exceeding_n() {
         let seats = allocate_seats(&[3, 2], 100);
         assert_eq!(seats, vec![3, 2]);
+    }
+
+    #[test]
+    fn seats_survive_degenerate_remainders() {
+        // Exact divisions give every community remainder 0.0 (some
+        // computed as `exact - floor` where the subtraction can produce
+        // -0.0): the tie-break must stay total and deterministic.
+        let seats = allocate_seats(&[25, 25, 25, 25], 8);
+        assert_eq!(seats, vec![2, 2, 2, 2]);
+        // A single-vertex sea of communities: all remainders equal, the
+        // id tie-break hands leftovers to the lowest ids.
+        let sizes = vec![1usize; 7];
+        let seats = allocate_seats(&sizes, 3);
+        assert_eq!(seats, vec![1, 1, 1, 0, 0, 0, 0]);
+        // Mix of zero-size (remainder exactly 0.0, capacity 0) and tiny
+        // communities: zero-size entries sort without panicking and never
+        // receive a seat.
+        let seats = allocate_seats(&[0, 4, 0, 4], 5);
+        assert_eq!(seats[0], 0);
+        assert_eq!(seats[2], 0);
+        assert_eq!(seats.iter().sum::<u32>(), 5);
+        // Large counts whose f64 products are inexact still allocate the
+        // full budget.
+        let sizes = vec![3usize; 333];
+        let seats = allocate_seats(&sizes, 100);
+        assert_eq!(seats.iter().sum::<u32>(), 100);
+        assert!(seats.iter().all(|&s| s <= 3));
     }
 
     #[test]

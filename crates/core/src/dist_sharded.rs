@@ -1,0 +1,697 @@
+//! Distributed IMM over a **vertex-cut sharded graph** with batched
+//! asynchronous frontier exchange.
+//!
+//! [`crate::dist_partitioned`] already stops replicating the graph, but its
+//! interval partition keys ownership by *vertex*, so a single hub vertex
+//! pins its whole in-list to one rank and every BFS round moves the entire
+//! frontier through one `AllGather`. This engine shards by *edge* instead
+//! ([`ripples_graph::partition::VertexCutShard`]): the global in-edge order
+//! is split into `p` equal contiguous ranges, a vertex whose in-list
+//! straddles a boundary is mirrored on the (contiguous) interval of ranks
+//! holding its chunks, and the ghost table routes frontier crossings
+//! without any lookup traffic.
+//!
+//! Sampling runs in **blocks** of [`BLOCK_SAMPLES`] cascades:
+//!
+//! 1. Within a block, RRR walks expand chunk-locally; vertices whose
+//!    remaining in-edges live elsewhere are exchanged with their mirror
+//!    ranks in one batched `alltoallv` per BFS round (a header element per
+//!    sender carries the round's global discovery count, so termination
+//!    needs no extra collective).
+//! 2. Discovered members are *not* gathered synchronously: each block's
+//!    member records are posted as a nonblocking exchange
+//!    ([`Communicator::post_exchange_u64`]) routed to the sample's home
+//!    rank, and the engine samples the **next** block while the previous
+//!    block's records are in flight, draining them one block later. The
+//!    hidden latency is surfaced as `overlap_nanos`.
+//!
+//! Coin flips are keyed by `(sample, vertex)` and chunk expansion replays
+//! the exact per-edge draw sequence of the sequential reference
+//! ([`ripples_diffusion::partitioned::expand_shard_chunk`]), so the
+//! generated collection — and therefore the seed set — is **bitwise
+//! identical** to [`crate::dist_partitioned::imm_partitioned`] and the
+//! sequential vertex-keyed reference at every rank count (tested below).
+
+use crate::memory::MemoryStats;
+use crate::obs::{CommCounters, RunReport};
+use crate::params::ImmParams;
+use crate::result::ImmResult;
+use crate::theta::ThetaSchedule;
+use ripples_comm::{Communicator, RetryComm};
+use ripples_diffusion::partitioned::{expand_shard_chunk, sample_root, sample_stream_seed};
+use ripples_diffusion::{
+    DiffusionModel, DynRrrStore, RrrCollection, RrrStore, RrrStoreKind, StorageConfig,
+};
+use ripples_graph::partition::VertexCutShard;
+use ripples_graph::{Graph, Vertex};
+use ripples_rng::StreamFactory;
+use std::collections::HashSet;
+use std::time::Instant;
+
+/// Cascades sampled per pipeline block: large enough to amortize the
+/// per-round collective, small enough that two blocks of member records
+/// stay cheap to hold while one exchange is in flight.
+pub const BLOCK_SAMPLES: usize = 256;
+
+/// Per-rank tallies of the sharded engine's exchange machinery.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ExchangeStats {
+    /// Batched `alltoallv` exchanges issued (frontier rounds + posted
+    /// member routings). Identical on every rank — the collective sequence
+    /// is lockstep.
+    pub frontier_exchanges: u64,
+    /// Nanoseconds between posting a block's member exchange and waiting on
+    /// it — latency hidden behind the next block's local sampling.
+    pub overlap_nanos: u64,
+}
+
+/// Encodes a `(block-relative sample offset, vertex)` routing pair.
+#[inline]
+fn encode(offset: usize, v: Vertex) -> u64 {
+    ((offset as u64) << 32) | u64::from(v)
+}
+
+#[inline]
+fn decode(x: u64) -> (usize, Vertex) {
+    ((x >> 32) as usize, (x & 0xFFFF_FFFF) as Vertex)
+}
+
+/// One block whose member-routing exchange has been posted but not drained.
+struct PendingBlock {
+    /// Offset of the block's first sample within the batch.
+    block_first: usize,
+    /// Per-sample member accumulators (pre-seeded with the root for samples
+    /// homed on this rank; empty for the rest).
+    buckets: Vec<Vec<Vertex>>,
+    handle: ripples_comm::ExchangeHandle,
+    posted: Instant,
+}
+
+/// Expands one block of cascades chunk-locally, exchanging frontier
+/// crossings with mirror ranks each round. Returns the member records
+/// routed per home rank, the home-sample accumulators, and the local edge
+/// work.
+#[allow(clippy::too_many_arguments)]
+fn expand_block<C: Communicator>(
+    comm: &C,
+    shard: &VertexCutShard,
+    model: DiffusionModel,
+    factory: &StreamFactory,
+    batch_first: u64,
+    block_first: usize,
+    block_len: usize,
+    stats: &mut ExchangeStats,
+) -> (Vec<Vec<u64>>, Vec<Vec<Vertex>>, u64) {
+    let size = comm.size() as usize;
+    let rank = u64::from(comm.rank());
+    let n = shard.num_vertices();
+    // Per-sample state on this rank: chunks already expanded, vertices
+    // already routed (membership + frontier), and the home accumulators.
+    let mut visited: Vec<HashSet<Vertex>> = vec![HashSet::new(); block_len];
+    let mut announced: Vec<HashSet<Vertex>> = vec![HashSet::new(); block_len];
+    let mut buckets: Vec<Vec<Vertex>> = vec![Vec::new(); block_len];
+    let mut member_sends: Vec<Vec<u64>> = vec![Vec::new(); size];
+    let mut seeds: Vec<u64> = Vec::with_capacity(block_len);
+
+    // Round 0: roots are a pure function of the sample index, so every rank
+    // derives them locally — the home rank records membership, the chunk
+    // holders seed their frontier. No communication.
+    let mut incoming: Vec<u64> = Vec::new();
+    for offset in 0..block_len {
+        let index = batch_first + (block_first + offset) as u64;
+        seeds.push(sample_stream_seed(factory, index));
+        let root = sample_root(factory, index, n);
+        if index % size as u64 == rank {
+            buckets[offset].push(root);
+        }
+        announced[offset].insert(root);
+        if shard.chunk(root).is_some() {
+            incoming.push(encode(offset, root));
+        }
+    }
+
+    let mut work = 0u64;
+    let mut expansion: Vec<Vertex> = Vec::new();
+    loop {
+        // Element 0 of every outgoing list is this rank's total frontier
+        // entries this round (replicated per peer): receivers sum the
+        // headers to agree on global termination without a second
+        // collective.
+        let mut sends: Vec<Vec<u64>> = vec![vec![0u64]; size];
+        let mut outgoing = 0u64;
+        for &enc in &incoming {
+            let (offset, v) = decode(enc);
+            if !visited[offset].insert(v) {
+                continue; // chunk already expanded for this sample
+            }
+            expansion.clear();
+            let chunk = shard
+                .chunk(v)
+                .expect("frontier routed to a rank holding no chunk");
+            work += expand_shard_chunk(model, seeds[offset], v, chunk, &mut expansion);
+            for &u in &expansion {
+                if !announced[offset].insert(u) {
+                    continue; // this rank already routed u for this sample
+                }
+                let enc_u = encode(offset, u);
+                let index = batch_first + (block_first + offset) as u64;
+                member_sends[(index % size as u64) as usize].push(enc_u);
+                for r in shard.mirror_ranks(u) {
+                    sends[r as usize].push(enc_u);
+                    outgoing += 1;
+                }
+            }
+        }
+        for list in &mut sends {
+            list[0] = outgoing;
+        }
+        let received = comm.alltoallv_u64(&sends);
+        stats.frontier_exchanges += 1;
+        if crate::obs::metrics::enabled() {
+            crate::obs::metrics::add(crate::obs::metrics::Metric::FrontierExchanges, 1);
+        }
+        // A rank declared dead is neutralized into empty send lists by the
+        // fault layer — read its header as 0 so the survivors' sum still
+        // terminates the round loop.
+        let total: u64 = received
+            .iter()
+            .map(|list| list.first().copied().unwrap_or(0))
+            .sum();
+        if total == 0 {
+            break;
+        }
+        incoming.clear();
+        for list in &received {
+            if let Some(entries) = list.get(1..) {
+                incoming.extend_from_slice(entries);
+            }
+        }
+    }
+    (member_sends, buckets, work)
+}
+
+/// Drains a posted member exchange into its block's home accumulators and
+/// pushes the finished samples (sorted, deduplicated) in index order.
+fn drain_block<C: Communicator, S: RrrStore>(
+    comm: &C,
+    block: PendingBlock,
+    batch_first: u64,
+    stats: &mut ExchangeStats,
+    out: &mut S,
+) {
+    let size = u64::from(comm.size());
+    let rank = u64::from(comm.rank());
+    stats.overlap_nanos += u64::try_from(block.posted.elapsed().as_nanos()).unwrap_or(u64::MAX);
+    let received = comm.wait_exchange(block.handle);
+    let mut buckets = block.buckets;
+    for list in received {
+        for enc in list {
+            let (offset, v) = decode(enc);
+            buckets[offset].push(v);
+        }
+    }
+    for (offset, mut members) in buckets.into_iter().enumerate() {
+        let index = batch_first + (block.block_first + offset) as u64;
+        if index % size != rank {
+            continue;
+        }
+        members.sort_unstable();
+        members.dedup();
+        if crate::obs::metrics::enabled() {
+            crate::obs::metrics::add(crate::obs::metrics::Metric::SamplesGenerated, 1);
+            crate::obs::metrics::observe_rrr_size(members.len() as u64);
+        }
+        out.push(&members);
+    }
+}
+
+/// Generates samples `first .. first+count` over the sharded graph,
+/// pipelining each block's member routing behind the next block's
+/// sampling. This rank's *home* samples (`index % size == rank`) land in
+/// `out` in index order — the exact layout the replicated and partitioned
+/// engines produce — and the local edge work is returned.
+#[allow(clippy::too_many_arguments)]
+pub fn sample_batch_sharded<C: Communicator, S: RrrStore>(
+    comm: &C,
+    shard: &VertexCutShard,
+    model: DiffusionModel,
+    factory: &StreamFactory,
+    first: u64,
+    count: usize,
+    out: &mut S,
+    stats: &mut ExchangeStats,
+) -> u64 {
+    let mut inflight: Option<PendingBlock> = None;
+    let mut work = 0u64;
+    let mut block_first = 0usize;
+    while block_first < count {
+        let block_len = BLOCK_SAMPLES.min(count - block_first);
+        let (member_sends, buckets, block_work) = expand_block(
+            comm,
+            shard,
+            model,
+            factory,
+            first,
+            block_first,
+            block_len,
+            stats,
+        );
+        work += block_work;
+        // Post this block's member routing, then drain the previous
+        // block's — which has been in flight for the whole expansion above.
+        if let Some(prev) = inflight.take() {
+            drain_block(comm, prev, first, stats, out);
+        }
+        let posted = Instant::now();
+        let handle = comm.post_exchange_u64(&member_sends);
+        stats.frontier_exchanges += 1;
+        if crate::obs::metrics::enabled() {
+            crate::obs::metrics::add(crate::obs::metrics::Metric::FrontierExchanges, 1);
+        }
+        inflight = Some(PendingBlock {
+            block_first,
+            buckets,
+            handle,
+            posted,
+        });
+        block_first += block_len;
+    }
+    if let Some(last) = inflight {
+        drain_block(comm, last, first, stats, out);
+    }
+    if crate::obs::metrics::enabled() {
+        crate::obs::metrics::add(crate::obs::metrics::Metric::EdgesExamined, work);
+    }
+    work
+}
+
+/// Full IMM over a vertex-cut sharded graph: block-pipelined cooperative
+/// sampling + the standard distributed (dense All-Reduce) seed selection
+/// over home samples.
+///
+/// Each rank needs only its shard for sampling; the full `graph` argument
+/// exists because the experiments hold it anyway (a production deployment
+/// would load per-rank edge sub-lists directly).
+#[must_use]
+pub fn imm_sharded<C: Communicator>(comm: &C, graph: &Graph, params: &ImmParams) -> ImmResult {
+    imm_sharded_impl(comm, graph, params, RrrCollection::new())
+}
+
+/// [`imm_sharded`] over an explicit RRR storage backend (CLI `--rrr-store`
+/// / `--rrr-budget`); the seed set is identical at every rank count and for
+/// every backend.
+#[must_use]
+pub fn imm_sharded_with_storage<C: Communicator>(
+    comm: &C,
+    graph: &Graph,
+    params: &ImmParams,
+    storage: StorageConfig,
+) -> ImmResult {
+    if storage.kind == RrrStoreKind::Flat {
+        return imm_sharded(comm, graph, params);
+    }
+    imm_sharded_impl(
+        comm,
+        graph,
+        params,
+        DynRrrStore::new(storage, graph.num_vertices()),
+    )
+}
+
+fn imm_sharded_impl<C: Communicator, S: RrrStore>(
+    comm: &C,
+    graph: &Graph,
+    params: &ImmParams,
+    store: S,
+) -> ImmResult {
+    // Same retry/rank-death shield as the other distributed engines; free
+    // on a reliable backend.
+    let comm = &RetryComm::with_defaults(comm);
+    let n = graph.num_vertices();
+    if n < 2 {
+        comm.barrier();
+        return crate::seq::immopt_sequential(graph, params);
+    }
+    let k = params.effective_k(n);
+    let sizing_k = params.sizing_k(n);
+    let schedule = ThetaSchedule::new(
+        u64::from(n),
+        u64::from(sizing_k),
+        params.epsilon,
+        params.ell,
+    );
+    let factory = StreamFactory::new(params.seed);
+    let model = params.model;
+    // Chunk expansion bypasses the batch samplers' entry validation —
+    // re-assert the LT normalization contract on the full graph (every rank
+    // holds it here) so un-normalized input fails fast in every profile.
+    if model == DiffusionModel::LinearThreshold {
+        ripples_diffusion::ensure_lt_normalized(graph);
+    }
+    let shard = VertexCutShard::extract(graph, comm.rank(), comm.size());
+    crate::obs::trace::set_thread_rank(comm.rank());
+    if crate::obs::metrics::enabled() {
+        crate::obs::metrics::set(
+            crate::obs::metrics::Metric::GraphBytes,
+            shard.resident_bytes() as u64,
+        );
+    }
+
+    let mut report = RunReport::new("sharded");
+    let comm_before = comm.stats();
+    let mut memory = MemoryStats {
+        counter_bytes: 2 * n as usize * std::mem::size_of::<u64>(),
+        // The honest headline: per-rank graph bytes are the shard's.
+        graph_bytes: shard.resident_bytes(),
+        ..MemoryStats::default()
+    };
+    let mut local = store;
+    let mut exchange_stats = ExchangeStats::default();
+    let mut sample_work: Vec<u64> = Vec::new();
+    let mut theta_global: usize = 0;
+    let mut select_stats = crate::select::SelectStats::default();
+
+    // Records local counters for one batch: the home samples this rank kept
+    // plus the expansion work it performed. Globalized once at the end.
+    let record_batch = |report: &mut RunReport, local: &S, old_len: usize, local_work: u64| {
+        let new_samples = (local.len() - old_len) as u64;
+        report.counters.samples_generated += new_samples;
+        report.counters.edges_examined += local_work;
+        for slot in old_len..local.len() {
+            report.rrr_sizes.record(local.sample_len(slot) as u64);
+        }
+        report.thread_samples.record(new_samples);
+    };
+
+    let mut lb: Option<f64> = None;
+    {
+        let local_ref = &mut local;
+        let work_ref = &mut sample_work;
+        let theta_ref = &mut theta_global;
+        let memory = &mut memory;
+        let lb = &mut lb;
+        let select_stats = &mut select_stats;
+        let exchange_stats = &mut exchange_stats;
+        report.span("EstimateTheta", |report| {
+            for x in 1..=schedule.max_rounds() {
+                let budget = schedule.round_budget(x);
+                if crate::obs::metrics::enabled() {
+                    crate::obs::metrics::set(
+                        crate::obs::metrics::Metric::ThetaTarget,
+                        budget as u64,
+                    );
+                }
+                let stop = report.span(&format!("round-{x}"), |report| {
+                    if budget > *theta_ref {
+                        let old_len = local_ref.len();
+                        let work = report.span("sample", |_| {
+                            sample_batch_sharded(
+                                comm,
+                                &shard,
+                                model,
+                                &factory,
+                                *theta_ref as u64,
+                                budget - *theta_ref,
+                                local_ref,
+                                exchange_stats,
+                            )
+                        });
+                        work_ref.push(work);
+                        record_batch(report, local_ref, old_len, work);
+                        *theta_ref = budget;
+                    }
+                    memory.observe_rrr(local_ref.resident_bytes());
+                    let (sel_seeds, _, fraction, sstats) = report.span("select", |_| {
+                        crate::dist::select_seeds_distributed_public(
+                            comm, local_ref, *theta_ref, n, sizing_k,
+                        )
+                    });
+                    select_stats.absorb(sstats);
+                    report.counters.theta_rounds += 1;
+                    report.counters.select_iterations += sel_seeds.len() as u64;
+                    report.counters.round_budgets.push(budget as u64);
+                    report.counters.round_coverage.push(fraction);
+                    if schedule.round_succeeds(x, fraction) {
+                        *lb = Some(schedule.lower_bound(fraction));
+                        true
+                    } else {
+                        false
+                    }
+                });
+                if stop {
+                    break;
+                }
+            }
+        });
+    }
+    let theta = match lb {
+        Some(bound) => schedule.final_theta(bound),
+        None => schedule.fallback_theta(u64::from(sizing_k)),
+    };
+    if crate::obs::metrics::enabled() {
+        crate::obs::metrics::set(crate::obs::metrics::Metric::ThetaTarget, theta as u64);
+    }
+    if theta > theta_global {
+        let local_ref = &mut local;
+        let work_ref = &mut sample_work;
+        let exchange_stats = &mut exchange_stats;
+        let current = theta_global;
+        report.span("Sample", |report| {
+            let old_len = local_ref.len();
+            let work = sample_batch_sharded(
+                comm,
+                &shard,
+                model,
+                &factory,
+                current as u64,
+                theta - current,
+                local_ref,
+                exchange_stats,
+            );
+            work_ref.push(work);
+            record_batch(report, local_ref, old_len, work);
+        });
+        theta_global = theta;
+    }
+    memory.observe_rrr(local.resident_bytes());
+
+    let (seeds, _, fraction, final_stats) = report.span("SelectSeeds", |_| {
+        crate::dist::select_seeds_distributed_public(comm, &local, theta_global, n, k)
+    });
+    select_stats.absorb(final_stats);
+    report.counters.select_iterations += seeds.len() as u64;
+
+    memory.observe_index(select_stats.index_bytes);
+    report.counters.rrr_entries = local.total_entries();
+    report.counters.rrr_bytes_peak = memory.peak_rrr_bytes as u64;
+    report.counters.theta_final = theta_global as u64;
+    report.counters.unsorted_pushes = local.unsorted_pushes();
+    report.counters.select_entries_touched = select_stats.entries_touched;
+    report.counters.index_build_nanos = select_stats.index_build_nanos;
+    report.counters.index_bytes_peak = select_stats.index_bytes as u64;
+    report.counters.decode_nanos = select_stats.decode_nanos;
+    report.counters.spill_bytes_written = local.spill_bytes_written();
+    crate::dist::globalize_counters(comm, &mut report);
+    crate::dist::globalize_health(comm, &mut report);
+    // Sharding headline counters: max-reduce both agrees across ranks
+    // (the exchange sequence is lockstep) and neutralizes zombie ranks.
+    report.counters.graph_bytes_peak = comm
+        .all_reduce_max_f64(shard.resident_bytes() as f64)
+        .max(0.0) as u64;
+    report.counters.frontier_exchanges = comm
+        .all_reduce_max_f64(exchange_stats.frontier_exchanges as f64)
+        .max(0.0) as u64;
+    report.counters.overlap_nanos = comm
+        .all_reduce_max_f64(exchange_stats.overlap_nanos as f64)
+        .max(0.0) as u64;
+    report.comm = Some(CommCounters::delta(&comm_before, &comm.stats()));
+    if crate::obs::trace::enabled() {
+        report.trace = Some(crate::obs::trace::gather_trace(comm));
+    }
+
+    ImmResult {
+        seeds,
+        theta: theta_global,
+        coverage_fraction: fraction,
+        opt_lower_bound: lb,
+        timers: report.phase_timers(),
+        memory,
+        sample_work,
+        report,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dist_partitioned::imm_partitioned;
+    use ripples_comm::{SelfComm, ThreadWorld};
+    use ripples_diffusion::partitioned::vertex_keyed_rrr;
+    use ripples_diffusion::rrr::RrrScratch;
+    use ripples_graph::generators::erdos_renyi;
+    use ripples_graph::WeightModel;
+
+    fn graph() -> Graph {
+        erdos_renyi(200, 1600, WeightModel::UniformRandom { seed: 7 }, false, 61)
+    }
+
+    #[test]
+    fn sharded_sampling_matches_reference_bitwise() {
+        let g = graph();
+        let factory = StreamFactory::new(404);
+        let count = 60usize;
+        for model in [
+            DiffusionModel::IndependentCascade,
+            DiffusionModel::LinearThreshold,
+        ] {
+            let mut scratch = RrrScratch::new(g.num_vertices());
+            let reference: Vec<Vec<Vertex>> = (0..count as u64)
+                .map(|i| vertex_keyed_rrr(&g, model, &factory, i, &mut scratch))
+                .collect();
+            for size in [1u32, 2, 3, 4] {
+                let world = ThreadWorld::new(size);
+                let per_rank = world.run(|comm| {
+                    let shard = VertexCutShard::extract(&g, comm.rank(), comm.size());
+                    let mut out = RrrCollection::new();
+                    let mut stats = ExchangeStats::default();
+                    sample_batch_sharded(
+                        comm, &shard, model, &factory, 0, count, &mut out, &mut stats,
+                    );
+                    (comm.rank(), out)
+                });
+                for (rank, collection) in per_rank {
+                    let mine: Vec<usize> = (0..count)
+                        .filter(|i| i % size as usize == rank as usize)
+                        .collect();
+                    assert_eq!(collection.len(), mine.len());
+                    for (slot, &index) in mine.iter().enumerate() {
+                        assert_eq!(
+                            collection.get(slot),
+                            reference[index].as_slice(),
+                            "{model}: size {size}, sample {index}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn sharded_pipelines_across_blocks() {
+        // More samples than one block forces the post → sample-next →
+        // drain pipeline through its steady state.
+        let g = graph();
+        let factory = StreamFactory::new(11);
+        let count = BLOCK_SAMPLES * 2 + 17;
+        let model = DiffusionModel::IndependentCascade;
+        let mut scratch = RrrScratch::new(g.num_vertices());
+        let reference: Vec<Vec<Vertex>> = (0..count as u64)
+            .map(|i| vertex_keyed_rrr(&g, model, &factory, i, &mut scratch))
+            .collect();
+        let world = ThreadWorld::new(2);
+        let per_rank = world.run(|comm| {
+            let shard = VertexCutShard::extract(&g, comm.rank(), comm.size());
+            let mut out = RrrCollection::new();
+            let mut stats = ExchangeStats::default();
+            sample_batch_sharded(
+                comm, &shard, model, &factory, 0, count, &mut out, &mut stats,
+            );
+            assert!(stats.frontier_exchanges > 3, "pipeline never exchanged");
+            (comm.rank(), out)
+        });
+        for (rank, collection) in per_rank {
+            let mine: Vec<usize> = (0..count).filter(|i| i % 2 == rank as usize).collect();
+            assert_eq!(collection.len(), mine.len());
+            for (slot, &index) in mine.iter().enumerate() {
+                assert_eq!(collection.get(slot), reference[index].as_slice());
+            }
+        }
+    }
+
+    #[test]
+    fn sharded_imm_matches_partitioned_bitwise() {
+        // The two graph-distributed engines flip identical (sample, vertex)
+        // coins, so seeds and θ agree exactly at every rank count.
+        for model in [
+            DiffusionModel::IndependentCascade,
+            DiffusionModel::LinearThreshold,
+        ] {
+            let lt = model == DiffusionModel::LinearThreshold;
+            let g = erdos_renyi(200, 1600, WeightModel::UniformRandom { seed: 7 }, lt, 61);
+            let p = ImmParams::new(5, 0.5, model, 23);
+            let anchor = imm_partitioned(&SelfComm::new(), &g, &p);
+            let single = imm_sharded(&SelfComm::new(), &g, &p);
+            assert_eq!(single.seeds, anchor.seeds, "{model} single rank");
+            assert_eq!(single.theta, anchor.theta, "{model} single rank");
+            for size in [2u32, 3] {
+                let world = ThreadWorld::new(size);
+                let results = world.run(|comm| imm_sharded(comm, &g, &p));
+                for r in &results {
+                    assert_eq!(r.seeds, anchor.seeds, "{model} world {size}");
+                    assert_eq!(r.theta, anchor.theta, "{model} world {size}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn storage_backends_match_flat_at_any_rank_count() {
+        let g = graph();
+        let p = ImmParams::new(5, 0.5, DiffusionModel::IndependentCascade, 23);
+        let flat = imm_sharded(&SelfComm::new(), &g, &p);
+        for kind in [RrrStoreKind::Varint, RrrStoreKind::Spill] {
+            let budget = (kind == RrrStoreKind::Spill).then_some(4096);
+            let storage = StorageConfig { kind, budget };
+            let single = imm_sharded_with_storage(&SelfComm::new(), &g, &p, storage);
+            assert_eq!(single.seeds, flat.seeds, "{kind:?} single rank");
+            let world = ThreadWorld::new(2);
+            let results = world.run(|comm| imm_sharded_with_storage(comm, &g, &p, storage));
+            for r in &results {
+                assert_eq!(r.seeds, flat.seeds, "{kind:?} world 2");
+                assert_eq!(r.theta, flat.theta, "{kind:?} world 2");
+            }
+        }
+    }
+
+    #[test]
+    fn per_rank_graph_memory_shrinks_with_ranks() {
+        let g = erdos_renyi(200, 4000, WeightModel::UniformRandom { seed: 2 }, false, 8);
+        let full = VertexCutShard::extract(&g, 0, 1).resident_bytes();
+        let world = ThreadWorld::new(4);
+        let p = ImmParams::new(3, 0.5, DiffusionModel::IndependentCascade, 2);
+        let results = world.run(|comm| imm_sharded(comm, &g, &p));
+        for r in results {
+            assert!(
+                r.memory.graph_bytes * 2 < full,
+                "rank holds {} of full {}",
+                r.memory.graph_bytes,
+                full
+            );
+            assert!(
+                (r.report.counters.graph_bytes_peak as usize) * 2 < full,
+                "reported peak {} vs full {}",
+                r.report.counters.graph_bytes_peak,
+                full
+            );
+        }
+    }
+
+    #[test]
+    fn exchange_counters_are_published() {
+        let g = graph();
+        let p = ImmParams::new(3, 0.5, DiffusionModel::IndependentCascade, 5);
+        let world = ThreadWorld::new(2);
+        let results = world.run(|comm| imm_sharded(comm, &g, &p));
+        let first = &results[0];
+        assert!(first.report.counters.frontier_exchanges > 0);
+        assert!(first.report.counters.graph_bytes_peak > 0);
+        let comm = first.report.comm.as_ref().unwrap();
+        assert!(comm.exchange_calls > 0, "no exchanges recorded in comm");
+        for r in &results {
+            assert_eq!(
+                r.report.counters.frontier_exchanges, first.report.counters.frontier_exchanges,
+                "exchange count diverged across ranks"
+            );
+        }
+    }
+}

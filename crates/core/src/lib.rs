@@ -20,7 +20,9 @@
 //! ([`celf`]), degree-discount and other heuristics ([`heuristics`]), and
 //! the community-based heuristic of reference \[14\] ([`community`]) — the
 //! paper's future-work extension of running IMM over a *partitioned* input
-//! graph ([`dist_partitioned`]), instrumentation matching the paper's phase
+//! graph ([`dist_partitioned`]) and its vertex-cut sharded successor with
+//! batched asynchronous frontier exchange ([`dist_sharded`]),
+//! instrumentation matching the paper's phase
 //! breakdown ([`phases`]), RRR-storage memory accounting ([`memory`]), and
 //! the strong-scaling replay model ([`scaling`]) that substitutes for the
 //! clusters this reproduction does not have (see DESIGN.md).
@@ -45,6 +47,7 @@ pub mod celf;
 pub mod community;
 pub mod dist;
 pub mod dist_partitioned;
+pub mod dist_sharded;
 pub mod heuristics;
 pub mod memory;
 pub mod mt;

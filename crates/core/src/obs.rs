@@ -103,6 +103,17 @@ pub struct Counters {
     /// Ranks declared dead and excluded from the run's collectives
     /// (globally, for the distributed engines).
     pub degraded_ranks: u64,
+    /// Peak resident bytes of this process's share of the graph: the full
+    /// CSR for replicated engines, the vertex-cut shard for `imm_sharded`
+    /// (max over ranks for the distributed engines).
+    pub graph_bytes_peak: u64,
+    /// Batched frontier exchanges (`alltoallv`) issued by the sharded
+    /// engine; 0 for replicated engines.
+    pub frontier_exchanges: u64,
+    /// Nanoseconds of frontier-exchange latency hidden behind local
+    /// sampling (post-to-wait gaps, summed; max over ranks). 0 for
+    /// replicated engines.
+    pub overlap_nanos: u64,
 }
 
 /// A fixed-size power-of-two histogram of `u64` observations.
@@ -206,11 +217,13 @@ impl Histogram {
 
     /// Upper-bound estimate of the `q`-quantile (`q ∈ [0, 1]`): walks the
     /// buckets to the smallest one whose cumulative count reaches
-    /// `ceil(q · count)` and returns that bucket's exclusive upper bound —
-    /// so the true quantile is strictly below the returned value, except
-    /// the final bucket, whose tail is reported as the observed `max`.
-    /// Returns 0 on an empty histogram. This is the p50/p99 estimator the
-    /// serve mode exports for query latencies.
+    /// `ceil(q · count)` and returns that bucket's exclusive upper bound,
+    /// clamped to the observed `max` — a bucket bound can exceed every value
+    /// actually recorded (a histogram holding only the value 3 would
+    /// otherwise report quantile 4), and no quantile of real observations
+    /// can be larger than the largest of them. Returns 0 on an empty
+    /// histogram. This is the p50/p99 estimator the serve mode exports for
+    /// query latencies.
     #[must_use]
     pub fn quantile(&self, q: f64) -> u64 {
         if self.count == 0 {
@@ -224,7 +237,7 @@ impl Histogram {
                 return if i == HISTOGRAM_BUCKETS - 1 {
                     self.max
                 } else {
-                    Self::bucket_bounds(i).1
+                    Self::bucket_bounds(i).1.min(self.max)
                 };
             }
         }
@@ -278,7 +291,10 @@ pub struct CommCounters {
     pub broadcast_calls: u64,
     /// `all_gather_*` calls.
     pub allgather_calls: u64,
-    /// Modeled payload bytes transmitted under recursive doubling.
+    /// `alltoallv_u64` / posted-exchange calls.
+    pub exchange_calls: u64,
+    /// Modeled payload bytes transmitted under recursive doubling (direct
+    /// pairwise for exchanges).
     pub bytes_moved: u64,
 }
 
@@ -292,6 +308,7 @@ impl CommCounters {
             barrier_calls: after.barrier_calls - before.barrier_calls,
             broadcast_calls: after.broadcast_calls - before.broadcast_calls,
             allgather_calls: after.allgather_calls - before.allgather_calls,
+            exchange_calls: after.exchange_calls - before.exchange_calls,
             bytes_moved: after.bytes_moved - before.bytes_moved,
         }
     }
@@ -488,8 +505,14 @@ impl RunReport {
         out.push(']');
         let _ = write!(
             out,
-            ",\"retries\":{},\"dropped_ops\":{},\"degraded_ranks\":{}",
-            c.retries, c.dropped_ops, c.degraded_ranks
+            ",\"retries\":{},\"dropped_ops\":{},\"degraded_ranks\":{},\
+             \"graph_bytes_peak\":{},\"frontier_exchanges\":{},\"overlap_nanos\":{}",
+            c.retries,
+            c.dropped_ops,
+            c.degraded_ranks,
+            c.graph_bytes_peak,
+            c.frontier_exchanges,
+            c.overlap_nanos
         );
         out.push('}');
         out.push_str(",\"rrr_sizes\":");
@@ -505,11 +528,12 @@ impl RunReport {
                 let _ = write!(
                     out,
                     "{{\"allreduce_calls\":{},\"barrier_calls\":{},\"broadcast_calls\":{},\
-                     \"allgather_calls\":{},\"bytes_moved\":{}}}",
+                     \"allgather_calls\":{},\"exchange_calls\":{},\"bytes_moved\":{}}}",
                     cc.allreduce_calls,
                     cc.barrier_calls,
                     cc.broadcast_calls,
                     cc.allgather_calls,
+                    cc.exchange_calls,
                     cc.bytes_moved
                 );
             }
@@ -573,6 +597,9 @@ impl RunReport {
         let _ = writeln!(out, "  comm retries        {}", c.retries);
         let _ = writeln!(out, "  comm dropped ops    {}", c.dropped_ops);
         let _ = writeln!(out, "  degraded ranks      {}", c.degraded_ranks);
+        let _ = writeln!(out, "  graph bytes (peak)  {}", c.graph_bytes_peak);
+        let _ = writeln!(out, "  frontier exchanges  {}", c.frontier_exchanges);
+        let _ = writeln!(out, "  overlap (ns)        {}", c.overlap_nanos);
         for (i, (b, f)) in c.round_budgets.iter().zip(&c.round_coverage).enumerate() {
             let _ = writeln!(
                 out,
@@ -594,11 +621,12 @@ impl RunReport {
             out.push_str("comm:\n");
             let _ = writeln!(
                 out,
-                "  allreduce {}  allgather {}  broadcast {}  barrier {}  bytes {}",
+                "  allreduce {}  allgather {}  broadcast {}  barrier {}  exchange {}  bytes {}",
                 cc.allreduce_calls,
                 cc.allgather_calls,
                 cc.broadcast_calls,
                 cc.barrier_calls,
+                cc.exchange_calls,
                 cc.bytes_moved
             );
         }
@@ -806,12 +834,28 @@ mod tests {
         h.record_n(1500, 10);
         assert_eq!(h.quantile(0.5), 2); // bucket [1,2) upper bound
         assert_eq!(h.quantile(0.9), 2); // rank 90 still inside the small bucket
-        assert_eq!(h.quantile(0.99), 2048); // rank 99 lands in [1024, 2048)
-        assert_eq!(h.quantile(1.0), 2048);
+        assert_eq!(h.quantile(0.99), 1500); // rank 99 lands in [1024, 2048), clamped to max
+        assert_eq!(h.quantile(1.0), 1500);
         // The open tail bucket reports the observed max, not infinity.
         let mut t = Histogram::new();
         t.record(u64::MAX - 5);
         assert_eq!(t.quantile(0.99), u64::MAX - 5);
+    }
+
+    #[test]
+    fn histogram_quantile_never_exceeds_observed_max() {
+        // Regression: the bucket upper bound is exclusive, so an unclamped
+        // estimator reports values no observation ever had (a histogram
+        // holding only 3 said its p50 was 4).
+        let mut h = Histogram::new();
+        h.record(3);
+        assert_eq!(h.quantile(0.5), 3);
+        assert_eq!(h.quantile(0.99), 3);
+        let mut h = Histogram::new();
+        h.record_n(1000, 5);
+        for q in [0.0, 0.25, 0.5, 0.9, 0.99, 1.0] {
+            assert!(h.quantile(q) <= h.max(), "q={q}: {} > max", h.quantile(q));
+        }
     }
 
     #[test]
@@ -833,6 +877,7 @@ mod tests {
             barrier_calls: 1,
             broadcast_calls: 0,
             allgather_calls: 3,
+            exchange_calls: 1,
             bytes_moved: 100,
         };
         let after = CommStats {
@@ -840,6 +885,7 @@ mod tests {
             barrier_calls: 1,
             broadcast_calls: 2,
             allgather_calls: 4,
+            exchange_calls: 9,
             bytes_moved: 450,
         };
         let d = CommCounters::delta(&before, &after);
@@ -847,6 +893,7 @@ mod tests {
         assert_eq!(d.barrier_calls, 0);
         assert_eq!(d.broadcast_calls, 2);
         assert_eq!(d.allgather_calls, 1);
+        assert_eq!(d.exchange_calls, 8);
         assert_eq!(d.bytes_moved, 350);
     }
 

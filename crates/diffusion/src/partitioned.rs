@@ -20,6 +20,7 @@
 
 use crate::model::DiffusionModel;
 use crate::rrr::{RrrCollection, RrrScratch};
+use ripples_graph::partition::ChunkView;
 use ripples_graph::{Graph, Vertex};
 use ripples_rng::{SplitMix64, StreamFactory};
 
@@ -161,6 +162,59 @@ fn expand_with(
             let mut acc = 0.0f64;
             let mut examined = 0u64;
             for (&u, &p) in sources.iter().zip(probs) {
+                examined += 1;
+                acc += f64::from(p);
+                if draw < acc {
+                    out.push(u);
+                    break;
+                }
+            }
+            examined
+        }
+    }
+}
+
+/// Expands one vertex-cut chunk of `v`'s in-list for sample stream
+/// `sample_seed`, flipping exactly the coins the sequential reference flips
+/// for that slice of the in-edge order; returns edges examined.
+///
+/// The `(sample, vertex)` stream is a counter (SplitMix64), so a chunk that
+/// starts at in-edge `edge_start` lands on its coins with one O(1)
+/// [`SplitMix64::skip`] — under independent cascade the union of the chunks'
+/// live edges is bitwise the full expansion. Under linear threshold all
+/// chunks share the *first* draw and the chunk's stored `lt_prefix` (the
+/// exact sequential accumulator value at the chunk boundary) decides locally
+/// whether the threshold falls before, inside, or after the chunk, so at
+/// most one chunk across all ranks emits the (single) live edge.
+pub fn expand_shard_chunk(
+    model: DiffusionModel,
+    sample_seed: u64,
+    v: Vertex,
+    chunk: ChunkView<'_>,
+    out: &mut Vec<Vertex>,
+) -> u64 {
+    let mut rng = SplitMix64::for_stream(sample_seed, u64::from(v));
+    match model {
+        DiffusionModel::IndependentCascade => {
+            rng.skip(u64::from(chunk.edge_start));
+            for (&u, &p) in chunk.sources.iter().zip(chunk.probs) {
+                if rng.unit_f64() < f64::from(p) {
+                    out.push(u);
+                }
+            }
+            chunk.sources.len() as u64
+        }
+        DiffusionModel::LinearThreshold => {
+            let draw = rng.unit_f64();
+            if draw < chunk.lt_prefix {
+                // The threshold fell in an earlier chunk; its owner emits
+                // the live edge. (Probabilities are non-negative, so the
+                // accumulator is monotone and this test is exact.)
+                return 0;
+            }
+            let mut acc = chunk.lt_prefix;
+            let mut examined = 0u64;
+            for (&u, &p) in chunk.sources.iter().zip(chunk.probs) {
                 examined += 1;
                 acc += f64::from(p);
                 if draw < acc {
@@ -348,6 +402,50 @@ mod tests {
                 &mut reference,
             );
             assert_eq!(from_part, reference, "vertex {v}");
+        }
+    }
+
+    #[test]
+    fn shard_chunks_reproduce_expansion_bitwise() {
+        // The union (in rank order) of per-chunk expansions must equal the
+        // full-graph expansion exactly, for both models, at every cut width.
+        use ripples_graph::partition::VertexCutShard;
+        let g = graph();
+        let f = StreamFactory::new(21);
+        for model in [
+            DiffusionModel::IndependentCascade,
+            DiffusionModel::LinearThreshold,
+        ] {
+            for size in [1u32, 2, 3, 4] {
+                let shards: Vec<VertexCutShard> = (0..size)
+                    .map(|r| VertexCutShard::extract(&g, r, size))
+                    .collect();
+                for idx in 0..20u64 {
+                    let seed = sample_stream_seed(&f, idx);
+                    for v in 0..g.num_vertices() {
+                        let mut reference = Vec::new();
+                        let mut rng = SplitMix64::for_stream(seed, u64::from(v));
+                        let ref_examined = expand_with(
+                            model,
+                            &mut rng,
+                            g.in_neighbors(v),
+                            g.in_probs(v),
+                            &mut reference,
+                        );
+                        let mut union = Vec::new();
+                        let mut examined = 0u64;
+                        for shard in &shards {
+                            if let Some(chunk) = shard.chunk(v) {
+                                examined += expand_shard_chunk(model, seed, v, chunk, &mut union);
+                            }
+                        }
+                        assert_eq!(union, reference, "model {model:?} size {size} v {v}");
+                        if model == DiffusionModel::IndependentCascade {
+                            assert_eq!(examined, ref_examined, "IC examines every edge");
+                        }
+                    }
+                }
+            }
         }
     }
 

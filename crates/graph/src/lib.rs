@@ -18,6 +18,9 @@
 //!   [`generators::snap_standins`] catalogue: scaled-down analogues of the
 //!   eight SNAP graphs in the paper's Table 2.
 //! * [`io`] — SNAP-style edge-list text I/O and a compact binary format.
+//! * [`partition`] — deterministic edge-balanced vertex-cut shards with
+//!   ghost-vertex tables, the substrate of the graph-sharded distributed
+//!   engine.
 //! * [`stats`] — the Table 2 summary statistics (n, m, average/max degree).
 //! * [`traversal`] — plain BFS and weakly-connected components, used by
 //!   tests and the generators.
@@ -29,6 +32,7 @@ pub mod clustering;
 pub mod csr;
 pub mod generators;
 pub mod io;
+pub mod partition;
 pub mod permute;
 pub mod stats;
 pub mod subgraph;
@@ -39,6 +43,7 @@ pub mod weights;
 pub use builder::GraphBuilder;
 pub use clustering::{global_clustering_coefficient, triangle_count};
 pub use csr::Graph;
+pub use partition::{ChunkView, VertexCutShard};
 pub use permute::{permute_graph, Permutation};
 pub use stats::GraphStats;
 pub use subgraph::{induced_subgraph, split_by_labels, InducedSubgraph};

@@ -83,6 +83,10 @@ pub enum Metric {
     /// p99 query latency of the serve mode, nanoseconds (power-of-two
     /// histogram upper bound).
     QueryP99Nanos,
+    /// Per-rank resident graph footprint, bytes (peak across ranks; the
+    /// replicated engines report the full graph, the sharded engine its
+    /// vertex-cut shard).
+    GraphBytes,
     // --- counters ---------------------------------------------------------
     /// RRR sets generated (world total).
     SamplesGenerated,
@@ -106,6 +110,8 @@ pub enum Metric {
     CommDroppedOps,
     /// Queries answered by the resident serve mode.
     QueriesServed,
+    /// Batched frontier exchanges completed by the graph-sharded engine.
+    FrontierExchanges,
 }
 
 /// Metric kinds, mirroring the Prometheus data model.
@@ -120,7 +126,7 @@ pub enum Kind {
 
 impl Metric {
     /// Number of registered metrics (cells in the registry).
-    pub const COUNT: usize = 22;
+    pub const COUNT: usize = 24;
 
     /// Every metric, in cell order — the column order of exported series.
     pub const ALL: [Metric; Self::COUNT] = [
@@ -135,6 +141,7 @@ impl Metric {
         Metric::SketchBytes,
         Metric::QueryP50Nanos,
         Metric::QueryP99Nanos,
+        Metric::GraphBytes,
         Metric::SamplesGenerated,
         Metric::EdgesExamined,
         Metric::SelectSteps,
@@ -146,6 +153,7 @@ impl Metric {
         Metric::CommRetries,
         Metric::CommDroppedOps,
         Metric::QueriesServed,
+        Metric::FrontierExchanges,
     ];
 
     /// Stable export name (snake_case, no namespace prefix).
@@ -163,6 +171,7 @@ impl Metric {
             Metric::SketchBytes => "sketch_bytes",
             Metric::QueryP50Nanos => "query_p50_nanos",
             Metric::QueryP99Nanos => "query_p99_nanos",
+            Metric::GraphBytes => "graph_bytes",
             Metric::SamplesGenerated => "samples_generated",
             Metric::EdgesExamined => "edges_examined",
             Metric::SelectSteps => "select_steps",
@@ -174,6 +183,7 @@ impl Metric {
             Metric::CommRetries => "comm_retries",
             Metric::CommDroppedOps => "comm_dropped_ops",
             Metric::QueriesServed => "queries_served",
+            Metric::FrontierExchanges => "frontier_exchanges",
         }
     }
 
@@ -191,7 +201,8 @@ impl Metric {
             | Metric::DegradedRanks
             | Metric::SketchBytes
             | Metric::QueryP50Nanos
-            | Metric::QueryP99Nanos => Kind::Gauge,
+            | Metric::QueryP99Nanos
+            | Metric::GraphBytes => Kind::Gauge,
             _ => Kind::Counter,
         }
     }
@@ -213,6 +224,7 @@ impl Metric {
             Metric::SketchBytes => "Resident sketch footprint held by the serve mode in bytes",
             Metric::QueryP50Nanos => "Median serve-query latency in nanoseconds",
             Metric::QueryP99Nanos => "99th-percentile serve-query latency in nanoseconds",
+            Metric::GraphBytes => "Per-rank resident graph footprint in bytes (peak across ranks)",
             Metric::SamplesGenerated => "RRR sets generated across all ranks",
             Metric::EdgesExamined => "Edges examined while growing RRR sets",
             Metric::SelectSteps => "Greedy selection steps (lazy pops and seed commits)",
@@ -224,6 +236,7 @@ impl Metric {
             Metric::CommRetries => "Communication attempts retried after faults",
             Metric::CommDroppedOps => "Communication operations dropped by fault injection",
             Metric::QueriesServed => "Queries answered by the resident serve mode",
+            Metric::FrontierExchanges => "Batched frontier exchanges by the graph-sharded engine",
         }
     }
 }

@@ -28,6 +28,7 @@ use ripples_core::dist::{
     imm_distributed, imm_distributed_with_storage, DistRngMode, DistSelectMode,
 };
 use ripples_core::dist_partitioned::imm_partitioned;
+use ripples_core::dist_sharded::imm_sharded;
 use ripples_core::mt::imm_multithreaded;
 use ripples_core::select::{select_with_engine, Selection};
 use ripples_core::seq::{imm_baseline, immopt_sequential, immopt_sequential_with_storage};
@@ -148,6 +149,18 @@ pub(crate) fn check_engine_grid(
             compare_runs(
                 report,
                 &format!("dist_partitioned(world={world},rank={rank})"),
+                r,
+                &part_reference,
+            );
+        }
+        // The vertex-cut sharded engine flips the same (sample, vertex)
+        // coins as the partitioned engine, so it shares its anchor —
+        // bitwise, at every world size.
+        let results = ThreadWorld::new(world).run(|comm| imm_sharded(comm, graph, params));
+        for (rank, r) in results.iter().enumerate() {
+            compare_runs(
+                report,
+                &format!("dist_sharded(world={world},rank={rank})"),
                 r,
                 &part_reference,
             );

@@ -90,6 +90,19 @@ impl SplitMix64 {
     pub fn bernoulli(&mut self, p: f64) -> bool {
         self.unit_f64() < p
     }
+
+    /// Advances the stream by `n` draws in O(1).
+    ///
+    /// The state is a plain counter (each draw adds [`GOLDEN_GAMMA`] before
+    /// mixing), so skipping is a single wrapping multiply-add: after
+    /// `skip(n)` the next [`SplitMix64::next_u64`] returns exactly what the
+    /// `n+1`-th draw of the unskipped stream would have. The vertex-cut
+    /// partitioned sampler uses this to reproduce the middle of a per-vertex
+    /// coin-flip stream on the rank that owns that slice of the in-edges.
+    #[inline]
+    pub fn skip(&mut self, n: u64) {
+        self.state = self.state.wrapping_add(GOLDEN_GAMMA.wrapping_mul(n));
+    }
 }
 
 /// The finalizer applied to an already-incremented state (no gamma add).
@@ -198,6 +211,20 @@ mod tests {
         let mut g = SplitMix64::new(1);
         assert!(!(0..1000).any(|_| g.bernoulli(0.0)));
         assert!((0..1000).all(|_| g.bernoulli(1.0)));
+    }
+
+    #[test]
+    fn skip_matches_sequential_draws() {
+        for n in [0u64, 1, 2, 7, 63, 1000] {
+            let mut seq = SplitMix64::for_stream(42, 9);
+            for _ in 0..n {
+                seq.next_u64();
+            }
+            let mut skipped = SplitMix64::for_stream(42, 9);
+            skipped.skip(n);
+            assert_eq!(skipped, seq, "skip({n}) must equal {n} draws");
+            assert_eq!(skipped.next_u64(), seq.next_u64());
+        }
     }
 
     #[test]

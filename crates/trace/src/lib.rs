@@ -133,6 +133,8 @@ pub enum TraceName {
     /// A serve-mode query finishes; `arg0` = requested seed count `k`,
     /// `arg1` = RRR-index entries touched while answering.
     QueryEnd = 21,
+    /// `alltoallv_u64` / posted frontier exchange; `arg0` = payload bytes.
+    CommExchange = 22,
 }
 
 impl TraceName {
@@ -162,6 +164,7 @@ impl TraceName {
             TraceName::MaskBytes => "mask-bytes",
             TraceName::QueryBegin => "query-begin",
             TraceName::QueryEnd => "query-end",
+            TraceName::CommExchange => "exchange",
         }
     }
 
@@ -171,9 +174,10 @@ impl TraceName {
             TraceName::Round => (Some("round"), None),
             TraceName::SampleChunk | TraceName::FusedChunk => (Some("first"), Some("count")),
             TraceName::SelectStep => (Some("vertex"), Some("gain")),
-            TraceName::CommAllReduce | TraceName::CommAllGather | TraceName::CommBroadcast => {
-                (Some("bytes"), None)
-            }
+            TraceName::CommAllReduce
+            | TraceName::CommAllGather
+            | TraceName::CommBroadcast
+            | TraceName::CommExchange => (Some("bytes"), None),
             TraceName::RrrBytes | TraceName::ArenaBytes | TraceName::MaskBytes => {
                 (Some("bytes"), None)
             }
@@ -212,6 +216,7 @@ impl TraceName {
             19 => Some(MaskBytes),
             20 => Some(QueryBegin),
             21 => Some(QueryEnd),
+            22 => Some(CommExchange),
             _ => None,
         }
     }
@@ -895,12 +900,12 @@ mod tests {
 
     #[test]
     fn name_catalog_round_trips() {
-        for x in 0..=21u8 {
+        for x in 0..=22u8 {
             let name = TraceName::from_u8(x).expect("catalog entry");
             assert_eq!(name as u8, x);
             assert!(!name.label().is_empty());
         }
-        assert!(TraceName::from_u8(22).is_none());
+        assert!(TraceName::from_u8(23).is_none());
         assert!(EventKind::from_u8(3).is_none());
     }
 }

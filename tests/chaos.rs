@@ -22,6 +22,7 @@
 use ripples_comm::{FaultComm, FaultPlan, ThreadWorld};
 use ripples_core::dist::imm_distributed;
 use ripples_core::dist_partitioned::imm_partitioned;
+use ripples_core::dist_sharded::imm_sharded;
 use ripples_core::ImmParams;
 use ripples_diffusion::{estimate_spread, DiffusionModel};
 use ripples_graph::generators::erdos_renyi;
@@ -55,11 +56,13 @@ fn run_engine(
             let faulty = FaultComm::new(comm, plan.clone());
             match engine {
                 "dist" => imm_distributed(&faulty, &g, &p),
+                "sharded" => imm_sharded(&faulty, &g, &p),
                 _ => imm_partitioned(&faulty, &g, &p),
             }
         }
         None => match engine {
             "dist" => imm_distributed(comm, &g, &p),
+            "sharded" => imm_sharded(comm, &g, &p),
             _ => imm_partitioned(comm, &g, &p),
         },
     });
@@ -78,7 +81,7 @@ fn run_engine(
 #[test]
 fn zero_fault_plan_is_bitwise_transparent() {
     let none = FaultPlan::none();
-    for engine in ["dist", "partitioned"] {
+    for engine in ["dist", "partitioned", "sharded"] {
         for size in [1u32, 2, 4] {
             let bare = run_engine(engine, size, None, DiffusionModel::IndependentCascade);
             let wrapped = run_engine(
@@ -243,4 +246,38 @@ fn chaos_runs_reproduce_from_seed_alone() {
         "chaos seed {chaos_seed}: coverage {}",
         a.coverage_fraction
     );
+}
+
+#[test]
+fn sharded_engine_absorbs_transient_faults_too() {
+    // The sharded engine's posted exchanges degrade to deferred (retried
+    // at wait) under injection — transient faults still cannot leak into
+    // the selection.
+    let clean = run_engine("sharded", 3, None, DiffusionModel::IndependentCascade);
+    let plan = FaultPlan::new(707)
+        .with_drop_rate(0.05)
+        .with_delay_rate(0.05);
+    let noisy = run_engine(
+        "sharded",
+        3,
+        Some(&plan),
+        DiffusionModel::IndependentCascade,
+    );
+    assert_eq!(clean.seeds, noisy.seeds);
+    assert_eq!(clean.theta, noisy.theta);
+    assert_eq!(noisy.report.counters.degraded_ranks, 0);
+    assert!(noisy.report.counters.retries > 0, "plan must bite");
+}
+
+#[test]
+fn rank_kill_in_sharded_engine_completes() {
+    let plan = FaultPlan::new(808).with_stall(1, 6);
+    let degraded = run_engine(
+        "sharded",
+        2,
+        Some(&plan),
+        DiffusionModel::IndependentCascade,
+    );
+    assert_eq!(degraded.report.counters.degraded_ranks, 1);
+    assert_eq!(degraded.seeds.len(), 5);
 }

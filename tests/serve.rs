@@ -305,3 +305,78 @@ fn snapshot_restore_serves_bitwise_identically() {
         assert!((e1 - e2).abs() < 1e-12);
     }
 }
+
+/// Kills the serve child process even when the test panics.
+struct ChildGuard(std::process::Child);
+
+impl Drop for ChildGuard {
+    fn drop(&mut self) {
+        let _ = self.0.kill();
+        let _ = self.0.wait();
+    }
+}
+
+/// Regression: one wedged TCP client (connected, silent, never closing)
+/// must not starve later connections. The accept loop now puts a read
+/// timeout on every session, so the wedged session errors out and the
+/// next client gets served — the client's I/O failure ends its session,
+/// never the process.
+#[test]
+fn tcp_wedged_client_does_not_starve_next_connection() {
+    use std::io::{BufRead, BufReader, Write};
+
+    let child = std::process::Command::new(env!("CARGO_BIN_EXE_serve"))
+        .args([
+            "--gen",
+            "er:60:240",
+            "--k-max",
+            "4",
+            "--epsilon",
+            "0.5",
+            "--tcp",
+            "127.0.0.1:0",
+            "--read-timeout-ms",
+            "300",
+        ])
+        .stdin(std::process::Stdio::null())
+        .stdout(std::process::Stdio::null())
+        .stderr(std::process::Stdio::piped())
+        .spawn()
+        .expect("spawn serve");
+    let mut guard = ChildGuard(child);
+
+    // The startup banner carries the bound address (port 0 → ephemeral).
+    let stderr = guard.0.stderr.take().expect("piped stderr");
+    let mut lines = BufReader::new(stderr).lines();
+    let addr = loop {
+        let line = lines
+            .next()
+            .expect("serve exited before listening")
+            .expect("read stderr");
+        if let Some(rest) = line.strip_prefix("serve: listening on ") {
+            break rest.trim().to_string();
+        }
+    };
+
+    // Client A connects and wedges: no bytes, no close.
+    let wedged = std::net::TcpStream::connect(&addr).expect("connect wedged client");
+
+    // Client B connects afterwards and must still be answered once A's
+    // read times out (300 ms). The generous client-side timeout is only a
+    // failsafe so a regression fails rather than hangs the suite.
+    let mut second = std::net::TcpStream::connect(&addr).expect("connect second client");
+    second
+        .set_read_timeout(Some(std::time::Duration::from_secs(30)))
+        .expect("client timeout");
+    writeln!(second, "{{\"op\":\"info\"}}").expect("send request");
+    second.flush().expect("flush request");
+    let mut reply = String::new();
+    BufReader::new(second.try_clone().expect("clone"))
+        .read_line(&mut reply)
+        .expect("second client starved: no reply before client timeout");
+    assert!(
+        reply.contains("\"ok\":true"),
+        "unexpected reply to second client: {reply}"
+    );
+    drop(wedged);
+}
